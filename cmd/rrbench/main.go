@@ -1,0 +1,110 @@
+// Command rrbench regenerates the experiment suite E1–E10 (the numerical
+// counterparts of the paper's claims — see DESIGN.md §3), rendering tables
+// to stdout and CSV series to -out.
+//
+// Examples:
+//
+//	rrbench                     # full suite
+//	rrbench -exp E2 -out results
+//	rrbench -quick              # reduced grids (what the tests run)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sync"
+	"time"
+
+	"rrnorm/internal/exp"
+)
+
+func main() {
+	var (
+		id       = flag.String("exp", "all", "experiment ID (E1..E19) or 'all'")
+		out      = flag.String("out", "", "directory for CSV output (empty = none)")
+		quick    = flag.Bool("quick", false, "reduced instance sizes and grids")
+		seed     = flag.Uint64("seed", 42, "workload RNG seed")
+		html     = flag.String("html", "", "also write a self-contained HTML report to this path")
+		parallel = flag.Bool("parallel", false, "run experiments concurrently (results still print in order)")
+	)
+	flag.Parse()
+	cfg := exp.Config{Seed: *seed, Quick: *quick, OutDir: *out}
+
+	var exps []exp.Experiment
+	if *id == "all" {
+		exps = exp.All()
+	} else {
+		e, err := exp.ByID(*id)
+		if err != nil {
+			fatal(err)
+		}
+		exps = []exp.Experiment{e}
+	}
+	type outcome struct {
+		tables  []*exp.Table
+		err     error
+		elapsed time.Duration
+	}
+	results := make([]outcome, len(exps))
+	if *parallel {
+		// Experiments are independent and deterministic per Config, so
+		// fan them out; rendering below stays in suite order.
+		var wg sync.WaitGroup
+		for i := range exps {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				start := time.Now()
+				tables, err := exps[i].Run(cfg)
+				results[i] = outcome{tables, err, time.Since(start)}
+			}(i)
+		}
+		wg.Wait()
+	} else {
+		for i := range exps {
+			start := time.Now()
+			tables, err := exps[i].Run(cfg)
+			results[i] = outcome{tables, err, time.Since(start)}
+		}
+	}
+
+	var all []*exp.Table
+	for i, e := range exps {
+		r := results[i]
+		if r.err != nil {
+			fatal(fmt.Errorf("%s: %w", e.ID, r.err))
+		}
+		for _, t := range r.tables {
+			if err := t.Render(os.Stdout); err != nil {
+				fatal(err)
+			}
+			if *out != "" {
+				if err := t.WriteCSV(*out); err != nil {
+					fatal(err)
+				}
+			}
+		}
+		all = append(all, r.tables...)
+		fmt.Printf("[%s finished in %v]\n\n", e.ID, r.elapsed.Round(time.Millisecond))
+	}
+	if *out != "" {
+		fmt.Printf("CSV series written to %s/\n", *out)
+	}
+	if *html != "" {
+		f, err := os.Create(*html)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := exp.RenderHTML(f, cfg, all); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("HTML report written to %s\n", *html)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "rrbench:", err)
+	os.Exit(1)
+}

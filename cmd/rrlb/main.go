@@ -1,0 +1,139 @@
+// Command rrlb sweeps the adversarial lower-bound families: it measures
+// RR's ℓk-norm ratio against the certified LP/2 bound across instance sizes
+// and speeds, and fits the per-speed growth exponent — a parameterizable
+// version of experiments E2/E9.
+//
+// Examples:
+//
+//	rrlb -kind cascade -k 2 -speeds 1,1.2,1.5,2,4 -sizes 4,6,8,10
+//	rrlb -kind rrstream -k 1 -theta 0 -speeds 1,2,3
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"strconv"
+	"strings"
+	"text/tabwriter"
+
+	"rrnorm/internal/core"
+	"rrnorm/internal/lp"
+	"rrnorm/internal/metrics"
+	"rrnorm/internal/policy"
+	"rrnorm/internal/stats"
+	"rrnorm/internal/workload"
+)
+
+func main() {
+	var (
+		kind   = flag.String("kind", "cascade", "instance family: cascade | rrstream")
+		k      = flag.Int("k", 2, "ℓk-norm exponent")
+		m      = flag.Int("m", 1, "machines")
+		theta  = flag.Float64("theta", 0.8, "cascade per-level overload θ")
+		sizesF = flag.String("sizes", "4,5,6,7,8,9,10", "cascade levels or rrstream groups")
+		speedF = flag.String("speeds", "1,1.2,1.4,1.6,1.8,2,3,4", "RR speeds")
+		plot   = flag.Bool("plot", false, "render an ASCII plot of ratio vs n per speed")
+	)
+	flag.Parse()
+
+	sizes, err := parseInts(*sizesF)
+	if err != nil {
+		fatal(err)
+	}
+	speeds, err := parseFloats(*speedF)
+	if err != nil {
+		fatal(err)
+	}
+
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprint(tw, "size\tn\tLB")
+	for _, s := range speeds {
+		fmt.Fprintf(tw, "\ts=%.3g", s)
+	}
+	fmt.Fprintln(tw)
+	ratios := make(map[float64][]float64)
+	ns := make([]float64, 0, len(sizes))
+	for _, size := range sizes {
+		var in *core.Instance
+		switch *kind {
+		case "cascade":
+			in = workload.Cascade(size, *theta)
+		case "rrstream":
+			in = workload.RRStream(size, *m)
+		default:
+			fatal(fmt.Errorf("unknown kind %q", *kind))
+		}
+		lb, err := lp.KPowerLowerBound(in, *m, *k, lp.Options{})
+		if err != nil {
+			fatal(err)
+		}
+		ns = append(ns, float64(in.N()))
+		fmt.Fprintf(tw, "%d\t%d\t%.4g", size, in.N(), lb.Value)
+		for _, s := range speeds {
+			res, err := core.Run(in, policy.NewRR(), core.Options{Machines: *m, Speed: s})
+			if err != nil {
+				fatal(err)
+			}
+			r := math.Pow(metrics.KthPowerSum(res.Flow, *k)/lb.Value, 1/float64(*k))
+			ratios[s] = append(ratios[s], r)
+			fmt.Fprintf(tw, "\t%.4g", r)
+		}
+		fmt.Fprintln(tw)
+	}
+	tw.Flush()
+
+	fmt.Println("\nper-speed growth exponent (ratio ∝ n^b):")
+	for _, s := range speeds {
+		b := fitExponent(ns, ratios[s])
+		verdict := "bounded"
+		if b > 0.03 {
+			verdict = "growing"
+		}
+		fmt.Printf("  s=%-6.3g b=%+.4f  %s\n", s, b, verdict)
+	}
+	if *plot {
+		series := make([]stats.Series, 0, len(speeds))
+		for _, s := range speeds {
+			series = append(series, stats.Series{
+				Name: fmt.Sprintf("s=%.3g", s),
+				X:    ns,
+				Y:    ratios[s],
+			})
+		}
+		fmt.Println()
+		fmt.Print(stats.Plot(series, 72, 20, true, true))
+	}
+}
+
+func fitExponent(xs, ys []float64) float64 { return stats.FitPowerLaw(xs, ys) }
+
+func parseInts(s string) ([]int, error) {
+	var out []int
+	for _, p := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func parseFloats(s string) ([]float64, error) {
+	var out []float64
+	for _, p := range strings.Split(s, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "rrlb:", err)
+	os.Exit(1)
+}

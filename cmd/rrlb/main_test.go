@@ -1,0 +1,33 @@
+package main
+
+import (
+	"math"
+	"testing"
+)
+
+func TestParseInts(t *testing.T) {
+	got, err := parseInts(" 1, 2,3 ")
+	if err != nil || len(got) != 3 || got[0] != 1 || got[2] != 3 {
+		t.Fatalf("parseInts: %v %v", got, err)
+	}
+	if _, err := parseInts("1,x"); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestParseFloats(t *testing.T) {
+	got, err := parseFloats("1.5, 2")
+	if err != nil || len(got) != 2 || got[0] != 1.5 {
+		t.Fatalf("parseFloats: %v %v", got, err)
+	}
+	if _, err := parseFloats("zz"); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestFitExponentDelegates(t *testing.T) {
+	b := fitExponent([]float64{1, 10, 100}, []float64{2, 20, 200})
+	if math.Abs(b-1) > 1e-9 {
+		t.Fatalf("exponent %v", b)
+	}
+}

@@ -1,0 +1,117 @@
+// Command rrsim simulates one scheduling policy (or all of them) on a
+// workload and prints flow-time statistics — the quickest way to poke at
+// the library.
+//
+// Examples:
+//
+//	rrsim -workload poisson:n=200,load=0.9,dist=exp -policy RR -speed 2
+//	rrsim -workload cascade:levels=8 -policy all -k 2 -lb
+//	rrsim -workload trace:path=jobs.csv -policy SRPT -m 4
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"text/tabwriter"
+
+	"rrnorm/internal/core"
+	"rrnorm/internal/lp"
+	"rrnorm/internal/metrics"
+	"rrnorm/internal/policy"
+	"rrnorm/internal/polspec"
+	"rrnorm/internal/workload"
+)
+
+func main() {
+	var (
+		spec    = flag.String("workload", "poisson:n=100,load=0.9,dist=exp,mean=1", "workload spec (see internal/workload.FromSpec)")
+		polName = flag.String("policy", "RR", "policy spec (e.g. RR, LAPS:beta=0.3, GITTINS:dist=pareto) or 'all'")
+		m       = flag.Int("m", 1, "number of identical machines")
+		speed   = flag.Float64("speed", 1, "resource-augmentation speed for the policy")
+		k       = flag.Int("k", 2, "k for the ℓk-norm report and -lb ratio")
+		seed    = flag.Uint64("seed", 1, "workload RNG seed")
+		withLB  = flag.Bool("lb", false, "also compute the LP/2 lower bound and ratio")
+		dump    = flag.String("dump", "", "write the generated workload as CSV to this path")
+		resOut  = flag.String("resultout", "", "write the last policy's full result as JSON to this path")
+	)
+	flag.Parse()
+
+	in, err := workload.FromSpec(*spec, *seed)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("workload: %s\n", workload.Describe(in))
+	if *dump != "" {
+		f, err := os.Create(*dump)
+		if err != nil {
+			fatal(err)
+		}
+		if err := workload.WriteCSV(f, in); err != nil {
+			fatal(err)
+		}
+		f.Close()
+		fmt.Printf("trace written to %s\n", *dump)
+	}
+
+	var lb lp.Bound
+	if *withLB {
+		lb, err = lp.KPowerLowerBound(in, *m, *k, lp.Options{})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("lower bound on OPT's ΣF^%d (unit speed): %.6g  [%s]\n", *k, lb.Value, lb.Method)
+	}
+
+	names := []string{*polName}
+	if *polName == "all" {
+		names = policy.Names()
+	}
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "policy\tmean\tL1\tL2\tL3\tmax\tp99\tjain")
+	if *withLB {
+		fmt.Fprintf(tw, "\tℓ%d-ratio", *k)
+	}
+	fmt.Fprintln(tw)
+	var last *core.Result
+	for _, name := range names {
+		p, err := polspec.New(name)
+		if err != nil {
+			fatal(err)
+		}
+		res, err := core.Run(in, p, core.Options{Machines: *m, Speed: *speed, RecordSegments: *resOut != ""})
+		if err != nil {
+			fatal(err)
+		}
+		last = res
+		s := metrics.Summarize(res.Flow)
+		fmt.Fprintf(tw, "%s\t%.4g\t%.4g\t%.4g\t%.4g\t%.4g\t%.4g\t%.3f",
+			name, s.MeanFlow, s.L1, s.L2, s.L3, s.MaxFlow, s.P99, s.Jain)
+		if *withLB {
+			ratio := math.Pow(metrics.KthPowerSum(res.Flow, *k)/lb.Value, 1/float64(*k))
+			fmt.Fprintf(tw, "\t%.4g", ratio)
+		}
+		fmt.Fprintln(tw)
+	}
+	tw.Flush()
+	if *resOut != "" && last != nil {
+		f, err := os.Create(*resOut)
+		if err != nil {
+			fatal(err)
+		}
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", " ")
+		if err := enc.Encode(last); err != nil {
+			fatal(err)
+		}
+		f.Close()
+		fmt.Printf("result JSON written to %s\n", *resOut)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "rrsim:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,204 @@
+// Command rrtrace generates, converts, inspects and visualizes workload
+// traces.
+//
+// Subcommands:
+//
+//	rrtrace gen -workload poisson:n=100 -o jobs.csv [-json]
+//	rrtrace describe -workload trace:path=jobs.csv
+//	rrtrace gantt -workload cascade:levels=5 -policy RR -speed 1 -width 80
+//	rrtrace convert -in jobs.csv -o jobs.json   (CSV/SWF → CSV/JSON by extension)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"rrnorm/internal/core"
+	"rrnorm/internal/metrics"
+	"rrnorm/internal/polspec"
+	"rrnorm/internal/workload"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	var err error
+	switch os.Args[1] {
+	case "gen":
+		err = cmdGen(os.Args[2:])
+	case "describe":
+		err = cmdDescribe(os.Args[2:])
+	case "gantt":
+		err = cmdGantt(os.Args[2:])
+	case "machines":
+		err = cmdMachines(os.Args[2:])
+	case "convert":
+		err = cmdConvert(os.Args[2:])
+	default:
+		usage()
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rrtrace:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: rrtrace <gen|describe|gantt|machines|convert> [flags]")
+	os.Exit(2)
+}
+
+// cmdMachines simulates a policy and prints the explicit per-machine
+// schedule (McNaughton assignment of the rate-based schedule) as CSV:
+// machine,job_id,start,end.
+func cmdMachines(args []string) error {
+	fs := flag.NewFlagSet("machines", flag.ExitOnError)
+	spec := fs.String("workload", "staircase:n=5", "workload spec")
+	seed := fs.Uint64("seed", 1, "RNG seed")
+	pol := fs.String("policy", "RR", "policy name")
+	m := fs.Int("m", 2, "machines")
+	speed := fs.Float64("speed", 1, "speed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	in, err := workload.FromSpec(*spec, *seed)
+	if err != nil {
+		return err
+	}
+	p, err := polspec.New(*pol)
+	if err != nil {
+		return err
+	}
+	res, err := core.Run(in, p, core.Options{Machines: *m, Speed: *speed, RecordSegments: true})
+	if err != nil {
+		return err
+	}
+	machines, err := core.AssignMachines(res)
+	if err != nil {
+		return err
+	}
+	if err := core.ValidateAssignment(res, machines); err != nil {
+		return err
+	}
+	fmt.Println("machine,job_id,start,end")
+	for _, ms := range machines {
+		for _, s := range ms.Slices {
+			fmt.Printf("%d,%d,%.9g,%.9g\n", ms.Machine, res.Jobs[s.Job].ID, s.Start, s.End)
+		}
+	}
+	return nil
+}
+
+func cmdGen(args []string) error {
+	fs := flag.NewFlagSet("gen", flag.ExitOnError)
+	spec := fs.String("workload", "poisson:n=100", "workload spec")
+	seed := fs.Uint64("seed", 1, "RNG seed")
+	out := fs.String("o", "", "output path (.csv or .json; empty = stdout CSV)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	in, err := workload.FromSpec(*spec, *seed)
+	if err != nil {
+		return err
+	}
+	return writeInstance(in, *out)
+}
+
+func cmdDescribe(args []string) error {
+	fs := flag.NewFlagSet("describe", flag.ExitOnError)
+	spec := fs.String("workload", "", "workload spec")
+	seed := fs.Uint64("seed", 1, "RNG seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	in, err := workload.FromSpec(*spec, *seed)
+	if err != nil {
+		return err
+	}
+	fmt.Println(workload.Describe(in))
+	fmt.Println(workload.Characterize(in))
+	sizes := make([]float64, in.N())
+	for i, j := range in.Jobs {
+		sizes[i] = j.Size
+	}
+	fmt.Printf("sizes: min=%.4g p50=%.4g p99=%.4g max=%.4g\n",
+		metrics.Min(sizes), metrics.Percentile(sizes, 50),
+		metrics.Percentile(sizes, 99), metrics.Max(sizes))
+	return nil
+}
+
+func cmdGantt(args []string) error {
+	fs := flag.NewFlagSet("gantt", flag.ExitOnError)
+	spec := fs.String("workload", "staircase:n=6", "workload spec")
+	seed := fs.Uint64("seed", 1, "RNG seed")
+	pol := fs.String("policy", "RR", "policy name")
+	m := fs.Int("m", 1, "machines")
+	speed := fs.Float64("speed", 1, "speed")
+	width := fs.Int("width", 80, "chart width in columns")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	in, err := workload.FromSpec(*spec, *seed)
+	if err != nil {
+		return err
+	}
+	p, err := polspec.New(*pol)
+	if err != nil {
+		return err
+	}
+	res, err := core.Run(in, p, core.Options{Machines: *m, Speed: *speed, RecordSegments: true})
+	if err != nil {
+		return err
+	}
+	fmt.Print(core.RenderGantt(res, *width))
+	return nil
+}
+
+func cmdConvert(args []string) error {
+	fs := flag.NewFlagSet("convert", flag.ExitOnError)
+	inPath := fs.String("in", "", "input path (.csv, .json or .swf)")
+	out := fs.String("o", "", "output path (.csv or .json; empty = stdout CSV)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *inPath == "" {
+		return fmt.Errorf("convert needs -in")
+	}
+	f, err := os.Open(*inPath)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	var in *core.Instance
+	switch strings.ToLower(filepath.Ext(*inPath)) {
+	case ".json":
+		in, err = workload.ReadJSON(f)
+	case ".swf":
+		in, err = workload.ReadSWF(f, workload.SWFOptions{})
+	default:
+		in, err = workload.ReadCSV(f)
+	}
+	if err != nil {
+		return err
+	}
+	return writeInstance(in, *out)
+}
+
+func writeInstance(in *core.Instance, out string) error {
+	if out == "" {
+		return workload.WriteCSV(os.Stdout, in)
+	}
+	f, err := os.Create(out)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if strings.ToLower(filepath.Ext(out)) == ".json" {
+		return workload.WriteJSON(f, in)
+	}
+	return workload.WriteCSV(f, in)
+}

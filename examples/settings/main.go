@@ -1,0 +1,71 @@
+// Settings: a tour of the three related scheduling settings from the
+// paper's backstory in which Round Robin's story continues — arbitrary
+// speed-up curves (§1.2), broadcast scheduling (§1.3) and dynamic speed
+// scaling ([16]) — each simulated with its RR variant and the comparison
+// point the literature pairs it with.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"rrnorm/internal/bcast"
+	"rrnorm/internal/metrics"
+	"rrnorm/internal/scaling"
+	"rrnorm/internal/spdup"
+	"rrnorm/internal/stats"
+	"rrnorm/internal/workload"
+)
+
+func main() {
+	fmt.Println("== 1. Arbitrary speed-up curves: EQUI (=RR) vs WLAPS vs clairvoyant proxy ==")
+	const m = 16
+	in := spdup.Alternating(m, 4, m)
+	px, err := spdup.Run(in, spdup.Proxy{}, spdup.Options{Machines: m, Speed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	den := metrics.KthPowerSum(px.Flow, 2)
+	for _, p := range []spdup.Policy{spdup.EQUI{}, spdup.NewWLAPS(2, 0.5, 0.02)} {
+		res, err := spdup.Run(in, p, spdup.Options{Machines: m, Speed: 1})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-6s ℓ2 ratio vs proxy: %.3f\n", p.Name(),
+			math.Sqrt(metrics.KthPowerSum(res.Flow, 2)/den))
+	}
+	fmt.Println("  (EQUI wastes allocations > 1 machine on sequential phases; WLAPS does not scale with m)")
+
+	fmt.Println("\n== 2. Broadcast scheduling: merging requests for hot pages ==")
+	bin := bcast.ZipfPoisson(stats.NewRNG(1), 300, 12, 0.9, 1.1, 4)
+	lb := bcast.SpanBound(bin, 2)
+	for _, p := range []bcast.Policy{bcast.RRRequest{}, bcast.RRPage{}, bcast.NewLWF(0.05)} {
+		res, err := bcast.Run(bin, p, bcast.Options{Speed: 2})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-11s ℓ2 ratio vs span bound (speed 2): %.3f\n", p.Name(),
+			math.Sqrt(metrics.KthPowerSum(res.Flow, 2)/lb))
+	}
+
+	fmt.Println("\n== 3. Speed scaling: flow + energy with P(s) = s² ==")
+	sin := workload.PoissonLoad(stats.NewRNG(2), 400, 1, 0.9, workload.ExpSizes{M: 1})
+	slb := scaling.LowerBound(sin, 2)
+	for _, opt := range []scaling.Options{
+		{Alpha: 2, Discipline: scaling.RR},
+		{Alpha: 2, Discipline: scaling.SRPT},
+		{Alpha: 2, Discipline: scaling.RR, FixedSpeed: 1.2},
+	} {
+		res, err := scaling.Run(sin, opt)
+		if err != nil {
+			log.Fatal(err)
+		}
+		label := opt.Discipline.String()
+		if opt.FixedSpeed > 0 {
+			label = fmt.Sprintf("fixed %.1f", opt.FixedSpeed)
+		}
+		fmt.Printf("  %-9s cost ratio vs c_α·Σp: %.3f\n", label, res.Cost/slb)
+	}
+	fmt.Println("  (job-count scaling keeps power = alive count: energy exactly equals total flow)")
+}

@@ -1,0 +1,3 @@
+module rrnorm
+
+go 1.24

@@ -1,0 +1,285 @@
+package bcast
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"rrnorm/internal/metrics"
+	"rrnorm/internal/stats"
+)
+
+func approx(t *testing.T, got, want, tol float64, msg string) {
+	t.Helper()
+	if math.Abs(got-want) > tol {
+		t.Fatalf("%s: got %v, want %v", msg, got, want)
+	}
+}
+
+func onePage() *Instance {
+	return &Instance{
+		Pages:    []Page{{ID: 1, Size: 2}},
+		Requests: []Request{{ID: 0, Page: 1, Release: 0}},
+	}
+}
+
+func TestSingleRequest(t *testing.T) {
+	res, err := Run(onePage(), RRRequest{}, Options{Speed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, res.Completion[0], 2, 1e-9, "one transmission")
+}
+
+// TestBroadcastMerging is the defining property of the setting: two
+// requests for the SAME page overlap and share one transmission, while two
+// requests for different pages contend for the channel.
+func TestBroadcastMerging(t *testing.T) {
+	same := &Instance{
+		Pages:    []Page{{ID: 1, Size: 2}},
+		Requests: []Request{{ID: 0, Page: 1, Release: 0}, {ID: 1, Page: 1, Release: 0}},
+	}
+	res, err := Run(same, RRRequest{}, Options{Speed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Both served by the same transmission: both complete at 2.
+	approx(t, res.Completion[0], 2, 1e-9, "merged request 0")
+	approx(t, res.Completion[1], 2, 1e-9, "merged request 1")
+
+	diff := &Instance{
+		Pages:    []Page{{ID: 1, Size: 2}, {ID: 2, Size: 2}},
+		Requests: []Request{{ID: 0, Page: 1, Release: 0}, {ID: 1, Page: 2, Release: 0}},
+	}
+	res2, err := Run(diff, RRRequest{}, Options{Speed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Different pages share the channel: both complete at 4.
+	approx(t, res2.Completion[0], 4, 1e-9, "contending request 0")
+	approx(t, res2.Completion[1], 4, 1e-9, "contending request 1")
+}
+
+func TestLateRequestNeedsFullTransmission(t *testing.T) {
+	// Request 1 arrives at t=1, halfway through page 1's broadcast: in the
+	// fractional model it still needs 2 full units after its arrival.
+	in := &Instance{
+		Pages: []Page{{ID: 1, Size: 2}},
+		Requests: []Request{
+			{ID: 0, Page: 1, Release: 0},
+			{ID: 1, Page: 1, Release: 1},
+		},
+	}
+	res, err := Run(in, RRRequest{}, Options{Speed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, res.Completion[0], 2, 1e-9, "first request")
+	approx(t, res.Completion[1], 3, 1e-9, "late request: full copy after t=1")
+}
+
+func TestRRRequestWeighting(t *testing.T) {
+	// Page 1 has 3 outstanding requests, page 2 has 1: RR-request gives
+	// them rates 3/4 and 1/4.
+	pages := []PageView{
+		{Page: 1, Size: 1, Outstanding: 3},
+		{Page: 2, Size: 1, Outstanding: 1},
+	}
+	rates := make([]float64, 2)
+	RRRequest{}.Rates(0, pages, 1, rates)
+	approx(t, rates[0], 0.75, 1e-12, "popular page")
+	approx(t, rates[1], 0.25, 1e-12, "unpopular page")
+
+	RRPage{}.Rates(0, pages, 1, rates)
+	approx(t, rates[0], 0.5, 1e-12, "page-RR equal")
+	approx(t, rates[1], 0.5, 1e-12, "page-RR equal")
+}
+
+func TestLWFPicksLongestWait(t *testing.T) {
+	pages := []PageView{
+		{Page: 1, TotalAge: 5},
+		{Page: 2, TotalAge: 9},
+	}
+	rates := make([]float64, 2)
+	NewLWF(0.05).Rates(0, pages, 1, rates)
+	approx(t, rates[0], 0, 0, "not chosen")
+	approx(t, rates[1], 1, 0, "longest wait chosen")
+}
+
+func TestSpanBound(t *testing.T) {
+	in := &Instance{
+		Pages: []Page{{ID: 1, Size: 2}, {ID: 2, Size: 3}},
+		Requests: []Request{
+			{ID: 0, Page: 1, Release: 0},
+			{ID: 1, Page: 2, Release: 1},
+		},
+	}
+	approx(t, SpanBound(in, 2), 13, 1e-12, "2² + 3²")
+	approx(t, SpanBound(in, 1), 5, 1e-12, "2 + 3")
+}
+
+func TestSpanBoundBelowPolicies(t *testing.T) {
+	in := zipfInstance(40)
+	for _, p := range []Policy{RRRequest{}, RRPage{}, NewLWF(0.05)} {
+		res, err := Run(in, p, Options{Speed: 1})
+		if err != nil {
+			t.Fatalf("%s: %v", p.Name(), err)
+		}
+		for _, k := range []int{1, 2} {
+			if SpanBound(in, k) > metrics.KthPowerSum(res.Flow, k)*(1+1e-9) {
+				t.Fatalf("%s k=%d: span bound above objective", p.Name(), k)
+			}
+		}
+	}
+}
+
+// zipfInstance: requests arrive each 0.5 time units for pages with a
+// skewed popularity (page i requested ∝ rank pattern), sizes 1..3.
+func zipfInstance(n int) *Instance {
+	in := &Instance{Pages: []Page{
+		{ID: 0, Size: 1}, {ID: 1, Size: 2}, {ID: 2, Size: 3}, {ID: 3, Size: 1.5},
+	}}
+	for i := 0; i < n; i++ {
+		page := 0
+		switch {
+		case i%7 == 0:
+			page = 3
+		case i%5 == 0:
+			page = 2
+		case i%2 == 0:
+			page = 1
+		}
+		in.Requests = append(in.Requests, Request{ID: i, Page: page, Release: 0.5 * float64(i)})
+	}
+	return in
+}
+
+func TestValidateErrors(t *testing.T) {
+	bad := []*Instance{
+		{Pages: []Page{{ID: 1, Size: 1}, {ID: 1, Size: 2}}},
+		{Pages: []Page{{ID: 1, Size: 0}}},
+		{Pages: []Page{{ID: 1, Size: 1}}, Requests: []Request{{ID: 0, Page: 9, Release: 0}}},
+		{Pages: []Page{{ID: 1, Size: 1}}, Requests: []Request{{ID: 0, Page: 1, Release: -1}}},
+		{Pages: []Page{{ID: 1, Size: 1}}, Requests: []Request{{ID: 0, Page: 1}, {ID: 0, Page: 1}}},
+	}
+	for i, in := range bad {
+		if err := in.Validate(); err == nil {
+			t.Errorf("case %d should fail", i)
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if _, err := Run(onePage(), RRRequest{}, Options{Speed: 0}); !errors.Is(err, ErrBadOptions) {
+		t.Fatalf("want ErrBadOptions: %v", err)
+	}
+	if _, err := Run(onePage(), badPolicy{}, Options{Speed: 1}); !errors.Is(err, ErrBadRates) {
+		t.Fatalf("want ErrBadRates: %v", err)
+	}
+}
+
+type badPolicy struct{}
+
+func (badPolicy) Name() string { return "bad" }
+func (badPolicy) Rates(now float64, pages []PageView, speed float64, rates []float64) float64 {
+	for i := range rates {
+		rates[i] = 2
+	}
+	return 0
+}
+
+func TestSpeedHelps(t *testing.T) {
+	in := zipfInstance(40)
+	slow, err := Run(in, RRRequest{}, Options{Speed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fast, err := Run(in, RRRequest{}, Options{Speed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if metrics.KthPowerSum(fast.Flow, 2) >= metrics.KthPowerSum(slow.Flow, 2) {
+		t.Fatal("doubling speed must improve the ℓ2 objective")
+	}
+}
+
+func TestZipfPoissonProperties(t *testing.T) {
+	rng := stats.NewRNG(5)
+	in := ZipfPoisson(rng, 5000, 8, 1.0, 0.5, 4)
+	if err := in.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(in.Requests) != 5000 || len(in.Pages) != 8 {
+		t.Fatalf("shape: %d requests, %d pages", len(in.Requests), len(in.Pages))
+	}
+	// Zipf: page 0 must be requested more than page 7.
+	counts := map[int]int{}
+	for _, r := range in.Requests {
+		counts[r.Page]++
+	}
+	if counts[0] <= counts[7] {
+		t.Fatalf("popularity not skewed: %v", counts)
+	}
+	// Degenerate page count is clamped.
+	tiny := ZipfPoisson(rng, 10, 0, 1, 1, 2)
+	if len(tiny.Pages) != 1 {
+		t.Fatalf("clamped pages: %d", len(tiny.Pages))
+	}
+}
+
+func TestRunOverrunAndStarvation(t *testing.T) {
+	multi := &Instance{
+		Pages: []Page{{ID: 1, Size: 2}},
+		Requests: []Request{
+			{ID: 0, Page: 1, Release: 0},
+			{ID: 1, Page: 1, Release: 5},
+		},
+	}
+	if _, err := Run(multi, RRRequest{}, Options{Speed: 1, MaxEvents: 1}); !errors.Is(err, ErrOverrun) {
+		t.Fatalf("want ErrOverrun: %v", err)
+	}
+	if _, err := Run(onePage(), zeroRates{}, Options{Speed: 1}); err == nil {
+		t.Fatal("expected starvation error")
+	}
+}
+
+type zeroRates struct{}
+
+func (zeroRates) Name() string { return "zero" }
+func (zeroRates) Rates(now float64, pages []PageView, speed float64, rates []float64) float64 {
+	return 0
+}
+
+func TestPageViewAggregates(t *testing.T) {
+	// Two requests for page 1 at t=0 and t=2; at t=3 (just before anything
+	// completes with a slow policy) OldestAge=3, TotalAge=4. Use a probe
+	// policy to capture views.
+	in := &Instance{
+		Pages: []Page{{ID: 1, Size: 10}},
+		Requests: []Request{
+			{ID: 0, Page: 1, Release: 0},
+			{ID: 1, Page: 1, Release: 2},
+		},
+	}
+	probe := &viewProbe{}
+	_, err := Run(in, probe, Options{Speed: 1, MaxEvents: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !probe.sawBoth {
+		t.Fatal("probe never saw both requests outstanding")
+	}
+}
+
+type viewProbe struct{ sawBoth bool }
+
+func (*viewProbe) Name() string { return "probe" }
+func (p *viewProbe) Rates(now float64, pages []PageView, speed float64, rates []float64) float64 {
+	if len(pages) == 1 && pages[0].Outstanding == 2 {
+		if pages[0].OldestAge > pages[0].TotalAge-pages[0].OldestAge {
+			p.sawBoth = true
+		}
+	}
+	rates[0] = 1
+	return 0
+}

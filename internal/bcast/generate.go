@@ -1,0 +1,41 @@
+package bcast
+
+import (
+	"math"
+	"math/rand/v2"
+)
+
+// ZipfPoisson generates a broadcast workload: nPages pages with sizes drawn
+// uniformly from [1, maxSize], and nReq requests with exponential
+// interarrivals (mean meanIA) whose pages follow a Zipf(α) popularity law —
+// the canonical broadcast-server workload (few hot pages, long tail).
+func ZipfPoisson(rng *rand.Rand, nReq, nPages int, alpha, meanIA, maxSize float64) *Instance {
+	in := &Instance{}
+	if nPages < 1 {
+		nPages = 1
+	}
+	for p := 0; p < nPages; p++ {
+		in.Pages = append(in.Pages, Page{ID: p, Size: 1 + rng.Float64()*(maxSize-1)})
+	}
+	// Zipf CDF over ranks 1..nPages.
+	cdf := make([]float64, nPages)
+	var z float64
+	for p := 0; p < nPages; p++ {
+		z += 1 / math.Pow(float64(p+1), alpha)
+		cdf[p] = z
+	}
+	t := 0.0
+	for i := 0; i < nReq; i++ {
+		t += rng.ExpFloat64() * meanIA
+		u := rng.Float64() * z
+		page := nPages - 1
+		for p := 0; p < nPages; p++ {
+			if u <= cdf[p] {
+				page = p
+				break
+			}
+		}
+		in.Requests = append(in.Requests, Request{ID: i, Page: page, Release: t})
+	}
+	return in
+}

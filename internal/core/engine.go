@@ -1,0 +1,293 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Options configures a simulation run.
+type Options struct {
+	// Machines is m ≥ 1, the number of identical machines.
+	Machines int
+	// Speed is the resource-augmentation factor s > 0 applied to the
+	// policy's machines: a job with rate ρ accrues work at ρ·s per unit
+	// time. The optimal/lower-bound side always runs at speed 1.
+	Speed float64
+	// RecordSegments enables the full piecewise-constant rate timeline,
+	// needed by the dual-fitting certificate and schedule validation.
+	RecordSegments bool
+	// MaxEvents bounds the number of engine steps; 0 means a generous
+	// default derived from the instance size.
+	MaxEvents int
+}
+
+// DefaultOptions returns single-machine, speed-1 options with segment
+// recording enabled.
+func DefaultOptions() Options {
+	return Options{Machines: 1, Speed: 1, RecordSegments: true}
+}
+
+// Segment is a maximal interval [Start, End) during which the alive-job set
+// and all rates are constant. Jobs holds instance indices (positions in
+// Instance.Jobs) ordered by (Release, ID); Rates holds the policy's machine
+// shares (pre-speed) aligned with Jobs.
+type Segment struct {
+	Start, End float64
+	Jobs       []int
+	Rates      []float64
+}
+
+// Duration returns End − Start.
+func (s *Segment) Duration() float64 { return s.End - s.Start }
+
+// Result is the outcome of simulating a policy on an instance.
+type Result struct {
+	Policy   string
+	Machines int
+	Speed    float64
+	// Jobs is the normalized (sorted by Release, ID) copy of the instance
+	// that was simulated. Completion, Flow and Segment.Jobs are all indexed
+	// against this slice.
+	Jobs []Job
+	// Completion and Flow are indexed by position in Jobs.
+	Completion []float64
+	Flow       []float64
+	// Segments is the rate timeline (only when Options.RecordSegments).
+	Segments []Segment
+	// Events counts engine steps (arrivals, completions, policy reviews).
+	Events int
+}
+
+// MaxFlow returns the maximum flow time.
+func (r *Result) MaxFlow() float64 {
+	var mx float64
+	for _, f := range r.Flow {
+		if f > mx {
+			mx = f
+		}
+	}
+	return mx
+}
+
+// Makespan returns the latest completion time.
+func (r *Result) Makespan() float64 {
+	var mx float64
+	for _, c := range r.Completion {
+		if c > mx {
+			mx = c
+		}
+	}
+	return mx
+}
+
+// Simulation errors.
+var (
+	ErrBadOptions   = errors.New("core: invalid options")
+	ErrBadRates     = errors.New("core: policy returned infeasible rates")
+	ErrStarvation   = errors.New("core: policy starves alive jobs with no future event")
+	ErrEventOverrun = errors.New("core: event budget exhausted (runaway policy horizon?)")
+)
+
+const (
+	// rateTol is the tolerance for validating policy rates.
+	rateTol = 1e-9
+	// minAdvance guards against zero-length steps looping forever.
+	minAdvance = 1e-15
+)
+
+// Run simulates policy on inst and returns the resulting schedule.
+// The instance is validated and normalized (sorted) as a side effect of
+// copying; the caller's instance is not modified.
+func Run(inst *Instance, policy Policy, opts Options) (*Result, error) {
+	if opts.Machines < 1 {
+		return nil, fmt.Errorf("%w: Machines=%d", ErrBadOptions, opts.Machines)
+	}
+	if !(opts.Speed > 0) || math.IsInf(opts.Speed, 0) {
+		return nil, fmt.Errorf("%w: Speed=%v", ErrBadOptions, opts.Speed)
+	}
+	if err := inst.Validate(); err != nil {
+		return nil, err
+	}
+	in := inst.Clone()
+	in.Normalize()
+	n := in.N()
+
+	maxEvents := opts.MaxEvents
+	if maxEvents == 0 {
+		maxEvents = 1_000_000 + 4000*n
+	}
+
+	if r, ok := policy.(Resetter); ok {
+		r.Reset()
+	}
+
+	res := &Result{
+		Policy:     policy.Name(),
+		Machines:   opts.Machines,
+		Speed:      opts.Speed,
+		Jobs:       in.Jobs,
+		Completion: make([]float64, n),
+		Flow:       make([]float64, n),
+	}
+	if n == 0 {
+		return res, nil
+	}
+
+	var (
+		alive   []int // instance indices, kept in (Release, ID) order
+		elapsed = make([]float64, n)
+		views   []JobView
+		rates   []float64
+		next    = 0 // next arrival index
+		now     = in.Jobs[0].Release
+	)
+
+	for len(alive) > 0 || next < n {
+		if res.Events >= maxEvents {
+			return nil, fmt.Errorf("%w: %d events at t=%v (policy %s)", ErrEventOverrun, res.Events, now, policy.Name())
+		}
+		res.Events++
+
+		// Admit all arrivals at the current time. Jobs are sorted, and
+		// alive jobs always arrived no later than pending ones, so
+		// appending preserves (Release, ID) order.
+		for next < n && in.Jobs[next].Release <= now {
+			alive = append(alive, next)
+			next++
+		}
+		if len(alive) == 0 {
+			now = in.Jobs[next].Release
+			continue
+		}
+
+		// Build views and query the policy.
+		views = views[:0]
+		for _, idx := range alive {
+			j := in.Jobs[idx]
+			views = append(views, JobView{
+				ID:        j.ID,
+				Release:   j.Release,
+				Weight:    j.W(),
+				Age:       now - j.Release,
+				Elapsed:   elapsed[idx],
+				Size:      j.Size,
+				Remaining: j.Size - elapsed[idx],
+			})
+		}
+		if cap(rates) < len(alive) {
+			rates = make([]float64, len(alive))
+		}
+		rates = rates[:len(alive)]
+		for i := range rates {
+			rates[i] = 0
+		}
+		horizon := policy.Rates(now, views, opts.Machines, opts.Speed, rates)
+		if err := checkRates(rates, opts.Machines); err != nil {
+			return nil, fmt.Errorf("%w at t=%v (policy %s): %v", ErrBadRates, now, policy.Name(), err)
+		}
+
+		// Determine the time to the next event.
+		dt := math.Inf(1)
+		if next < n {
+			dt = in.Jobs[next].Release - now
+		}
+		if horizon > 0 && horizon < dt {
+			dt = horizon
+		}
+		totalRate := 0.0
+		for i, idx := range alive {
+			ρ := rates[i]
+			totalRate += ρ
+			if ρ <= 0 {
+				continue
+			}
+			rem := in.Jobs[idx].Size - elapsed[idx]
+			if d := rem / (ρ * opts.Speed); d < dt {
+				dt = d
+			}
+		}
+		if math.IsInf(dt, 1) {
+			if totalRate <= 0 {
+				return nil, fmt.Errorf("%w at t=%v: %d alive, no arrivals pending (policy %s)", ErrStarvation, now, len(alive), policy.Name())
+			}
+			// Unreachable: positive total rate implies a finite
+			// completion bound above; guard anyway.
+			return nil, fmt.Errorf("core: internal error: infinite step at t=%v", now)
+		}
+		if dt < minAdvance {
+			dt = minAdvance
+		}
+
+		end := now + dt
+		if opts.RecordSegments {
+			seg := Segment{
+				Start: now,
+				End:   end,
+				Jobs:  append([]int(nil), alive...),
+				Rates: append([]float64(nil), rates[:len(alive)]...),
+			}
+			res.Segments = append(res.Segments, seg)
+		}
+
+		// Advance work and collect completions.
+		keep := alive[:0]
+		for i, idx := range alive {
+			elapsed[idx] += rates[i] * opts.Speed * dt
+			rem := in.Jobs[idx].Size - elapsed[idx]
+			if rem <= completionTol(in.Jobs[idx].Size) {
+				res.Completion[idx] = end
+				res.Flow[idx] = end - in.Jobs[idx].Release
+				continue
+			}
+			keep = append(keep, idx)
+		}
+		alive = keep
+		now = end
+	}
+
+	return res, nil
+}
+
+// FlowByID returns a map from job ID to flow time.
+func (r *Result) FlowByID() map[int]float64 {
+	m := make(map[int]float64, len(r.Jobs))
+	for i, j := range r.Jobs {
+		m[j.ID] = r.Flow[i]
+	}
+	return m
+}
+
+// completionTol returns the absolute remaining-work threshold below which a
+// job counts as complete, scaled to the job size to be robust across
+// magnitudes.
+func completionTol(size float64) float64 {
+	t := 1e-12 * size
+	if t < 1e-15 {
+		t = 1e-15
+	}
+	return t
+}
+
+func checkRates(rates []float64, m int) error {
+	sum := 0.0
+	for i := range rates {
+		r := rates[i]
+		if math.IsNaN(r) || r < -rateTol || r > 1+rateTol {
+			return fmt.Errorf("rate[%d]=%v out of [0,1]", i, r)
+		}
+		if r < 0 {
+			rates[i] = 0
+			r = 0
+		}
+		if r > 1 {
+			rates[i] = 1
+			r = 1
+		}
+		sum += r
+	}
+	if sum > float64(m)+rateTol*float64(len(rates)+1) {
+		return fmt.Errorf("rate sum %v exceeds m=%d", sum, m)
+	}
+	return nil
+}

@@ -1,0 +1,344 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"math/rand/v2"
+	"testing"
+)
+
+// eqPolicy shares machines equally among alive jobs (Round Robin), local to
+// the core tests to avoid importing the policy package (import cycle in
+// tests is fine but keep core self-contained).
+type eqPolicy struct{}
+
+func (eqPolicy) Name() string      { return "eq" }
+func (eqPolicy) Clairvoyant() bool { return false }
+func (eqPolicy) Rates(now float64, jobs []JobView, m int, speed float64, rates []float64) float64 {
+	share := math.Min(1, float64(m)/float64(len(jobs)))
+	for i := range rates {
+		rates[i] = share
+	}
+	return NoHorizon
+}
+
+// onePolicy runs the earliest-released alive job at rate 1 (FCFS, m=1 focus).
+type onePolicy struct{}
+
+func (onePolicy) Name() string      { return "one" }
+func (onePolicy) Clairvoyant() bool { return false }
+func (onePolicy) Rates(now float64, jobs []JobView, m int, speed float64, rates []float64) float64 {
+	k := m
+	if len(jobs) < k {
+		k = len(jobs)
+	}
+	for i := 0; i < k; i++ {
+		rates[i] = 1
+	}
+	return NoHorizon
+}
+
+func approx(t *testing.T, got, want, tol float64, msg string) {
+	t.Helper()
+	if math.Abs(got-want) > tol {
+		t.Fatalf("%s: got %v, want %v (tol %v)", msg, got, want, tol)
+	}
+}
+
+func mustRun(t *testing.T, in *Instance, p Policy, opts Options) *Result {
+	t.Helper()
+	res, err := Run(in, p, opts)
+	if err != nil {
+		t.Fatalf("Run(%s): %v", p.Name(), err)
+	}
+	return res
+}
+
+func TestSingleJob(t *testing.T) {
+	in := NewInstance([]Job{{ID: 1, Release: 2, Size: 5}})
+	res := mustRun(t, in, eqPolicy{}, DefaultOptions())
+	approx(t, res.Completion[0], 7, 1e-9, "completion")
+	approx(t, res.Flow[0], 5, 1e-9, "flow")
+}
+
+func TestSingleJobWithSpeed(t *testing.T) {
+	in := NewInstance([]Job{{ID: 1, Release: 2, Size: 5}})
+	opts := DefaultOptions()
+	opts.Speed = 2.5
+	res := mustRun(t, in, eqPolicy{}, opts)
+	approx(t, res.Flow[0], 2, 1e-9, "flow at speed 2.5")
+}
+
+func TestRoundRobinTwoEqualJobs(t *testing.T) {
+	// Two size-2 jobs at time 0 on one machine: each gets rate 1/2, both
+	// complete at time 4.
+	in := NewInstance([]Job{{ID: 0, Release: 0, Size: 2}, {ID: 1, Release: 0, Size: 2}})
+	res := mustRun(t, in, eqPolicy{}, DefaultOptions())
+	approx(t, res.Completion[0], 4, 1e-9, "job 0 completion")
+	approx(t, res.Completion[1], 4, 1e-9, "job 1 completion")
+}
+
+func TestRoundRobinStaggered(t *testing.T) {
+	// Job A size 2 at t=0, job B size 1 at t=1, one machine, equal split.
+	// [0,1): A alone, elapsed 1. [1,..): share 1/2. B needs 1 → 2 more
+	// units of wall time. At t=3 both A and B have received 1 in the shared
+	// phase; A has 2 total → both complete at t=3.
+	in := NewInstance([]Job{{ID: 0, Release: 0, Size: 2}, {ID: 1, Release: 1, Size: 1}})
+	res := mustRun(t, in, eqPolicy{}, DefaultOptions())
+	approx(t, res.Completion[0], 3, 1e-9, "A completion")
+	approx(t, res.Completion[1], 3, 1e-9, "B completion")
+	approx(t, res.Flow[1], 2, 1e-9, "B flow")
+}
+
+func TestMultiMachineUnderloaded(t *testing.T) {
+	// 3 jobs on 4 machines: each runs exclusively.
+	in := NewInstance([]Job{
+		{ID: 0, Release: 0, Size: 3},
+		{ID: 1, Release: 0, Size: 1},
+		{ID: 2, Release: 0.5, Size: 2},
+	})
+	opts := DefaultOptions()
+	opts.Machines = 4
+	res := mustRun(t, in, eqPolicy{}, opts)
+	approx(t, res.Completion[0], 3, 1e-9, "job 0")
+	approx(t, res.Completion[1], 1, 1e-9, "job 1")
+	approx(t, res.Completion[2], 2.5, 1e-9, "job 2")
+}
+
+func TestMultiMachineOverloaded(t *testing.T) {
+	// 4 equal jobs on 2 machines, all at t=0: shares 1/2 each, so each of
+	// size 1 completes at t=2.
+	jobs := make([]Job, 4)
+	for i := range jobs {
+		jobs[i] = Job{ID: i, Release: 0, Size: 1}
+	}
+	in := NewInstance(jobs)
+	opts := DefaultOptions()
+	opts.Machines = 2
+	res := mustRun(t, in, eqPolicy{}, opts)
+	for i := range jobs {
+		approx(t, res.Completion[i], 2, 1e-9, "completion")
+	}
+}
+
+func TestIdleGapBetweenArrivals(t *testing.T) {
+	in := NewInstance([]Job{{ID: 0, Release: 0, Size: 1}, {ID: 1, Release: 10, Size: 1}})
+	res := mustRun(t, in, eqPolicy{}, DefaultOptions())
+	approx(t, res.Completion[0], 1, 1e-9, "job 0")
+	approx(t, res.Completion[1], 11, 1e-9, "job 1")
+}
+
+func TestFCFSOrdering(t *testing.T) {
+	in := NewInstance([]Job{
+		{ID: 0, Release: 0, Size: 2},
+		{ID: 1, Release: 0.5, Size: 2},
+	})
+	res := mustRun(t, in, onePolicy{}, DefaultOptions())
+	approx(t, res.Completion[0], 2, 1e-9, "job 0")
+	approx(t, res.Completion[1], 4, 1e-9, "job 1")
+}
+
+func TestValidateInstanceErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		in   *Instance
+	}{
+		{"duplicate id", NewInstance([]Job{{ID: 1, Release: 0, Size: 1}, {ID: 1, Release: 1, Size: 1}})},
+		{"zero size", NewInstance([]Job{{ID: 1, Release: 0, Size: 0}})},
+		{"negative size", NewInstance([]Job{{ID: 1, Release: 0, Size: -2}})},
+		{"negative release", NewInstance([]Job{{ID: 1, Release: -1, Size: 1}})},
+		{"nan release", NewInstance([]Job{{ID: 1, Release: math.NaN(), Size: 1}})},
+		{"inf size", NewInstance([]Job{{ID: 1, Release: 0, Size: math.Inf(1)}})},
+	}
+	for _, c := range cases {
+		if err := c.in.Validate(); !errors.Is(err, ErrInvalidInstance) {
+			t.Errorf("%s: want ErrInvalidInstance, got %v", c.name, err)
+		}
+	}
+}
+
+func TestRunRejectsBadOptions(t *testing.T) {
+	in := NewInstance([]Job{{ID: 0, Release: 0, Size: 1}})
+	if _, err := Run(in, eqPolicy{}, Options{Machines: 0, Speed: 1}); !errors.Is(err, ErrBadOptions) {
+		t.Errorf("machines=0: want ErrBadOptions, got %v", err)
+	}
+	if _, err := Run(in, eqPolicy{}, Options{Machines: 1, Speed: 0}); !errors.Is(err, ErrBadOptions) {
+		t.Errorf("speed=0: want ErrBadOptions, got %v", err)
+	}
+}
+
+type zeroPolicy struct{}
+
+func (zeroPolicy) Name() string      { return "zero" }
+func (zeroPolicy) Clairvoyant() bool { return false }
+func (zeroPolicy) Rates(now float64, jobs []JobView, m int, speed float64, rates []float64) float64 {
+	return NoHorizon
+}
+
+func TestStarvationDetected(t *testing.T) {
+	in := NewInstance([]Job{{ID: 0, Release: 0, Size: 1}})
+	if _, err := Run(in, zeroPolicy{}, DefaultOptions()); !errors.Is(err, ErrStarvation) {
+		t.Errorf("want ErrStarvation, got %v", err)
+	}
+}
+
+type overPolicy struct{}
+
+func (overPolicy) Name() string      { return "over" }
+func (overPolicy) Clairvoyant() bool { return false }
+func (overPolicy) Rates(now float64, jobs []JobView, m int, speed float64, rates []float64) float64 {
+	for i := range rates {
+		rates[i] = 1
+	}
+	return NoHorizon
+}
+
+func TestInfeasibleRatesDetected(t *testing.T) {
+	in := NewInstance([]Job{{ID: 0, Release: 0, Size: 1}, {ID: 1, Release: 0, Size: 1}})
+	if _, err := Run(in, overPolicy{}, DefaultOptions()); !errors.Is(err, ErrBadRates) {
+		t.Errorf("want ErrBadRates, got %v", err)
+	}
+}
+
+type tinyHorizonPolicy struct{}
+
+func (tinyHorizonPolicy) Name() string      { return "tiny" }
+func (tinyHorizonPolicy) Clairvoyant() bool { return false }
+func (tinyHorizonPolicy) Rates(now float64, jobs []JobView, m int, speed float64, rates []float64) float64 {
+	rates[0] = 1
+	return 1e-9
+}
+
+func TestEventBudgetEnforced(t *testing.T) {
+	in := NewInstance([]Job{{ID: 0, Release: 0, Size: 1}})
+	opts := DefaultOptions()
+	opts.MaxEvents = 100
+	if _, err := Run(in, tinyHorizonPolicy{}, opts); !errors.Is(err, ErrEventOverrun) {
+		t.Errorf("want ErrEventOverrun, got %v", err)
+	}
+}
+
+func TestEmptyInstance(t *testing.T) {
+	res := mustRun(t, NewInstance(nil), eqPolicy{}, DefaultOptions())
+	if len(res.Flow) != 0 || res.Events != 0 {
+		t.Fatalf("empty instance should be a no-op, got %+v", res)
+	}
+}
+
+func TestSegmentsRecorded(t *testing.T) {
+	in := NewInstance([]Job{{ID: 0, Release: 0, Size: 2}, {ID: 1, Release: 1, Size: 1}})
+	res := mustRun(t, in, eqPolicy{}, DefaultOptions())
+	if len(res.Segments) == 0 {
+		t.Fatal("no segments recorded")
+	}
+	if err := ValidateResult(res); err != nil {
+		t.Fatalf("ValidateResult: %v", err)
+	}
+	// First segment: only job 0 alive.
+	s0 := res.Segments[0]
+	if len(s0.Jobs) != 1 || s0.Jobs[0] != 0 {
+		t.Fatalf("first segment should contain only job 0: %+v", s0)
+	}
+}
+
+func TestNoSegmentsWhenDisabled(t *testing.T) {
+	in := NewInstance([]Job{{ID: 0, Release: 0, Size: 1}})
+	opts := DefaultOptions()
+	opts.RecordSegments = false
+	res := mustRun(t, in, eqPolicy{}, opts)
+	if len(res.Segments) != 0 {
+		t.Fatalf("segments recorded despite RecordSegments=false")
+	}
+}
+
+func TestResetterCalled(t *testing.T) {
+	p := &resettingPolicy{}
+	in := NewInstance([]Job{{ID: 0, Release: 0, Size: 1}})
+	mustRun(t, in, p, DefaultOptions())
+	mustRun(t, in, p, DefaultOptions())
+	if p.resets != 2 {
+		t.Fatalf("Reset called %d times, want 2", p.resets)
+	}
+}
+
+type resettingPolicy struct {
+	resets int
+}
+
+func (p *resettingPolicy) Reset()            { p.resets++ }
+func (p *resettingPolicy) Name() string      { return "resetting" }
+func (p *resettingPolicy) Clairvoyant() bool { return false }
+func (p *resettingPolicy) Rates(now float64, jobs []JobView, m int, speed float64, rates []float64) float64 {
+	for i := 0; i < len(jobs) && i < m; i++ {
+		rates[i] = 1
+	}
+	return NoHorizon
+}
+
+// randomInstance builds a deterministic random instance for property tests.
+func randomInstance(rng *rand.Rand, n int) *Instance {
+	jobs := make([]Job, n)
+	t := 0.0
+	for i := range jobs {
+		t += rng.Float64() * 2
+		jobs[i] = Job{ID: i, Release: t, Size: 0.1 + rng.Float64()*5}
+	}
+	return NewInstance(jobs)
+}
+
+func TestPropertyScheduleInvariants(t *testing.T) {
+	rng := rand.New(rand.NewPCG(42, 1))
+	for trial := 0; trial < 60; trial++ {
+		n := 1 + rng.IntN(30)
+		in := randomInstance(rng, n)
+		m := 1 + rng.IntN(4)
+		speed := 1 + rng.Float64()*3
+		opts := Options{Machines: m, Speed: speed, RecordSegments: true}
+		for _, p := range []Policy{eqPolicy{}, onePolicy{}} {
+			res, err := Run(in, p, opts)
+			if err != nil {
+				t.Fatalf("trial %d: %v", trial, err)
+			}
+			if err := ValidateResult(res); err != nil {
+				t.Fatalf("trial %d (%s, m=%d, s=%v): %v", trial, p.Name(), m, speed, err)
+			}
+			for i, j := range res.Jobs {
+				// Flow is at least size/speed (a job cannot finish
+				// faster than a dedicated speed-s machine).
+				if res.Flow[i] < j.Size/speed-1e-9 {
+					t.Fatalf("trial %d: job %d flow %v < size/speed %v", trial, j.ID, res.Flow[i], j.Size/speed)
+				}
+			}
+		}
+	}
+}
+
+func TestFlowByID(t *testing.T) {
+	in := NewInstance([]Job{{ID: 7, Release: 0, Size: 1}, {ID: 3, Release: 1, Size: 2}})
+	res := mustRun(t, in, eqPolicy{}, DefaultOptions())
+	m := res.FlowByID()
+	if len(m) != 2 {
+		t.Fatalf("want 2 entries, got %v", m)
+	}
+	approx(t, m[7], 1, 1e-9, "job 7 flow")
+}
+
+func TestInstanceHelpers(t *testing.T) {
+	in := NewInstance([]Job{{ID: 0, Release: 3, Size: 2}, {ID: 1, Release: 1, Size: 4}})
+	if in.Jobs[0].ID != 1 {
+		t.Fatal("Normalize should sort by release")
+	}
+	approx(t, in.TotalWork(), 6, 1e-12, "total work")
+	approx(t, in.MaxRelease(), 3, 1e-12, "max release")
+	approx(t, in.Span(), 9, 1e-12, "span")
+	sc := in.Scale(2, 0.5)
+	approx(t, sc.Jobs[0].Release, 2, 1e-12, "scaled release")
+	approx(t, sc.Jobs[0].Size, 2, 1e-12, "scaled size")
+	merged := Merge(in, sc)
+	if merged.N() != 4 {
+		t.Fatalf("merge: want 4 jobs, got %d", merged.N())
+	}
+	if err := merged.Validate(); err != nil {
+		t.Fatalf("merged instance invalid: %v", err)
+	}
+}

@@ -1,0 +1,155 @@
+// Package core provides the continuous-time, event-driven scheduling
+// simulator that underlies the reproduction of "Temporal Fairness of Round
+// Robin: Competitive Analysis for Lk-norms of Flow Time" (SPAA 2015).
+//
+// The model follows Section 2 of the paper: n jobs arrive online, job j at
+// release time r_j with processing requirement p_j, to be scheduled
+// preemptively on m identical machines. A feasible schedule assigns each
+// alive job a rate m_j(t) ∈ [0,1] with Σ_j m_j(t) ≤ m. Job j completes at
+// the first time C_j by which it has accumulated p_j units of processing;
+// its flow time is F_j = C_j − r_j.
+//
+// The engine supports resource augmentation: the online policy's machines
+// may run at speed s ≥ 1, so a job with rate ρ accrues work at rate ρ·s.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Job is a single request: it is released at time Release and needs Size
+// units of processing. ID is caller-chosen and must be unique within an
+// Instance; it is preserved in all results and traces.
+//
+// Weight is the job's importance in weighted flow-time objectives
+// (Σ w_j F_j^k). The paper analyzes the unweighted case; weights are the
+// natural extension its Related Work revolves around (Anand–Garg–Kumar
+// dual fitting, weighted ℓk-norms on unrelated machines). A zero Weight
+// means "default", i.e. 1 — so unweighted code never needs to set it.
+type Job struct {
+	ID      int
+	Release float64
+	Size    float64
+	Weight  float64
+}
+
+// W returns the job's effective weight: Weight, or 1 when unset (0).
+func (j Job) W() float64 {
+	if j.Weight == 0 {
+		return 1
+	}
+	return j.Weight
+}
+
+// Instance is an ordered collection of jobs. Callers may construct the Jobs
+// slice in any order; NewInstance and Normalize sort by (Release, ID).
+type Instance struct {
+	Jobs []Job
+}
+
+// NewInstance copies jobs into a normalized Instance sorted by
+// (Release, ID). It does not validate; call Validate separately.
+func NewInstance(jobs []Job) *Instance {
+	in := &Instance{Jobs: append([]Job(nil), jobs...)}
+	in.Normalize()
+	return in
+}
+
+// Normalize sorts the jobs by (Release, ID) in place.
+func (in *Instance) Normalize() {
+	sort.Slice(in.Jobs, func(a, b int) bool {
+		ja, jb := in.Jobs[a], in.Jobs[b]
+		if ja.Release != jb.Release {
+			return ja.Release < jb.Release
+		}
+		return ja.ID < jb.ID
+	})
+}
+
+// N returns the number of jobs.
+func (in *Instance) N() int { return len(in.Jobs) }
+
+// TotalWork returns Σ_j p_j.
+func (in *Instance) TotalWork() float64 {
+	var w float64
+	for _, j := range in.Jobs {
+		w += j.Size
+	}
+	return w
+}
+
+// MaxRelease returns the latest release time, or 0 for an empty instance.
+func (in *Instance) MaxRelease() float64 {
+	var r float64
+	for _, j := range in.Jobs {
+		if j.Release > r {
+			r = j.Release
+		}
+	}
+	return r
+}
+
+// Span returns a horizon by which any work-conserving unit-speed schedule on
+// m ≥ 1 machines must have finished: max release plus total work.
+func (in *Instance) Span() float64 {
+	return in.MaxRelease() + in.TotalWork()
+}
+
+// ErrInvalidInstance wraps all instance-validation failures.
+var ErrInvalidInstance = errors.New("core: invalid instance")
+
+// Validate checks that the instance is well formed: non-empty IDs unique,
+// sizes strictly positive and finite, releases non-negative and finite.
+func (in *Instance) Validate() error {
+	seen := make(map[int]bool, len(in.Jobs))
+	for i, j := range in.Jobs {
+		if seen[j.ID] {
+			return fmt.Errorf("%w: duplicate job ID %d (index %d)", ErrInvalidInstance, j.ID, i)
+		}
+		seen[j.ID] = true
+		if !(j.Size > 0) || math.IsInf(j.Size, 0) {
+			return fmt.Errorf("%w: job %d has non-positive or non-finite size %v", ErrInvalidInstance, j.ID, j.Size)
+		}
+		if j.Release < 0 || math.IsInf(j.Release, 0) || math.IsNaN(j.Release) {
+			return fmt.Errorf("%w: job %d has invalid release %v", ErrInvalidInstance, j.ID, j.Release)
+		}
+		if j.Weight < 0 || math.IsInf(j.Weight, 0) || math.IsNaN(j.Weight) {
+			return fmt.Errorf("%w: job %d has invalid weight %v", ErrInvalidInstance, j.ID, j.Weight)
+		}
+	}
+	return nil
+}
+
+// Clone returns a deep copy of the instance.
+func (in *Instance) Clone() *Instance {
+	return &Instance{Jobs: append([]Job(nil), in.Jobs...)}
+}
+
+// Scale returns a copy with all releases multiplied by timeFactor and all
+// sizes multiplied by sizeFactor. Useful for load-normalizing workloads.
+func (in *Instance) Scale(timeFactor, sizeFactor float64) *Instance {
+	out := in.Clone()
+	for i := range out.Jobs {
+		out.Jobs[i].Release *= timeFactor
+		out.Jobs[i].Size *= sizeFactor
+	}
+	return out
+}
+
+// Merge combines several instances into one, reassigning IDs sequentially
+// starting from 0 so the result is always valid.
+func Merge(instances ...*Instance) *Instance {
+	var jobs []Job
+	id := 0
+	for _, in := range instances {
+		for _, j := range in.Jobs {
+			j.ID = id
+			jobs = append(jobs, j)
+			id++
+		}
+	}
+	return NewInstance(jobs)
+}

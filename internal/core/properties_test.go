@@ -1,0 +1,79 @@
+package core
+
+import (
+	"math/rand/v2"
+	"testing"
+)
+
+// TestEngineDeterminism: identical inputs must give bit-identical results.
+func TestEngineDeterminism(t *testing.T) {
+	rng := rand.New(rand.NewPCG(91, 92))
+	in := randomInstance(rng, 40)
+	opts := Options{Machines: 2, Speed: 1.7, RecordSegments: true}
+	a := mustRun(t, in, eqPolicy{}, opts)
+	b := mustRun(t, in, eqPolicy{}, opts)
+	for i := range a.Completion {
+		if a.Completion[i] != b.Completion[i] {
+			t.Fatalf("completion %d differs: %v vs %v", i, a.Completion[i], b.Completion[i])
+		}
+	}
+	if len(a.Segments) != len(b.Segments) {
+		t.Fatalf("segment counts differ: %d vs %d", len(a.Segments), len(b.Segments))
+	}
+}
+
+// TestRRMonotoneInJobs: adding a job to an RR instance can only delay the
+// original jobs (equal sharing means extra competitors never speed anyone
+// up).
+func TestRRMonotoneInJobs(t *testing.T) {
+	rng := rand.New(rand.NewPCG(93, 94))
+	for trial := 0; trial < 20; trial++ {
+		n := 3 + rng.IntN(15)
+		in := randomInstance(rng, n)
+		base := mustRun(t, in, eqPolicy{}, DefaultOptions())
+		// Insert one extra job at a random time.
+		extra := Job{ID: 10_000, Release: rng.Float64() * in.MaxRelease(), Size: 0.2 + rng.Float64()*3}
+		bigger := NewInstance(append(append([]Job(nil), in.Jobs...), extra))
+		after := mustRun(t, bigger, eqPolicy{}, DefaultOptions())
+		afterByID := after.FlowByID()
+		for i, j := range base.Jobs {
+			if afterByID[j.ID] < base.Flow[i]-1e-9 {
+				t.Fatalf("trial %d: job %d sped up from %v to %v after adding a job",
+					trial, j.ID, base.Flow[i], afterByID[j.ID])
+			}
+		}
+	}
+}
+
+// TestSpeedMonotone: raising the speed cannot increase any RR completion
+// time (RR's rates are oblivious, so progress scales pointwise).
+func TestSpeedMonotone(t *testing.T) {
+	rng := rand.New(rand.NewPCG(95, 96))
+	for trial := 0; trial < 15; trial++ {
+		in := randomInstance(rng, 3+rng.IntN(20))
+		slow := mustRun(t, in, eqPolicy{}, Options{Machines: 1, Speed: 1})
+		fast := mustRun(t, in, eqPolicy{}, Options{Machines: 1, Speed: 1.5})
+		for i := range slow.Completion {
+			if fast.Completion[i] > slow.Completion[i]+1e-9 {
+				t.Fatalf("trial %d: job %d later at higher speed (%v vs %v)",
+					trial, i, fast.Completion[i], slow.Completion[i])
+			}
+		}
+	}
+}
+
+// TestMachinesMonotoneForRR: more machines cannot hurt any job under RR
+// (shares min{1, m/n} are pointwise non-decreasing in m).
+func TestMachinesMonotoneForRR(t *testing.T) {
+	rng := rand.New(rand.NewPCG(97, 98))
+	for trial := 0; trial < 15; trial++ {
+		in := randomInstance(rng, 3+rng.IntN(20))
+		one := mustRun(t, in, eqPolicy{}, Options{Machines: 1, Speed: 1})
+		four := mustRun(t, in, eqPolicy{}, Options{Machines: 4, Speed: 1})
+		for i := range one.Completion {
+			if four.Completion[i] > one.Completion[i]+1e-9 {
+				t.Fatalf("trial %d: job %d later with more machines", trial, i)
+			}
+		}
+	}
+}

@@ -1,0 +1,85 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrInvalidSchedule wraps all schedule-validation failures.
+var ErrInvalidSchedule = errors.New("core: invalid schedule")
+
+// ValidateResult cross-checks a recorded schedule against the instance and
+// the engine's reported completions:
+//
+//   - segments are chronological and non-overlapping;
+//   - every rate is in [0,1] and per-segment rate sums are ≤ m;
+//   - jobs are only processed inside [release, completion];
+//   - each job's integrated rate × speed equals its size (within tolerance);
+//   - completions and flows are consistent (C_j = r_j + F_j, C_j ≥ r_j).
+//
+// It requires the result to have been produced with RecordSegments enabled.
+func ValidateResult(res *Result) error {
+	n := len(res.Jobs)
+	if len(res.Completion) != n || len(res.Flow) != n {
+		return fmt.Errorf("%w: completion/flow length mismatch", ErrInvalidSchedule)
+	}
+	if len(res.Segments) == 0 && n > 0 {
+		return fmt.Errorf("%w: no segments recorded (RecordSegments off?)", ErrInvalidSchedule)
+	}
+	for i, j := range res.Jobs {
+		if res.Completion[i] < j.Release-1e-9 {
+			return fmt.Errorf("%w: job %d completes at %v before release %v", ErrInvalidSchedule, j.ID, res.Completion[i], j.Release)
+		}
+		if d := math.Abs(res.Completion[i] - j.Release - res.Flow[i]); d > 1e-6*(1+res.Completion[i]) {
+			return fmt.Errorf("%w: job %d flow inconsistent (C=%v r=%v F=%v)", ErrInvalidSchedule, j.ID, res.Completion[i], j.Release, res.Flow[i])
+		}
+	}
+	work := make([]float64, n)
+	prevEnd := math.Inf(-1)
+	for si := range res.Segments {
+		seg := &res.Segments[si]
+		if seg.End < seg.Start {
+			return fmt.Errorf("%w: segment %d reversed [%v,%v)", ErrInvalidSchedule, si, seg.Start, seg.End)
+		}
+		if seg.Start < prevEnd-1e-9 {
+			return fmt.Errorf("%w: segment %d overlaps previous (start %v < prev end %v)", ErrInvalidSchedule, si, seg.Start, prevEnd)
+		}
+		prevEnd = seg.End
+		if len(seg.Jobs) != len(seg.Rates) {
+			return fmt.Errorf("%w: segment %d jobs/rates length mismatch", ErrInvalidSchedule, si)
+		}
+		sum := 0.0
+		for k, idx := range seg.Jobs {
+			if idx < 0 || idx >= n {
+				return fmt.Errorf("%w: segment %d references job index %d", ErrInvalidSchedule, si, idx)
+			}
+			r := seg.Rates[k]
+			if r < -rateTol || r > 1+rateTol || math.IsNaN(r) {
+				return fmt.Errorf("%w: segment %d rate %v for job index %d", ErrInvalidSchedule, si, r, idx)
+			}
+			sum += r
+			j := res.Jobs[idx]
+			if seg.Start < j.Release-1e-9 {
+				return fmt.Errorf("%w: job %d processed in segment starting %v before release %v", ErrInvalidSchedule, j.ID, seg.Start, j.Release)
+			}
+			if seg.End > res.Completion[idx]+1e-6*(1+res.Completion[idx]) {
+				return fmt.Errorf("%w: job %d alive in segment ending %v after completion %v", ErrInvalidSchedule, j.ID, seg.End, res.Completion[idx])
+			}
+			work[idx] += r * res.Speed * seg.Duration()
+		}
+		if sum > float64(res.Machines)+1e-6 {
+			return fmt.Errorf("%w: segment %d total rate %v exceeds m=%d", ErrInvalidSchedule, si, sum, res.Machines)
+		}
+	}
+	for i, j := range res.Jobs {
+		if d := math.Abs(work[i] - j.Size); d > 1e-6*(1+j.Size) {
+			return fmt.Errorf("%w: job %d received %v work, size %v", ErrInvalidSchedule, j.ID, work[i], j.Size)
+		}
+	}
+	return nil
+}
+
+// OverloadedAt reports whether the segment is an overloaded time in the
+// paper's sense: |A(t)| ≥ m (all machines busy under RR).
+func (s *Segment) OverloadedAt(m int) bool { return len(s.Jobs) >= m }

@@ -1,0 +1,115 @@
+package exp
+
+import (
+	"fmt"
+
+	"rrnorm/internal/bcast"
+	"rrnorm/internal/metrics"
+	"rrnorm/internal/policy"
+	"rrnorm/internal/stats"
+	"rrnorm/internal/workload"
+)
+
+// E15 — the broadcast setting (§1.3 of the Related Work). RR at request
+// granularity is O(1)-speed O(1)-competitive for total flow there
+// (Edmonds–Pruhs) but not for ℓ2 with any constant speed (Gupta et al.);
+// LWF is the classic page-level heuristic. We sweep the request count on a
+// Zipf-popular catalog and report ℓ1 and ℓ2 ratios against the certified
+// span bound (each request needs one full transmission of its page).
+func E15(cfg Config) ([]*Table, error) {
+	t := &Table{
+		ID:      "E15",
+		Title:   "Broadcast scheduling: RR-request vs RR-page vs LWF",
+		Columns: []string{"requests", "speed", "RRreq_L1", "RRreq_L2", "RRpage_L2", "LWF_L2"},
+		Notes: []string{
+			"Zipf(0.9) popularity over 12 pages, Poisson arrivals; ratios vs span bound Σ size^k",
+			"merging is what distinguishes the setting: hot-page requests share transmissions",
+		},
+	}
+	ns := pick(cfg.Quick, []int{40, 80}, []int{50, 100, 200, 400, 800})
+	speeds := pick(cfg.Quick, []float64{1, 2}, []float64{1, 2, 4})
+	for _, n := range ns {
+		rng := stats.NewRNG(cfg.Seed + 15 + uint64(n))
+		in := bcast.ZipfPoisson(rng, n, 12, 0.9, 1.1, 4)
+		lb1 := bcast.SpanBound(in, 1)
+		lb2 := bcast.SpanBound(in, 2)
+		for _, s := range speeds {
+			rrq, err := bcast.Run(in, bcast.RRRequest{}, bcast.Options{Speed: s})
+			if err != nil {
+				return nil, err
+			}
+			rrp, err := bcast.Run(in, bcast.RRPage{}, bcast.Options{Speed: s})
+			if err != nil {
+				return nil, err
+			}
+			lwf, err := bcast.Run(in, bcast.NewLWF(0.05), bcast.Options{Speed: s})
+			if err != nil {
+				return nil, err
+			}
+			t.AddRow(n, s,
+				normRatio(metrics.KthPowerSum(rrq.Flow, 1), lb1, 1),
+				normRatio(metrics.KthPowerSum(rrq.Flow, 2), lb2, 2),
+				normRatio(metrics.KthPowerSum(rrp.Flow, 2), lb2, 2),
+				normRatio(metrics.KthPowerSum(lwf.Flow, 2), lb2, 2))
+		}
+	}
+	return []*Table{t}, nil
+}
+
+// E16 — policy-parameter ablations on a fixed workload pair (Poisson +
+// cascade): LAPS's β, MLFQ's base quantum, and WRR's review quantum. The
+// WRR sweep doubles as a discretization check: the ℓ2 objective must
+// converge as the quantum shrinks (the only modeling knob in the engine).
+func E16(cfg Config) ([]*Table, error) {
+	pois := workload.PoissonLoad(stats.NewRNG(cfg.Seed+16), pick(cfg.Quick, 60, 200), 1, 0.9, workload.ExpSizes{M: 1})
+	casc := workload.Cascade(pick(cfg.Quick, 6, 8), cascadeTheta)
+	const k = 2
+
+	mk := func(id, title, param string) *Table {
+		return &Table{
+			ID:      id,
+			Title:   title,
+			Columns: []string{param, "poisson_L2", "cascade_L2"},
+			Notes:   []string{"raw ℓ2 norms at unit speed (not ratios): lower is better"},
+		}
+	}
+	laps := mk("E16a", "LAPS β ablation", "beta")
+	for _, beta := range pick(cfg.Quick, []float64{0.25, 0.5, 1}, []float64{0.1, 0.25, 0.5, 0.75, 1}) {
+		a, err := runWith(pois, policy.NewLAPS(beta), k)
+		if err != nil {
+			return nil, err
+		}
+		b, err := runWith(casc, policy.NewLAPS(beta), k)
+		if err != nil {
+			return nil, err
+		}
+		laps.AddRow(beta, a, b)
+	}
+
+	mlfq := mk("E16b", "MLFQ base-quantum ablation", "quantum")
+	for _, q := range pick(cfg.Quick, []float64{0.25, 1}, []float64{0.125, 0.25, 0.5, 1, 2, 4}) {
+		a, err := runWith(pois, policy.NewMLFQ(q), k)
+		if err != nil {
+			return nil, err
+		}
+		b, err := runWith(casc, policy.NewMLFQ(q), k)
+		if err != nil {
+			return nil, err
+		}
+		mlfq.AddRow(q, a, b)
+	}
+
+	wrr := mk("E16c", "WRR review-quantum convergence", "quantum")
+	for _, q := range pick(cfg.Quick, []float64{0.1, 0.01}, []float64{0.2, 0.1, 0.05, 0.02, 0.01, 0.005}) {
+		a, err := runWith(pois, policy.NewWRR(q), k)
+		if err != nil {
+			return nil, err
+		}
+		b, err := runWith(casc, policy.NewWRR(q), k)
+		if err != nil {
+			return nil, err
+		}
+		wrr.AddRow(fmt.Sprintf("%g", q), a, b)
+	}
+	return []*Table{laps, mlfq, wrr}, nil
+}

@@ -1,0 +1,92 @@
+package exp
+
+import (
+	"rrnorm/internal/lp"
+	"rrnorm/internal/metrics"
+	"rrnorm/internal/round"
+	"rrnorm/internal/stats"
+	"rrnorm/internal/workload"
+)
+
+// E18 — denominator tightness. The ratio experiments bracket OPT between
+// the certified LP/2 lower bound and feasible upper estimates. Here the
+// brackets are compared directly on medium instances: LP/2 vs the best
+// online policy vs the α-point rounding of the LP solution. The
+// upper/lower spread bounds how much every reported ratio could shrink
+// with the true OPT in the denominator.
+func E18(cfg Config) ([]*Table, error) {
+	t := &Table{
+		ID:      "E18",
+		Title:   "OPT brackets: LP/2 vs α-point rounding vs best policy (Σ F^k)",
+		Columns: []string{"k", "n", "LP/2", "alpha_point", "best_policy", "who", "spread"},
+		Notes: []string{
+			"spread = min(upper estimates) / (LP/2): the maximum factor by which reported ratios overstate the truth",
+			"alpha_point = best of α ∈ {0.25, 0.5, 0.75} orderings of the LP optimum",
+		},
+	}
+	ns := pick(cfg.Quick, []int{30}, []int{30, 60, 120})
+	for _, k := range []int{1, 2, 3} {
+		for _, n := range ns {
+			in := workload.PoissonLoad(stats.NewRNG(cfg.Seed+18+uint64(n)), n, 1, 0.9, workload.ExpSizes{M: 1})
+			lpOpts := lp.Options{Slots: pick(cfg.Quick, 150, 400), MaxUnits: pick(cfg.Quick, int64(30000), int64(80000))}
+			r, err := round.Schedule(in, 1, k, round.Options{LP: lpOpts})
+			if err != nil {
+				return nil, err
+			}
+			best, who, err := bestPolicyPower(in, 1, k)
+			if err != nil {
+				return nil, err
+			}
+			upper := best
+			if r.Power < upper {
+				upper = r.Power
+			}
+			t.AddRow(k, n, r.Bound.Value, r.Power, best, who, upper/r.Bound.Value)
+		}
+	}
+	return []*Table{t}, nil
+}
+
+// E19 — machines vs speed as the augmentation resource. Theorem 1 gives RR
+// speed augmentation; a natural companion question is whether EXTRA
+// MACHINES buy the same: compare RR with m machines at speed s against the
+// unit-speed m-machine lower bound, and RR with s·m machines at speed 1.
+// Machine augmentation is weaker for RR — the underloaded regime caps a
+// job's rate at 1 machine, so extra machines cannot accelerate the last
+// stragglers the way speed does.
+func E19(cfg Config) ([]*Table, error) {
+	t := &Table{
+		ID:      "E19",
+		Title:   "Speed vs machine augmentation for RR (ℓ2 ratio vs m-machine LP/2)",
+		Columns: []string{"m", "factor", "speed_aug", "machine_aug"},
+		Notes: []string{
+			"speed_aug: RR on m machines at speed f; machine_aug: RR on f·m machines at speed 1",
+			"denominator: LP/2 for m unit-speed machines in both columns",
+		},
+	}
+	const k = 2
+	ms := pick(cfg.Quick, []int{1, 2}, []int{1, 2, 4})
+	factors := pick(cfg.Quick, []int{2, 4}, []int{2, 3, 4})
+	for _, m := range ms {
+		n := pick(cfg.Quick, 30*m, 80*m)
+		in := workload.PoissonLoad(stats.NewRNG(cfg.Seed+19+uint64(m)), n, m, 0.95, workload.ExpSizes{M: 1})
+		lb, err := lowerBound(in, m, k, cfg.Quick)
+		if err != nil {
+			return nil, err
+		}
+		for _, f := range factors {
+			speedRes, err := runPolicy(in, "RR", m, float64(f), false)
+			if err != nil {
+				return nil, err
+			}
+			machRes, err := runPolicy(in, "RR", m*f, 1, false)
+			if err != nil {
+				return nil, err
+			}
+			t.AddRow(m, f,
+				normRatio(metrics.KthPowerSum(speedRes.Flow, k), lb.Value, k),
+				normRatio(metrics.KthPowerSum(machRes.Flow, k), lb.Value, k))
+		}
+	}
+	return []*Table{t}, nil
+}

@@ -1,0 +1,53 @@
+package exp
+
+import (
+	"fmt"
+
+	"rrnorm/internal/scaling"
+	"rrnorm/internal/stats"
+	"rrnorm/internal/workload"
+)
+
+// E21 — the speed-scaling setting ([16] in the paper's references): the
+// processor picks its speed, paying power s^α, and minimizes total flow
+// plus energy. Job-count scaling (speed = n_t^{1/α}) with RR sharing is the
+// non-clairvoyant algorithm of the Chan–Edmonds–Lam line; we report the
+// cost against the convexity bound c_α·Σp for the RR/SETF/SRPT disciplines
+// and fixed-speed baselines, across loads and α. The adaptive policies'
+// ratio stays a small constant while fixed speeds degrade at one end or
+// the other — the "right speed depends on the backlog" message.
+func E21(cfg Config) ([]*Table, error) {
+	t := &Table{
+		ID:      "E21",
+		Title:   "Speed scaling (flow + energy): job-count scaling vs fixed speeds",
+		Columns: []string{"alpha", "load", "RR", "SETF", "SRPT", "fixed1.2", "fixed3"},
+		Notes: []string{
+			"cost ratio vs the certified bound c_α·Σp; speed = n_t^{1/α} for the adaptive columns",
+			"Poisson arrivals, exp sizes, one processor",
+		},
+	}
+	n := pick(cfg.Quick, 150, 600)
+	loads := pick(cfg.Quick, []float64{0.5, 0.9}, []float64{0.3, 0.5, 0.7, 0.9, 0.97})
+	for _, alpha := range []float64{2, 3} {
+		for _, load := range loads {
+			in := workload.PoissonLoad(stats.NewRNG(cfg.Seed+21), n, 1, load, workload.ExpSizes{M: 1})
+			lb := scaling.LowerBound(in, alpha)
+			row := []any{alpha, load}
+			for _, opt := range []scaling.Options{
+				{Alpha: alpha, Discipline: scaling.RR},
+				{Alpha: alpha, Discipline: scaling.SETFD},
+				{Alpha: alpha, Discipline: scaling.SRPT},
+				{Alpha: alpha, Discipline: scaling.RR, FixedSpeed: 1.2},
+				{Alpha: alpha, Discipline: scaling.RR, FixedSpeed: 3},
+			} {
+				res, err := scaling.Run(in, opt)
+				if err != nil {
+					return nil, fmt.Errorf("E21 %s: %w", opt.Discipline, err)
+				}
+				row = append(row, res.Cost/lb)
+			}
+			t.AddRow(row...)
+		}
+	}
+	return []*Table{t}, nil
+}

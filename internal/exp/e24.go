@@ -1,0 +1,44 @@
+package exp
+
+import (
+	"rrnorm/internal/stats"
+	"rrnorm/internal/workload"
+)
+
+// E24 — the ℓ∞ endpoint. The paper notes that in practice k ∈ [1,3] ∪ {∞};
+// ℓ∞ is max flow, for which FCFS is exactly optimal on a single machine
+// (any schedule's max flow is at least FCFS's — the oldest unfinished work
+// bounds everyone). We report each policy's max-flow ratio against
+// unit-speed FCFS across speeds: RR's equal sharing keeps the ratio small
+// (everyone drains together), while SRPT/SJF pay on the starved big job —
+// the k = ∞ face of the temporal-fairness story.
+func E24(cfg Config) ([]*Table, error) {
+	t := &Table{
+		ID:      "E24",
+		Title:   "ℓ∞ (max flow) ratios vs unit-speed FCFS (the exact ℓ∞ optimum, m=1)",
+		Columns: []string{"speed", "FCFS", "RR", "WRR", "SRPT", "SJF", "SETF"},
+		Notes: []string{
+			"heavy-tailed Poisson mix (Pareto 1.6, load 0.85); FCFS at speed 1 is the ℓ∞ optimum",
+		},
+	}
+	n := pick(cfg.Quick, 300, 2000)
+	in := workload.PoissonLoad(stats.NewRNG(cfg.Seed+24), n, 1, 0.85,
+		workload.ParetoSizes{Alpha: 1.6, Xm: 1, Cap: 100})
+	base, err := runPolicy(in, "FCFS", 1, 1, false)
+	if err != nil {
+		return nil, err
+	}
+	opt := base.MaxFlow()
+	for _, s := range pick(cfg.Quick, []float64{1, 2}, []float64{1, 1.5, 2, 4}) {
+		row := []any{s}
+		for _, name := range []string{"FCFS", "RR", "WRR", "SRPT", "SJF", "SETF"} {
+			res, err := runPolicy(in, name, 1, s, false)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, res.MaxFlow()/opt)
+		}
+		t.AddRow(row...)
+	}
+	return []*Table{t}, nil
+}

@@ -1,0 +1,191 @@
+package exp
+
+import (
+	"fmt"
+	"math"
+
+	"rrnorm/internal/core"
+	"rrnorm/internal/dual"
+	"rrnorm/internal/lp"
+	"rrnorm/internal/opt"
+	"rrnorm/internal/stats"
+	"rrnorm/internal/workload"
+)
+
+// E8 — the dual-fitting certificate as data. For each (k, ε, workload) run
+// RR at the theorem speed η = 2k(1+10ε), build the paper's dual variables,
+// and report: Lemma 1 and 2 verdicts, the dual objective as a fraction of
+// Σ F^k (the paper proves ≥ ε), the worst dual-constraint violation
+// (feasible ⟺ ≤ 0), and the implied certified ℓk-norm ratio. A speed-1 row
+// per setting shows the construction failing without augmentation.
+func E8(cfg Config) ([]*Table, error) {
+	t := &Table{
+		ID:    "E8",
+		Title: "Dual-fitting certificate at η = 2k(1+10ε) (and at speed 1)",
+		Columns: []string{"k", "eps", "workload", "speed", "feasible",
+			"lemma1", "lemma2", "obj_frac", "max_violation", "certified_ratio"},
+		Notes: []string{
+			"obj_frac = dual objective / Σ F^k; paper proves ≥ ε at the theorem speed",
+			"certified_ratio = (2γ/obj_frac)^{1/k}: the per-instance Theorem 1 bound",
+		},
+	}
+	epss := pick(cfg.Quick, []float64{0.05}, []float64{0.02, 0.05})
+	nP := pick(cfg.Quick, 40, 120)
+	gS := pick(cfg.Quick, 16, 48)
+	for _, k := range []int{1, 2, 3} {
+		for _, eps := range epss {
+			cases := []struct {
+				name string
+				in   *core.Instance
+				m    int
+			}{
+				{"poisson", workload.PoissonLoad(stats.NewRNG(cfg.Seed+8), nP, 1, 0.9, workload.ExpSizes{M: 1}), 1},
+				{"rrstream", workload.RRStream(gS, 1), 1},
+				{"poisson-m4", workload.PoissonLoad(stats.NewRNG(cfg.Seed+9), nP, 4, 0.9, workload.ExpSizes{M: 1}), 4},
+			}
+			for _, c := range cases {
+				for _, speed := range []float64{dual.Eta(k, eps), 1} {
+					res, err := runPolicy(c.in, "RR", c.m, speed, true)
+					if err != nil {
+						return nil, err
+					}
+					cert, err := dual.Build(res, k, eps)
+					if err != nil {
+						return nil, err
+					}
+					ratio := "∞"
+					if cert.Feasible {
+						ratio = fmt.Sprintf("%.4g", cert.ImpliedNormRatio)
+					}
+					t.AddRow(k, eps, c.name, speed, cert.Feasible,
+						cert.Lemma1OK, cert.Lemma2OK, cert.ObjectiveFraction,
+						cert.MaxViolation, ratio)
+				}
+			}
+		}
+	}
+	return []*Table{t}, nil
+}
+
+// E9 — speed-crossover ablation for ℓ2. For each speed, fit the growth
+// exponent b of RR's ratio curve ratio(n) ≈ c·n^b on the adversarial
+// stream. The paper brackets the truth: RR is NOT O(1)-competitive below
+// speed 3/2 (exponent > 0 expected) and IS at 4+ε (exponent ≈ 0); the
+// table localizes where the measured exponent vanishes.
+func E9(cfg Config) ([]*Table, error) {
+	t := &Table{
+		ID:      "E9",
+		Title:   "Growth exponent of RR ℓ2-ratio vs speed (adversarial cascade)",
+		Columns: []string{"speed", "exponent", "ratio_at_nmax", "verdict"},
+		Notes: []string{
+			"exponent b from fitting ratio ∝ n^b over the instance-size sweep",
+			"paper: unbounded below speed 3/2, bounded at 4+ε; expect sign change inside [1.5, 4]",
+		},
+	}
+	const k = 2
+	levels := pick(cfg.Quick, []int{4, 6, 8}, []int{4, 5, 6, 7, 8, 9, 10})
+	speeds := pick(cfg.Quick, []float64{1, 4}, []float64{1, 1.2, 1.4, 1.5, 1.6, 1.8, 2, 2.5, 3, 4, 5})
+	type point struct{ n, ratio float64 }
+	curves := make(map[float64][]point)
+	for _, L := range levels {
+		in := workload.Cascade(L, cascadeTheta)
+		lb, err := lowerBound(in, 1, k, cfg.Quick)
+		if err != nil {
+			return nil, err
+		}
+		for _, s := range speeds {
+			v, err := kPower(in, "RR", 1, k, s)
+			if err != nil {
+				return nil, err
+			}
+			curves[s] = append(curves[s], point{float64(in.N()), normRatio(v, lb.Value, k)})
+		}
+	}
+	for _, s := range speeds {
+		pts := curves[s]
+		xs := make([]float64, len(pts))
+		ys := make([]float64, len(pts))
+		for i, p := range pts {
+			xs[i], ys[i] = p.n, p.ratio
+		}
+		b := fitGrowthExponent(xs, ys)
+		verdict := "bounded"
+		if b > 0.03 {
+			verdict = "growing"
+		}
+		t.AddRow(s, b, ys[len(ys)-1], verdict)
+	}
+	return []*Table{t}, nil
+}
+
+// E10 — validation anchors on tiny instances where the exact optimum is
+// computable by branch & bound: (a) SRPT equals OPT for ℓ1 on one machine
+// (the folklore claim the paper quotes); (b) the certified chain
+// LP/2 ≤ OPT^k ≤ best policy holds; (c) the LP bound's tightness
+// (OPT^k / LP-bound) is reported per k.
+func E10(cfg Config) ([]*Table, error) {
+	t := &Table{
+		ID:      "E10",
+		Title:   "Exact-OPT anchors (n ≤ 7, single machine)",
+		Columns: []string{"k", "instances", "srpt_opt_for_l1", "lp_le_opt", "opt_le_best", "mean_opt/lp", "max_opt/lp", "mean RR/OPT ℓk"},
+		Notes: []string{
+			"OPT from branch & bound over event-preemption schedules",
+			"opt/lp = OPT^k ÷ certified bound: the slack of the LP/2 denominator used in E1–E7",
+		},
+	}
+	trials := pick(cfg.Quick, 6, 25)
+	for _, k := range []int{1, 2, 3} {
+		rng := stats.NewRNG(cfg.Seed + 100 + uint64(k))
+		srptOpt, lpLeOpt, optLeBest := true, true, true
+		var gap stats.Sample
+		var rrRatio stats.Sample
+		maxGap := 0.0
+		for trial := 0; trial < trials; trial++ {
+			n := 3 + int(rng.Uint64()%4) // 3..6 jobs
+			in := workload.Poisson(rng, n, 1, workload.UniformSizes{Lo: 0.4, Hi: 2.5})
+			exact, err := opt.Exact(in, k, opt.Options{})
+			if err != nil {
+				return nil, err
+			}
+			b, err := lp.KPowerLowerBound(in, 1, k, lp.Options{Slots: 300})
+			if err != nil {
+				return nil, err
+			}
+			if b.Value > exact.Cost*(1+1e-7) {
+				lpLeOpt = false
+			}
+			best, _, err := bestPolicyPower(in, 1, k)
+			if err != nil {
+				return nil, err
+			}
+			if exact.Cost > best*(1+1e-7) {
+				optLeBest = false
+			}
+			if k == 1 {
+				srpt, err := kPower(in, "SRPT", 1, 1, 1)
+				if err != nil {
+					return nil, err
+				}
+				if math.Abs(srpt-exact.Cost) > 1e-6*(1+exact.Cost) {
+					srptOpt = false
+				}
+			}
+			g := exact.Cost / b.Value
+			gap.Add(g)
+			if g > maxGap {
+				maxGap = g
+			}
+			rr, err := kPower(in, "RR", 1, k, 1)
+			if err != nil {
+				return nil, err
+			}
+			rrRatio.Add(normRatio(rr, exact.Cost, k))
+		}
+		srptCell := "n/a"
+		if k == 1 {
+			srptCell = fmt.Sprintf("%v", srptOpt)
+		}
+		t.AddRow(k, trials, srptCell, lpLeOpt, optLeBest, gap.Mean(), maxGap, rrRatio.Mean())
+	}
+	return []*Table{t}, nil
+}

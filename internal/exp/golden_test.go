@@ -1,0 +1,54 @@
+package exp
+
+import (
+	"testing"
+)
+
+// TestE5aGolden pins the fully deterministic starvation-fixture table
+// (quick mode): the instance is deterministic and every policy in it is
+// deterministic, so any change here is a real behavioral change in the
+// engine or a policy — exactly what a golden test should catch.
+func TestE5aGolden(t *testing.T) {
+	tabs := runExp(t, "E5")
+	tab := tabs[0]
+	if tab.ID != "E5a" {
+		t.Fatalf("first table %s", tab.ID)
+	}
+	want := map[string]map[string]string{
+		// policy → column → value (spot-checked, stable fields only)
+		"RR":   {"max_flow": "40", "jain_flow": "0.6791"},
+		"SRPT": {"mean_flow": "2.258", "max_flow": "40"},
+		"FCFS": {"mean_flow": "10", "std_flow": "0", "jain_flow": "1"},
+	}
+	col := map[string]int{}
+	for i, c := range tab.Columns {
+		col[c] = i
+	}
+	for _, row := range tab.Rows {
+		exp, ok := want[row[0]]
+		if !ok {
+			continue
+		}
+		for c, v := range exp {
+			if row[col[c]] != v {
+				t.Errorf("%s.%s = %q, want %q (golden)", row[0], c, row[col[c]], v)
+			}
+		}
+	}
+}
+
+// TestE17Golden pins the no-overhead convergence row at the finest quantum:
+// deterministic instance + deterministic discrete RR.
+func TestE17Golden(t *testing.T) {
+	tab := runExp(t, "E17")[0]
+	qCol := colIndex(t, tab, "quantum")
+	cCol := colIndex(t, tab, "switch_cost")
+	tCol := colIndex(t, tab, "throughput")
+	for i, row := range tab.Rows {
+		if row[cCol] == "0" && row[tCol] != "1" {
+			t.Errorf("row %d: zero-overhead throughput %q != 1", i, row[tCol])
+		}
+		_ = qCol
+		_ = i
+	}
+}

@@ -1,0 +1,94 @@
+package exp
+
+import (
+	"fmt"
+	"math"
+
+	"rrnorm/internal/core"
+	"rrnorm/internal/lp"
+	"rrnorm/internal/metrics"
+	"rrnorm/internal/policy"
+	"rrnorm/internal/stats"
+)
+
+// runPolicy simulates the named policy and returns the result.
+func runPolicy(in *core.Instance, name string, m int, speed float64, segments bool) (*core.Result, error) {
+	p, err := policy.New(name)
+	if err != nil {
+		return nil, err
+	}
+	res, err := core.Run(in, p, core.Options{Machines: m, Speed: speed, RecordSegments: segments})
+	if err != nil {
+		return nil, fmt.Errorf("exp: %s at speed %.3g: %w", name, speed, err)
+	}
+	return res, nil
+}
+
+// runWith runs a concrete policy instance on one machine at unit speed and
+// returns the ℓk norm of the flows — used by parameter ablations.
+func runWith(in *core.Instance, p core.Policy, k int) (float64, error) {
+	res, err := core.Run(in, p, core.Options{Machines: 1, Speed: 1})
+	if err != nil {
+		return 0, fmt.Errorf("exp: %s: %w", p.Name(), err)
+	}
+	return metrics.LkNorm(res.Flow, k), nil
+}
+
+// kPower runs the policy and returns its Σ F^k.
+func kPower(in *core.Instance, name string, m, k int, speed float64) (float64, error) {
+	res, err := runPolicy(in, name, m, speed, false)
+	if err != nil {
+		return 0, err
+	}
+	return metrics.KthPowerSum(res.Flow, k), nil
+}
+
+// normRatio converts a k-th power ratio to an ℓk-norm ratio.
+func normRatio(algPower, lbPower float64, k int) float64 {
+	if lbPower <= 0 {
+		return math.Inf(1)
+	}
+	return math.Pow(algPower/lbPower, 1/float64(k))
+}
+
+// lowerBound computes the certified LP/2 k-power lower bound with settings
+// scaled to the instance size.
+func lowerBound(in *core.Instance, m, k int, quick bool) (lp.Bound, error) {
+	opts := lp.Options{Slots: 400, MaxUnits: 120000}
+	if quick {
+		opts.Slots = 150
+		opts.MaxUnits = 30000
+	}
+	return lp.KPowerLowerBound(in, m, k, opts)
+}
+
+// bestPolicyPower returns the minimum Σ F^k over a basket of strong
+// policies at unit speed — an UPPER estimate of OPT^k (any policy is
+// feasible). Used to bracket ratios: ALG/upper ≤ true ratio ≤ ALG/(LP/2).
+func bestPolicyPower(in *core.Instance, m, k int) (float64, string, error) {
+	best := math.Inf(1)
+	who := ""
+	for _, name := range []string{"SRPT", "SJF", "SETF", "RR"} {
+		v, err := kPower(in, name, m, k, 1)
+		if err != nil {
+			return 0, "", err
+		}
+		if v < best {
+			best = v
+			who = name
+		}
+	}
+	return best, who, nil
+}
+
+// fitGrowthExponent is stats.FitPowerLaw: the growth exponent of ratio
+// curves in n (≈0 means bounded).
+func fitGrowthExponent(xs, ys []float64) float64 { return stats.FitPowerLaw(xs, ys) }
+
+// pick returns q if quick, else full.
+func pick[T any](quick bool, q, full T) T {
+	if quick {
+		return q
+	}
+	return full
+}

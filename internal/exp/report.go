@@ -1,0 +1,60 @@
+package exp
+
+import (
+	"html/template"
+	"io"
+	"time"
+)
+
+// reportTmpl renders the collected experiment tables as one self-contained
+// HTML page (no external assets).
+var reportTmpl = template.Must(template.New("report").Parse(`<!DOCTYPE html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<title>rrnorm experiment report</title>
+<style>
+ body { font: 14px/1.45 system-ui, sans-serif; margin: 2rem auto; max-width: 72rem; color: #1a1a1a; }
+ h1 { font-size: 1.5rem; }
+ h2 { font-size: 1.1rem; margin-top: 2.2rem; border-bottom: 1px solid #ccc; padding-bottom: .2rem; }
+ table { border-collapse: collapse; margin: .6rem 0; }
+ th, td { border: 1px solid #d0d0d0; padding: .25rem .6rem; text-align: right; font-variant-numeric: tabular-nums; }
+ th { background: #f2f2f2; }
+ td:first-child, th:first-child { text-align: left; }
+ .note { color: #555; font-size: .85rem; margin: .15rem 0; }
+ .meta { color: #777; font-size: .85rem; }
+</style>
+</head>
+<body>
+<h1>rrnorm — experiment report</h1>
+<p class="meta">Temporal Fairness of Round Robin (SPAA 2015) reproduction · generated {{.When}} · seed {{.Seed}}{{if .Quick}} · QUICK grids{{end}}</p>
+{{range .Tables}}
+<h2>{{.ID}} — {{.Title}}</h2>
+<table>
+ <tr>{{range .Columns}}<th>{{.}}</th>{{end}}</tr>
+ {{range .Rows}}<tr>{{range .}}<td>{{.}}</td>{{end}}</tr>
+ {{end}}
+</table>
+{{range .Notes}}<p class="note">note: {{.}}</p>{{end}}
+{{end}}
+</body>
+</html>
+`))
+
+// reportData feeds the template.
+type reportData struct {
+	When   string
+	Seed   uint64
+	Quick  bool
+	Tables []*Table
+}
+
+// RenderHTML writes a self-contained HTML report of the given tables.
+func RenderHTML(w io.Writer, cfg Config, tables []*Table) error {
+	return reportTmpl.Execute(w, reportData{
+		When:   time.Now().Format(time.RFC3339),
+		Seed:   cfg.Seed,
+		Quick:  cfg.Quick,
+		Tables: tables,
+	})
+}

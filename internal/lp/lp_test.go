@@ -1,0 +1,184 @@
+package lp
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"rrnorm/internal/core"
+	"rrnorm/internal/metrics"
+	"rrnorm/internal/policy"
+	"rrnorm/internal/stats"
+	"rrnorm/internal/workload"
+)
+
+func TestSizeBound(t *testing.T) {
+	in := core.NewInstance([]core.Job{
+		{ID: 0, Release: 0, Size: 2},
+		{ID: 1, Release: 1, Size: 3},
+	})
+	if got := SizeBound(in, 2); math.Abs(got-13) > 1e-12 {
+		t.Fatalf("SizeBound k=2: %v, want 13", got)
+	}
+	if got := SizeBound(in, 1); math.Abs(got-5) > 1e-12 {
+		t.Fatalf("SizeBound k=1: %v, want 5", got)
+	}
+}
+
+func TestBadParams(t *testing.T) {
+	in := core.NewInstance([]core.Job{{ID: 0, Release: 0, Size: 1}})
+	if _, err := KPowerLowerBound(in, 0, 2, Options{}); !errors.Is(err, ErrBadParams) {
+		t.Fatalf("m=0: %v", err)
+	}
+	if _, err := KPowerLowerBound(in, 1, 0, Options{}); !errors.Is(err, ErrBadParams) {
+		t.Fatalf("k=0: %v", err)
+	}
+}
+
+func TestEmptyInstance(t *testing.T) {
+	b, err := KPowerLowerBound(core.NewInstance(nil), 1, 2, Options{})
+	if err != nil || b.Value != 0 {
+		t.Fatalf("empty: %v %v", b, err)
+	}
+}
+
+func TestSingleJobBoundTight(t *testing.T) {
+	// One job of size 4 at time 0: OPT's F^2 = 16. The size bound makes
+	// Value exactly 16; the raw LP must stay below 2·OPT^k = 32 and above
+	// the analytic LP optimum p^k(k+2)/(k+1) − discretization slack.
+	in := core.NewInstance([]core.Job{{ID: 0, Release: 0, Size: 4}})
+	b, err := KPowerLowerBound(in, 1, 2, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(b.Value-16) > 1e-9 {
+		t.Fatalf("Value %v, want 16 (size bound)", b.Value)
+	}
+	analytic := 16.0 * 4 / 3 // p^k (k+2)/(k+1) for k=2
+	if b.LPValue > analytic+1e-9 {
+		t.Fatalf("LPValue %v exceeds continuous optimum %v", b.LPValue, analytic)
+	}
+	if b.LPValue < analytic*0.9 {
+		t.Fatalf("LPValue %v too slack vs %v (discretization too coarse?)", b.LPValue, analytic)
+	}
+}
+
+// TestLowerBoundBelowEveryPolicy is the core soundness property: the bound
+// must not exceed the k-th power flow of ANY feasible unit-speed schedule.
+func TestLowerBoundBelowEveryPolicy(t *testing.T) {
+	rng := stats.NewRNG(31)
+	for trial := 0; trial < 8; trial++ {
+		n := 5 + trial*3
+		in := workload.Poisson(rng, n, 1, workload.ExpSizes{M: 1.5})
+		for _, m := range []int{1, 2} {
+			for _, k := range []int{1, 2, 3} {
+				b, err := KPowerLowerBound(in, m, k, Options{Slots: 200, MaxUnits: 40000})
+				if err != nil {
+					t.Fatalf("trial %d m=%d k=%d: %v", trial, m, k, err)
+				}
+				for _, name := range policy.Names() {
+					p, _ := policy.New(name)
+					res, err := core.Run(in, p, core.Options{Machines: m, Speed: 1})
+					if err != nil {
+						t.Fatalf("%s: %v", name, err)
+					}
+					alg := metrics.KthPowerSum(res.Flow, k)
+					if b.Value > alg*(1+1e-9) {
+						t.Fatalf("trial %d m=%d k=%d: bound %v exceeds %s's %v",
+							trial, m, k, b.Value, name, alg)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestRefinementConverges checks that the discrete LP value stabilizes as
+// the grid refines (it approaches the continuous LP; successive refinements
+// are not strictly nested because slot-age and capacity rounding interact,
+// so we assert convergence rather than monotonicity — each value is
+// independently a certified bound).
+func TestRefinementConverges(t *testing.T) {
+	in := workload.Poisson(stats.NewRNG(5), 12, 1, workload.UniformSizes{Lo: 0.5, Hi: 2})
+	var vals []float64
+	for _, slots := range []int{100, 200, 400, 800} {
+		b, err := KPowerLowerBound(in, 1, 2, Options{Slots: slots, MaxUnits: 60000})
+		if err != nil {
+			t.Fatal(err)
+		}
+		vals = append(vals, b.LPValue)
+	}
+	last := vals[len(vals)-1]
+	for i, v := range vals {
+		if math.Abs(v-last) > 0.15*last {
+			t.Fatalf("slots step %d: LP %v deviates from finest %v by >15%%", i, v, last)
+		}
+	}
+	if math.Abs(vals[2]-last) > 0.05*last {
+		t.Fatalf("finest two grids differ too much: %v vs %v", vals[2], last)
+	}
+}
+
+func TestHorizonAutoExtension(t *testing.T) {
+	in := core.NewInstance([]core.Job{
+		{ID: 0, Release: 0, Size: 5},
+		{ID: 1, Release: 0, Size: 5},
+	})
+	// Horizon 1 cannot fit 10 units of work on one machine; the solver
+	// must retry with doubled horizons and succeed.
+	b, err := KPowerLowerBound(in, 1, 1, Options{Horizon: 1, Slots: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Value <= 0 {
+		t.Fatalf("bound %v", b.Value)
+	}
+}
+
+func TestMoreMachinesWeakerBound(t *testing.T) {
+	// With more machines OPT only improves, so the bound must not grow.
+	in := workload.Batch(stats.NewRNG(77), 10, workload.UniformSizes{Lo: 1, Hi: 3})
+	b1, err := KPowerLowerBound(in, 1, 2, Options{Slots: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b4, err := KPowerLowerBound(in, 4, 2, Options{Slots: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b4.Value > b1.Value+1e-9 {
+		t.Fatalf("m=4 bound %v exceeds m=1 bound %v", b4.Value, b1.Value)
+	}
+}
+
+// TestWeightedBoundBelowWeightedPolicies: with heterogeneous weights the
+// bound must stay below every policy's Σ w·F^k — the weighted extension of
+// the core soundness property.
+func TestWeightedBoundBelowWeightedPolicies(t *testing.T) {
+	rng := stats.NewRNG(83)
+	for trial := 0; trial < 5; trial++ {
+		in := workload.Poisson(rng, 15, 1, workload.ExpSizes{M: 1})
+		workload.AssignWeights(in, rng, workload.UniformSizes{Lo: 0.5, Hi: 5})
+		for _, k := range []int{1, 2} {
+			b, err := KPowerLowerBound(in, 1, k, Options{Slots: 250})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, name := range []string{"RR", "SRPT", "PROP", "WSRPT"} {
+				p, _ := policy.New(name)
+				res, err := core.Run(in, p, core.Options{Machines: 1, Speed: 1})
+				if err != nil {
+					t.Fatal(err)
+				}
+				weights := make([]float64, len(res.Jobs))
+				for i, j := range res.Jobs {
+					weights[i] = j.W()
+				}
+				alg := metrics.WeightedKthPowerSum(res.Flow, weights, k)
+				if b.Value > alg*(1+1e-9) {
+					t.Fatalf("trial %d k=%d %s: weighted bound %v above %v", trial, k, name, b.Value, alg)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,189 @@
+// Package mcmf implements min-cost max-flow by successive shortest paths
+// with Johnson potentials (Dijkstra on reduced costs). Capacities are
+// integral; costs are non-negative float64. It is the substrate behind the
+// LP-relaxation lower bound on the optimal k-th power flow time: the
+// time-discretized LP is a transportation problem solved exactly here.
+package mcmf
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"rrnorm/internal/queue"
+)
+
+// arc is half of an edge: the residual graph stores forward and backward
+// halves at positions e and e^1.
+type arc struct {
+	to   int32
+	next int32 // next arc out of the same node (-1 terminates)
+	cap  int64
+	cost float64
+}
+
+// Graph is a directed flow network under construction/solution.
+type Graph struct {
+	head []int32
+	arcs []arc
+	// solved state
+	pot  []float64
+	dist []float64
+	prev []int32 // arc used to reach node in last Dijkstra
+}
+
+// NewGraph creates a graph with n nodes (0..n−1) and capacity hint for m
+// edges.
+func NewGraph(n, m int) *Graph {
+	g := &Graph{head: make([]int32, n), arcs: make([]arc, 0, 2*m)}
+	for i := range g.head {
+		g.head[i] = -1
+	}
+	return g
+}
+
+// NumNodes returns the node count.
+func (g *Graph) NumNodes() int { return len(g.head) }
+
+// AddEdge adds a directed edge with the given capacity and non-negative
+// cost, returning its edge ID for later Flow queries.
+func (g *Graph) AddEdge(from, to int, capacity int64, cost float64) int {
+	if cost < 0 {
+		panic(fmt.Sprintf("mcmf: negative cost %v", cost))
+	}
+	if capacity < 0 {
+		panic(fmt.Sprintf("mcmf: negative capacity %d", capacity))
+	}
+	id := len(g.arcs)
+	g.arcs = append(g.arcs, arc{to: int32(to), next: g.head[from], cap: capacity, cost: cost})
+	g.head[from] = int32(id)
+	g.arcs = append(g.arcs, arc{to: int32(from), next: g.head[to], cap: 0, cost: -cost})
+	g.head[to] = int32(id + 1)
+	return id
+}
+
+// Flow returns the flow currently routed on edge id (forward capacity used).
+func (g *Graph) Flow(id int) int64 { return g.arcs[id^1].cap }
+
+// ErrDisconnected is returned when the requested flow cannot be routed.
+var ErrDisconnected = errors.New("mcmf: requested flow exceeds max flow")
+
+// ErrNotOptimal is returned by VerifyOptimality when the complementary-
+// slackness certificate fails.
+var ErrNotOptimal = errors.New("mcmf: optimality certificate failed")
+
+// VerifyOptimality checks the linear-programming optimality certificate of
+// the last MinCostFlow call: with the final Johnson potentials π, every
+// residual arc must have non-negative reduced cost
+// c(u,v) + π(u) − π(v) ≥ −tol. By LP duality this proves the routed flow
+// has minimum cost among all flows of its value — turning each solve into
+// a certified result rather than a trusted one. Must be called after a
+// MinCostFlow that routed its full demand (potentials are then valid for
+// every node reachable in the residual network).
+func (g *Graph) VerifyOptimality(tol float64) error {
+	if g.pot == nil {
+		return fmt.Errorf("%w: no solve performed", ErrNotOptimal)
+	}
+	for u := 0; u < len(g.head); u++ {
+		for e := g.head[u]; e >= 0; e = g.arcs[e].next {
+			a := &g.arcs[e]
+			if a.cap <= 0 {
+				continue
+			}
+			rc := a.cost + g.pot[u] - g.pot[int(a.to)]
+			if rc < -tol {
+				return fmt.Errorf("%w: residual arc %d→%d has reduced cost %v", ErrNotOptimal, u, a.to, rc)
+			}
+		}
+	}
+	return nil
+}
+
+// MinCostFlow routes up to want units from s to t along successively
+// shortest (cheapest) augmenting paths and returns the units routed and
+// their total cost. If want units cannot be routed it routes the maximum
+// possible and returns ErrDisconnected alongside the partial result.
+// Pass want = math.MaxInt64 for a min-cost max-flow.
+func (g *Graph) MinCostFlow(s, t int, want int64) (flow int64, cost float64, err error) {
+	n := len(g.head)
+	if g.pot == nil {
+		g.pot = make([]float64, n)
+		g.dist = make([]float64, n)
+		g.prev = make([]int32, n)
+	}
+	for i := range g.pot {
+		g.pot[i] = 0
+	}
+	h := queue.NewIndexedMinHeap(n)
+	for flow < want {
+		// Dijkstra on reduced costs cost(u,v) + pot[u] − pot[v] ≥ 0.
+		for i := 0; i < n; i++ {
+			g.dist[i] = math.Inf(1)
+			g.prev[i] = -1
+		}
+		g.dist[s] = 0
+		h.Reset()
+		h.Push(s, 0)
+		for h.Len() > 0 {
+			u, du := h.PopMin()
+			if du > g.dist[u] {
+				continue
+			}
+			for e := g.head[u]; e >= 0; e = g.arcs[e].next {
+				a := &g.arcs[e]
+				if a.cap <= 0 {
+					continue
+				}
+				v := int(a.to)
+				rc := a.cost + g.pot[u] - g.pot[v]
+				if rc < 0 {
+					// Float round-off can push reduced costs slightly
+					// negative; clamp (Dijkstra needs non-negativity).
+					rc = 0
+				}
+				nd := du + rc
+				if nd < g.dist[v] {
+					g.dist[v] = nd
+					g.prev[v] = e
+					h.PushOrDecrease(v, nd)
+				}
+			}
+		}
+		if math.IsInf(g.dist[t], 1) {
+			if want == math.MaxInt64 {
+				return flow, cost, nil
+			}
+			return flow, cost, fmt.Errorf("%w: routed %d of %d", ErrDisconnected, flow, want)
+		}
+		// Update potentials, capping at dist(t): nodes beyond t (or
+		// unreachable) advance by dist(t), which preserves non-negative
+		// reduced costs on every residual arc (the invariant both Dijkstra
+		// and VerifyOptimality rely on).
+		dt := g.dist[t]
+		for i := 0; i < n; i++ {
+			d := g.dist[i]
+			if d > dt {
+				d = dt
+			}
+			g.pot[i] += d
+		}
+		// Find bottleneck and augment.
+		push := want - flow
+		for v := t; v != s; {
+			e := g.prev[v]
+			if g.arcs[e].cap < push {
+				push = g.arcs[e].cap
+			}
+			v = int(g.arcs[e^1].to)
+		}
+		for v := t; v != s; {
+			e := g.prev[v]
+			g.arcs[e].cap -= push
+			g.arcs[e^1].cap += push
+			cost += float64(push) * g.arcs[e].cost
+			v = int(g.arcs[e^1].to)
+		}
+		flow += push
+	}
+	return flow, cost, nil
+}

@@ -1,0 +1,60 @@
+package metrics
+
+import "math"
+
+// WeightedKthPowerSum returns Σ_j w_j·F_j^k — the weighted k-th power flow
+// objective from the dual-fitting literature the paper builds on. flows and
+// weights must have equal length; a zero weight means 1 (matching
+// core.Job.W).
+func WeightedKthPowerSum(flows, weights []float64, k int) float64 {
+	var s float64
+	for i, f := range flows {
+		s += effWeight(weights, i) * PowK(f, k)
+	}
+	return s
+}
+
+// WeightedLkNorm returns (Σ_j w_j F_j^k)^{1/k} for k ≥ 1.
+func WeightedLkNorm(flows, weights []float64, k int) float64 {
+	if len(flows) == 0 {
+		return 0
+	}
+	if k == 1 {
+		return WeightedKthPowerSum(flows, weights, 1)
+	}
+	mx := Max(flows)
+	if mx == 0 {
+		return 0
+	}
+	var s float64
+	for i, f := range flows {
+		s += effWeight(weights, i) * PowK(f/mx, k)
+	}
+	return mx * math.Pow(s, 1/float64(k))
+}
+
+// WeightedMean returns Σ w_j F_j / Σ w_j.
+func WeightedMean(flows, weights []float64) float64 {
+	if len(flows) == 0 {
+		return 0
+	}
+	var num, den float64
+	for i, f := range flows {
+		w := effWeight(weights, i)
+		num += w * f
+		den += w
+	}
+	if den == 0 {
+		return 0
+	}
+	return num / den
+}
+
+// effWeight reads weights[i] with the zero-means-one convention; a nil or
+// short weights slice means all ones.
+func effWeight(weights []float64, i int) float64 {
+	if i >= len(weights) || weights[i] == 0 {
+		return 1
+	}
+	return weights[i]
+}

@@ -1,0 +1,59 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestWeightedKthPowerSum(t *testing.T) {
+	flows := []float64{2, 3}
+	weights := []float64{5, 1}
+	// 5·4 + 1·9 = 29.
+	approx(t, WeightedKthPowerSum(flows, weights, 2), 29, 1e-12, "weighted sum")
+	// Zero/missing weights act as 1.
+	approx(t, WeightedKthPowerSum(flows, []float64{0, 0}, 2), 13, 1e-12, "zero weights")
+	approx(t, WeightedKthPowerSum(flows, nil, 2), 13, 1e-12, "nil weights")
+}
+
+func TestWeightedLkNorm(t *testing.T) {
+	flows := []float64{3, 4}
+	// Unit weights must reproduce the unweighted norm.
+	approx(t, WeightedLkNorm(flows, []float64{1, 1}, 2), 5, 1e-12, "unit weights")
+	// (1·9 + 4·16)^{1/2} = √73.
+	approx(t, WeightedLkNorm(flows, []float64{1, 4}, 2), math.Sqrt(73), 1e-12, "weighted L2")
+	approx(t, WeightedLkNorm(nil, nil, 2), 0, 0, "empty")
+	approx(t, WeightedLkNorm([]float64{5, 2}, []float64{2, 3}, 1), 16, 1e-12, "weighted L1")
+}
+
+func TestWeightedMean(t *testing.T) {
+	approx(t, WeightedMean([]float64{10, 2}, []float64{1, 3}), 4, 1e-12, "weighted mean")
+	approx(t, WeightedMean(nil, nil), 0, 0, "empty")
+}
+
+// Weighted norms with all-unit weights must equal the unweighted norms.
+func TestWeightedMatchesUnweightedProperty(t *testing.T) {
+	if err := quick.Check(func(raw []float64) bool {
+		flows := make([]float64, len(raw))
+		for i, f := range raw {
+			flows[i] = math.Abs(math.Mod(f, 500))
+			if math.IsNaN(flows[i]) {
+				flows[i] = 1
+			}
+		}
+		ones := make([]float64, len(flows))
+		for i := range ones {
+			ones[i] = 1
+		}
+		for _, k := range []int{1, 2, 3} {
+			a := WeightedLkNorm(flows, ones, k)
+			b := LkNorm(flows, k)
+			if math.Abs(a-b) > 1e-9*(1+b) {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

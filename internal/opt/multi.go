@@ -1,0 +1,268 @@
+package opt
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"rrnorm/internal/core"
+	"rrnorm/internal/metrics"
+)
+
+// ExactM computes the best schedule in the event-preemptive class on m
+// identical unit-speed machines: at every decision instant (release or
+// completion) a subset of at most m alive jobs runs, one machine each, until
+// the next instant. For m = 1 this class provably contains an optimal
+// preemptive schedule (see Exact); for m ≥ 2 the problem is NP-hard even
+// for k = 1 (Du–Leung) and migratory optima may in principle use rate
+// sharing between events, so treat the result as a strong feasible
+// upper estimate of OPT — it still certifies LP/2 ≤ OPT ≤ ExactM and it
+// contains every {0,1}-rate policy schedule (SRPT, SJF, FCFS) as candidates.
+func ExactM(in *core.Instance, m, k int, opts Options) (Result, error) {
+	if m <= 1 {
+		return Exact(in, k, opts)
+	}
+	if err := in.Validate(); err != nil {
+		return Result{}, err
+	}
+	if k < 1 {
+		return Result{}, fmt.Errorf("opt: k must be ≥ 1, got %d", k)
+	}
+	maxJobs := opts.MaxJobs
+	if maxJobs <= 0 {
+		maxJobs = 8
+	}
+	maxNodes := opts.MaxNodes
+	if maxNodes <= 0 {
+		maxNodes = 50_000_000
+	}
+	inst := in.Clone()
+	inst.Normalize()
+	n := inst.N()
+	if n > maxJobs {
+		return Result{}, fmt.Errorf("%w: n=%d > %d", ErrTooLarge, n, maxJobs)
+	}
+	if n == 0 {
+		return Result{Cost: 0}, nil
+	}
+	s := &msearcher{
+		jobs:     inst.Jobs,
+		m:        m,
+		k:        k,
+		maxNodes: maxNodes,
+		rem:      make([]float64, n),
+		comp:     make([]float64, n),
+		bestComp: make([]float64, n),
+		best:     math.Inf(1),
+	}
+	for i, j := range inst.Jobs {
+		s.rem[i] = j.Size
+	}
+	s.seedSRPT()
+	if err := s.dfs(inst.Jobs[0].Release, 0, 0, 0); err != nil {
+		return Result{}, err
+	}
+	return Result{Cost: s.best, Completion: s.bestComp, Nodes: s.nodes}, nil
+}
+
+type msearcher struct {
+	jobs     []core.Job
+	m, k     int
+	maxNodes int64
+	nodes    int64
+	rem      []float64
+	comp     []float64
+	best     float64
+	bestComp []float64
+}
+
+// seedSRPT seeds the incumbent with multi-machine SRPT (top-m by remaining
+// work, switching at events).
+func (s *msearcher) seedSRPT() {
+	n := len(s.jobs)
+	rem := make([]float64, n)
+	for i, j := range s.jobs {
+		rem[i] = j.Size
+	}
+	now := s.jobs[0].Release
+	next, done := 0, 0
+	cost := 0.0
+	comp := make([]float64, n)
+	for done < n {
+		for next < n && s.jobs[next].Release <= now {
+			next++
+		}
+		var run []int
+		for i := 0; i < next; i++ {
+			if rem[i] > 0 {
+				run = append(run, i)
+			}
+		}
+		if len(run) == 0 {
+			now = s.jobs[next].Release
+			continue
+		}
+		sort.Slice(run, func(a, b int) bool { return rem[run[a]] < rem[run[b]] })
+		if len(run) > s.m {
+			run = run[:s.m]
+		}
+		d := math.Inf(1)
+		if next < n {
+			d = s.jobs[next].Release - now
+		}
+		for _, i := range run {
+			if rem[i] < d {
+				d = rem[i]
+			}
+		}
+		now += d
+		for _, i := range run {
+			rem[i] -= d
+			if rem[i] <= 1e-15 {
+				rem[i] = 0
+				comp[i] = now
+				cost += metrics.PowK(now-s.jobs[i].Release, s.k)
+				done++
+			}
+		}
+	}
+	s.best = cost
+	copy(s.bestComp, comp)
+}
+
+// lowerBound: capacity order statistics with m machines — the i-th smallest
+// completion among alive jobs is at least now + max(rem_(1),
+// (Σ_{q≤i} rem_(q))/m) — paired co-monotonically with releases; future jobs
+// contribute their isolated size bound.
+func (s *msearcher) lowerBound(now float64, next int) float64 {
+	type ar struct{ rem, rel float64 }
+	var alive []ar
+	for i := 0; i < next; i++ {
+		if s.rem[i] > 0 {
+			alive = append(alive, ar{s.rem[i], s.jobs[i].Release})
+		}
+	}
+	lb := 0.0
+	for i := next; i < len(s.jobs); i++ {
+		lb += metrics.PowK(s.jobs[i].Size, s.k)
+	}
+	if len(alive) == 0 {
+		return lb
+	}
+	sort.Slice(alive, func(a, b int) bool { return alive[a].rem < alive[b].rem })
+	cls := make([]float64, len(alive))
+	acc := 0.0
+	for i, a := range alive {
+		acc += a.rem
+		c := acc / float64(s.m)
+		if a.rem > c {
+			c = a.rem
+		}
+		cls[i] = now + c
+	}
+	sort.Float64s(cls) // already sorted by construction, kept for safety
+	rels := make([]float64, len(alive))
+	for i, a := range alive {
+		rels[i] = a.rel
+	}
+	sort.Float64s(rels)
+	for i := range cls {
+		f := cls[i] - rels[i]
+		if f < 0 {
+			f = 0
+		}
+		lb += metrics.PowK(f, s.k)
+	}
+	return lb
+}
+
+// dfs branches on the subset of ≤ m alive jobs to run until the next event.
+func (s *msearcher) dfs(now float64, next, done int, cost float64) error {
+	s.nodes++
+	if s.nodes > s.maxNodes {
+		return fmt.Errorf("%w: %d nodes", ErrNodeLimit, s.nodes)
+	}
+	n := len(s.jobs)
+	if done == n {
+		if cost < s.best {
+			s.best = cost
+			copy(s.bestComp, s.comp)
+		}
+		return nil
+	}
+	for next < n && s.jobs[next].Release <= now {
+		next++
+	}
+	var alive []int
+	for i := 0; i < next; i++ {
+		if s.rem[i] > 0 {
+			alive = append(alive, i)
+		}
+	}
+	if len(alive) == 0 {
+		return s.dfs(s.jobs[next].Release, next, done, cost)
+	}
+	if cost+s.lowerBound(now, next) >= s.best {
+		return nil
+	}
+	nextRel := math.Inf(1)
+	if next < n {
+		nextRel = s.jobs[next].Release
+	}
+
+	// Enumerate subsets of size min(m, |alive|). Running fewer than
+	// min(m, alive) machines is never beneficial for flow objectives
+	// (work conservation on identical machines), so only full subsets are
+	// branched.
+	size := s.m
+	if len(alive) < size {
+		size = len(alive)
+	}
+	subset := make([]int, 0, size)
+	var enumerate func(start int) error
+	enumerate = func(start int) error {
+		if len(subset) == size {
+			return s.step(subset, now, nextRel, next, done, cost)
+		}
+		for i := start; i < len(alive); i++ {
+			subset = append(subset, alive[i])
+			if err := enumerate(i + 1); err != nil {
+				return err
+			}
+			subset = subset[:len(subset)-1]
+		}
+		return nil
+	}
+	return enumerate(0)
+}
+
+// step advances the chosen subset until the first completion within it or
+// the next release, then recurses and restores state.
+func (s *msearcher) step(subset []int, now, nextRel float64, next, done int, cost float64) error {
+	d := nextRel - now
+	for _, i := range subset {
+		if s.rem[i] < d {
+			d = s.rem[i]
+		}
+	}
+	if d <= 0 {
+		return nil
+	}
+	end := now + d
+	saved := make([]float64, len(subset))
+	for si, i := range subset {
+		saved[si] = s.rem[i]
+		s.rem[i] -= d
+		if s.rem[i] <= 1e-12 {
+			s.rem[i] = 0
+			s.comp[i] = end
+			cost += metrics.PowK(end-s.jobs[i].Release, s.k)
+			done++
+		}
+	}
+	err := s.dfs(end, next, done, cost)
+	for si, i := range subset {
+		s.rem[i] = saved[si]
+	}
+	return err
+}

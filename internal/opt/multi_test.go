@@ -1,0 +1,106 @@
+package opt
+
+import (
+	"math"
+	"testing"
+
+	"rrnorm/internal/core"
+	"rrnorm/internal/lp"
+	"rrnorm/internal/metrics"
+	"rrnorm/internal/policy"
+	"rrnorm/internal/stats"
+	"rrnorm/internal/workload"
+)
+
+func TestExactMFallsBackToSingle(t *testing.T) {
+	in := core.NewInstance([]core.Job{{ID: 0, Release: 0, Size: 2}, {ID: 1, Release: 0, Size: 1}})
+	a, err := ExactM(in, 1, 2, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Exact(in, 2, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(a.Cost-b.Cost) > 1e-12 {
+		t.Fatalf("m=1 mismatch: %v vs %v", a.Cost, b.Cost)
+	}
+}
+
+func TestExactMTwoMachinesParallel(t *testing.T) {
+	// Two unit jobs at t=0 on two machines: both complete at 1 → cost 2
+	// for any k.
+	in := core.NewInstance([]core.Job{{ID: 0, Release: 0, Size: 1}, {ID: 1, Release: 0, Size: 1}})
+	r, err := ExactM(in, 2, 2, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r.Cost-2) > 1e-9 {
+		t.Fatalf("cost %v, want 2", r.Cost)
+	}
+}
+
+func TestExactMThreeJobsTwoMachines(t *testing.T) {
+	// Sizes 1,1,1 at t=0 on 2 machines, k=1: run two, then the third:
+	// flows 1,1,2 → 4.
+	in := core.NewInstance([]core.Job{
+		{ID: 0, Release: 0, Size: 1}, {ID: 1, Release: 0, Size: 1}, {ID: 2, Release: 0, Size: 1},
+	})
+	r, err := ExactM(in, 2, 1, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r.Cost-4) > 1e-9 {
+		t.Fatalf("cost %v, want 4", r.Cost)
+	}
+}
+
+// TestExactMAnchors: on random tiny instances with m=2, the chain
+// LP/2 ≤ ExactM and ExactM ≤ SRPT's cost must hold (SRPT's multi-machine
+// schedule is in the searched class).
+func TestExactMAnchors(t *testing.T) {
+	rng := stats.NewRNG(41)
+	for trial := 0; trial < 10; trial++ {
+		n := 3 + int(rng.Uint64()%3)
+		in := workload.Poisson(rng, n, 0.7, workload.UniformSizes{Lo: 0.4, Hi: 2})
+		for _, k := range []int{1, 2} {
+			r, err := ExactM(in, 2, k, Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := lp.KPowerLowerBound(in, 2, k, lp.Options{Slots: 300})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if b.Value > r.Cost*(1+1e-7) {
+				t.Fatalf("trial %d k=%d: LP bound %v above ExactM %v", trial, k, b.Value, r.Cost)
+			}
+			res, err := core.Run(in, policy.NewSRPT(), core.Options{Machines: 2, Speed: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			srpt := metrics.KthPowerSum(res.Flow, k)
+			if r.Cost > srpt*(1+1e-6) {
+				t.Fatalf("trial %d k=%d: ExactM %v above SRPT %v", trial, k, r.Cost, srpt)
+			}
+		}
+	}
+}
+
+func TestExactMRejectsLarge(t *testing.T) {
+	in := workload.Batch(stats.NewRNG(2), 9, workload.FixedSizes{V: 1})
+	if _, err := ExactM(in, 2, 2, Options{MaxJobs: 8}); err == nil {
+		t.Fatal("expected ErrTooLarge")
+	}
+}
+
+func TestExactMEmptyAndBadK(t *testing.T) {
+	r, err := ExactM(core.NewInstance(nil), 2, 2, Options{})
+	if err != nil || r.Cost != 0 {
+		t.Fatalf("empty: %v %v", r, err)
+	}
+	in := core.NewInstance([]core.Job{{ID: 0, Release: 0, Size: 1}})
+	if _, err := ExactM(in, 2, 0, Options{}); err == nil {
+		t.Fatal("k=0 should fail")
+	}
+}

@@ -1,0 +1,231 @@
+package opt
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"rrnorm/internal/core"
+	"rrnorm/internal/lp"
+	"rrnorm/internal/metrics"
+	"rrnorm/internal/policy"
+	"rrnorm/internal/stats"
+	"rrnorm/internal/workload"
+)
+
+func TestExactSingleJob(t *testing.T) {
+	in := core.NewInstance([]core.Job{{ID: 0, Release: 1, Size: 3}})
+	for k := 1; k <= 3; k++ {
+		r, err := Exact(in, k, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := metrics.PowK(3, k); math.Abs(r.Cost-want) > 1e-9 {
+			t.Fatalf("k=%d: cost %v, want %v", k, r.Cost, want)
+		}
+		if math.Abs(r.Completion[0]-4) > 1e-9 {
+			t.Fatalf("completion %v", r.Completion[0])
+		}
+	}
+}
+
+func TestExactTwoJobsBatch(t *testing.T) {
+	// Sizes 1 and 2 at time 0, k=2: run short first → 1² + 3² = 10.
+	// (Long first gives 2² + 3² = 13.)
+	in := core.NewInstance([]core.Job{{ID: 0, Release: 0, Size: 2}, {ID: 1, Release: 0, Size: 1}})
+	r, err := Exact(in, 2, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r.Cost-10) > 1e-9 {
+		t.Fatalf("cost %v, want 10", r.Cost)
+	}
+}
+
+func TestExactPreemptionUsed(t *testing.T) {
+	// Long job (size 10) at 0; tiny job (size 1) at 1. k=1. Optimal
+	// preempts: flows 11 and 1 → 12. Non-preemptive would be 10 + 10 = 20.
+	in := core.NewInstance([]core.Job{{ID: 0, Release: 0, Size: 10}, {ID: 1, Release: 1, Size: 1}})
+	r, err := Exact(in, 1, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r.Cost-12) > 1e-9 {
+		t.Fatalf("cost %v, want 12", r.Cost)
+	}
+}
+
+func TestExactIdleGap(t *testing.T) {
+	in := core.NewInstance([]core.Job{{ID: 0, Release: 0, Size: 1}, {ID: 1, Release: 5, Size: 1}})
+	r, err := Exact(in, 3, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r.Cost-2) > 1e-9 {
+		t.Fatalf("cost %v, want 2", r.Cost)
+	}
+}
+
+func TestExactRejectsLarge(t *testing.T) {
+	in := workload.Batch(stats.NewRNG(1), 12, workload.FixedSizes{V: 1})
+	if _, err := Exact(in, 2, Options{MaxJobs: 8}); !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("want ErrTooLarge, got %v", err)
+	}
+}
+
+func TestExactNodeLimit(t *testing.T) {
+	in := workload.Poisson(stats.NewRNG(2), 8, 0.5, workload.UniformSizes{Lo: 0.5, Hi: 2})
+	if _, err := Exact(in, 2, Options{MaxNodes: 3}); !errors.Is(err, ErrNodeLimit) {
+		t.Fatalf("want ErrNodeLimit, got %v", err)
+	}
+}
+
+func TestExactBadK(t *testing.T) {
+	in := core.NewInstance([]core.Job{{ID: 0, Release: 0, Size: 1}})
+	if _, err := Exact(in, 0, Options{}); err == nil {
+		t.Fatal("k=0 should fail")
+	}
+}
+
+// TestSRPTOptimalForL1 verifies the folklore claim quoted in the paper's
+// introduction: SRPT is optimal (1-competitive) for total flow time on a
+// single machine.
+func TestSRPTOptimalForL1(t *testing.T) {
+	rng := stats.NewRNG(17)
+	for trial := 0; trial < 40; trial++ {
+		n := 2 + int(rng.Uint64()%5)
+		in := workload.Poisson(rng, n, 1, workload.UniformSizes{Lo: 0.3, Hi: 2.5})
+		exact, err := Exact(in, 1, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := core.Run(in, policy.NewSRPT(), core.Options{Machines: 1, Speed: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		srpt := metrics.KthPowerSum(res.Flow, 1)
+		if math.Abs(srpt-exact.Cost) > 1e-6*(1+exact.Cost) {
+			t.Fatalf("trial %d: SRPT %v != OPT %v", trial, srpt, exact.Cost)
+		}
+	}
+}
+
+// TestExactBelowEveryPolicy: the exact optimum must lower-bound every
+// feasible schedule, including rate-shared ones like RR.
+func TestExactBelowEveryPolicy(t *testing.T) {
+	rng := stats.NewRNG(23)
+	for trial := 0; trial < 10; trial++ {
+		n := 2 + int(rng.Uint64()%4)
+		in := workload.Poisson(rng, n, 1, workload.ExpSizes{M: 1})
+		for _, k := range []int{1, 2, 3} {
+			exact, err := Exact(in, k, Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, name := range policy.Names() {
+				p, _ := policy.New(name)
+				res, err := core.Run(in, p, core.Options{Machines: 1, Speed: 1})
+				if err != nil {
+					t.Fatal(err)
+				}
+				alg := metrics.KthPowerSum(res.Flow, k)
+				if exact.Cost > alg*(1+1e-7) {
+					t.Fatalf("trial %d k=%d: OPT %v exceeds %s %v", trial, k, exact.Cost, name, alg)
+				}
+			}
+		}
+	}
+}
+
+// TestLPBelowExact anchors the LP relaxation: LP/2 ≤ OPT^k exactly as the
+// paper's Section 3.1 argues.
+func TestLPBelowExact(t *testing.T) {
+	rng := stats.NewRNG(29)
+	for trial := 0; trial < 10; trial++ {
+		n := 2 + int(rng.Uint64()%4)
+		in := workload.Poisson(rng, n, 1, workload.UniformSizes{Lo: 0.5, Hi: 2})
+		for _, k := range []int{1, 2} {
+			exact, err := Exact(in, k, Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := lp.KPowerLowerBound(in, 1, k, lp.Options{Slots: 300})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if b.Value > exact.Cost*(1+1e-7) {
+				t.Fatalf("trial %d k=%d: LP bound %v exceeds exact OPT %v (%s)",
+					trial, k, b.Value, exact.Cost, b.Method)
+			}
+		}
+	}
+}
+
+// TestExactCompletionsConsistent: reported completions must reproduce the
+// reported cost and respect feasibility (C ≥ r + p at minimum capacity is
+// not guaranteed with preemption, but C ≥ r + p holds on one machine).
+func TestExactCompletionsConsistent(t *testing.T) {
+	in := workload.Poisson(stats.NewRNG(31), 5, 1, workload.UniformSizes{Lo: 0.5, Hi: 2})
+	inst := in.Clone()
+	inst.Normalize()
+	r, err := Exact(in, 2, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cost float64
+	for i, j := range inst.Jobs {
+		if r.Completion[i] < j.Release+j.Size-1e-9 {
+			t.Fatalf("job %d completes at %v before r+p=%v", j.ID, r.Completion[i], j.Release+j.Size)
+		}
+		cost += metrics.PowK(r.Completion[i]-j.Release, 2)
+	}
+	if math.Abs(cost-r.Cost) > 1e-6*(1+r.Cost) {
+		t.Fatalf("completions give cost %v, reported %v", cost, r.Cost)
+	}
+}
+
+// TestBatchAgainstPermutations: for batch instances (all jobs at t=0) on
+// one machine there is an optimal non-preemptive order, so exhaustive
+// enumeration of the n! sequences is an independent oracle for Exact.
+func TestBatchAgainstPermutations(t *testing.T) {
+	rng := stats.NewRNG(99)
+	for trial := 0; trial < 12; trial++ {
+		n := 3 + int(rng.Uint64()%3) // 3..5 jobs
+		in := workload.Batch(rng, n, workload.UniformSizes{Lo: 0.5, Hi: 3})
+		sizes := make([]float64, n)
+		for i, j := range in.Jobs {
+			sizes[i] = j.Size
+		}
+		for _, k := range []int{1, 2, 3} {
+			exact, err := Exact(in, k, Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			best := math.Inf(1)
+			perm := make([]int, n)
+			for i := range perm {
+				perm[i] = i
+			}
+			var rec func(depth int, now, acc float64)
+			rec = func(depth int, now, acc float64) {
+				if acc >= best {
+					return
+				}
+				if depth == n {
+					best = acc
+					return
+				}
+				for i := depth; i < n; i++ {
+					perm[depth], perm[i] = perm[i], perm[depth]
+					c := now + sizes[perm[depth]]
+					rec(depth+1, c, acc+metrics.PowK(c, k))
+					perm[depth], perm[i] = perm[i], perm[depth]
+				}
+			}
+			rec(0, 0, 0)
+			if math.Abs(best-exact.Cost) > 1e-6*(1+best) {
+				t.Fatalf("trial %d k=%d: permutations %v vs Exact %v", trial, k, best, exact.Cost)
+			}
+		}
+	}
+}

@@ -1,0 +1,81 @@
+package par
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+)
+
+func TestForEachRunsAll(t *testing.T) {
+	var count int64
+	seen := make([]int64, 100)
+	err := ForEach(100, 8, func(i int) error {
+		atomic.AddInt64(&count, 1)
+		atomic.AddInt64(&seen[i], 1)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count != 100 {
+		t.Fatalf("ran %d of 100", count)
+	}
+	for i, s := range seen {
+		if s != 1 {
+			t.Fatalf("index %d ran %d times", i, s)
+		}
+	}
+}
+
+func TestForEachFirstErrorByIndex(t *testing.T) {
+	e3 := errors.New("three")
+	e7 := errors.New("seven")
+	err := ForEach(10, 4, func(i int) error {
+		switch i {
+		case 7:
+			return e7
+		case 3:
+			return e3
+		}
+		return nil
+	})
+	if !errors.Is(err, e3) {
+		t.Fatalf("want lowest-index error, got %v", err)
+	}
+}
+
+func TestForEachEmptyAndDefaults(t *testing.T) {
+	if err := ForEach(0, 4, func(int) error { t.Fatal("called"); return nil }); err != nil {
+		t.Fatal(err)
+	}
+	ran := int64(0)
+	if err := ForEach(5, 0, func(int) error { atomic.AddInt64(&ran, 1); return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if ran != 5 {
+		t.Fatalf("ran %d", ran)
+	}
+}
+
+func TestMapOrdered(t *testing.T) {
+	out, err := Map(20, 4, func(i int) (int, error) { return i * i, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range out {
+		if v != i*i {
+			t.Fatalf("out[%d] = %d", i, v)
+		}
+	}
+}
+
+func TestMapDeterministicUnderConcurrency(t *testing.T) {
+	f := func(i int) (float64, error) { return float64(i) * 1.5, nil }
+	a, _ := Map(200, 1, f)
+	b, _ := Map(200, 16, f)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("parallelism changed results at %d", i)
+		}
+	}
+}

@@ -1,0 +1,93 @@
+package policy
+
+import "sort"
+
+// rankBuf is a reusable index buffer for rank-based policies (SRPT, SJF,
+// FCFS, LAPS, MLFQ) that assign full machines to the top-m jobs under some
+// order.
+type rankBuf struct {
+	idx []int
+}
+
+// topM sorts job indices 0..n-1 by less and assigns rate 1 to the first
+// min(m, n) of them. less must be a strict weak ordering; ties should be
+// broken deterministically (callers use release then ID).
+func (b *rankBuf) topM(n, m int, rates []float64, less func(a, b int) bool) {
+	if cap(b.idx) < n {
+		b.idx = make([]int, n)
+	}
+	b.idx = b.idx[:n]
+	for i := range b.idx {
+		b.idx[i] = i
+	}
+	sort.SliceStable(b.idx, func(x, y int) bool { return less(b.idx[x], b.idx[y]) })
+	k := min(m, n)
+	for i := 0; i < k; i++ {
+		rates[b.idx[i]] = 1
+	}
+}
+
+// waterfill distributes capacity M among jobs proportionally to weights,
+// capping each job's rate at 1: it finds λ ≥ 0 with Σ_i min(1, λ·w_i) = M
+// (or assigns everyone rate 1 when M ≥ n) and writes the rates. Zero-weight
+// jobs receive rate 0 unless all weights are zero, in which case capacity is
+// split equally. weights and rates must have equal length.
+func waterfill(weights []float64, M float64, rates []float64) {
+	n := len(weights)
+	if M >= float64(n) {
+		for i := range rates {
+			rates[i] = 1
+		}
+		return
+	}
+	total := 0.0
+	for _, w := range weights {
+		total += w
+	}
+	if total <= 0 {
+		share := M / float64(n)
+		for i := range rates {
+			rates[i] = share
+		}
+		return
+	}
+	// Iteratively fix jobs that hit the cap. At most n rounds; in practice
+	// a couple.
+	capped := make([]bool, n)
+	remM, remW := M, total
+	for {
+		if remW <= 0 {
+			break
+		}
+		λ := remM / remW
+		changed := false
+		for i, w := range weights {
+			if capped[i] || w <= 0 {
+				continue
+			}
+			if λ*w >= 1 {
+				capped[i] = true
+				rates[i] = 1
+				remM -= 1
+				remW -= w
+				changed = true
+			}
+		}
+		if !changed {
+			for i, w := range weights {
+				if !capped[i] {
+					rates[i] = λ * w
+				}
+			}
+			return
+		}
+		if remM <= 0 {
+			for i := range weights {
+				if !capped[i] {
+					rates[i] = 0
+				}
+			}
+			return
+		}
+	}
+}

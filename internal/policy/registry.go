@@ -1,0 +1,48 @@
+package policy
+
+import (
+	"fmt"
+	"sort"
+
+	"rrnorm/internal/core"
+)
+
+// Factory creates a fresh policy instance. Policies are cheap to construct;
+// experiment sweeps create one per run so stateful policies never leak state
+// across runs.
+type Factory func() core.Policy
+
+// registry maps canonical policy names to factories with sensible defaults.
+var registry = map[string]Factory{
+	"RR":    func() core.Policy { return NewRR() },
+	"SRPT":  func() core.Policy { return NewSRPT() },
+	"SJF":   func() core.Policy { return NewSJF() },
+	"SETF":  func() core.Policy { return NewSETF() },
+	"FCFS":  func() core.Policy { return NewFCFS() },
+	"WRR":   func() core.Policy { return NewWRR(0.01) },
+	"LAPS":  func() core.Policy { return NewLAPS(0.5) },
+	"MLFQ":  func() core.Policy { return NewMLFQ(0.5) },
+	"WSRPT": func() core.Policy { return NewWSRPT() },
+	"WSJF":  func() core.Policy { return NewWSJF() },
+	"PROP":  func() core.Policy { return NewPropShare() },
+}
+
+// New returns a fresh instance of the named policy, or an error listing the
+// known names.
+func New(name string) (core.Policy, error) {
+	f, ok := registry[name]
+	if !ok {
+		return nil, fmt.Errorf("policy: unknown policy %q (known: %v)", name, Names())
+	}
+	return f(), nil
+}
+
+// Names returns the registered policy names, sorted.
+func Names() []string {
+	out := make([]string, 0, len(registry))
+	for k := range registry {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,178 @@
+// Package polspec parses parameterized policy specifications for the CLI
+// tools — the policy-side analogue of workload.FromSpec:
+//
+//	RR | SRPT | SJF | SETF | FCFS | WSRPT | WSJF | PROP
+//	LAPS[:beta=0.5]
+//	MLFQ[:q=0.5]
+//	WRR[:q=0.01]
+//	GITTINS[:dist=exp,mean=1 | dist=pareto,alpha=1.8,xm=1,cap=0 |
+//	         dist=uniform,lo=0.5,hi=1.5 | dist=bimodal,... | dist=fixed,mean=1]
+//
+// It lives outside internal/policy so that the Gittins constructor can pull
+// CDFs from internal/workload without creating an import cycle in the
+// workload tests.
+package polspec
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"rrnorm/internal/core"
+	"rrnorm/internal/policy"
+	"rrnorm/internal/workload"
+)
+
+// New parses a policy spec and returns a fresh policy.
+func New(spec string) (core.Policy, error) {
+	name, rest, _ := strings.Cut(spec, ":")
+	name = strings.ToUpper(strings.TrimSpace(name))
+	kv, err := parseKV(rest)
+	if err != nil {
+		return nil, err
+	}
+	getF := func(key string, def float64) (float64, error) {
+		v, ok := kv[key]
+		if !ok {
+			return def, nil
+		}
+		delete(kv, key)
+		f, err := strconv.ParseFloat(v, 64)
+		if err != nil {
+			return 0, fmt.Errorf("polspec: %s=%q: %w", key, v, err)
+		}
+		return f, nil
+	}
+	noLeftovers := func() error {
+		for k := range kv {
+			return fmt.Errorf("polspec: unknown key %q for %s", k, name)
+		}
+		return nil
+	}
+
+	switch name {
+	case "LAPS":
+		beta, err := getF("beta", 0.5)
+		if err != nil {
+			return nil, err
+		}
+		if err := noLeftovers(); err != nil {
+			return nil, err
+		}
+		return policy.NewLAPS(beta), nil
+	case "MLFQ":
+		q, err := getF("q", 0.5)
+		if err != nil {
+			return nil, err
+		}
+		if err := noLeftovers(); err != nil {
+			return nil, err
+		}
+		return policy.NewMLFQ(q), nil
+	case "WRR":
+		q, err := getF("q", 0.01)
+		if err != nil {
+			return nil, err
+		}
+		if err := noLeftovers(); err != nil {
+			return nil, err
+		}
+		return policy.NewWRR(q), nil
+	case "GITTINS":
+		dist, err := distFromKV(kv, getF)
+		if err != nil {
+			return nil, err
+		}
+		if err := noLeftovers(); err != nil {
+			return nil, err
+		}
+		cdf, sup, ok := workload.CDFOf(dist)
+		if !ok {
+			return nil, fmt.Errorf("polspec: no CDF available for %s", dist.Name())
+		}
+		return policy.NewGittins(cdf, sup, 1500), nil
+	default:
+		if len(kv) > 0 {
+			return nil, fmt.Errorf("polspec: %s takes no parameters", name)
+		}
+		return policy.New(name)
+	}
+}
+
+// distFromKV assembles a size distribution from the spec's keys.
+func distFromKV(kv map[string]string, getF func(string, float64) (float64, error)) (workload.SizeDist, error) {
+	name := kv["dist"]
+	delete(kv, "dist")
+	if name == "" {
+		name = "exp"
+	}
+	switch name {
+	case "exp":
+		m, err := getF("mean", 1)
+		if err != nil {
+			return nil, err
+		}
+		return workload.ExpSizes{M: m}, nil
+	case "pareto":
+		alpha, err := getF("alpha", 1.8)
+		if err != nil {
+			return nil, err
+		}
+		xm, err := getF("xm", 1)
+		if err != nil {
+			return nil, err
+		}
+		cap_, err := getF("cap", 0)
+		if err != nil {
+			return nil, err
+		}
+		return workload.ParetoSizes{Alpha: alpha, Xm: xm, Cap: cap_}, nil
+	case "uniform":
+		lo, err := getF("lo", 0.5)
+		if err != nil {
+			return nil, err
+		}
+		hi, err := getF("hi", 1.5)
+		if err != nil {
+			return nil, err
+		}
+		return workload.UniformSizes{Lo: lo, Hi: hi}, nil
+	case "bimodal":
+		small, err := getF("small", 1)
+		if err != nil {
+			return nil, err
+		}
+		large, err := getF("large", 50)
+		if err != nil {
+			return nil, err
+		}
+		pl, err := getF("plarge", 0.05)
+		if err != nil {
+			return nil, err
+		}
+		return workload.BimodalSizes{Small: small, Large: large, PLarge: pl}, nil
+	case "fixed":
+		m, err := getF("mean", 1)
+		if err != nil {
+			return nil, err
+		}
+		return workload.FixedSizes{V: m}, nil
+	default:
+		return nil, fmt.Errorf("polspec: unknown dist %q", name)
+	}
+}
+
+func parseKV(rest string) (map[string]string, error) {
+	kv := map[string]string{}
+	if strings.TrimSpace(rest) == "" {
+		return kv, nil
+	}
+	for _, pair := range strings.Split(rest, ",") {
+		k, v, ok := strings.Cut(pair, "=")
+		if !ok {
+			return nil, fmt.Errorf("polspec: bad pair %q", pair)
+		}
+		kv[strings.ToLower(strings.TrimSpace(k))] = strings.TrimSpace(v)
+	}
+	return kv, nil
+}

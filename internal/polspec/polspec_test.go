@@ -1,0 +1,110 @@
+package polspec
+
+import (
+	"testing"
+
+	"rrnorm/internal/core"
+	"rrnorm/internal/policy"
+	"rrnorm/internal/workload"
+)
+
+func TestPlainNames(t *testing.T) {
+	for _, name := range policy.Names() {
+		p, err := New(name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if p.Name() != name {
+			t.Fatalf("New(%s).Name() = %s", name, p.Name())
+		}
+	}
+}
+
+func TestParameterized(t *testing.T) {
+	p, err := New("LAPS:beta=0.3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l, ok := p.(*policy.LAPS); !ok || l.Beta != 0.3 {
+		t.Fatalf("LAPS: %#v", p)
+	}
+	p, err = New("MLFQ:q=2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m, ok := p.(*policy.MLFQ); !ok || m.BaseQuantum != 2 {
+		t.Fatalf("MLFQ: %#v", p)
+	}
+	p, err = New("WRR:q=0.5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w, ok := p.(*policy.WRR); !ok || w.Quantum != 0.5 {
+		t.Fatalf("WRR: %#v", p)
+	}
+}
+
+func TestGittinsSpecs(t *testing.T) {
+	for _, spec := range []string{
+		"GITTINS",
+		"GITTINS:dist=exp,mean=2",
+		"GITTINS:dist=pareto,alpha=1.7,xm=1,cap=50",
+		"GITTINS:dist=uniform,lo=1,hi=2",
+		"GITTINS:dist=bimodal,small=1,large=10,plarge=0.2",
+		"GITTINS:dist=fixed,mean=3",
+	} {
+		p, err := New(spec)
+		if err != nil {
+			t.Fatalf("%q: %v", spec, err)
+		}
+		// Must actually schedule.
+		in := core.NewInstance([]core.Job{{ID: 0, Release: 0, Size: 1}, {ID: 1, Release: 0.2, Size: 0.5}})
+		if _, err := core.Run(in, p, core.Options{Machines: 1, Speed: 1}); err != nil {
+			t.Fatalf("%q run: %v", spec, err)
+		}
+	}
+}
+
+func TestErrors(t *testing.T) {
+	for _, spec := range []string{
+		"NOPE",
+		"LAPS:beta=x",
+		"LAPS:zzz=1",
+		"RR:beta=0.5",
+		"GITTINS:dist=weird",
+		"GITTINS:alpha",
+	} {
+		if _, err := New(spec); err == nil {
+			t.Errorf("%q: expected error", spec)
+		}
+	}
+}
+
+func TestWorkloadCDFRoundTrip(t *testing.T) {
+	// Sanity that the CDF used by the Gittins spec matches the workload
+	// distribution's support.
+	cdf, sup, ok := workload.CDFOf(workload.UniformSizes{Lo: 1, Hi: 2})
+	if !ok || sup != 2 || cdf(1.5) != 0.5 {
+		t.Fatalf("CDFOf uniform: sup=%v cdf(1.5)=%v", sup, cdf(1.5))
+	}
+}
+
+func TestGittinsBadParamValues(t *testing.T) {
+	for _, spec := range []string{
+		"GITTINS:dist=exp,mean=x",
+		"GITTINS:dist=pareto,alpha=x",
+		"GITTINS:dist=pareto,xm=x",
+		"GITTINS:dist=pareto,cap=x",
+		"GITTINS:dist=uniform,lo=x",
+		"GITTINS:dist=uniform,hi=x",
+		"GITTINS:dist=bimodal,small=x",
+		"GITTINS:dist=bimodal,large=x",
+		"GITTINS:dist=bimodal,plarge=x",
+		"GITTINS:dist=fixed,mean=x",
+		"GITTINS:dist=exp,zzz=1",
+	} {
+		if _, err := New(spec); err == nil {
+			t.Errorf("%q: expected error", spec)
+		}
+	}
+}

@@ -1,0 +1,187 @@
+// Package quantum implements the operating-systems Round Robin that the
+// paper's fluid RR idealizes: a single ready queue served in time quanta of
+// length Q, with an optional context-switch overhead c paid whenever the
+// CPU switches between different jobs. As Q → 0 with c = 0 the schedule
+// converges to the paper's processor-sharing RR; with c > 0 the overhead
+// puts a floor on useful quanta — the classic OS tradeoff (Silberschatz et
+// al., the textbook the paper quotes for its motivation).
+//
+// Only the single-machine case is modeled: the point of the package is the
+// fluid-vs-discrete comparison (experiment E17), not another scheduler.
+package quantum
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"rrnorm/internal/core"
+)
+
+// Options configures a discrete Round Robin run.
+type Options struct {
+	// Quantum is the time slice Q > 0.
+	Quantum float64
+	// SwitchCost is the overhead c ≥ 0 paid before running a quantum of a
+	// job different from the previous one.
+	SwitchCost float64
+	// Speed is the resource-augmentation factor (applies to job progress,
+	// not to the overhead — a faster CPU still pays the same scheduling
+	// path length in time c).
+	Speed float64
+	// MaxEvents bounds the number of quanta simulated.
+	MaxEvents int
+}
+
+// Result mirrors core.Result for the discrete schedule.
+type Result struct {
+	Jobs       []core.Job
+	Completion []float64
+	Flow       []float64
+	// Switches counts context switches; Overhead is the total time spent
+	// switching.
+	Switches int
+	Overhead float64
+}
+
+// Errors.
+var (
+	ErrBadOptions = errors.New("quantum: invalid options")
+	ErrOverrun    = errors.New("quantum: event budget exhausted")
+)
+
+// Run simulates discrete Round Robin: jobs enter a FIFO ready queue on
+// arrival; the head runs for min(Q, remaining); an unfinished job re-enters
+// the tail. Arrivals during a quantum join the queue at the instant the
+// quantum ends (textbook semantics).
+func Run(in *core.Instance, opts Options) (*Result, error) {
+	if !(opts.Quantum > 0) || opts.SwitchCost < 0 || !(opts.Speed > 0) {
+		return nil, fmt.Errorf("%w: %+v", ErrBadOptions, opts)
+	}
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	inst := in.Clone()
+	inst.Normalize()
+	jobs := inst.Jobs
+	n := len(jobs)
+	maxEvents := opts.MaxEvents
+	if maxEvents == 0 {
+		maxEvents = 10_000_000
+	}
+	res := &Result{Jobs: jobs, Completion: make([]float64, n), Flow: make([]float64, n)}
+	if n == 0 {
+		return res, nil
+	}
+	rem := make([]float64, n)
+	for i, j := range jobs {
+		rem[i] = j.Size
+	}
+	var queue []int
+	next := 0
+	now := jobs[0].Release
+	last := -1 // job that ran the previous quantum
+	events := 0
+	admit := func(t float64) {
+		for next < n && jobs[next].Release <= t {
+			queue = append(queue, next)
+			next++
+		}
+	}
+	admit(now)
+	for len(queue) > 0 || next < n {
+		events++
+		if events > maxEvents {
+			return nil, fmt.Errorf("%w (%d quanta)", ErrOverrun, events)
+		}
+		if len(queue) == 0 {
+			now = jobs[next].Release
+			admit(now)
+			continue
+		}
+		cur := queue[0]
+		queue = queue[1:]
+		if cur != last && opts.SwitchCost > 0 {
+			now += opts.SwitchCost
+			res.Switches++
+			res.Overhead += opts.SwitchCost
+		}
+		last = cur
+		slice := math.Min(opts.Quantum, rem[cur]/opts.Speed)
+		now += slice
+		rem[cur] -= slice * opts.Speed
+		if rem[cur] <= 1e-12*(1+jobs[cur].Size) {
+			res.Completion[cur] = now
+			res.Flow[cur] = now - jobs[cur].Release
+			admit(now)
+			continue
+		}
+		// Arrivals during the quantum enter ahead of the preempted job.
+		admit(now)
+		queue = append(queue, cur)
+	}
+	return res, nil
+}
+
+// FluidGap quantifies the distance between a discrete-RR schedule and the
+// fluid processor-sharing RR on the same instance: the maximum and mean
+// absolute per-job completion-time difference.
+func FluidGap(discrete *Result, fluid *core.Result) (maxGap, meanGap float64, err error) {
+	if len(discrete.Jobs) != len(fluid.Jobs) {
+		return 0, 0, fmt.Errorf("quantum: mismatched instances")
+	}
+	// Both are in normalized order; match by ID to be safe.
+	pos := map[int]int{}
+	for i, j := range fluid.Jobs {
+		pos[j.ID] = i
+	}
+	var sum float64
+	for i, j := range discrete.Jobs {
+		fi, ok := pos[j.ID]
+		if !ok {
+			return 0, 0, fmt.Errorf("quantum: job %d missing from fluid result", j.ID)
+		}
+		d := math.Abs(discrete.Completion[i] - fluid.Completion[fi])
+		sum += d
+		if d > maxGap {
+			maxGap = d
+		}
+	}
+	meanGap = sum / float64(len(discrete.Jobs))
+	return maxGap, meanGap, nil
+}
+
+// EffectiveThroughput returns the fraction of wall time spent on useful
+// work: (makespan − overhead) / makespan over the busy schedule.
+func (r *Result) EffectiveThroughput() float64 {
+	var makespan float64
+	for _, c := range r.Completion {
+		if c > makespan {
+			makespan = c
+		}
+	}
+	if makespan <= 0 {
+		return 1
+	}
+	return 1 - r.Overhead/makespan
+}
+
+// Makespan returns the last completion time.
+func (r *Result) Makespan() float64 {
+	var m float64
+	for _, c := range r.Completion {
+		if c > m {
+			m = c
+		}
+	}
+	return m
+}
+
+// SortedFlows returns a sorted copy of the flows (for distribution
+// comparisons).
+func (r *Result) SortedFlows() []float64 {
+	out := append([]float64(nil), r.Flow...)
+	sort.Float64s(out)
+	return out
+}

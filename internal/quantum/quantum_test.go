@@ -1,0 +1,159 @@
+package quantum
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"rrnorm/internal/core"
+	"rrnorm/internal/metrics"
+	"rrnorm/internal/policy"
+	"rrnorm/internal/stats"
+	"rrnorm/internal/workload"
+)
+
+func approx(t *testing.T, got, want, tol float64, msg string) {
+	t.Helper()
+	if math.Abs(got-want) > tol {
+		t.Fatalf("%s: got %v, want %v", msg, got, want)
+	}
+}
+
+func TestSingleJob(t *testing.T) {
+	in := core.NewInstance([]core.Job{{ID: 0, Release: 1, Size: 3}})
+	res, err := Run(in, Options{Quantum: 0.5, Speed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, res.Completion[0], 4, 1e-9, "completion")
+	if res.Switches != 0 {
+		t.Fatalf("switches %d (no overhead configured)", res.Switches)
+	}
+}
+
+func TestTextbookInterleaving(t *testing.T) {
+	// Two size-2 jobs at 0, quantum 1: A[0,1] B[1,2] A[2,3] B[3,4].
+	in := core.NewInstance([]core.Job{{ID: 0, Release: 0, Size: 2}, {ID: 1, Release: 0, Size: 2}})
+	res, err := Run(in, Options{Quantum: 1, Speed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, res.Completion[0], 3, 1e-9, "A completes after its 2nd quantum")
+	approx(t, res.Completion[1], 4, 1e-9, "B completes last")
+}
+
+func TestSwitchCostCounted(t *testing.T) {
+	in := core.NewInstance([]core.Job{{ID: 0, Release: 0, Size: 2}, {ID: 1, Release: 0, Size: 2}})
+	res, err := Run(in, Options{Quantum: 1, SwitchCost: 0.1, Speed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Switches: →A, →B, →A, →B = 4 (first dispatch also pays).
+	if res.Switches != 4 {
+		t.Fatalf("switches %d, want 4", res.Switches)
+	}
+	approx(t, res.Overhead, 0.4, 1e-12, "overhead")
+	approx(t, res.Completion[1], 4.4, 1e-9, "B pushed by overhead")
+	if tp := res.EffectiveThroughput(); math.Abs(tp-(1-0.4/4.4)) > 1e-9 {
+		t.Fatalf("throughput %v", tp)
+	}
+}
+
+func TestNoSwitchCostWithinSameJob(t *testing.T) {
+	// A single job across many quanta never switches.
+	in := core.NewInstance([]core.Job{{ID: 0, Release: 0, Size: 5}})
+	res, err := Run(in, Options{Quantum: 0.25, SwitchCost: 0.5, Speed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Switches != 1 { // only the initial dispatch
+		t.Fatalf("switches %d, want 1", res.Switches)
+	}
+	approx(t, res.Completion[0], 5.5, 1e-9, "completion with one dispatch")
+}
+
+// TestConvergesToFluidRR: as Q → 0 (no overhead), discrete RR's completions
+// converge to the paper's processor-sharing RR.
+func TestConvergesToFluidRR(t *testing.T) {
+	in := workload.Poisson(stats.NewRNG(3), 40, 1, workload.ExpSizes{M: 1})
+	fluid, err := core.Run(in, policy.NewRR(), core.Options{Machines: 1, Speed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var prevMax float64 = math.Inf(1)
+	for _, q := range []float64{0.5, 0.1, 0.02} {
+		res, err := Run(in, Options{Quantum: q, Speed: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		maxGap, meanGap, err := FluidGap(res, fluid)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if meanGap > maxGap {
+			t.Fatal("mean above max")
+		}
+		if maxGap > prevMax*1.2 {
+			t.Fatalf("gap did not shrink: Q=%v gap %v (prev %v)", q, maxGap, prevMax)
+		}
+		prevMax = maxGap
+	}
+	// At Q = 0.02 the schedules should agree to within a few quanta.
+	res, _ := Run(in, Options{Quantum: 0.02, Speed: 1})
+	maxGap, _, _ := FluidGap(res, fluid)
+	if maxGap > 1.0 {
+		t.Fatalf("Q=0.02: max completion gap %v too large", maxGap)
+	}
+}
+
+// TestOverheadDegradesWithSmallQuanta: with a fixed switch cost, the total
+// flow gets strictly worse as the quantum shrinks (the OS tradeoff).
+func TestOverheadDegradesWithSmallQuanta(t *testing.T) {
+	in := workload.Batch(stats.NewRNG(4), 10, workload.UniformSizes{Lo: 1, Hi: 3})
+	var prev float64
+	for i, q := range []float64{2, 0.5, 0.1} {
+		res, err := Run(in, Options{Quantum: q, SwitchCost: 0.05, Speed: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		l1 := metrics.LkNorm(res.Flow, 1)
+		if i > 0 && l1 <= prev {
+			t.Fatalf("smaller quantum with overhead should cost more: Q=%v L1=%v (prev %v)", q, l1, prev)
+		}
+		prev = l1
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	in := core.NewInstance([]core.Job{{ID: 0, Release: 0, Size: 1}})
+	if _, err := Run(in, Options{Quantum: 0, Speed: 1}); !errors.Is(err, ErrBadOptions) {
+		t.Fatalf("want ErrBadOptions: %v", err)
+	}
+	if _, err := Run(in, Options{Quantum: 1, Speed: 1, MaxEvents: 0}); err != nil {
+		t.Fatalf("default MaxEvents should work: %v", err)
+	}
+	tiny := Options{Quantum: 1e-7, Speed: 1, MaxEvents: 100}
+	big := core.NewInstance([]core.Job{{ID: 0, Release: 0, Size: 1e3}})
+	if _, err := Run(big, tiny); !errors.Is(err, ErrOverrun) {
+		t.Fatalf("want ErrOverrun: %v", err)
+	}
+}
+
+func TestEmptyInstance(t *testing.T) {
+	res, err := Run(core.NewInstance(nil), Options{Quantum: 1, Speed: 1})
+	if err != nil || len(res.Flow) != 0 {
+		t.Fatalf("empty: %v %v", res, err)
+	}
+}
+
+func TestSortedFlows(t *testing.T) {
+	in := core.NewInstance([]core.Job{{ID: 0, Release: 0, Size: 3}, {ID: 1, Release: 0, Size: 1}})
+	res, err := Run(in, Options{Quantum: 1, Speed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs := res.SortedFlows()
+	if fs[0] > fs[1] {
+		t.Fatal("not sorted")
+	}
+}

@@ -1,0 +1,122 @@
+package queue
+
+import (
+	"math/rand/v2"
+	"sort"
+	"testing"
+)
+
+func TestHeapBasicOrdering(t *testing.T) {
+	h := NewIndexedMinHeap(5)
+	h.Push(0, 3)
+	h.Push(1, 1)
+	h.Push(2, 2)
+	wantOrder := []int{1, 2, 0}
+	wantKeys := []float64{1, 2, 3}
+	for i := range wantOrder {
+		item, key := h.PopMin()
+		if item != wantOrder[i] || key != wantKeys[i] {
+			t.Fatalf("pop %d: got (%d,%v), want (%d,%v)", i, item, key, wantOrder[i], wantKeys[i])
+		}
+	}
+	if h.Len() != 0 {
+		t.Fatal("heap should be empty")
+	}
+}
+
+func TestHeapDecreaseKey(t *testing.T) {
+	h := NewIndexedMinHeap(3)
+	h.Push(0, 10)
+	h.Push(1, 20)
+	h.Push(2, 30)
+	h.DecreaseKey(2, 5)
+	if item, key := h.PopMin(); item != 2 || key != 5 {
+		t.Fatalf("got (%d,%v), want (2,5)", item, key)
+	}
+	if !h.Contains(0) || h.Key(0) != 10 {
+		t.Fatal("item 0 state wrong")
+	}
+}
+
+func TestHeapPushOrDecrease(t *testing.T) {
+	h := NewIndexedMinHeap(2)
+	if !h.PushOrDecrease(0, 5) {
+		t.Fatal("first push should change heap")
+	}
+	if h.PushOrDecrease(0, 7) {
+		t.Fatal("larger key should be a no-op")
+	}
+	if !h.PushOrDecrease(0, 3) {
+		t.Fatal("smaller key should decrease")
+	}
+	if _, key := h.PopMin(); key != 3 {
+		t.Fatalf("key %v, want 3", key)
+	}
+}
+
+func TestHeapPanics(t *testing.T) {
+	h := NewIndexedMinHeap(2)
+	h.Push(0, 1)
+	mustPanic(t, func() { h.Push(0, 2) }, "double push")
+	mustPanic(t, func() { h.DecreaseKey(1, 0) }, "decrease absent")
+	mustPanic(t, func() { h.DecreaseKey(0, 9) }, "increase key")
+	h.PopMin()
+	mustPanic(t, func() { h.PopMin() }, "pop empty")
+}
+
+func mustPanic(t *testing.T, f func(), msg string) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("%s: expected panic", msg)
+		}
+	}()
+	f()
+}
+
+func TestHeapReset(t *testing.T) {
+	h := NewIndexedMinHeap(4)
+	h.Push(1, 1)
+	h.Push(2, 2)
+	h.Reset()
+	if h.Len() != 0 || h.Contains(1) || h.Contains(2) {
+		t.Fatal("reset did not clear")
+	}
+	h.Push(1, 5)
+	if item, key := h.PopMin(); item != 1 || key != 5 {
+		t.Fatal("heap unusable after reset")
+	}
+}
+
+// TestHeapSortsRandom is the heap-sort property test: popping everything
+// yields keys in non-decreasing order matching a reference sort.
+func TestHeapSortsRandom(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 2))
+	for trial := 0; trial < 30; trial++ {
+		n := 1 + rng.IntN(200)
+		h := NewIndexedMinHeap(n)
+		keys := make([]float64, n)
+		for i := range keys {
+			keys[i] = rng.Float64() * 100
+			h.Push(i, keys[i])
+		}
+		// Random decrease-keys.
+		for d := 0; d < n/2; d++ {
+			i := rng.IntN(n)
+			nk := keys[i] * rng.Float64()
+			h.DecreaseKey(i, nk)
+			keys[i] = nk
+		}
+		sorted := append([]float64(nil), keys...)
+		sort.Float64s(sorted)
+		for i := 0; i < n; i++ {
+			item, key := h.PopMin()
+			if key != sorted[i] {
+				t.Fatalf("trial %d pop %d: key %v, want %v", trial, i, key, sorted[i])
+			}
+			if keys[item] != key {
+				t.Fatalf("trial %d: item %d key mismatch", trial, item)
+			}
+		}
+	}
+}

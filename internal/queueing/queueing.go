@@ -1,0 +1,178 @@
+// Package queueing provides closed-form queueing-theory references used to
+// validate the simulator on stochastic inputs: M/M/1 and M/G/1 formulas for
+// FCFS and processor sharing (PS — what Round Robin simulates exactly), and
+// the M/G/1-SRPT mean response time via numerical integration of
+// Schrage–Miller. These are oracles for integration tests and for the mm1
+// example; the competitive analysis itself never relies on them.
+package queueing
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrUnstable is returned when the offered load is ≥ 1.
+var ErrUnstable = errors.New("queueing: load must be < 1")
+
+// MM1 describes an M/M/1 queue with arrival rate Lambda and service rate
+// Mu (mean size 1/Mu).
+type MM1 struct {
+	Lambda, Mu float64
+}
+
+// Load returns ρ = λ/μ.
+func (q MM1) Load() float64 { return q.Lambda / q.Mu }
+
+// check validates stability.
+func (q MM1) check() error {
+	if !(q.Lambda > 0) || !(q.Mu > 0) {
+		return fmt.Errorf("queueing: rates must be positive (λ=%v, μ=%v)", q.Lambda, q.Mu)
+	}
+	if q.Load() >= 1 {
+		return fmt.Errorf("%w: ρ=%v", ErrUnstable, q.Load())
+	}
+	return nil
+}
+
+// MeanSojournFCFS returns E[T] = 1/(μ−λ) for M/M/1 under FCFS.
+func (q MM1) MeanSojournFCFS() (float64, error) {
+	if err := q.check(); err != nil {
+		return 0, err
+	}
+	return 1 / (q.Mu - q.Lambda), nil
+}
+
+// MeanSojournPS returns E[T] = (1/μ)/(1−ρ) for M/M/1 under processor
+// sharing (equal to FCFS for exponential service — a coincidence of M/M/1).
+func (q MM1) MeanSojournPS() (float64, error) {
+	if err := q.check(); err != nil {
+		return 0, err
+	}
+	return (1 / q.Mu) / (1 - q.Load()), nil
+}
+
+// MeanNumberInSystem returns E[L] = ρ/(1−ρ) (Little's law × MeanSojourn).
+func (q MM1) MeanNumberInSystem() (float64, error) {
+	if err := q.check(); err != nil {
+		return 0, err
+	}
+	rho := q.Load()
+	return rho / (1 - rho), nil
+}
+
+// MG1 describes an M/G/1 queue via the arrival rate and the first two
+// moments of the service distribution.
+type MG1 struct {
+	Lambda float64
+	ES     float64 // E[S]
+	ES2    float64 // E[S²]
+}
+
+// Load returns ρ = λ·E[S].
+func (q MG1) Load() float64 { return q.Lambda * q.ES }
+
+func (q MG1) check() error {
+	if !(q.Lambda > 0) || !(q.ES > 0) || !(q.ES2 > 0) {
+		return fmt.Errorf("queueing: bad M/G/1 parameters %+v", q)
+	}
+	if q.Load() >= 1 {
+		return fmt.Errorf("%w: ρ=%v", ErrUnstable, q.Load())
+	}
+	return nil
+}
+
+// MeanWaitFCFS returns the Pollaczek–Khinchine mean waiting time
+// W = λ·E[S²] / (2(1−ρ)); mean sojourn is W + E[S].
+func (q MG1) MeanWaitFCFS() (float64, error) {
+	if err := q.check(); err != nil {
+		return 0, err
+	}
+	return q.Lambda * q.ES2 / (2 * (1 - q.Load())), nil
+}
+
+// MeanSojournFCFS returns E[T] = E[S] + W under FCFS.
+func (q MG1) MeanSojournFCFS() (float64, error) {
+	w, err := q.MeanWaitFCFS()
+	if err != nil {
+		return 0, err
+	}
+	return q.ES + w, nil
+}
+
+// MeanSojournPS returns E[T] = E[S]/(1−ρ): processor sharing is
+// insensitive to the service distribution beyond its mean.
+func (q MG1) MeanSojournPS() (float64, error) {
+	if err := q.check(); err != nil {
+		return 0, err
+	}
+	return q.ES / (1 - q.Load()), nil
+}
+
+// SRPTQueue computes M/G/1-SRPT mean response time from the service
+// density on a bounded support via the Schrage–Miller formulas, integrated
+// numerically with Simpson's rule.
+type SRPTQueue struct {
+	Lambda float64
+	// Density is the service-time pdf f(x) on [0, Sup].
+	Density func(x float64) float64
+	Sup     float64
+	// Steps is the integration resolution (default 2000).
+	Steps int
+}
+
+// MeanSojournSRPT returns E[T] for M/G/1 under SRPT:
+//
+//	E[T] = ∫ f(x) · T(x) dx, with
+//	T(x) = ∫_0^x dt/(1−ρ(t))  +  (λ/2)·(∫_0^x t² f(t) dt + x²·F̄(x)) / (1−ρ(x))²,
+//
+// where ρ(t) = λ∫_0^t u f(u) du is the load from jobs of size ≤ t (with the
+// partial contribution of size-x jobs) and F̄ the tail. (Schrage & Miller
+// 1966; the first term is the residence time, the second the waiting time.)
+func (q SRPTQueue) MeanSojournSRPT() (float64, error) {
+	if !(q.Lambda > 0) || q.Density == nil || !(q.Sup > 0) {
+		return 0, fmt.Errorf("queueing: bad SRPT parameters")
+	}
+	steps := q.Steps
+	if steps <= 0 {
+		steps = 2000
+	}
+	h := q.Sup / float64(steps)
+	// Precompute cumulative ρ(t) and ∫ t² f(t) dt on the grid.
+	rho := make([]float64, steps+1)
+	m2 := make([]float64, steps+1)
+	cdf := make([]float64, steps+1)
+	for i := 1; i <= steps; i++ {
+		a := float64(i-1) * h
+		b := float64(i) * h
+		mid := (a + b) / 2
+		fa, fm, fb := q.Density(a), q.Density(mid), q.Density(b)
+		// Simpson per cell for ∫ f, ∫ t f, ∫ t² f.
+		cdf[i] = cdf[i-1] + h/6*(fa+4*fm+fb)
+		rho[i] = rho[i-1] + q.Lambda*h/6*(a*fa+4*mid*fm+b*fb)
+		m2[i] = m2[i-1] + h/6*(a*a*fa+4*mid*mid*fm+b*b*fb)
+	}
+	if rho[steps] >= 1 {
+		return 0, fmt.Errorf("%w: ρ=%v", ErrUnstable, rho[steps])
+	}
+	// T(x) on the grid, then E[T] = ∫ f(x) T(x) dx by trapezoid.
+	var et float64
+	resid := 0.0
+	for i := 1; i <= steps; i++ {
+		x := float64(i) * h
+		// Residence: ∫_0^x dt/(1−ρ(t)), trapezoid increment.
+		resid += h / 2 * (1/(1-rho[i-1]) + 1/(1-rho[i]))
+		tail := 1 - cdf[i]
+		if tail < 0 {
+			tail = 0
+		}
+		wait := q.Lambda / 2 * (m2[i] + x*x*tail) / ((1 - rho[i]) * (1 - rho[i]))
+		tx := resid + wait
+		// Trapezoid over f(x)·T(x) using this grid point.
+		w := h
+		if i == steps {
+			w = h / 2
+		}
+		et += q.Density(x) * tx * w
+	}
+	return et, nil
+}

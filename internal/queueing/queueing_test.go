@@ -1,0 +1,145 @@
+package queueing
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"rrnorm/internal/core"
+	"rrnorm/internal/metrics"
+	"rrnorm/internal/policy"
+	"rrnorm/internal/stats"
+	"rrnorm/internal/workload"
+)
+
+func approx(t *testing.T, got, want, tol float64, msg string) {
+	t.Helper()
+	if math.Abs(got-want) > tol {
+		t.Fatalf("%s: got %v, want %v", msg, got, want)
+	}
+}
+
+func TestMM1ClosedForms(t *testing.T) {
+	q := MM1{Lambda: 0.8, Mu: 1}
+	approx(t, q.Load(), 0.8, 1e-12, "load")
+	fcfs, err := q.MeanSojournFCFS()
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, fcfs, 5, 1e-12, "FCFS E[T]")
+	ps, err := q.MeanSojournPS()
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, ps, 5, 1e-12, "PS E[T]")
+	l, err := q.MeanNumberInSystem()
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, l, 4, 1e-12, "E[L]")
+}
+
+func TestStabilityErrors(t *testing.T) {
+	if _, err := (MM1{Lambda: 1, Mu: 1}).MeanSojournFCFS(); !errors.Is(err, ErrUnstable) {
+		t.Fatalf("want ErrUnstable: %v", err)
+	}
+	if _, err := (MM1{Lambda: -1, Mu: 1}).MeanSojournPS(); err == nil {
+		t.Fatal("negative rate should fail")
+	}
+	if _, err := (MG1{Lambda: 2, ES: 1, ES2: 2}).MeanWaitFCFS(); !errors.Is(err, ErrUnstable) {
+		t.Fatalf("want ErrUnstable: %v", err)
+	}
+}
+
+func TestMG1ReducesToMM1(t *testing.T) {
+	// Exponential service with mean 1: E[S²] = 2. P-K must give the M/M/1
+	// values.
+	q := MG1{Lambda: 0.8, ES: 1, ES2: 2}
+	s, err := q.MeanSojournFCFS()
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, s, 5, 1e-12, "M/G/1 with exp service = M/M/1")
+	ps, err := q.MeanSojournPS()
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, ps, 5, 1e-12, "PS insensitivity")
+}
+
+func TestMG1DeterministicService(t *testing.T) {
+	// M/D/1: E[S²] = E[S]² = 1 → W = λ/(2(1−ρ)) = half the M/M/1 wait.
+	q := MG1{Lambda: 0.8, ES: 1, ES2: 1}
+	w, err := q.MeanWaitFCFS()
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, w, 2, 1e-12, "M/D/1 wait")
+}
+
+// TestPKAgainstSimulatedFCFS validates Pollaczek–Khinchine against the
+// engine with uniform service times.
+func TestPKAgainstSimulatedFCFS(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stochastic validation")
+	}
+	// Uniform[0.5, 1.5]: E[S] = 1, E[S²] = 1 + 1/12.
+	const load = 0.75
+	in := workload.PoissonLoad(stats.NewRNG(201), 50000, 1, load, workload.UniformSizes{Lo: 0.5, Hi: 1.5})
+	res, err := core.Run(in, policy.NewFCFS(), core.Options{Machines: 1, Speed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := MG1{Lambda: load, ES: 1, ES2: 1 + 1.0/12}
+	want, err := q.MeanSojournFCFS()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := metrics.Mean(res.Flow)
+	if math.Abs(got-want) > 0.08*want {
+		t.Fatalf("P-K: simulated %v, theory %v", got, want)
+	}
+}
+
+// TestSRPTMeanSojournExp validates the Schrage–Miller integration against a
+// simulated M/M/1-SRPT queue.
+func TestSRPTMeanSojournExp(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stochastic validation")
+	}
+	const load = 0.8
+	q := SRPTQueue{
+		Lambda:  load,
+		Density: func(x float64) float64 { return math.Exp(-x) },
+		Sup:     30,
+		Steps:   6000,
+	}
+	want, err := q.MeanSojournSRPT()
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := workload.PoissonLoad(stats.NewRNG(202), 60000, 1, load, workload.ExpSizes{M: 1})
+	res, err := core.Run(in, policy.NewSRPT(), core.Options{Machines: 1, Speed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := metrics.Mean(res.Flow)
+	if math.Abs(got-want) > 0.10*want {
+		t.Fatalf("SRPT mean sojourn: simulated %v, Schrage–Miller %v", got, want)
+	}
+	// SRPT must beat PS/FCFS in the mean.
+	ps, _ := MM1{Lambda: load, Mu: 1}.MeanSojournPS()
+	if !(want < ps) {
+		t.Fatalf("SRPT theory %v should beat PS %v", want, ps)
+	}
+}
+
+func TestSRPTQueueErrors(t *testing.T) {
+	if _, err := (SRPTQueue{}).MeanSojournSRPT(); err == nil {
+		t.Fatal("empty queue should fail")
+	}
+	over := SRPTQueue{Lambda: 2, Density: func(x float64) float64 { return math.Exp(-x) }, Sup: 30}
+	if _, err := over.MeanSojournSRPT(); !errors.Is(err, ErrUnstable) {
+		t.Fatalf("want ErrUnstable: %v", err)
+	}
+}

@@ -1,0 +1,141 @@
+package round
+
+import (
+	"testing"
+
+	"rrnorm/internal/core"
+	"rrnorm/internal/lp"
+	"rrnorm/internal/metrics"
+	"rrnorm/internal/opt"
+	"rrnorm/internal/policy"
+	"rrnorm/internal/stats"
+	"rrnorm/internal/workload"
+)
+
+func TestScheduleBasic(t *testing.T) {
+	in := workload.Poisson(stats.NewRNG(1), 20, 1, workload.UniformSizes{Lo: 0.5, Hi: 2})
+	r, err := Schedule(in, 1, 2, Options{LP: lp.Options{Slots: 200, MaxUnits: 30000}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Alpha <= 0 || r.Power <= 0 {
+		t.Fatalf("result: %+v", r)
+	}
+	// Feasible schedule ⇒ its power is at least the certified bound.
+	if r.Power < r.Bound.Value*(1-1e-9) {
+		t.Fatalf("rounded power %v below LP bound %v — impossible", r.Power, r.Bound.Value)
+	}
+}
+
+func TestScheduleEmpty(t *testing.T) {
+	r, err := Schedule(core.NewInstance(nil), 1, 2, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Res.Flow) != 0 {
+		t.Fatalf("empty: %+v", r)
+	}
+}
+
+// TestRoundedNearOptimal: on tiny instances the α-point schedule must be
+// within a small constant of the exact optimum (and never below it).
+func TestRoundedNearOptimal(t *testing.T) {
+	rng := stats.NewRNG(7)
+	for trial := 0; trial < 10; trial++ {
+		n := 3 + int(rng.Uint64()%3)
+		in := workload.Poisson(rng, n, 1, workload.UniformSizes{Lo: 0.5, Hi: 2})
+		for _, k := range []int{1, 2} {
+			exact, err := opt.Exact(in, k, opt.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			r, err := Schedule(in, 1, k, Options{LP: lp.Options{Slots: 300}})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if r.Power < exact.Cost*(1-1e-7) {
+				t.Fatalf("trial %d k=%d: rounded %v below OPT %v", trial, k, r.Power, exact.Cost)
+			}
+			if r.Power > exact.Cost*3 {
+				t.Fatalf("trial %d k=%d: rounded %v more than 3× OPT %v", trial, k, r.Power, exact.Cost)
+			}
+		}
+	}
+}
+
+// TestRoundedCompetitiveWithPolicies: on medium instances the rounded
+// schedule should be in the same league as the best online policy (it sees
+// the LP's global plan), and its use as an OPT upper estimate requires
+// nothing more than feasibility — which core.Run already guarantees.
+func TestRoundedCompetitiveWithPolicies(t *testing.T) {
+	in := workload.PoissonLoad(stats.NewRNG(9), 60, 1, 0.9, workload.ExpSizes{M: 1})
+	const k = 2
+	r, err := Schedule(in, 1, k, Options{LP: lp.Options{Slots: 300, MaxUnits: 40000}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	best := 0.0
+	for i, name := range []string{"SRPT", "SJF", "RR"} {
+		p, _ := policy.New(name)
+		res, err := core.Run(in, p, core.Options{Machines: 1, Speed: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		v := metrics.KthPowerSum(res.Flow, k)
+		if i == 0 || v < best {
+			best = v
+		}
+	}
+	if r.Power > best*2 {
+		t.Fatalf("rounded %v more than 2× best policy %v", r.Power, best)
+	}
+}
+
+func TestStaticPriorityOrdering(t *testing.T) {
+	in := core.NewInstance([]core.Job{
+		{ID: 0, Release: 0, Size: 2},
+		{ID: 1, Release: 0, Size: 2},
+	})
+	// Give job 1 the better priority: it must finish first.
+	p := policy.NewStaticPriority(map[int]float64{0: 5, 1: 1})
+	res, err := core.Run(in, p, core.Options{Machines: 1, Speed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(res.Completion[1] < res.Completion[0]) {
+		t.Fatalf("priority ignored: %v", res.Completion)
+	}
+	// Unlisted jobs run last.
+	p2 := policy.NewStaticPriority(map[int]float64{1: 1})
+	res2, err := core.Run(in, p2, core.Options{Machines: 1, Speed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(res2.Completion[1] < res2.Completion[0]) {
+		t.Fatalf("unlisted job should run last: %v", res2.Completion)
+	}
+}
+
+func TestLPSolutionExposed(t *testing.T) {
+	in := workload.Staircase(5)
+	b, err := lp.KPowerLowerBound(in, 1, 2, lp.Options{Slots: 100, WantSolution: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b.Solution) == 0 || b.SlotWidth <= 0 {
+		t.Fatalf("no solution returned: %+v", b)
+	}
+	// Per-job assigned work must be within one unit of the job size.
+	totals := make([]float64, in.N())
+	for _, a := range b.Solution {
+		if a.Work <= 0 {
+			t.Fatalf("non-positive assignment %+v", a)
+		}
+		totals[a.Job] += a.Work
+	}
+	for i, j := range in.Jobs {
+		if d := j.Size - totals[i]; d < 0 || d > j.Size*0.01+1 {
+			t.Fatalf("job %d assigned %v of %v", j.ID, totals[i], j.Size)
+		}
+	}
+}

@@ -1,0 +1,228 @@
+// Package scaling implements the dynamic speed-scaling setting from the
+// paper's Related Work ([16] Gupta–Krishnaswamy–Pruhs; the
+// Chan–Edmonds–Lam–Lee–Marchetti-Spaccamela–Pruhs non-clairvoyant line): a
+// single processor whose speed s(t) the scheduler chooses, paying power
+// P(s) = s^α (α > 1, typically 2–3), with the objective
+//
+//	cost = Σ_j F_j + ∫ s(t)^α dt   (total flow plus energy).
+//
+// The canonical non-clairvoyant algorithm is job-count scaling — run at
+// speed n_t^{1/α} whenever n_t jobs are alive (power equals the number of
+// alive jobs, balancing the flow accumulation rate) — combined with any
+// processor-sharing or priority rule for WHO runs; RR sharing gives the
+// non-clairvoyant variant, SRPT the clairvoyant one.
+//
+// A certified lower bound comes from per-job convexity: any schedule pays
+// for job j at least min_d (d + p_j^α / d^{α−1}) = c_α·p_j with
+// c_α = α·(α−1)^{(1−α)/α}, attained by running the job alone at the
+// constant speed (α−1)^{1/α}.
+package scaling
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"rrnorm/internal/core"
+)
+
+// Discipline selects who gets processed (the speed is always n_t^{1/α}).
+type Discipline uint8
+
+const (
+	// RR shares the processor equally among alive jobs.
+	RR Discipline = iota
+	// SRPT runs the job with least remaining work.
+	SRPT
+	// SETFD runs the jobs with least attained service (equal sharing
+	// within the minimum group).
+	SETFD
+)
+
+// String names the discipline.
+func (d Discipline) String() string {
+	switch d {
+	case RR:
+		return "RR"
+	case SRPT:
+		return "SRPT"
+	default:
+		return "SETF"
+	}
+}
+
+// Options configures a speed-scaling run.
+type Options struct {
+	// Alpha is the power exponent α > 1.
+	Alpha float64
+	// Discipline picks who runs.
+	Discipline Discipline
+	// FixedSpeed, if > 0, disables job-count scaling and runs at this
+	// constant speed whenever jobs are alive (the naive baseline).
+	FixedSpeed float64
+	// MaxEvents bounds the simulation.
+	MaxEvents int
+}
+
+// Result reports flows and energy.
+type Result struct {
+	Jobs       []core.Job
+	Completion []float64
+	Flow       []float64
+	Energy     float64
+	// Cost = Σ Flow + Energy.
+	Cost float64
+}
+
+// Errors.
+var (
+	ErrBadOptions = errors.New("scaling: invalid options")
+	ErrOverrun    = errors.New("scaling: event budget exhausted")
+)
+
+// CAlpha returns c_α = α·(α−1)^{(1−α)/α}, the optimal flow+energy cost per
+// unit of work for an isolated job.
+func CAlpha(alpha float64) float64 {
+	return alpha * math.Pow(alpha-1, (1-alpha)/alpha)
+}
+
+// LowerBound returns the certified bound cost ≥ c_α·Σ_j p_j.
+func LowerBound(in *core.Instance, alpha float64) float64 {
+	return CAlpha(alpha) * in.TotalWork()
+}
+
+// Run simulates job-count speed scaling (or a fixed speed) with the chosen
+// discipline on one processor.
+func Run(in *core.Instance, opts Options) (*Result, error) {
+	if !(opts.Alpha > 1) {
+		return nil, fmt.Errorf("%w: alpha %v", ErrBadOptions, opts.Alpha)
+	}
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	inst := in.Clone()
+	inst.Normalize()
+	jobs := inst.Jobs
+	n := len(jobs)
+	maxEvents := opts.MaxEvents
+	if maxEvents == 0 {
+		maxEvents = 1_000_000 + 4000*n
+	}
+	res := &Result{Jobs: jobs, Completion: make([]float64, n), Flow: make([]float64, n)}
+	if n == 0 {
+		return res, nil
+	}
+	rem := make([]float64, n)
+	elapsed := make([]float64, n)
+	for i, j := range jobs {
+		rem[i] = j.Size
+	}
+	var alive []int
+	next := 0
+	now := jobs[0].Release
+	events := 0
+	for len(alive) > 0 || next < n {
+		events++
+		if events > maxEvents {
+			return nil, fmt.Errorf("%w at t=%v", ErrOverrun, now)
+		}
+		for next < n && jobs[next].Release <= now {
+			alive = append(alive, next)
+			next++
+		}
+		if len(alive) == 0 {
+			now = jobs[next].Release
+			continue
+		}
+		nt := float64(len(alive))
+		speed := opts.FixedSpeed
+		if speed <= 0 {
+			speed = math.Pow(nt, 1/opts.Alpha)
+		}
+		// Per-job processing rates (sum to `speed`).
+		rates := make([]float64, len(alive))
+		switch opts.Discipline {
+		case SRPT:
+			best := 0
+			for i := 1; i < len(alive); i++ {
+				if rem[alive[i]] < rem[alive[best]] {
+					best = i
+				}
+			}
+			rates[best] = speed
+		case SETFD:
+			// Equal share among the least-elapsed group.
+			sort.Slice(alive, func(a, b int) bool {
+				if elapsed[alive[a]] != elapsed[alive[b]] {
+					return elapsed[alive[a]] < elapsed[alive[b]]
+				}
+				return alive[a] < alive[b]
+			})
+			g := 1
+			for g < len(alive) && elapsed[alive[g]] <= elapsed[alive[0]]+1e-12 {
+				g++
+			}
+			for i := 0; i < g; i++ {
+				rates[i] = speed / float64(g)
+			}
+		default: // RR
+			for i := range rates {
+				rates[i] = speed / nt
+			}
+		}
+		// Advance to the next event (arrival, completion, or — for SETF —
+		// the catch-up to the next elapsed level).
+		dt := math.Inf(1)
+		if next < n {
+			dt = jobs[next].Release - now
+		}
+		for i, idx := range alive {
+			if rates[i] > 0 {
+				if d := rem[idx] / rates[i]; d < dt {
+					dt = d
+				}
+			}
+		}
+		if opts.Discipline == SETFD {
+			g := 0
+			for g < len(alive) && rates[g] > 0 {
+				g++
+			}
+			if g < len(alive) {
+				gap := elapsed[alive[g]] - elapsed[alive[0]]
+				if rate := rates[0]; rate > 0 && gap > 0 {
+					if d := gap / rate; d < dt {
+						dt = d
+					}
+				}
+			}
+		}
+		if math.IsInf(dt, 1) {
+			return nil, fmt.Errorf("scaling: stalled at t=%v", now)
+		}
+		if dt < 1e-15 {
+			dt = 1e-15
+		}
+		end := now + dt
+		res.Energy += math.Pow(speed, opts.Alpha) * dt
+		keep := alive[:0]
+		for i, idx := range alive {
+			rem[idx] -= rates[i] * dt
+			elapsed[idx] += rates[i] * dt
+			if rem[idx] <= 1e-12*(1+jobs[idx].Size) {
+				res.Completion[idx] = end
+				res.Flow[idx] = end - jobs[idx].Release
+				continue
+			}
+			keep = append(keep, idx)
+		}
+		alive = keep
+		now = end
+	}
+	for _, f := range res.Flow {
+		res.Cost += f
+	}
+	res.Cost += res.Energy
+	return res, nil
+}

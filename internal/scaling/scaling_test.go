@@ -1,0 +1,138 @@
+package scaling
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"rrnorm/internal/core"
+	"rrnorm/internal/stats"
+	"rrnorm/internal/workload"
+)
+
+func approx(t *testing.T, got, want, tol float64, msg string) {
+	t.Helper()
+	if math.Abs(got-want) > tol {
+		t.Fatalf("%s: got %v, want %v", msg, got, want)
+	}
+}
+
+func TestCAlpha(t *testing.T) {
+	// α = 2: c = 2·(1)^{-1/2} = 2.
+	approx(t, CAlpha(2), 2, 1e-12, "c_2")
+	// α = 3: c = 3·2^{-2/3}.
+	approx(t, CAlpha(3), 3*math.Pow(2, -2.0/3), 1e-12, "c_3")
+}
+
+// TestSingleJobNearOptimal: one isolated job under job-count scaling runs
+// at speed 1^{1/α} = 1, paying p + p = 2p at α=2; the optimal constant
+// speed for α=2 is (α−1)^{1/α} = 1, so job-count scaling is exactly
+// optimal for a single job at α=2.
+func TestSingleJobOptimalAlpha2(t *testing.T) {
+	in := core.NewInstance([]core.Job{{ID: 0, Release: 0, Size: 3}})
+	res, err := Run(in, Options{Alpha: 2, Discipline: RR})
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, res.Flow[0], 3, 1e-9, "flow at speed 1")
+	approx(t, res.Energy, 3, 1e-9, "energy = ∫1² over 3")
+	approx(t, res.Cost, LowerBound(in, 2), 1e-9, "meets the c_α bound exactly")
+}
+
+// TestLowerBoundBelowAll: the convexity bound must hold for every
+// discipline and for fixed speeds across random instances.
+func TestLowerBoundBelowAll(t *testing.T) {
+	rng := stats.NewRNG(1)
+	for trial := 0; trial < 10; trial++ {
+		in := workload.Poisson(rng, 30, 1, workload.ExpSizes{M: 1})
+		for _, alpha := range []float64{2, 3} {
+			lb := LowerBound(in, alpha)
+			for _, opt := range []Options{
+				{Alpha: alpha, Discipline: RR},
+				{Alpha: alpha, Discipline: SRPT},
+				{Alpha: alpha, Discipline: SETFD},
+				{Alpha: alpha, Discipline: RR, FixedSpeed: 1.5},
+			} {
+				res, err := Run(in, opt)
+				if err != nil {
+					t.Fatalf("trial %d %s: %v", trial, opt.Discipline, err)
+				}
+				if res.Cost < lb*(1-1e-9) {
+					t.Fatalf("trial %d %s α=%v: cost %v below bound %v",
+						trial, opt.Discipline, alpha, res.Cost, lb)
+				}
+			}
+		}
+	}
+}
+
+// TestJobCountScalingBeatsBadFixedSpeeds: on a loaded instance, adaptive
+// job-count scaling must beat both a crawling and a blazing fixed speed.
+func TestJobCountScalingBeatsBadFixedSpeeds(t *testing.T) {
+	in := workload.PoissonLoad(stats.NewRNG(2), 200, 1, 0.9, workload.ExpSizes{M: 1})
+	adaptive, err := Run(in, Options{Alpha: 2, Discipline: RR})
+	if err != nil {
+		t.Fatal(err)
+	}
+	slow, err := Run(in, Options{Alpha: 2, Discipline: RR, FixedSpeed: 1.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fast, err := Run(in, Options{Alpha: 2, Discipline: RR, FixedSpeed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if adaptive.Cost >= slow.Cost {
+		t.Fatalf("adaptive %v should beat slow fixed %v", adaptive.Cost, slow.Cost)
+	}
+	if adaptive.Cost >= fast.Cost {
+		t.Fatalf("adaptive %v should beat fast fixed %v", adaptive.Cost, fast.Cost)
+	}
+}
+
+// TestSRPTDisciplineBeatsRROnMean: with the same speed profile shape,
+// SRPT's flow component is smaller.
+func TestSRPTDisciplineOrdering(t *testing.T) {
+	in := workload.PoissonLoad(stats.NewRNG(3), 300, 1, 0.9, workload.ParetoSizes{Alpha: 1.8, Xm: 1})
+	rr, err := Run(in, Options{Alpha: 2, Discipline: RR})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srpt, err := Run(in, Options{Alpha: 2, Discipline: SRPT})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if srpt.Cost >= rr.Cost {
+		t.Fatalf("SRPT discipline %v should beat RR %v", srpt.Cost, rr.Cost)
+	}
+}
+
+func TestPowerEqualsAliveCount(t *testing.T) {
+	// Two jobs alive → speed 2^{1/2}, power = 2 = n_t: energy over an
+	// interval equals ∫ n_t dt, i.e. equals total flow accumulation — the
+	// defining balance of job-count scaling.
+	in := core.NewInstance([]core.Job{{ID: 0, Release: 0, Size: 1}, {ID: 1, Release: 0, Size: 1}})
+	res, err := Run(in, Options{Alpha: 2, Discipline: RR})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var totalFlow float64
+	for _, f := range res.Flow {
+		totalFlow += f
+	}
+	approx(t, res.Energy, totalFlow, 1e-9, "energy = Σ flow under job-count scaling")
+}
+
+func TestRunErrors(t *testing.T) {
+	in := core.NewInstance([]core.Job{{ID: 0, Release: 0, Size: 1}})
+	if _, err := Run(in, Options{Alpha: 1}); !errors.Is(err, ErrBadOptions) {
+		t.Fatalf("want ErrBadOptions: %v", err)
+	}
+}
+
+func TestEmpty(t *testing.T) {
+	res, err := Run(core.NewInstance(nil), Options{Alpha: 2})
+	if err != nil || res.Cost != 0 {
+		t.Fatalf("empty: %+v %v", res, err)
+	}
+}

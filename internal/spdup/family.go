@@ -1,0 +1,93 @@
+package spdup
+
+import "rrnorm/internal/metrics"
+
+// HostileCascade builds the EQUI-hostile multi-scale family used by E14 on
+// m machines: m long sequential "pinning" jobs at time 0 (each one unit of
+// sequential work per level, L units total), plus a cascade where level
+// ℓ = 0..L−1 releases 2^ℓ fully parallel jobs of work m·(1+θ)/2^ℓ at time
+// ℓ (θ = 0.8, as in the standard-setting cascade).
+//
+// A size-and-curve-aware scheduler keeps the sequential jobs on one machine
+// each only when needed, and blasts each parallel level with all machines,
+// clearing it within its window. EQUI splits machines equally: the pinned
+// sequential jobs cannot use more than 1 anyway (allocation above 1 is
+// wasted on them), while the parallel backlog dilutes everyone's share —
+// the same compounding as the standard cascade, amplified by the wasted
+// over-allocations.
+func HostileCascade(levels, m int) *Instance {
+	const theta = 0.8
+	var jobs []Job
+	id := 0
+	for s := 0; s < m; s++ {
+		jobs = append(jobs, Job{
+			ID: id, Release: 0,
+			Phases: []Phase{{Work: float64(levels), Kind: Seq}},
+		})
+		id++
+	}
+	for l := 0; l < levels; l++ {
+		cnt := 1 << l
+		work := float64(m) * (1 + theta) / float64(cnt)
+		for j := 0; j < cnt; j++ {
+			jobs = append(jobs, Job{
+				ID: id, Release: float64(l),
+				Phases: []Phase{{Work: work, Kind: Par}},
+			})
+			id++
+		}
+	}
+	return &Instance{Jobs: jobs}
+}
+
+// Alternating builds the phase-alternation family: B jobs, staggered by
+// 0.1, each consisting of `pairs` repetitions of (sequential work 1,
+// parallel work m). A clairvoyant scheduler pipelines them — one job's
+// sequential phase on a single machine overlaps another's parallel phase on
+// the rest — while EQUI's equal split wastes everything it allocates beyond
+// 1 machine to a sequential-phase job. The waste grows with m, which is
+// the qualitative engine of EQUI's ℓ2 failure in this setting.
+func Alternating(B, pairs, m int) *Instance {
+	in := &Instance{}
+	for b := 0; b < B; b++ {
+		in.Jobs = append(in.Jobs, MixedPhases(b, float64(b)*0.1, pairs, 1, float64(m)))
+	}
+	return in
+}
+
+// MixedPhases builds a job alternating sequential and parallel phases —
+// the general shape of the setting; used in tests.
+func MixedPhases(id int, release float64, pairs int, seqWork, parWork float64) Job {
+	j := Job{ID: id, Release: release}
+	for p := 0; p < pairs; p++ {
+		j.Phases = append(j.Phases,
+			Phase{Work: seqWork, Kind: Seq},
+			Phase{Work: parWork, Kind: Par},
+		)
+	}
+	return j
+}
+
+// LowerBound returns the span bound Σ_j span_j^k: every job's flow is at
+// least its span (sequential work at rate 1, parallel at rate m) on m
+// unit-speed machines, regardless of the schedule. It is the speed-up-curve
+// analogue of lp.SizeBound; an LP bound analogous to the standard setting
+// would need per-curve rate variables and is out of scope.
+func LowerBound(in *Instance, m, k int) float64 {
+	var s float64
+	for i := range in.Jobs {
+		s += metrics.PowK(in.Jobs[i].Span(m), k)
+	}
+	return s
+}
+
+// AggregateWorkBound returns a second valid lower bound for ℓ1 (k=1):
+// total flow ≥ total work / m at unit speed... it is dominated by the span
+// bound for k ≥ 2 and kept for the ℓ1 experiments and tests.
+func AggregateWorkBound(in *Instance, m int) float64 {
+	var w float64
+	for i := range in.Jobs {
+		w += in.Jobs[i].TotalWork()
+	}
+	return w / float64(m)
+}

@@ -1,0 +1,63 @@
+package spdup
+
+import "sort"
+
+// Proxy is the clairvoyant OPT-proxy used as the ratio denominator in the
+// speed-up-curves experiments: it knows each job's phase structure, orders
+// alive jobs by smallest remaining span (SRPT generalized to curves), gives
+// one machine to each sequential-phase job in that order, and hands ALL
+// leftover machines to the best parallel-phase job (parallel work is
+// perfectly elastic, so concentrating it is optimal for that phase).
+//
+// Proxy is a feasible schedule, so its objective upper-bounds OPT's;
+// ALG/Proxy therefore LOWER-bounds the true competitive ratio — the right
+// direction when demonstrating that a ratio GROWS (EQUI's ℓ2 failure).
+type Proxy struct{}
+
+// Name implements Policy.
+func (Proxy) Name() string { return "PROXY" }
+
+// Alloc implements Policy (never called: Proxy is PhaseAware).
+func (Proxy) Alloc(now float64, jobs []JobView, m float64, speed float64, alloc []float64) float64 {
+	share := m / float64(len(jobs))
+	for i := range alloc {
+		alloc[i] = share
+	}
+	return 0
+}
+
+// AllocPhases implements PhaseAware.
+func (Proxy) AllocPhases(now float64, jobs []PhaseView, m float64, speed float64, alloc []float64) float64 {
+	idx := make([]int, len(jobs))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool {
+		ja, jb := jobs[idx[a]], jobs[idx[b]]
+		if ja.RemainingSpan != jb.RemainingSpan {
+			return ja.RemainingSpan < jb.RemainingSpan
+		}
+		return ja.ID < jb.ID
+	})
+	left := m
+	parPick := -1
+	for _, i := range idx {
+		if left <= 0 {
+			break
+		}
+		if jobs[i].Kind == Seq {
+			a := 1.0
+			if a > left {
+				a = left
+			}
+			alloc[i] = a
+			left -= a
+		} else if parPick < 0 {
+			parPick = i
+		}
+	}
+	if parPick >= 0 && left > 0 {
+		alloc[parPick] = left
+	}
+	return 0
+}

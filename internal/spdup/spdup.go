@@ -1,0 +1,376 @@
+// Package spdup implements the arbitrary speed-up curves setting from the
+// paper's backstory (§1.2, citing Edmonds; Edmonds–Pruhs; Gupta–Im–
+// Krishnaswamy–Moseley–Pruhs): each job is a sequence of phases, and a
+// phase processed with machine allocation ρ progresses at rate Γ(ρ) — here
+// the two canonical curves, fully parallelizable (Γ(ρ) = ρ) and sequential
+// (Γ(ρ) = min(ρ, 1)). Allocations are fractional with Σ_j ρ_j ≤ m and NO
+// per-job cap: a parallelizable phase can productively use many machines.
+//
+// In this setting Round Robin is called EQUI (equal partitioning). The
+// results the paper quotes: EQUI is O(1)-speed O(1)-competitive for total
+// flow (ℓ1) but NOT for the ℓ2-norm, while the age-weighted variant
+// (WEQUI / WLAPS-style) is O(1)-speed O(1)-competitive for ℓ2 — the
+// contrast that left plain RR's ℓ2 status in the standard setting open.
+// Experiment E14 reproduces the qualitative contrast.
+package spdup
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// PhaseKind selects a speed-up curve.
+type PhaseKind uint8
+
+const (
+	// Par is fully parallelizable: Γ(ρ) = ρ.
+	Par PhaseKind = iota
+	// Seq is sequential: Γ(ρ) = min(ρ, 1).
+	Seq
+)
+
+// Gamma evaluates the phase's speed-up curve at allocation ρ.
+func (k PhaseKind) Gamma(rho float64) float64 {
+	if k == Seq && rho > 1 {
+		return 1
+	}
+	return rho
+}
+
+// Phase is one stage of a job: Work units processed under the Kind curve.
+type Phase struct {
+	Work float64
+	Kind PhaseKind
+}
+
+// Job is a released sequence of phases.
+type Job struct {
+	ID      int
+	Release float64
+	Phases  []Phase
+}
+
+// TotalWork returns the sum of phase works.
+func (j *Job) TotalWork() float64 {
+	var w float64
+	for _, p := range j.Phases {
+		w += p.Work
+	}
+	return w
+}
+
+// Span returns the minimum possible processing time of the job on m
+// unit-speed machines (sequential phases at rate 1, parallel at rate m) —
+// the per-job flow lower bound.
+func (j *Job) Span(m int) float64 {
+	var s float64
+	for _, p := range j.Phases {
+		if p.Kind == Seq {
+			s += p.Work
+		} else {
+			s += p.Work / float64(m)
+		}
+	}
+	return s
+}
+
+// Instance is a speed-up-curves workload.
+type Instance struct {
+	Jobs []Job
+}
+
+// Validate checks well-formedness.
+func (in *Instance) Validate() error {
+	seen := map[int]bool{}
+	for _, j := range in.Jobs {
+		if seen[j.ID] {
+			return fmt.Errorf("spdup: duplicate job ID %d", j.ID)
+		}
+		seen[j.ID] = true
+		if j.Release < 0 || math.IsNaN(j.Release) || math.IsInf(j.Release, 0) {
+			return fmt.Errorf("spdup: job %d bad release %v", j.ID, j.Release)
+		}
+		if len(j.Phases) == 0 {
+			return fmt.Errorf("spdup: job %d has no phases", j.ID)
+		}
+		for pi, p := range j.Phases {
+			if !(p.Work > 0) || math.IsInf(p.Work, 0) {
+				return fmt.Errorf("spdup: job %d phase %d bad work %v", j.ID, pi, p.Work)
+			}
+		}
+	}
+	return nil
+}
+
+// JobView is what (non-clairvoyant) allocation policies see: phase
+// structure and remaining work are hidden.
+type JobView struct {
+	ID      int
+	Release float64
+	Age     float64
+}
+
+// Policy assigns machine allocations. alloc arrives zeroed; fill
+// alloc[i] ≥ 0 for jobs[i] with Σ alloc ≤ m (float machines, no per-job
+// cap). horizon > 0 forces a re-plan after that wall-clock duration.
+type Policy interface {
+	Name() string
+	Alloc(now float64, jobs []JobView, m float64, speed float64, alloc []float64) (horizon float64)
+}
+
+// PhaseView extends JobView with clairvoyant phase information for
+// PhaseAware policies (the OPT-proxy used as a ratio denominator).
+type PhaseView struct {
+	JobView
+	Kind          PhaseKind // current phase's speed-up curve
+	PhaseRem      float64   // remaining work in the current phase
+	RemainingSpan float64   // minimum remaining processing time on m machines
+}
+
+// PhaseAware is implemented by clairvoyant policies that need phase
+// structure; the engine calls AllocPhases instead of Alloc for them.
+type PhaseAware interface {
+	Policy
+	AllocPhases(now float64, jobs []PhaseView, m float64, speed float64, alloc []float64) (horizon float64)
+}
+
+// EQUI is equal partitioning — Round Robin in the speed-up curves world:
+// every alive job gets ρ = m/n_t.
+type EQUI struct{}
+
+// Name implements Policy.
+func (EQUI) Name() string { return "EQUI" }
+
+// Alloc implements Policy.
+func (EQUI) Alloc(now float64, jobs []JobView, m float64, speed float64, alloc []float64) float64 {
+	share := m / float64(len(jobs))
+	for i := range alloc {
+		alloc[i] = share
+	}
+	return 0
+}
+
+// WEQUI allocates machines in proportion to job ages — the weighted variant
+// (Edmonds–Im–Moseley) that IS O(1)-speed O(1)-competitive for ℓ2 in this
+// setting. Ages drift continuously, so it re-plans on a quantum.
+type WEQUI struct {
+	Quantum float64
+}
+
+// NewWEQUI returns WEQUI with the given review quantum.
+func NewWEQUI(quantum float64) *WEQUI {
+	if quantum <= 0 {
+		quantum = 0.01
+	}
+	return &WEQUI{Quantum: quantum}
+}
+
+// Name implements Policy.
+func (*WEQUI) Name() string { return "WEQUI" }
+
+// Alloc implements Policy.
+func (p *WEQUI) Alloc(now float64, jobs []JobView, m float64, speed float64, alloc []float64) float64 {
+	total := 0.0
+	minAge := math.Inf(1)
+	for _, j := range jobs {
+		total += j.Age
+		if j.Age < minAge {
+			minAge = j.Age
+		}
+	}
+	if total <= 0 {
+		share := m / float64(len(jobs))
+		for i := range alloc {
+			alloc[i] = share
+		}
+	} else {
+		for i, j := range jobs {
+			alloc[i] = m * j.Age / total
+		}
+	}
+	if h := 0.05 * minAge; h > p.Quantum {
+		return h
+	}
+	return p.Quantum
+}
+
+// Options configures a run.
+type Options struct {
+	Machines  int
+	Speed     float64
+	MaxEvents int
+}
+
+// Result holds completions and flows in (Release, ID) order of Jobs.
+type Result struct {
+	Jobs       []Job
+	Completion []float64
+	Flow       []float64
+	Events     int
+}
+
+// Run errors.
+var (
+	ErrBadOptions = errors.New("spdup: invalid options")
+	ErrBadAlloc   = errors.New("spdup: policy returned infeasible allocation")
+	ErrOverrun    = errors.New("spdup: event budget exhausted")
+)
+
+// Run simulates the policy on the instance. Phase progress between events
+// is linear (allocations constant), so phase completions are computed in
+// closed form; events are arrivals, phase completions and policy horizons.
+func Run(in *Instance, policy Policy, opts Options) (*Result, error) {
+	if opts.Machines < 1 || !(opts.Speed > 0) {
+		return nil, fmt.Errorf("%w: %+v", ErrBadOptions, opts)
+	}
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	jobs := append([]Job(nil), in.Jobs...)
+	sort.Slice(jobs, func(a, b int) bool {
+		if jobs[a].Release != jobs[b].Release {
+			return jobs[a].Release < jobs[b].Release
+		}
+		return jobs[a].ID < jobs[b].ID
+	})
+	n := len(jobs)
+	maxEvents := opts.MaxEvents
+	if maxEvents == 0 {
+		maxEvents = 2_000_000 + 4000*n
+	}
+	res := &Result{
+		Jobs:       jobs,
+		Completion: make([]float64, n),
+		Flow:       make([]float64, n),
+	}
+	if n == 0 {
+		return res, nil
+	}
+
+	type live struct {
+		idx      int // index into jobs
+		phase    int
+		phaseRem float64
+	}
+	var alive []live
+	views := make([]JobView, 0, n)
+	pviews := make([]PhaseView, 0, n)
+	alloc := make([]float64, 0, n)
+	next := 0
+	now := jobs[0].Release
+	m := float64(opts.Machines)
+	phasedPolicy, isPhased := policy.(PhaseAware)
+
+	for len(alive) > 0 || next < n {
+		if res.Events >= maxEvents {
+			return nil, fmt.Errorf("%w at t=%v", ErrOverrun, now)
+		}
+		res.Events++
+		for next < n && jobs[next].Release <= now {
+			alive = append(alive, live{idx: next, phase: 0, phaseRem: jobs[next].Phases[0].Work})
+			next++
+		}
+		if len(alive) == 0 {
+			now = jobs[next].Release
+			continue
+		}
+		views = views[:0]
+		for _, a := range alive {
+			views = append(views, JobView{ID: jobs[a.idx].ID, Release: jobs[a.idx].Release, Age: now - jobs[a.idx].Release})
+		}
+		alloc = alloc[:0]
+		for range alive {
+			alloc = append(alloc, 0)
+		}
+		var horizon float64
+		if isPhased {
+			pviews = pviews[:0]
+			for vi, a := range alive {
+				job := &jobs[a.idx]
+				cur := job.Phases[a.phase]
+				span := a.phaseRem
+				if cur.Kind == Par {
+					span /= m
+				}
+				for _, ph := range job.Phases[a.phase+1:] {
+					if ph.Kind == Par {
+						span += ph.Work / m
+					} else {
+						span += ph.Work
+					}
+				}
+				pviews = append(pviews, PhaseView{
+					JobView: views[vi], Kind: cur.Kind,
+					PhaseRem: a.phaseRem, RemainingSpan: span,
+				})
+			}
+			horizon = phasedPolicy.AllocPhases(now, pviews, m, opts.Speed, alloc)
+		} else {
+			horizon = policy.Alloc(now, views, m, opts.Speed, alloc)
+		}
+		sum := 0.0
+		for _, ρ := range alloc {
+			if ρ < 0 || math.IsNaN(ρ) {
+				return nil, fmt.Errorf("%w: allocation %v", ErrBadAlloc, ρ)
+			}
+			sum += ρ
+		}
+		if sum > m*(1+1e-9) {
+			return nil, fmt.Errorf("%w: total %v > m=%v", ErrBadAlloc, sum, m)
+		}
+
+		// Next event time.
+		dt := math.Inf(1)
+		if next < n {
+			dt = jobs[next].Release - now
+		}
+		if horizon > 0 && horizon < dt {
+			dt = horizon
+		}
+		rates := make([]float64, len(alive))
+		totalRate := 0.0
+		for i, a := range alive {
+			kind := jobs[a.idx].Phases[a.phase].Kind
+			rates[i] = kind.Gamma(alloc[i]) * opts.Speed
+			totalRate += rates[i]
+			if rates[i] > 0 {
+				if d := a.phaseRem / rates[i]; d < dt {
+					dt = d
+				}
+			}
+		}
+		if math.IsInf(dt, 1) {
+			return nil, fmt.Errorf("spdup: starvation at t=%v (policy %s)", now, policy.Name())
+		}
+		if dt < 1e-15 {
+			dt = 1e-15
+		}
+		end := now + dt
+		keep := alive[:0]
+		for i := range alive {
+			a := alive[i]
+			a.phaseRem -= rates[i] * dt
+			job := &jobs[a.idx]
+			if a.phaseRem <= 1e-12*(1+job.Phases[a.phase].Work) {
+				a.phase++
+				if a.phase >= len(job.Phases) {
+					res.Completion[a.idx] = end
+					res.Flow[a.idx] = end - job.Release
+					a.phase = -1
+				} else {
+					// The fresh phase gets no processing until the next
+					// decision point (a measure-zero effect).
+					a.phaseRem = job.Phases[a.phase].Work
+				}
+			}
+			if a.phase >= 0 {
+				keep = append(keep, a)
+			}
+		}
+		alive = keep
+		now = end
+	}
+	return res, nil
+}

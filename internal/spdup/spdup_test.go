@@ -1,0 +1,230 @@
+package spdup
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"rrnorm/internal/metrics"
+)
+
+func approx(t *testing.T, got, want, tol float64, msg string) {
+	t.Helper()
+	if math.Abs(got-want) > tol {
+		t.Fatalf("%s: got %v, want %v", msg, got, want)
+	}
+}
+
+func TestGamma(t *testing.T) {
+	approx(t, Par.Gamma(3.5), 3.5, 0, "par")
+	approx(t, Seq.Gamma(3.5), 1, 0, "seq capped")
+	approx(t, Seq.Gamma(0.25), 0.25, 0, "seq below 1")
+}
+
+func TestSpanAndWork(t *testing.T) {
+	j := Job{ID: 0, Phases: []Phase{{Work: 2, Kind: Seq}, {Work: 8, Kind: Par}}}
+	approx(t, j.TotalWork(), 10, 1e-12, "total work")
+	approx(t, j.Span(4), 4, 1e-12, "span: 2 seq + 8/4 par")
+	approx(t, j.Span(1), 10, 1e-12, "span on 1 machine")
+}
+
+func TestValidate(t *testing.T) {
+	bad := []*Instance{
+		{Jobs: []Job{{ID: 1, Phases: []Phase{{Work: 1}}}, {ID: 1, Phases: []Phase{{Work: 1}}}}},
+		{Jobs: []Job{{ID: 1, Release: -1, Phases: []Phase{{Work: 1}}}}},
+		{Jobs: []Job{{ID: 1}}},
+		{Jobs: []Job{{ID: 1, Phases: []Phase{{Work: 0}}}}},
+	}
+	for i, in := range bad {
+		if err := in.Validate(); err == nil {
+			t.Errorf("case %d: expected validation error", i)
+		}
+	}
+}
+
+func TestSingleParallelJob(t *testing.T) {
+	// One fully parallel job of work 8 on 4 machines: EQUI gives it all 4,
+	// completes at 2.
+	in := &Instance{Jobs: []Job{{ID: 0, Phases: []Phase{{Work: 8, Kind: Par}}}}}
+	res, err := Run(in, EQUI{}, Options{Machines: 4, Speed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, res.Completion[0], 2, 1e-9, "parallel completion")
+}
+
+func TestSequentialCapsAllocation(t *testing.T) {
+	// One sequential job of work 3 on 4 machines: extra allocation is
+	// wasted; completes at 3.
+	in := &Instance{Jobs: []Job{{ID: 0, Phases: []Phase{{Work: 3, Kind: Seq}}}}}
+	res, err := Run(in, EQUI{}, Options{Machines: 4, Speed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, res.Completion[0], 3, 1e-9, "seq completion")
+}
+
+func TestPhaseTransition(t *testing.T) {
+	// seq 1 then par 4 on 4 machines, alone: 1 + 1 = 2.
+	in := &Instance{Jobs: []Job{MixedPhases(0, 0, 1, 1, 4)}}
+	res, err := Run(in, EQUI{}, Options{Machines: 4, Speed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, res.Completion[0], 2, 1e-6, "two-phase completion")
+}
+
+func TestEquiSharesTwoParallelJobs(t *testing.T) {
+	// Two parallel jobs of work 4 each, 4 machines: 2 each → rate 2, both
+	// complete at 2.
+	in := &Instance{Jobs: []Job{
+		{ID: 0, Phases: []Phase{{Work: 4, Kind: Par}}},
+		{ID: 1, Phases: []Phase{{Work: 4, Kind: Par}}},
+	}}
+	res, err := Run(in, EQUI{}, Options{Machines: 4, Speed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, res.Completion[0], 2, 1e-9, "job 0")
+	approx(t, res.Completion[1], 2, 1e-9, "job 1")
+}
+
+func TestSpeedScalesFlows(t *testing.T) {
+	in := HostileCascade(3, 4)
+	a, err := Run(in, EQUI{}, Options{Machines: 4, Speed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(in, EQUI{}, Options{Machines: 4, Speed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All releases and dynamics interleave, so flows don't halve exactly,
+	// but total power must strictly improve.
+	if metrics.KthPowerSum(b.Flow, 2) >= metrics.KthPowerSum(a.Flow, 2) {
+		t.Fatal("doubling speed must reduce the objective")
+	}
+}
+
+func TestProxyBeatsEquiOnAlternation(t *testing.T) {
+	const m = 8
+	in := Alternating(m, 4, m)
+	px, err := Run(in, Proxy{}, Options{Machines: m, Speed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eq, err := Run(in, EQUI{}, Options{Machines: m, Speed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if metrics.KthPowerSum(px.Flow, 2) >= metrics.KthPowerSum(eq.Flow, 2) {
+		t.Fatal("clairvoyant proxy should beat EQUI on the alternation family")
+	}
+}
+
+func TestEquiRatioGrowsWithM(t *testing.T) {
+	ratio := func(m int) float64 {
+		in := Alternating(m, 4, m)
+		px, err := Run(in, Proxy{}, Options{Machines: m, Speed: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		eq, err := Run(in, EQUI{}, Options{Machines: m, Speed: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return math.Sqrt(metrics.KthPowerSum(eq.Flow, 2) / metrics.KthPowerSum(px.Flow, 2))
+	}
+	r2, r16 := ratio(2), ratio(16)
+	if r16 < r2*1.2 {
+		t.Fatalf("EQUI/proxy ℓ2 ratio should grow with m: m=2 → %v, m=16 → %v", r2, r16)
+	}
+	// WLAPS must not degrade the same way.
+	wl := func(m int) float64 {
+		in := Alternating(m, 4, m)
+		px, _ := Run(in, Proxy{}, Options{Machines: m, Speed: 1})
+		w, err := Run(in, NewWLAPS(2, 0.5, 0.02), Options{Machines: m, Speed: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return math.Sqrt(metrics.KthPowerSum(w.Flow, 2) / metrics.KthPowerSum(px.Flow, 2))
+	}
+	w2, w16 := wl(2), wl(16)
+	if w16 > w2*1.2 {
+		t.Fatalf("WLAPS/proxy ratio should stay near-flat with m: m=2 → %v, m=16 → %v", w2, w16)
+	}
+}
+
+func TestLowerBoundBelowEveryPolicy(t *testing.T) {
+	const m = 4
+	for _, in := range []*Instance{HostileCascade(4, m), Alternating(4, 3, m)} {
+		lb := LowerBound(in, m, 2)
+		for _, p := range []Policy{EQUI{}, NewWEQUI(0.02), NewWLAPS(2, 0.5, 0.02), Proxy{}} {
+			res, err := Run(in, p, Options{Machines: m, Speed: 1})
+			if err != nil {
+				t.Fatalf("%s: %v", p.Name(), err)
+			}
+			if lb > metrics.KthPowerSum(res.Flow, 2)*(1+1e-9) {
+				t.Fatalf("%s: span bound %v above objective", p.Name(), lb)
+			}
+		}
+	}
+}
+
+func TestAggregateWorkBound(t *testing.T) {
+	in := &Instance{Jobs: []Job{
+		{ID: 0, Phases: []Phase{{Work: 6, Kind: Par}}},
+		{ID: 1, Phases: []Phase{{Work: 2, Kind: Seq}}},
+	}}
+	approx(t, AggregateWorkBound(in, 4), 2, 1e-12, "total work / m")
+}
+
+func TestRunErrors(t *testing.T) {
+	in := &Instance{Jobs: []Job{{ID: 0, Phases: []Phase{{Work: 1}}}}}
+	if _, err := Run(in, EQUI{}, Options{Machines: 0, Speed: 1}); !errors.Is(err, ErrBadOptions) {
+		t.Fatalf("want ErrBadOptions: %v", err)
+	}
+	if _, err := Run(in, overAlloc{}, Options{Machines: 1, Speed: 1}); !errors.Is(err, ErrBadAlloc) {
+		t.Fatalf("want ErrBadAlloc: %v", err)
+	}
+}
+
+type overAlloc struct{}
+
+func (overAlloc) Name() string { return "over" }
+func (overAlloc) Alloc(now float64, jobs []JobView, m float64, speed float64, alloc []float64) float64 {
+	for i := range alloc {
+		alloc[i] = m + 1
+	}
+	return 0
+}
+
+func TestWEQUIAgesProportional(t *testing.T) {
+	jobs := []JobView{{ID: 0, Age: 3}, {ID: 1, Age: 1}}
+	alloc := make([]float64, 2)
+	NewWEQUI(0.01).Alloc(4, jobs, 8, 1, alloc)
+	approx(t, alloc[0], 6, 1e-12, "older job")
+	approx(t, alloc[1], 2, 1e-12, "younger job")
+}
+
+func TestWLAPSSuffixSelection(t *testing.T) {
+	// Equal ages → equal weights; β=0.5 over 4 jobs selects the two latest
+	// arrivals (the boundary job exactly).
+	jobs := []JobView{
+		{ID: 0, Release: 0, Age: 2}, {ID: 1, Release: 1, Age: 2},
+		{ID: 2, Release: 2, Age: 2}, {ID: 3, Release: 3, Age: 2},
+	}
+	alloc := make([]float64, 4)
+	NewWLAPS(2, 0.5, 0.01).Alloc(5, jobs, 8, 1, alloc)
+	approx(t, alloc[0], 0, 1e-9, "earliest excluded")
+	approx(t, alloc[1], 0, 1e-9, "second excluded")
+	approx(t, alloc[2], 4, 1e-9, "boundary job")
+	approx(t, alloc[3], 4, 1e-9, "latest job")
+}
+
+func TestWLAPSZeroAges(t *testing.T) {
+	jobs := []JobView{{ID: 0}, {ID: 1}}
+	alloc := make([]float64, 2)
+	NewWLAPS(2, 0.5, 0.01).Alloc(0, jobs, 4, 1, alloc)
+	approx(t, alloc[0]+alloc[1], 4, 1e-9, "all machines used on zero ages")
+}

@@ -1,0 +1,95 @@
+package spdup
+
+import (
+	"math"
+	"sort"
+
+	"rrnorm/internal/metrics"
+)
+
+// WLAPS is the weighted latest-arrival processor sharing of
+// Edmonds–Im–Moseley ("Online scalable scheduling for the lk-norms of flow
+// time without conservation of work"), the positive result the paper's
+// backstory contrasts with EQUI's ℓ2 failure: give each alive job the
+// weight w_j = age_j^{k−1} (its marginal contribution to the ℓk objective),
+// and share all m machines among the latest-arriving jobs that together
+// carry a β-fraction of the total weight, in proportion to their weights
+// (the earliest job of the selected suffix may count only partially).
+//
+// Ages drift continuously, so WLAPS re-plans on a quantum like WEQUI.
+type WLAPS struct {
+	// K is the norm exponent; weights are age^{K−1}.
+	K int
+	// Beta ∈ (0,1] is the weight fraction concentrated on late arrivals.
+	Beta float64
+	// Quantum is the minimum re-plan interval.
+	Quantum float64
+}
+
+// NewWLAPS returns WLAPS for the ℓk-norm with the given β and quantum.
+func NewWLAPS(k int, beta, quantum float64) *WLAPS {
+	if beta <= 0 || beta > 1 {
+		beta = 0.5
+	}
+	if quantum <= 0 {
+		quantum = 0.01
+	}
+	if k < 1 {
+		k = 2
+	}
+	return &WLAPS{K: k, Beta: beta, Quantum: quantum}
+}
+
+// Name implements Policy.
+func (*WLAPS) Name() string { return "WLAPS" }
+
+// Alloc implements Policy.
+func (p *WLAPS) Alloc(now float64, jobs []JobView, m float64, speed float64, alloc []float64) float64 {
+	n := len(jobs)
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	// Latest arrivals first; ties by larger ID (later logical arrival).
+	sort.Slice(idx, func(a, b int) bool {
+		ja, jb := jobs[idx[a]], jobs[idx[b]]
+		if ja.Release != jb.Release {
+			return ja.Release > jb.Release
+		}
+		return ja.ID > jb.ID
+	})
+	weights := make([]float64, n)
+	total := 0.0
+	minAge := math.Inf(1)
+	for i, j := range jobs {
+		weights[i] = metrics.PowK(j.Age, p.K-1)
+		total += weights[i]
+		if j.Age < minAge {
+			minAge = j.Age
+		}
+	}
+	if total <= 0 {
+		share := m / float64(n)
+		for i := range alloc {
+			alloc[i] = share
+		}
+		return p.Quantum
+	}
+	target := p.Beta * total
+	acc := 0.0
+	for _, i := range idx {
+		w := weights[i]
+		if acc+w >= target {
+			w = target - acc // boundary job counts partially
+		}
+		alloc[i] = m * w / target
+		acc += w
+		if acc >= target-1e-15 {
+			break
+		}
+	}
+	if h := 0.05 * minAge; h > p.Quantum {
+		return h
+	}
+	return p.Quantum
+}

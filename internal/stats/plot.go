@@ -1,0 +1,115 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Series is one named curve for Plot.
+type Series struct {
+	Name string
+	X, Y []float64
+}
+
+// Plot renders one or more series as an ASCII scatter/line chart of the
+// given size, with optional log-scaled axes. Each series uses its own
+// marker; a legend and axis ranges are appended. Intended for quick looks
+// at ratio curves in CLIs and examples — CSV output remains the precise
+// record.
+func Plot(series []Series, width, height int, logX, logY bool) string {
+	if width < 16 {
+		width = 60
+	}
+	if height < 4 {
+		height = 16
+	}
+	markers := []byte{'*', 'o', '+', 'x', '#', '@'}
+	tx := func(v float64) float64 {
+		if logX {
+			return math.Log10(v)
+		}
+		return v
+	}
+	ty := func(v float64) float64 {
+		if logY {
+			return math.Log10(v)
+		}
+		return v
+	}
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	any := false
+	for _, s := range series {
+		for i := range s.X {
+			x, y := tx(s.X[i]), ty(s.Y[i])
+			if math.IsNaN(x) || math.IsNaN(y) || math.IsInf(x, 0) || math.IsInf(y, 0) {
+				continue
+			}
+			any = true
+			minX, maxX = math.Min(minX, x), math.Max(maxX, x)
+			minY, maxY = math.Min(minY, y), math.Max(maxY, y)
+		}
+	}
+	if !any {
+		return "(no finite points)\n"
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	for si, s := range series {
+		mk := markers[si%len(markers)]
+		for i := range s.X {
+			x, y := tx(s.X[i]), ty(s.Y[i])
+			if math.IsNaN(x) || math.IsNaN(y) || math.IsInf(x, 0) || math.IsInf(y, 0) {
+				continue
+			}
+			c := int((x - minX) / (maxX - minX) * float64(width-1))
+			r := height - 1 - int((y-minY)/(maxY-minY)*float64(height-1))
+			if grid[r][c] != ' ' && grid[r][c] != mk {
+				grid[r][c] = '&' // overlapping series
+			} else {
+				grid[r][c] = mk
+			}
+		}
+	}
+	var sb strings.Builder
+	for _, row := range grid {
+		sb.WriteString("  |")
+		sb.Write(row)
+		sb.WriteByte('\n')
+	}
+	sb.WriteString("  +" + strings.Repeat("-", width) + "\n")
+	fmt.Fprintf(&sb, "   x ∈ [%.4g, %.4g]%s   y ∈ [%.4g, %.4g]%s\n",
+		untx(minX, logX), untx(maxX, logX), scaleTag(logX),
+		untx(minY, logY), untx(maxY, logY), scaleTag(logY))
+	names := make([]string, 0, len(series))
+	for si, s := range series {
+		names = append(names, fmt.Sprintf("%c %s", markers[si%len(markers)], s.Name))
+	}
+	sort.Strings(names)
+	sb.WriteString("   " + strings.Join(names, "   ") + "\n")
+	return sb.String()
+}
+
+func untx(v float64, log bool) float64 {
+	if log {
+		return math.Pow(10, v)
+	}
+	return v
+}
+
+func scaleTag(log bool) string {
+	if log {
+		return " (log)"
+	}
+	return ""
+}

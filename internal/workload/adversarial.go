@@ -1,0 +1,98 @@
+package workload
+
+import (
+	"rrnorm/internal/core"
+)
+
+// RRStream builds the classic Round-Robin-hostile instance behind lower
+// bounds of the Bansal–Pruhs flavor the paper cites (RR is Ω(n^{2ε})-
+// competitive with (1+ε)-speed for ℓ2): a stream of groups of jobs whose
+// sizes are reverse-engineered so that, under RR at unit speed on m
+// machines, every job stays alive and all complete simultaneously at time
+// T = 2·G (G groups, one group of m jobs arriving at each integer time
+// 0..G−1).
+//
+// Under RR the age of the group-g jobs at the common completion time is
+// 2G − g, so the k-th power flow is Σ_g m·(2G−g)^k ≈ m·G^{k+1}·c_k, while a
+// size-aware scheduler finishes most jobs quickly (sizes shrink as
+// H_G − H_g + 1, down to ≈ 1). Sweeping G at fixed speed shows whether RR's
+// ratio grows with n (speed too small) or stays bounded (speed large
+// enough) — exactly the Theorem 1 vs lower-bound dichotomy.
+func RRStream(groups, m int) *core.Instance {
+	// Work received under RR by a group-g job by time T = 2G:
+	//   Σ_{u=g}^{G−1} m/(m(u+1)) + (T−G)·m/(mG) = H_G − H_g + 1,
+	// where H_i = Σ_{u=1}^i 1/u.
+	h := harmonic(groups)
+	jobs := make([]core.Job, 0, groups*m)
+	id := 0
+	for g := 0; g < groups; g++ {
+		size := h[groups] - h[g] + 1
+		for j := 0; j < m; j++ {
+			jobs = append(jobs, core.Job{ID: id, Release: float64(g), Size: size})
+			id++
+		}
+	}
+	return core.NewInstance(jobs)
+}
+
+// harmonic returns H[0..n] with H[i] = Σ_{u=1}^i 1/u.
+func harmonic(n int) []float64 {
+	h := make([]float64, n+1)
+	for i := 1; i <= n; i++ {
+		h[i] = h[i-1] + 1/float64(i)
+	}
+	return h
+}
+
+// Starvation builds the motivation instance for temporal fairness (E5): one
+// big job of size big released at time 0, followed by n small jobs of size
+// small arriving one per unit of time starting at t=1 (small < 1 keeps the
+// stream underloaded on its own). SRPT serves every small job first and
+// starves the big one until the stream ends; RR gives the big job a
+// constant share throughout. The ℓ1 objective barely distinguishes them —
+// the ℓ2/ℓ∞ objectives and the variance do, which is the paper's point.
+func Starvation(big float64, n int, small float64) *core.Instance {
+	jobs := make([]core.Job, 0, n+1)
+	jobs = append(jobs, core.Job{ID: 0, Release: 0, Size: big})
+	for i := 1; i <= n; i++ {
+		jobs = append(jobs, core.Job{ID: i, Release: float64(i), Size: small})
+	}
+	return core.NewInstance(jobs)
+}
+
+// Cascade builds the multi-scale instance behind RR's ℓ2 lower bound at low
+// speeds: level ℓ = 0..L−1 releases 2^ℓ jobs of size (1+θ)/2^ℓ at time ℓ.
+// Each level carries 1+θ units of work into a unit-length window, so every
+// level is slightly overloaded (θ > 0) and under RR the residual work of
+// each level survives into all later levels, where exponentially many
+// smaller jobs dilute its share — flows compound across the ~log n scales.
+// A size-aware scheduler clears each level almost within its own window.
+//
+// This is the qualitative engine of the Bansal–Pruhs-style Ω(n^{ε'}) lower
+// bound the paper cites: with θ ≈ 0.8 the measured ℓ2 ratio keeps growing
+// with n for speeds up to ≈1.6–1.7 and flattens above — inside the paper's
+// [3/2, 4+ε] bracket (not O(1)-competitive below speed 3/2; O(1) at 4+ε).
+func Cascade(levels int, theta float64) *core.Instance {
+	var jobs []core.Job
+	id := 0
+	for l := 0; l < levels; l++ {
+		n := 1 << l
+		size := (1 + theta) / float64(n)
+		for j := 0; j < n; j++ {
+			jobs = append(jobs, core.Job{ID: id, Release: float64(l), Size: size})
+			id++
+		}
+	}
+	return core.NewInstance(jobs)
+}
+
+// Staircase builds a deterministic descending-size batch: n jobs at time 0
+// with sizes n, n−1, ..., 1. Useful as a fixture: SJF/SRPT order is the
+// reverse of FCFS order and all policies are easy to verify by hand.
+func Staircase(n int) *core.Instance {
+	jobs := make([]core.Job, n)
+	for i := range jobs {
+		jobs[i] = core.Job{ID: i, Release: 0, Size: float64(n - i)}
+	}
+	return core.NewInstance(jobs)
+}

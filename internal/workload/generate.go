@@ -1,0 +1,101 @@
+package workload
+
+import (
+	"math"
+	"math/rand/v2"
+
+	"rrnorm/internal/core"
+)
+
+// Poisson generates n jobs with exponential interarrival times of the given
+// mean and sizes from dist.
+func Poisson(rng *rand.Rand, n int, meanInterarrival float64, dist SizeDist) *core.Instance {
+	jobs := make([]core.Job, n)
+	t := 0.0
+	for i := range jobs {
+		t += rng.ExpFloat64() * meanInterarrival
+		jobs[i] = core.Job{ID: i, Release: t, Size: dist.Sample(rng)}
+	}
+	return core.NewInstance(jobs)
+}
+
+// PoissonLoad generates n jobs whose arrival rate targets machine load
+// ρ = λ·E[size]/m on m unit-speed machines: λ = ρ·m/E[size]. This is the
+// paper's server-client setting with a tunable utilization.
+func PoissonLoad(rng *rand.Rand, n, m int, load float64, dist SizeDist) *core.Instance {
+	lambda := load * float64(m) / dist.Mean()
+	return Poisson(rng, n, 1/lambda, dist)
+}
+
+// Batch generates n jobs all released at time 0.
+func Batch(rng *rand.Rand, n int, dist SizeDist) *core.Instance {
+	jobs := make([]core.Job, n)
+	for i := range jobs {
+		jobs[i] = core.Job{ID: i, Release: 0, Size: dist.Sample(rng)}
+	}
+	return core.NewInstance(jobs)
+}
+
+// PeriodicBursts releases bursts of burstSize jobs every period, for the
+// given number of bursts — a stress pattern alternating overloaded and
+// underloaded times (the T_o / T_u distinction central to the paper's dual
+// fitting).
+func PeriodicBursts(rng *rand.Rand, bursts, burstSize int, period float64, dist SizeDist) *core.Instance {
+	jobs := make([]core.Job, 0, bursts*burstSize)
+	id := 0
+	for b := 0; b < bursts; b++ {
+		t := float64(b) * period
+		for i := 0; i < burstSize; i++ {
+			jobs = append(jobs, core.Job{ID: id, Release: t, Size: dist.Sample(rng)})
+			id++
+		}
+	}
+	return core.NewInstance(jobs)
+}
+
+// Diurnal generates n jobs from a non-homogeneous Poisson process whose
+// rate oscillates sinusoidally around baseRate with the given relative
+// amplitude ∈ [0,1) and period — the day/night pattern of real services.
+// Arrivals are drawn by thinning: candidates at rate λmax = baseRate(1+amp)
+// are kept with probability λ(t)/λmax.
+func Diurnal(rng *rand.Rand, n int, baseRate, amplitude, period float64, dist SizeDist) *core.Instance {
+	if amplitude < 0 {
+		amplitude = 0
+	}
+	if amplitude >= 1 {
+		amplitude = 0.99
+	}
+	lambdaMax := baseRate * (1 + amplitude)
+	jobs := make([]core.Job, 0, n)
+	t := 0.0
+	id := 0
+	for len(jobs) < n {
+		t += rng.ExpFloat64() / lambdaMax
+		rate := baseRate * (1 + amplitude*math.Sin(2*math.Pi*t/period))
+		if rng.Float64()*lambdaMax <= rate {
+			jobs = append(jobs, core.Job{ID: id, Release: t, Size: dist.Sample(rng)})
+			id++
+		}
+	}
+	return core.NewInstance(jobs)
+}
+
+// AssignWeights samples a weight for every job from dist (in place) and
+// returns the instance, turning any workload into a weighted-flow-time
+// instance (Σ w_j F_j^k objectives).
+func AssignWeights(in *core.Instance, rng *rand.Rand, dist SizeDist) *core.Instance {
+	for i := range in.Jobs {
+		in.Jobs[i].Weight = dist.Sample(rng)
+	}
+	return in
+}
+
+// Uniform generates n jobs with releases uniform in [0, horizon] and sizes
+// from dist.
+func Uniform(rng *rand.Rand, n int, horizon float64, dist SizeDist) *core.Instance {
+	jobs := make([]core.Job, n)
+	for i := range jobs {
+		jobs[i] = core.Job{ID: i, Release: rng.Float64() * horizon, Size: dist.Sample(rng)}
+	}
+	return core.NewInstance(jobs)
+}

@@ -1,0 +1,188 @@
+// Package workload builds the job instances on which the paper's claims are
+// tested: stochastic server-client arrival streams (the paper's motivating
+// setting), dense batches, bursty streams, and the adversarial constructions
+// behind the lower bounds, plus CSV/JSON trace serialization.
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+
+	"rrnorm/internal/stats"
+)
+
+// SizeDist samples job processing times. Mean must return the exact
+// distribution mean so generators can target a machine load.
+type SizeDist interface {
+	Name() string
+	Mean() float64
+	Sample(rng *rand.Rand) float64
+}
+
+// ExpSizes is an exponential size distribution (memoryless service times,
+// the standard M/M model).
+type ExpSizes struct{ M float64 }
+
+// Name implements SizeDist.
+func (d ExpSizes) Name() string { return fmt.Sprintf("exp(mean=%g)", d.M) }
+
+// Mean implements SizeDist.
+func (d ExpSizes) Mean() float64 { return d.M }
+
+// Sample implements SizeDist.
+func (d ExpSizes) Sample(rng *rand.Rand) float64 {
+	v := stats.Exp(rng, d.M)
+	if v <= 0 {
+		v = d.M * 1e-9
+	}
+	return v
+}
+
+// ParetoSizes is a bounded Pareto distribution — the heavy-tailed service
+// times for which fairness questions are sharpest (a few giant jobs among
+// many small ones).
+type ParetoSizes struct {
+	Alpha float64 // tail index > 1
+	Xm    float64 // minimum size
+	Cap   float64 // truncation (0 = Xm·10⁴)
+}
+
+// Name implements SizeDist.
+func (d ParetoSizes) Name() string { return fmt.Sprintf("pareto(α=%g,xm=%g)", d.Alpha, d.Xm) }
+
+// capOrDefault returns the effective truncation point.
+func (d ParetoSizes) capOrDefault() float64 {
+	if d.Cap > 0 {
+		return d.Cap
+	}
+	return d.Xm * 1e4
+}
+
+// Mean implements SizeDist. For the truncated Pareto on [xm, H]:
+// mean = (α·xm^α)/(α−1) · (xm^{1−α} − H^{1−α}) / (1 − (xm/H)^α).
+func (d ParetoSizes) Mean() float64 {
+	a, xm, h := d.Alpha, d.Xm, d.capOrDefault()
+	if a == 1 {
+		a = 1.0000001
+	}
+	num := a * powf(xm, a) / (a - 1) * (powf(xm, 1-a) - powf(h, 1-a))
+	den := 1 - powf(xm/h, a)
+	return num / den
+}
+
+// Sample implements SizeDist.
+func (d ParetoSizes) Sample(rng *rand.Rand) float64 {
+	return stats.BoundedPareto(rng, d.Alpha, d.Xm, d.capOrDefault())
+}
+
+// UniformSizes draws sizes uniformly from [Lo, Hi].
+type UniformSizes struct{ Lo, Hi float64 }
+
+// Name implements SizeDist.
+func (d UniformSizes) Name() string { return fmt.Sprintf("uniform[%g,%g]", d.Lo, d.Hi) }
+
+// Mean implements SizeDist.
+func (d UniformSizes) Mean() float64 { return (d.Lo + d.Hi) / 2 }
+
+// Sample implements SizeDist.
+func (d UniformSizes) Sample(rng *rand.Rand) float64 {
+	return d.Lo + rng.Float64()*(d.Hi-d.Lo)
+}
+
+// BimodalSizes mixes small and large fixed sizes — the "interactive vs
+// batch" mix from the OS-scheduling motivation.
+type BimodalSizes struct {
+	Small, Large float64
+	PLarge       float64 // probability of a large job
+}
+
+// Name implements SizeDist.
+func (d BimodalSizes) Name() string {
+	return fmt.Sprintf("bimodal(%g/%g,p=%g)", d.Small, d.Large, d.PLarge)
+}
+
+// Mean implements SizeDist.
+func (d BimodalSizes) Mean() float64 { return d.Small*(1-d.PLarge) + d.Large*d.PLarge }
+
+// Sample implements SizeDist.
+func (d BimodalSizes) Sample(rng *rand.Rand) float64 {
+	if rng.Float64() < d.PLarge {
+		return d.Large
+	}
+	return d.Small
+}
+
+// FixedSizes always returns V.
+type FixedSizes struct{ V float64 }
+
+// Name implements SizeDist.
+func (d FixedSizes) Name() string { return fmt.Sprintf("fixed(%g)", d.V) }
+
+// Mean implements SizeDist.
+func (d FixedSizes) Mean() float64 { return d.V }
+
+// Sample implements SizeDist.
+func (d FixedSizes) Sample(rng *rand.Rand) float64 { return d.V }
+
+// powf is a local shorthand for math.Pow.
+func powf(x, y float64) float64 { return math.Pow(x, y) }
+
+// CDFOf returns the cumulative distribution function and an effective
+// support bound for a size distribution — the inputs the Gittins-index
+// policy (internal/policy) needs. ok is false for distributions without a
+// closed-form CDF here.
+func CDFOf(d SizeDist) (cdf func(float64) float64, sup float64, ok bool) {
+	switch x := d.(type) {
+	case ExpSizes:
+		return func(v float64) float64 {
+			if v <= 0 {
+				return 0
+			}
+			return 1 - math.Exp(-v/x.M)
+		}, 20 * x.M, true
+	case ParetoSizes:
+		h := x.capOrDefault()
+		norm := 1 - powf(x.Xm/h, x.Alpha)
+		return func(v float64) float64 {
+			if v <= x.Xm {
+				return 0
+			}
+			if v >= h {
+				return 1
+			}
+			return (1 - powf(x.Xm/v, x.Alpha)) / norm
+		}, h, true
+	case UniformSizes:
+		return func(v float64) float64 {
+			switch {
+			case v <= x.Lo:
+				return 0
+			case v >= x.Hi:
+				return 1
+			default:
+				return (v - x.Lo) / (x.Hi - x.Lo)
+			}
+		}, x.Hi, true
+	case FixedSizes:
+		return func(v float64) float64 {
+			if v < x.V {
+				return 0
+			}
+			return 1
+		}, x.V, true
+	case BimodalSizes:
+		return func(v float64) float64 {
+			c := 0.0
+			if v >= x.Small {
+				c += 1 - x.PLarge
+			}
+			if v >= x.Large {
+				c += x.PLarge
+			}
+			return c
+		}, x.Large, true
+	default:
+		return nil, 0, false
+	}
+}

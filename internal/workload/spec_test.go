@@ -1,0 +1,130 @@
+package workload
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestFromSpecKinds(t *testing.T) {
+	cases := []struct {
+		spec string
+		n    int // expected job count (0 = just validate)
+	}{
+		{"poisson:n=20,load=0.8,dist=exp,mean=2", 20},
+		{"poisson", 100},
+		{"batch:n=7,dist=fixed,mean=3", 7},
+		{"bursts:bursts=3,size=4,period=5", 12},
+		{"rrstream:groups=6,m=2", 12},
+		{"cascade:levels=4,theta=0.5", 15},
+		{"starvation:big=5,n=10,small=1", 11},
+		{"staircase:n=5", 5},
+	}
+	for _, c := range cases {
+		in, err := FromSpec(c.spec, 1)
+		if err != nil {
+			t.Fatalf("%q: %v", c.spec, err)
+		}
+		if err := in.Validate(); err != nil {
+			t.Fatalf("%q invalid: %v", c.spec, err)
+		}
+		if c.n > 0 && in.N() != c.n {
+			t.Fatalf("%q: n=%d, want %d", c.spec, in.N(), c.n)
+		}
+	}
+}
+
+func TestFromSpecDists(t *testing.T) {
+	for _, spec := range []string{
+		"batch:n=5,dist=pareto,alpha=2,xm=1",
+		"batch:n=5,dist=uniform,lo=1,hi=2",
+		"batch:n=5,dist=bimodal,small=1,large=10,plarge=0.3",
+	} {
+		if _, err := FromSpec(spec, 1); err != nil {
+			t.Fatalf("%q: %v", spec, err)
+		}
+	}
+}
+
+func TestFromSpecErrors(t *testing.T) {
+	for _, spec := range []string{
+		"",
+		"nope",
+		"poisson:zzz=3",
+		"poisson:n",
+		"poisson:n=abc",
+		"batch:dist=weird",
+		"trace",
+		"trace:path=/definitely/not/here.csv",
+	} {
+		if _, err := FromSpec(spec, 1); err == nil {
+			t.Errorf("%q: expected error", spec)
+		}
+	}
+}
+
+func TestFromSpecTrace(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "t.csv")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := Staircase(4)
+	if err := WriteCSV(f, in); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	back, err := FromSpec("trace:path="+path, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.N() != 4 {
+		t.Fatalf("n=%d", back.N())
+	}
+}
+
+func TestFromSpecDeterministic(t *testing.T) {
+	a, _ := FromSpec("poisson:n=30", 9)
+	b, _ := FromSpec("poisson:n=30", 9)
+	for i := range a.Jobs {
+		if a.Jobs[i] != b.Jobs[i] {
+			t.Fatal("same seed must give same instance")
+		}
+	}
+}
+
+func TestCascadeShape(t *testing.T) {
+	in := Cascade(3, 0.5)
+	if in.N() != 7 {
+		t.Fatalf("n=%d, want 7", in.N())
+	}
+	// Level 0: one job of size 1.5 at t=0; level 2: four jobs of 0.375 at t=2.
+	if in.Jobs[0].Size != 1.5 || in.Jobs[0].Release != 0 {
+		t.Fatalf("level 0 job: %+v", in.Jobs[0])
+	}
+	last := in.Jobs[6]
+	if last.Release != 2 || last.Size != 0.375 {
+		t.Fatalf("level 2 job: %+v", last)
+	}
+	// Per-level work is constant 1+θ.
+	work := map[float64]float64{}
+	for _, j := range in.Jobs {
+		work[j.Release] += j.Size
+	}
+	for lvl, w := range work {
+		if diff := w - 1.5; diff > 1e-12 || diff < -1e-12 {
+			t.Fatalf("level %v work %v, want 1.5", lvl, w)
+		}
+	}
+}
+
+func TestFromSpecDiurnal(t *testing.T) {
+	in, err := FromSpec("diurnal:n=50,rate=2,amp=0.5,period=10", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.N() != 50 {
+		t.Fatalf("n=%d", in.N())
+	}
+}

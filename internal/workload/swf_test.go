@@ -1,0 +1,69 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleSWF = `; SWF header comment
+; MaxJobs: 5
+1 0 2 100 4 -1 -1 4 -1 -1 1 1 1 -1 -1 -1 -1 -1
+2 10 1 50 1 -1 -1 1 -1 -1 1 1 1 -1 -1 -1 -1 -1
+3 20 0 -1 2 -1 -1 2 -1 -1 0 1 1 -1 -1 -1 -1 -1
+4 30 3 25 2 -1 -1 2 -1 -1 1 1 1 -1 -1 -1 -1 -1
+`
+
+func TestReadSWF(t *testing.T) {
+	in, err := ReadSWF(strings.NewReader(sampleSWF), SWFOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Job 3 (runtime -1, cancelled) is skipped.
+	if in.N() != 3 {
+		t.Fatalf("n=%d, want 3", in.N())
+	}
+	if in.Jobs[0].ID != 1 || in.Jobs[0].Release != 0 || in.Jobs[0].Size != 100 {
+		t.Fatalf("job 1: %+v", in.Jobs[0])
+	}
+	if in.Jobs[2].Release != 30 || in.Jobs[2].Size != 25 {
+		t.Fatalf("job 4: %+v", in.Jobs[2])
+	}
+}
+
+func TestReadSWFScaleProcessors(t *testing.T) {
+	in, err := ReadSWF(strings.NewReader(sampleSWF), SWFOptions{ScaleProcessors: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.Jobs[0].Size != 400 { // 100 runtime × 4 processors
+		t.Fatalf("scaled size %v, want 400", in.Jobs[0].Size)
+	}
+}
+
+func TestReadSWFMaxJobs(t *testing.T) {
+	in, err := ReadSWF(strings.NewReader(sampleSWF), SWFOptions{MaxJobs: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.N() != 2 {
+		t.Fatalf("n=%d, want 2", in.N())
+	}
+}
+
+func TestReadSWFErrors(t *testing.T) {
+	cases := []string{
+		"",                   // no jobs
+		"; only comments\n",  // no jobs
+		"1 2 3\n",            // too few fields
+		"x 0 1 10 1\n",       // bad id
+		"1 zz 1 10 1\n",      // bad submit
+		"1 0 1 zz 1\n",       // bad runtime
+		"; c\n1 0 1 10 zz\n", // bad processors (only with scaling)
+	}
+	for i, c := range cases {
+		opts := SWFOptions{ScaleProcessors: true}
+		if _, err := ReadSWF(strings.NewReader(c), opts); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+}

@@ -1,0 +1,117 @@
+package workload
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+
+	"rrnorm/internal/core"
+)
+
+// WriteCSV serializes an instance as CSV with header
+// "id,release,size,weight".
+func WriteCSV(w io.Writer, in *core.Instance) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"id", "release", "size", "weight"}); err != nil {
+		return err
+	}
+	for _, j := range in.Jobs {
+		rec := []string{
+			strconv.Itoa(j.ID),
+			strconv.FormatFloat(j.Release, 'g', -1, 64),
+			strconv.FormatFloat(j.Size, 'g', -1, 64),
+			strconv.FormatFloat(j.Weight, 'g', -1, 64),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV parses an instance written by WriteCSV. Both the current
+// 4-column (id,release,size,weight) and the legacy 3-column format are
+// accepted; a missing weight means the default (1).
+func ReadCSV(r io.Reader) (*core.Instance, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = -1
+	recs, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("workload: reading CSV: %w", err)
+	}
+	if len(recs) == 0 {
+		return nil, fmt.Errorf("workload: empty CSV trace")
+	}
+	if len(recs[0]) < 3 || recs[0][0] != "id" {
+		return nil, fmt.Errorf("workload: bad CSV header %v (want id,release,size[,weight])", recs[0])
+	}
+	jobs := make([]core.Job, 0, len(recs)-1)
+	for i, rec := range recs[1:] {
+		if len(rec) != 3 && len(rec) != 4 {
+			return nil, fmt.Errorf("workload: row %d has %d fields", i+2, len(rec))
+		}
+		id, err := strconv.Atoi(rec[0])
+		if err != nil {
+			return nil, fmt.Errorf("workload: row %d id: %w", i+2, err)
+		}
+		rel, err := strconv.ParseFloat(rec[1], 64)
+		if err != nil {
+			return nil, fmt.Errorf("workload: row %d release: %w", i+2, err)
+		}
+		size, err := strconv.ParseFloat(rec[2], 64)
+		if err != nil {
+			return nil, fmt.Errorf("workload: row %d size: %w", i+2, err)
+		}
+		j := core.Job{ID: id, Release: rel, Size: size}
+		if len(rec) == 4 {
+			wgt, err := strconv.ParseFloat(rec[3], 64)
+			if err != nil {
+				return nil, fmt.Errorf("workload: row %d weight: %w", i+2, err)
+			}
+			j.Weight = wgt
+		}
+		jobs = append(jobs, j)
+	}
+	in := core.NewInstance(jobs)
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	return in, nil
+}
+
+// jsonTrace is the JSON wire format.
+type jsonTrace struct {
+	Jobs []core.Job `json:"jobs"`
+}
+
+// WriteJSON serializes an instance as JSON.
+func WriteJSON(w io.Writer, in *core.Instance) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(jsonTrace{Jobs: in.Jobs})
+}
+
+// ReadJSON parses an instance written by WriteJSON.
+func ReadJSON(r io.Reader) (*core.Instance, error) {
+	var t jsonTrace
+	if err := json.NewDecoder(r).Decode(&t); err != nil {
+		return nil, fmt.Errorf("workload: reading JSON: %w", err)
+	}
+	in := core.NewInstance(t.Jobs)
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	return in, nil
+}
+
+// Describe returns a one-line human-readable summary of an instance.
+func Describe(in *core.Instance) string {
+	if in.N() == 0 {
+		return "empty instance"
+	}
+	return fmt.Sprintf("n=%d, span=[0,%.3g], total work=%.4g, mean size=%.4g",
+		in.N(), in.MaxRelease(), in.TotalWork(), in.TotalWork()/float64(in.N()))
+}

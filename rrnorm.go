@@ -1,0 +1,138 @@
+// Package rrnorm is a faithful, executable reproduction of
+//
+//	"Temporal Fairness of Round Robin: Competitive Analysis for Lk-norms
+//	 of Flow Time" — Im, Kulkarni, Moseley, SPAA 2015,
+//
+// as a Go library: an exact event-driven simulator for preemptive
+// scheduling on m identical machines with resource augmentation, the
+// policies the paper analyzes or cites (RR, SRPT, SJF, SETF, FCFS, WRR,
+// LAPS, MLFQ), ℓk-norm flow-time metrics, a certified LP lower bound on the
+// optimum (via an exact min-cost-flow solve of the paper's LP relaxation),
+// an exact branch-and-bound optimum for small instances, and the paper's
+// dual-fitting analysis (α/β variables, Lemmas 1–4) as a runnable
+// certificate.
+//
+// This package is the stable facade; the implementation lives in
+// internal/* (see DESIGN.md for the system inventory). Quick start:
+//
+//	in := rrnorm.FromSpecMust("poisson:n=200,load=0.9,dist=exp", 1)
+//	res, _ := rrnorm.Simulate(in, "RR", rrnorm.Options{Machines: 1, Speed: 2})
+//	fmt.Println(rrnorm.LkNorm(res.Flow, 2))
+package rrnorm
+
+import (
+	"fmt"
+
+	"rrnorm/internal/core"
+	"rrnorm/internal/dual"
+	"rrnorm/internal/lp"
+	"rrnorm/internal/metrics"
+	"rrnorm/internal/policy"
+	"rrnorm/internal/workload"
+)
+
+// Core model types, re-exported.
+type (
+	// Job is a single request: released at Release, needing Size units of
+	// processing.
+	Job = core.Job
+	// Instance is a set of jobs.
+	Instance = core.Instance
+	// Options configures a simulation (machines, speed augmentation,
+	// segment recording).
+	Options = core.Options
+	// Result is a simulated schedule with completions, flows and the rate
+	// timeline.
+	Result = core.Result
+	// Policy is the scheduling-policy interface; see internal/policy for
+	// the implementations and internal/core for the contract.
+	Policy = core.Policy
+	// Certificate is the paper's dual-fitting certificate; see
+	// internal/dual.
+	Certificate = dual.Certificate
+)
+
+// NewInstance builds a normalized instance from jobs.
+func NewInstance(jobs []Job) *Instance { return core.NewInstance(jobs) }
+
+// Policies lists the registered policy names
+// (FCFS, LAPS, MLFQ, RR, SETF, SJF, SRPT, WRR).
+func Policies() []string { return policy.Names() }
+
+// NewPolicy constructs a registered policy by name with default parameters.
+func NewPolicy(name string) (Policy, error) { return policy.New(name) }
+
+// Simulate runs the named policy on the instance.
+func Simulate(in *Instance, policyName string, opts Options) (*Result, error) {
+	p, err := policy.New(policyName)
+	if err != nil {
+		return nil, err
+	}
+	return core.Run(in, p, opts)
+}
+
+// SimulateWith runs a caller-provided policy (e.g. a custom core.Policy
+// implementation) on the instance.
+func SimulateWith(in *Instance, p Policy, opts Options) (*Result, error) {
+	return core.Run(in, p, opts)
+}
+
+// LkNorm returns (Σ flows^k)^{1/k}.
+func LkNorm(flows []float64, k int) float64 { return metrics.LkNorm(flows, k) }
+
+// KthPowerSum returns Σ flows^k — the quantity the paper's analysis bounds.
+func KthPowerSum(flows []float64, k int) float64 { return metrics.KthPowerSum(flows, k) }
+
+// LowerBound returns a certified lower bound on the optimal Σ F^k on m
+// unit-speed machines (max of the LP/2 relaxation bound and Σ p^k).
+func LowerBound(in *Instance, m, k int) (float64, error) {
+	b, err := lp.KPowerLowerBound(in, m, k, lp.Options{})
+	if err != nil {
+		return 0, err
+	}
+	return b.Value, nil
+}
+
+// Certify runs Round Robin at the paper's Theorem 1 speed 2k(1+10ε) on m
+// machines and returns the dual-fitting certificate for the resulting
+// schedule.
+func Certify(in *Instance, m, k int, eps float64) (*Certificate, error) {
+	res, err := Simulate(in, "RR", Options{Machines: m, Speed: dual.Eta(k, eps), RecordSegments: true})
+	if err != nil {
+		return nil, err
+	}
+	return dual.Build(res, k, eps)
+}
+
+// FractionalFlows computes per-job fractional flow times
+// ∫ (remaining fraction) dt from a recorded schedule (RecordSegments).
+func FractionalFlows(res *Result) ([]float64, error) { return core.FractionalFlows(res) }
+
+// Gantt renders a recorded schedule as an ASCII chart (one row per job,
+// glyph darkness ∝ rate).
+func Gantt(res *Result, width int) string { return core.RenderGantt(res, width) }
+
+// TimeStats derives time-average statistics (alive count, utilization,
+// busy periods, overload time) from a recorded schedule.
+func TimeStats(res *Result) core.TimeStats { return core.ComputeTimeStats(res) }
+
+// WeightedLkNorm returns (Σ w_j F_j^k)^{1/k}; zero weights default to 1.
+func WeightedLkNorm(flows, weights []float64, k int) float64 {
+	return metrics.WeightedLkNorm(flows, weights, k)
+}
+
+// FromSpec builds a workload from a compact textual spec; see
+// internal/workload.FromSpec for the grammar (poisson, batch, bursts,
+// rrstream, cascade, starvation, staircase, trace).
+func FromSpec(spec string, seed uint64) (*Instance, error) {
+	return workload.FromSpec(spec, seed)
+}
+
+// FromSpecMust is FromSpec that panics on error — for examples and tests.
+func FromSpecMust(spec string, seed uint64) *Instance {
+	in, err := workload.FromSpec(spec, seed)
+	if err != nil {
+		panic(fmt.Sprintf("rrnorm: %v", err))
+	}
+	return in
+}
