@@ -1,0 +1,32 @@
+GO ?= go
+
+.PHONY: build test verify bench fuzz suite clean
+
+build:
+	$(GO) build ./...
+
+# Tier-1: what CI and the PR driver run.
+test:
+	$(GO) build ./... && $(GO) test ./...
+
+# Full verify loop (see DESIGN.md "Verification loop"): vet + the whole
+# test suite under the race detector. The exp suite and the differential
+# harness both run experiments concurrently, so -race is load-bearing.
+verify:
+	$(GO) vet ./... && $(GO) test -race ./...
+
+# Differential fuzzing of the fast engine against the reference engine.
+# FUZZTIME=5m make fuzz for longer campaigns.
+FUZZTIME ?= 30s
+fuzz:
+	$(GO) test -fuzz=FuzzEngineAgreement -fuzztime=$(FUZZTIME) ./internal/check
+
+bench:
+	$(GO) test -run xxx -bench . -benchmem .
+
+# Regenerate the experiment suite into results/.
+suite:
+	$(GO) run ./cmd/rrbench -out results -html results/report.html -parallel
+
+clean:
+	rm -rf results

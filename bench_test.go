@@ -9,6 +9,7 @@ import (
 	"rrnorm/internal/core"
 	"rrnorm/internal/dual"
 	"rrnorm/internal/exp"
+	"rrnorm/internal/fast"
 	"rrnorm/internal/lp"
 	"rrnorm/internal/mcmf"
 	"rrnorm/internal/opt"
@@ -57,6 +58,32 @@ func BenchmarkEngineRRWithSegments(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if _, err := core.Run(in, policy.NewRR(), opts); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEngineFastVsReference compares the event-driven fast engine
+// against the step-based reference engine on the same RR workloads across
+// three decades of instance size. The fast engine is O((n + completions)
+// log n); the reference engine recomputes all alive-job rates on every
+// event, so the gap widens with the alive-set size (higher load or larger
+// n). The README records the measured speedups.
+func BenchmarkEngineFastVsReference(b *testing.B) {
+	for _, n := range []int{1_000, 10_000, 100_000} {
+		in := workload.PoissonLoad(stats.NewRNG(1), n, 1, 0.98, workload.ExpSizes{M: 1})
+		for _, eng := range []struct {
+			name string
+			kind core.EngineKind
+		}{{"reference", core.EngineReference}, {"fast", core.EngineFast}} {
+			b.Run(fmt.Sprintf("n=%d/%s", n, eng.name), func(b *testing.B) {
+				opts := core.Options{Machines: 1, Speed: 1, Engine: eng.kind}
+				for i := 0; i < b.N; i++ {
+					if _, err := fast.Run(in, policy.NewRR(), opts); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.ReportMetric(float64(n), "jobs/op")
+			})
 		}
 	}
 }

@@ -16,6 +16,7 @@ import (
 	"sync"
 	"time"
 
+	"rrnorm/internal/core"
 	"rrnorm/internal/exp"
 )
 
@@ -27,9 +28,14 @@ func main() {
 		seed     = flag.Uint64("seed", 42, "workload RNG seed")
 		html     = flag.String("html", "", "also write a self-contained HTML report to this path")
 		parallel = flag.Bool("parallel", false, "run experiments concurrently (results still print in order)")
+		engine   = flag.String("engine", "auto", "simulation engine: auto, reference or fast")
 	)
 	flag.Parse()
-	cfg := exp.Config{Seed: *seed, Quick: *quick, OutDir: *out}
+	eng, err := core.ParseEngineKind(*engine)
+	if err != nil {
+		fatal(err)
+	}
+	cfg := exp.Config{Seed: *seed, Quick: *quick, OutDir: *out, Engine: eng}
 
 	var exps []exp.Experiment
 	if *id == "all" {

@@ -18,6 +18,7 @@ import (
 	"text/tabwriter"
 
 	"rrnorm/internal/core"
+	"rrnorm/internal/fast"
 	"rrnorm/internal/lp"
 	"rrnorm/internal/metrics"
 	"rrnorm/internal/policy"
@@ -33,11 +34,17 @@ func main() {
 		speed   = flag.Float64("speed", 1, "resource-augmentation speed for the policy")
 		k       = flag.Int("k", 2, "k for the ℓk-norm report and -lb ratio")
 		seed    = flag.Uint64("seed", 1, "workload RNG seed")
+		engine  = flag.String("engine", "auto", "simulation engine: auto, reference or fast")
 		withLB  = flag.Bool("lb", false, "also compute the LP/2 lower bound and ratio")
 		dump    = flag.String("dump", "", "write the generated workload as CSV to this path")
 		resOut  = flag.String("resultout", "", "write the last policy's full result as JSON to this path")
 	)
 	flag.Parse()
+
+	eng, err := core.ParseEngineKind(*engine)
+	if err != nil {
+		fatal(err)
+	}
 
 	in, err := workload.FromSpec(*spec, *seed)
 	if err != nil {
@@ -81,7 +88,7 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		res, err := core.Run(in, p, core.Options{Machines: *m, Speed: *speed, RecordSegments: *resOut != ""})
+		res, err := fast.Run(in, p, core.Options{Machines: *m, Speed: *speed, RecordSegments: *resOut != "", Engine: eng})
 		if err != nil {
 			fatal(err)
 		}

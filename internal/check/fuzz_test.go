@@ -1,0 +1,36 @@
+package check
+
+import (
+	"testing"
+)
+
+// FuzzEngineAgreement fuzzes the differential oracle: each input picks a
+// seeded random instance, seeded options and one fast-path policy, and
+// requires the fast engine to agree with the reference engine within
+// DefaultTolerances. Run with
+//
+//	go test -fuzz=FuzzEngineAgreement ./internal/check
+//
+// to explore beyond the seed corpus; under plain `go test` the f.Add seeds
+// run as regular test cases.
+func FuzzEngineAgreement(f *testing.F) {
+	for seed := uint64(0); seed < 32; seed++ {
+		for pol := uint8(0); pol < 5; pol++ {
+			f.Add(seed, pol)
+		}
+	}
+	tol := DefaultTolerances()
+	f.Fuzz(func(t *testing.T, seed uint64, pol uint8) {
+		in := RandomInstance(seed)
+		opts := RandomOptions(seed)
+		pols := Policies(seed)
+		p := pols[int(pol)%len(pols)]
+		rep, err := Compare(in, p, opts, tol)
+		if err != nil {
+			t.Fatalf("seed %d %s: %v", seed, p.Name(), err)
+		}
+		if !rep.OK() {
+			t.Fatalf("seed %d (n=%d m=%d s=%g): %s", seed, in.N(), opts.Machines, opts.Speed, rep)
+		}
+	})
+}

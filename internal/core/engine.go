@@ -6,6 +6,52 @@ import (
 	"math"
 )
 
+// EngineKind selects which engine implementation executes a simulation.
+// The zero value is EngineAuto. Run itself always executes the reference
+// engine and ignores the field; dispatching front-ends (internal/fast.Run,
+// the rrnorm facade, internal/exp and the CLIs) honor it.
+type EngineKind int
+
+const (
+	// EngineAuto uses the event-driven fast engine (internal/fast) when the
+	// policy has a fast path and the options allow it (no segment
+	// recording), falling back to the reference engine otherwise.
+	EngineAuto EngineKind = iota
+	// EngineReference forces the step-by-step reference engine (Run).
+	EngineReference
+	// EngineFast requires the fast path; dispatchers fail when the
+	// policy/options combination does not have one. Intended for tests and
+	// benchmarks that must not silently fall back.
+	EngineFast
+)
+
+// String implements fmt.Stringer.
+func (k EngineKind) String() string {
+	switch k {
+	case EngineAuto:
+		return "auto"
+	case EngineReference:
+		return "reference"
+	case EngineFast:
+		return "fast"
+	}
+	return fmt.Sprintf("EngineKind(%d)", int(k))
+}
+
+// ParseEngineKind parses "auto", "reference" or "fast" (as accepted by the
+// CLIs' -engine flag).
+func ParseEngineKind(s string) (EngineKind, error) {
+	switch s {
+	case "auto", "":
+		return EngineAuto, nil
+	case "reference", "ref":
+		return EngineReference, nil
+	case "fast":
+		return EngineFast, nil
+	}
+	return 0, fmt.Errorf("%w: unknown engine %q (want auto, reference or fast)", ErrBadOptions, s)
+}
+
 // Options configures a simulation run.
 type Options struct {
 	// Machines is m ≥ 1, the number of identical machines.
@@ -20,6 +66,10 @@ type Options struct {
 	// MaxEvents bounds the number of engine steps; 0 means a generous
 	// default derived from the instance size.
 	MaxEvents int
+	// Engine selects the engine implementation for dispatching front-ends
+	// (internal/fast.Run, rrnorm.Simulate). Run ignores it — it is the
+	// reference engine.
+	Engine EngineKind
 }
 
 // DefaultOptions returns single-machine, speed-1 options with segment
@@ -151,12 +201,27 @@ func Run(inst *Instance, policy Policy, opts Options) (*Result, error) {
 
 		// Admit all arrivals at the current time. Jobs are sorted, and
 		// alive jobs always arrived no later than pending ones, so
-		// appending preserves (Release, ID) order.
+		// appending preserves (Release, ID) order. Degenerate jobs — zero
+		// size, or size below the completion tolerance — complete the
+		// instant they are admitted: letting them join the alive set would
+		// hand them a rate share until the next event boundary, skewing
+		// every other job's schedule and making their completion time
+		// depend on unrelated event spacing (the completionTol/minAdvance
+		// edge case the fast engine must agree with).
 		for next < n && in.Jobs[next].Release <= now {
+			if j := in.Jobs[next]; j.Size <= CompletionTol(j.Size) {
+				res.Completion[next] = now
+				res.Flow[next] = now - j.Release
+				next++
+				continue
+			}
 			alive = append(alive, next)
 			next++
 		}
 		if len(alive) == 0 {
+			if next >= n {
+				break // the last admitted jobs were degenerate; all done
+			}
 			now = in.Jobs[next].Release
 			continue
 		}
@@ -235,7 +300,7 @@ func Run(inst *Instance, policy Policy, opts Options) (*Result, error) {
 		for i, idx := range alive {
 			elapsed[idx] += rates[i] * opts.Speed * dt
 			rem := in.Jobs[idx].Size - elapsed[idx]
-			if rem <= completionTol(in.Jobs[idx].Size) {
+			if rem <= CompletionTol(in.Jobs[idx].Size) {
 				res.Completion[idx] = end
 				res.Flow[idx] = end - in.Jobs[idx].Release
 				continue
@@ -258,10 +323,12 @@ func (r *Result) FlowByID() map[int]float64 {
 	return m
 }
 
-// completionTol returns the absolute remaining-work threshold below which a
+// CompletionTol returns the absolute remaining-work threshold below which a
 // job counts as complete, scaled to the job size to be robust across
-// magnitudes.
-func completionTol(size float64) float64 {
+// magnitudes. It is exported so the fast engine (internal/fast) and the
+// differential harness (internal/check) apply the exact same completion
+// semantics as the reference engine.
+func CompletionTol(size float64) float64 {
 	t := 1e-12 * size
 	if t < 1e-15 {
 		t = 1e-15

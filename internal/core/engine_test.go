@@ -144,8 +144,8 @@ func TestValidateInstanceErrors(t *testing.T) {
 		in   *Instance
 	}{
 		{"duplicate id", NewInstance([]Job{{ID: 1, Release: 0, Size: 1}, {ID: 1, Release: 1, Size: 1}})},
-		{"zero size", NewInstance([]Job{{ID: 1, Release: 0, Size: 0}})},
 		{"negative size", NewInstance([]Job{{ID: 1, Release: 0, Size: -2}})},
+		{"nan size", NewInstance([]Job{{ID: 1, Release: 0, Size: math.NaN()}})},
 		{"negative release", NewInstance([]Job{{ID: 1, Release: -1, Size: 1}})},
 		{"nan release", NewInstance([]Job{{ID: 1, Release: math.NaN(), Size: 1}})},
 		{"inf size", NewInstance([]Job{{ID: 1, Release: 0, Size: math.Inf(1)}})},
@@ -154,6 +154,89 @@ func TestValidateInstanceErrors(t *testing.T) {
 		if err := c.in.Validate(); !errors.Is(err, ErrInvalidInstance) {
 			t.Errorf("%s: want ErrInvalidInstance, got %v", c.name, err)
 		}
+	}
+}
+
+// TestZeroSizeJobCompletesAtAdmission: zero-size jobs are valid and
+// complete the instant they are admitted, without occupying a rate share
+// that would delay other jobs (regression for the completionTol/minAdvance
+// edge case).
+func TestZeroSizeJobCompletesAtAdmission(t *testing.T) {
+	in := NewInstance([]Job{
+		{ID: 0, Release: 0, Size: 4},
+		{ID: 1, Release: 1, Size: 0},
+		{ID: 2, Release: 10, Size: 0},
+	})
+	if err := in.Validate(); err != nil {
+		t.Fatalf("zero-size instance should validate: %v", err)
+	}
+	res := mustRun(t, in, eqPolicy{}, DefaultOptions())
+	// Job 0 must be completely unaffected by the zero-size jobs.
+	approx(t, res.Completion[0], 4, 1e-9, "job 0 completion")
+	approx(t, res.Flow[1], 0, 1e-9, "zero-size flow at t=1")
+	approx(t, res.Completion[1], 1, 1e-9, "zero-size completion at release")
+	// Job 2 arrives after all work is done: it completes at its release.
+	approx(t, res.Completion[2], 10, 1e-9, "idle-time zero-size completion")
+}
+
+// TestSubToleranceSizeJob: sizes below the completion tolerance floor
+// (CompletionTol(p) ≥ p) behave like zero-size jobs — complete at
+// admission — instead of triggering minAdvance-clamped micro-steps.
+func TestSubToleranceSizeJob(t *testing.T) {
+	tiny := 1e-16
+	if CompletionTol(tiny) < tiny {
+		t.Fatalf("test premise: CompletionTol(%g)=%g should dominate", tiny, CompletionTol(tiny))
+	}
+	in := NewInstance([]Job{
+		{ID: 0, Release: 0, Size: 2},
+		{ID: 1, Release: 0.5, Size: tiny},
+	})
+	res := mustRun(t, in, eqPolicy{}, DefaultOptions())
+	approx(t, res.Completion[0], 2, 1e-9, "normal job unaffected")
+	approx(t, res.Completion[1], 0.5, 1e-9, "tiny job completes at release")
+	if res.Events > 10 {
+		t.Fatalf("tiny job caused %d events (minAdvance churn?)", res.Events)
+	}
+}
+
+// TestIdenticalReleaseBatch: a batch of jobs sharing one release time must
+// be admitted together in ID order and complete deterministically — the
+// tie-break contract both engines rely on.
+func TestIdenticalReleaseBatch(t *testing.T) {
+	jobs := make([]Job, 5)
+	for i := range jobs {
+		jobs[i] = Job{ID: 4 - i, Release: 1, Size: 1}
+	}
+	in := NewInstance(jobs)
+	for i, j := range in.Jobs {
+		if j.ID != i {
+			t.Fatalf("normalize should order identical releases by ID: %v", in.Jobs)
+		}
+	}
+	res := mustRun(t, in, eqPolicy{}, DefaultOptions())
+	for i := range in.Jobs {
+		// Equal sharing of 5 unit jobs on one machine: all complete at 1+5.
+		approx(t, res.Completion[i], 6, 1e-9, "batch completion")
+	}
+	res2 := mustRun(t, in, onePolicy{}, DefaultOptions())
+	for i := range in.Jobs {
+		// One at a time in ID order: job i completes at 1+(i+1).
+		approx(t, res2.Completion[i], 2+float64(i), 1e-9, "serial batch completion")
+	}
+}
+
+func TestEngineKindStringParse(t *testing.T) {
+	for _, k := range []EngineKind{EngineAuto, EngineReference, EngineFast} {
+		got, err := ParseEngineKind(k.String())
+		if err != nil || got != k {
+			t.Errorf("round trip %v: got %v, %v", k, got, err)
+		}
+	}
+	if _, err := ParseEngineKind("warp"); !errors.Is(err, ErrBadOptions) {
+		t.Errorf("ParseEngineKind(warp): want ErrBadOptions, got %v", err)
+	}
+	if k, err := ParseEngineKind(""); err != nil || k != EngineAuto {
+		t.Errorf("empty engine should be auto, got %v, %v", k, err)
 	}
 }
 

@@ -102,7 +102,13 @@ func (in *Instance) Span() float64 {
 var ErrInvalidInstance = errors.New("core: invalid instance")
 
 // Validate checks that the instance is well formed: non-empty IDs unique,
-// sizes strictly positive and finite, releases non-negative and finite.
+// sizes non-negative and finite, releases non-negative and finite.
+//
+// Zero-size jobs are legal: they model instantaneous requests (health
+// checks, cache hits) and complete at the moment they are admitted — see
+// the engines' completion-tolerance handling. Code outside the engines that
+// divides by Size (stretch metrics, size-ranked workload summaries) should
+// guard against them.
 func (in *Instance) Validate() error {
 	seen := make(map[int]bool, len(in.Jobs))
 	for i, j := range in.Jobs {
@@ -110,8 +116,8 @@ func (in *Instance) Validate() error {
 			return fmt.Errorf("%w: duplicate job ID %d (index %d)", ErrInvalidInstance, j.ID, i)
 		}
 		seen[j.ID] = true
-		if !(j.Size > 0) || math.IsInf(j.Size, 0) {
-			return fmt.Errorf("%w: job %d has non-positive or non-finite size %v", ErrInvalidInstance, j.ID, j.Size)
+		if !(j.Size >= 0) || math.IsInf(j.Size, 0) {
+			return fmt.Errorf("%w: job %d has negative or non-finite size %v", ErrInvalidInstance, j.ID, j.Size)
 		}
 		if j.Release < 0 || math.IsInf(j.Release, 0) || math.IsNaN(j.Release) {
 			return fmt.Errorf("%w: job %d has invalid release %v", ErrInvalidInstance, j.ID, j.Release)

@@ -1,0 +1,133 @@
+// Engine-invariant property tests shared by the reference engine (core.Run)
+// and the event-driven fast engine (fast.Run). This file lives in the
+// external test package so it can import internal/fast and internal/check
+// without an import cycle; the instances come from check.RandomInstance so
+// the property corpus and the differential corpus are the same.
+package core_test
+
+import (
+	"math"
+	"testing"
+
+	"rrnorm/internal/check"
+	"rrnorm/internal/core"
+	"rrnorm/internal/fast"
+	"rrnorm/internal/policy"
+)
+
+// engines enumerates the two engines behind a single signature.
+var engines = []struct {
+	name string
+	run  func(*core.Instance, core.Policy, core.Options) (*core.Result, error)
+}{
+	{"reference", core.Run},
+	{"fast", func(in *core.Instance, p core.Policy, opts core.Options) (*core.Result, error) {
+		opts.Engine = core.EngineFast
+		return fast.Run(in, p, opts)
+	}},
+}
+
+func fastPolicies() []core.Policy {
+	return []core.Policy{policy.NewRR(), policy.NewSRPT(), policy.NewSJF(), policy.NewFCFS()}
+}
+
+// TestFlowLowerBoundBothEngines: no engine may finish a job faster than a
+// dedicated speed-s machine would — F_j ≥ p_j/s always.
+func TestFlowLowerBoundBothEngines(t *testing.T) {
+	for _, eng := range engines {
+		for seed := uint64(0); seed < 40; seed++ {
+			in := check.RandomInstance(seed)
+			opts := check.RandomOptions(seed)
+			for _, p := range fastPolicies() {
+				res, err := eng.run(in, p, opts)
+				if err != nil {
+					t.Fatalf("%s %s seed %d: %v", eng.name, p.Name(), seed, err)
+				}
+				for i, j := range res.Jobs {
+					lo := j.Size / opts.Speed
+					if res.Flow[i] < lo-1e-6*(1+lo) {
+						t.Fatalf("%s %s seed %d: job %d flow %v below size/speed %v",
+							eng.name, p.Name(), seed, i, res.Flow[i], lo)
+					}
+					if res.Completion[i] < j.Release-1e-9 {
+						t.Fatalf("%s %s seed %d: job %d completes before release", eng.name, p.Name(), seed, i)
+					}
+				}
+			}
+		}
+	}
+}
+
+// busyPeriodMakespan computes the last completion time of ANY non-idling
+// single-machine schedule: sweep jobs in release order, cur = max(cur, r_j)
+// + p_j/s. Within a busy period the machine processes work at exactly speed
+// s no matter how the policy splits it, so the makespan is policy-invariant.
+func busyPeriodMakespan(in *core.Instance, speed float64) float64 {
+	cur := math.Inf(-1)
+	for _, j := range in.Jobs {
+		if j.Release > cur {
+			cur = j.Release
+		}
+		cur += j.Size / speed
+	}
+	return cur
+}
+
+// TestBusyPeriodIdentityBothEngines: on m = 1 every work-conserving policy
+// — and both engines — must finish the last job exactly at the busy-period
+// sweep time. This catches idling bugs (machine left free with jobs
+// waiting) and work-leak bugs (remaining work lost in a preemption).
+func TestBusyPeriodIdentityBothEngines(t *testing.T) {
+	for _, eng := range engines {
+		for seed := uint64(0); seed < 40; seed++ {
+			in := check.RandomInstance(seed)
+			if in.N() == 0 {
+				continue
+			}
+			speed := check.RandomOptions(seed).Speed
+			opts := core.Options{Machines: 1, Speed: speed}
+			want := busyPeriodMakespan(in, speed)
+			for _, p := range fastPolicies() {
+				res, err := eng.run(in, p, opts)
+				if err != nil {
+					t.Fatalf("%s %s seed %d: %v", eng.name, p.Name(), seed, err)
+				}
+				if got := res.Makespan(); math.Abs(got-want) > 1e-6*(1+math.Abs(want)) {
+					t.Fatalf("%s %s seed %d: makespan %v, busy-period sweep %v",
+						eng.name, p.Name(), seed, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestTotalRateCapBothEngines: total work completed by time T never exceeds
+// m·s·(T − first release) — the machine-capacity bound Σrates ≤ m
+// integrated over time. Checked via completion times: the work of all jobs
+// finished by the makespan fits in the capacity of [r_min, makespan].
+func TestTotalRateCapBothEngines(t *testing.T) {
+	for _, eng := range engines {
+		for seed := uint64(0); seed < 40; seed++ {
+			in := check.RandomInstance(seed)
+			if in.N() == 0 {
+				continue
+			}
+			opts := check.RandomOptions(seed)
+			for _, p := range fastPolicies() {
+				res, err := eng.run(in, p, opts)
+				if err != nil {
+					t.Fatalf("%s %s seed %d: %v", eng.name, p.Name(), seed, err)
+				}
+				totalWork := 0.0
+				for _, j := range res.Jobs {
+					totalWork += j.Size
+				}
+				capacity := float64(opts.Machines) * opts.Speed * (res.Makespan() - in.Jobs[0].Release)
+				if totalWork > capacity+1e-6*(1+capacity) {
+					t.Fatalf("%s %s seed %d: %v work done in capacity %v (Σrates ≤ m violated)",
+						eng.name, p.Name(), seed, totalWork, capacity)
+				}
+			}
+		}
+	}
+}

@@ -22,6 +22,40 @@ func TestEngineDeterminism(t *testing.T) {
 	}
 }
 
+// TestReferenceScheduleInvariants: on random instances the reference
+// engine's recorded schedule must pass full validation (chronological
+// segments, rates in [0,1], Σrates ≤ m, work conservation: integrated
+// rate×speed equals each job's size) and must be non-idling — whenever k
+// jobs are alive the schedule runs at total rate min(k, m).
+func TestReferenceScheduleInvariants(t *testing.T) {
+	rng := rand.New(rand.NewPCG(101, 102))
+	for trial := 0; trial < 10; trial++ {
+		in := randomInstance(rng, 5+rng.IntN(25))
+		m := 1 + rng.IntN(3)
+		for _, p := range []Policy{eqPolicy{}, onePolicy{}} {
+			res := mustRun(t, in, p, Options{Machines: m, Speed: 1 + rng.Float64(), RecordSegments: true})
+			if err := ValidateResult(res); err != nil {
+				t.Fatalf("trial %d %s: %v", trial, p.Name(), err)
+			}
+			for si := range res.Segments {
+				seg := &res.Segments[si]
+				if seg.Duration() == 0 {
+					continue
+				}
+				sum := 0.0
+				for _, r := range seg.Rates {
+					sum += r
+				}
+				want := float64(min(len(seg.Jobs), m))
+				if sum < want-1e-6 {
+					t.Fatalf("trial %d %s: idling segment %d: %d alive on m=%d but total rate %v",
+						trial, p.Name(), si, len(seg.Jobs), m, sum)
+				}
+			}
+		}
+	}
+}
+
 // TestRRMonotoneInJobs: adding a job to an RR instance can only delay the
 // original jobs (equal sharing means extra competitors never speed anyone
 // up).

@@ -44,7 +44,7 @@ func E11(cfg Config) ([]*Table, error) {
 		for _, c := range cases {
 			eta := dual.Eta(k, eps)
 			feasibleAt := func(speed float64) (bool, error) {
-				res, err := runPolicy(c.in, "RR", c.m, speed, true)
+				res, err := runPolicy(cfg, c.in, "RR", c.m, speed, true)
 				if err != nil {
 					return false, err
 				}

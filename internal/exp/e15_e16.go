@@ -75,11 +75,11 @@ func E16(cfg Config) ([]*Table, error) {
 	}
 	laps := mk("E16a", "LAPS β ablation", "beta")
 	for _, beta := range pick(cfg.Quick, []float64{0.25, 0.5, 1}, []float64{0.1, 0.25, 0.5, 0.75, 1}) {
-		a, err := runWith(pois, policy.NewLAPS(beta), k)
+		a, err := runWith(cfg, pois, policy.NewLAPS(beta), k)
 		if err != nil {
 			return nil, err
 		}
-		b, err := runWith(casc, policy.NewLAPS(beta), k)
+		b, err := runWith(cfg, casc, policy.NewLAPS(beta), k)
 		if err != nil {
 			return nil, err
 		}
@@ -88,11 +88,11 @@ func E16(cfg Config) ([]*Table, error) {
 
 	mlfq := mk("E16b", "MLFQ base-quantum ablation", "quantum")
 	for _, q := range pick(cfg.Quick, []float64{0.25, 1}, []float64{0.125, 0.25, 0.5, 1, 2, 4}) {
-		a, err := runWith(pois, policy.NewMLFQ(q), k)
+		a, err := runWith(cfg, pois, policy.NewMLFQ(q), k)
 		if err != nil {
 			return nil, err
 		}
-		b, err := runWith(casc, policy.NewMLFQ(q), k)
+		b, err := runWith(cfg, casc, policy.NewMLFQ(q), k)
 		if err != nil {
 			return nil, err
 		}
@@ -101,11 +101,11 @@ func E16(cfg Config) ([]*Table, error) {
 
 	wrr := mk("E16c", "WRR review-quantum convergence", "quantum")
 	for _, q := range pick(cfg.Quick, []float64{0.1, 0.01}, []float64{0.2, 0.1, 0.05, 0.02, 0.01, 0.005}) {
-		a, err := runWith(pois, policy.NewWRR(q), k)
+		a, err := runWith(cfg, pois, policy.NewWRR(q), k)
 		if err != nil {
 			return nil, err
 		}
-		b, err := runWith(casc, policy.NewWRR(q), k)
+		b, err := runWith(cfg, casc, policy.NewWRR(q), k)
 		if err != nil {
 			return nil, err
 		}

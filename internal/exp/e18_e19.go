@@ -33,7 +33,7 @@ func E18(cfg Config) ([]*Table, error) {
 			if err != nil {
 				return nil, err
 			}
-			best, who, err := bestPolicyPower(in, 1, k)
+			best, who, err := bestPolicyPower(cfg, in, 1, k)
 			if err != nil {
 				return nil, err
 			}
@@ -75,11 +75,11 @@ func E19(cfg Config) ([]*Table, error) {
 			return nil, err
 		}
 		for _, f := range factors {
-			speedRes, err := runPolicy(in, "RR", m, float64(f), false)
+			speedRes, err := runPolicy(cfg, in, "RR", m, float64(f), false)
 			if err != nil {
 				return nil, err
 			}
-			machRes, err := runPolicy(in, "RR", m*f, 1, false)
+			machRes, err := runPolicy(cfg, in, "RR", m*f, 1, false)
 			if err != nil {
 				return nil, err
 			}

@@ -54,11 +54,11 @@ func E1(cfg Config) ([]*Table, error) {
 					return nil, err
 				}
 				for _, s := range speeds {
-					rr, err := kPower(in, "RR", 1, k, s)
+					rr, err := kPower(cfg, in, "RR", 1, k, s)
 					if err != nil {
 						return nil, err
 					}
-					srpt, err := kPower(in, "SRPT", 1, k, s)
+					srpt, err := kPower(cfg, in, "SRPT", 1, k, s)
 					if err != nil {
 						return nil, err
 					}
@@ -125,7 +125,7 @@ func lbSweep(cfg Config, id string, k int, levels []int, speeds []float64) ([]*T
 		}
 		r := row{n: in.N()}
 		for _, s := range speeds {
-			rr, err := kPower(in, "RR", 1, k, s)
+			rr, err := kPower(cfg, in, "RR", 1, k, s)
 			if err != nil {
 				return row{}, err
 			}
@@ -166,7 +166,7 @@ func E4(cfg Config) ([]*Table, error) {
 		}
 		row := []any{n}
 		for _, name := range []string{"SRPT", "SJF", "SETF", "RR"} {
-			v, err := kPower(in, name, 1, k, 1.1)
+			v, err := kPower(cfg, in, name, 1, k, 1.1)
 			if err != nil {
 				return nil, err
 			}

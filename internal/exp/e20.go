@@ -48,7 +48,7 @@ func E20(cfg Config) ([]*Table, error) {
 		means = append(means, d.Name(), "mean_flow")
 		l2s = append(l2s, d.Name(), "L2_norm")
 		for _, p := range pols {
-			res, err := core.Run(in, p, core.Options{Machines: 1, Speed: 1})
+			res, err := runEngine(cfg, in, p, core.Options{Machines: 1, Speed: 1})
 			if err != nil {
 				return nil, err
 			}

@@ -45,7 +45,7 @@ func E23(cfg Config) ([]*Table, error) {
 		}
 		row := []any{n}
 		for _, name := range []string{"SETF", "RR"} {
-			res, err := runPolicy(in, name, m, 1.1, true)
+			res, err := runPolicy(cfg, in, name, m, 1.1, true)
 			if err != nil {
 				return nil, err
 			}

@@ -26,7 +26,7 @@ func E5(cfg Config) ([]*Table, error) {
 	t1 := mk("E5a", "Starvation fixture: big job + saturating unit stream")
 	nStream := pick(cfg.Quick, 30, 120)
 	starv := workload.Starvation(10, nStream, 1.0)
-	if err := fairnessRows(t1, starv, policies); err != nil {
+	if err := fairnessRows(cfg, t1, starv, policies); err != nil {
 		return nil, err
 	}
 
@@ -34,16 +34,16 @@ func E5(cfg Config) ([]*Table, error) {
 	n := pick(cfg.Quick, 80, 400)
 	heavy := workload.PoissonLoad(stats.NewRNG(cfg.Seed+5), n, 1, 0.85,
 		workload.ParetoSizes{Alpha: 1.6, Xm: 1, Cap: 100})
-	if err := fairnessRows(t2, heavy, policies); err != nil {
+	if err := fairnessRows(cfg, t2, heavy, policies); err != nil {
 		return nil, err
 	}
 	return []*Table{t1, t2}, nil
 }
 
 // fairnessRows adds one row of fairness statistics per policy.
-func fairnessRows(t *Table, in *core.Instance, policies []string) error {
+func fairnessRows(cfg Config, t *Table, in *core.Instance, policies []string) error {
 	for _, name := range policies {
-		res, err := runPolicy(in, name, 1, 1, false)
+		res, err := runPolicy(cfg, in, name, 1, 1, false)
 		if err != nil {
 			return err
 		}
@@ -88,7 +88,7 @@ func E6(cfg Config) ([]*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		res, err := runPolicy(in, "RR", m, 1, true)
+		res, err := runPolicy(cfg, in, "RR", m, 1, true)
 		if err != nil {
 			return nil, err
 		}
@@ -105,7 +105,7 @@ func E6(cfg Config) ([]*Table, error) {
 			frac = over / busy
 		}
 		r1 := normRatio(metrics.KthPowerSum(res.Flow, k), lb.Value, k)
-		p4, err := kPower(in, "RR", m, k, 4)
+		p4, err := kPower(cfg, in, "RR", m, k, 4)
 		if err != nil {
 			return nil, err
 		}
@@ -141,11 +141,11 @@ func E7(cfg Config) ([]*Table, error) {
 			return nil, err
 		}
 		for _, s := range speeds {
-			rr, err := kPower(c.in, "RR", 1, k, s)
+			rr, err := kPower(cfg, c.in, "RR", 1, k, s)
 			if err != nil {
 				return nil, err
 			}
-			wrr, err := kPower(c.in, "WRR", 1, k, s)
+			wrr, err := kPower(cfg, c.in, "WRR", 1, k, s)
 			if err != nil {
 				return nil, err
 			}

@@ -45,7 +45,7 @@ func E8(cfg Config) ([]*Table, error) {
 			}
 			for _, c := range cases {
 				for _, speed := range []float64{dual.Eta(k, eps), 1} {
-					res, err := runPolicy(c.in, "RR", c.m, speed, true)
+					res, err := runPolicy(cfg, c.in, "RR", c.m, speed, true)
 					if err != nil {
 						return nil, err
 					}
@@ -94,7 +94,7 @@ func E9(cfg Config) ([]*Table, error) {
 			return nil, err
 		}
 		for _, s := range speeds {
-			v, err := kPower(in, "RR", 1, k, s)
+			v, err := kPower(cfg, in, "RR", 1, k, s)
 			if err != nil {
 				return nil, err
 			}
@@ -154,7 +154,7 @@ func E10(cfg Config) ([]*Table, error) {
 			if b.Value > exact.Cost*(1+1e-7) {
 				lpLeOpt = false
 			}
-			best, _, err := bestPolicyPower(in, 1, k)
+			best, _, err := bestPolicyPower(cfg, in, 1, k)
 			if err != nil {
 				return nil, err
 			}
@@ -162,7 +162,7 @@ func E10(cfg Config) ([]*Table, error) {
 				optLeBest = false
 			}
 			if k == 1 {
-				srpt, err := kPower(in, "SRPT", 1, 1, 1)
+				srpt, err := kPower(cfg, in, "SRPT", 1, 1, 1)
 				if err != nil {
 					return nil, err
 				}
@@ -175,7 +175,7 @@ func E10(cfg Config) ([]*Table, error) {
 			if g > maxGap {
 				maxGap = g
 			}
-			rr, err := kPower(in, "RR", 1, k, 1)
+			rr, err := kPower(cfg, in, "RR", 1, k, 1)
 			if err != nil {
 				return nil, err
 			}

@@ -12,6 +12,8 @@ import (
 	"path/filepath"
 	"sort"
 	"text/tabwriter"
+
+	"rrnorm/internal/core"
 )
 
 // Config controls an experiment run.
@@ -23,6 +25,11 @@ type Config struct {
 	Quick bool
 	// OutDir, when non-empty, receives one CSV per table.
 	OutDir string
+	// Engine selects the simulation engine. The zero value (EngineAuto)
+	// uses the event-driven fast path for structured policies (RR, SRPT,
+	// SJF, FCFS, StaticPriority) and the reference engine for everything
+	// else; EngineReference forces the step-based reference engine.
+	Engine core.EngineKind
 }
 
 // Table is a rendered experiment result.

@@ -1,7 +1,13 @@
 package exp
 
 import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"sync"
 	"testing"
+
+	"rrnorm/internal/core"
 )
 
 // TestE5aGolden pins the fully deterministic starvation-fixture table
@@ -32,6 +38,91 @@ func TestE5aGolden(t *testing.T) {
 		for c, v := range exp {
 			if row[col[c]] != v {
 				t.Errorf("%s.%s = %q, want %q (golden)", row[0], c, row[col[c]], v)
+			}
+		}
+	}
+}
+
+// csvBytes runs the experiment with the given config and returns each
+// table's CSV file content keyed by table ID.
+func csvBytes(t *testing.T, id string, cfg Config) map[string][]byte {
+	t.Helper()
+	e, err := ByID(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tables, err := e.Run(cfg)
+	if err != nil {
+		t.Fatalf("%s: %v", id, err)
+	}
+	dir := t.TempDir()
+	out := make(map[string][]byte, len(tables))
+	for _, tab := range tables {
+		if err := tab.WriteCSV(dir); err != nil {
+			t.Fatalf("%s csv: %v", tab.ID, err)
+		}
+		b, err := os.ReadFile(filepath.Join(dir, tab.ID+".csv"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[tab.ID] = b
+	}
+	return out
+}
+
+// TestE1E4GoldenAcrossEngines: the E1–E4 quick-suite CSVs must be
+// byte-identical whether the suite runs on the reference engine or on the
+// default (auto) engine, which takes the event-driven fast path for RR,
+// SRPT, SJF and FCFS. E4 also exercises the fallback (SETF has no fast
+// path), so this doubles as a mixed-dispatch test. Any byte difference
+// means the fast engine's schedules drifted outside %.4g rounding — a real
+// engine divergence, not formatting noise.
+func TestE1E4GoldenAcrossEngines(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment suite in -short mode")
+	}
+	for _, id := range []string{"E1", "E2", "E3", "E4"} {
+		ref := csvBytes(t, id, Config{Seed: 42, Quick: true, Engine: core.EngineReference})
+		auto := csvBytes(t, id, Config{Seed: 42, Quick: true, Engine: core.EngineAuto})
+		if len(ref) != len(auto) {
+			t.Fatalf("%s: table sets differ: %d vs %d", id, len(ref), len(auto))
+		}
+		for tid, rb := range ref {
+			if !bytes.Equal(rb, auto[tid]) {
+				t.Errorf("%s/%s: CSV differs between reference and fast engine:\n--- reference\n%s\n--- fast\n%s",
+					id, tid, rb, auto[tid])
+			}
+		}
+	}
+}
+
+// TestE1E4GoldenUnderParallel: running the four experiments concurrently
+// must give byte-identical CSVs to sequential runs — no hidden shared state
+// in the engines, policies or workload generators. (The -race CI loop makes
+// this a real data-race probe, not just a determinism check.)
+func TestE1E4GoldenUnderParallel(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment suite in -short mode")
+	}
+	ids := []string{"E1", "E2", "E3", "E4"}
+	seq := make([]map[string][]byte, len(ids))
+	for i, id := range ids {
+		seq[i] = csvBytes(t, id, quickCfg())
+	}
+	par := make([]map[string][]byte, len(ids))
+	var wg sync.WaitGroup
+	for i, id := range ids {
+		wg.Add(1)
+		go func(i int, id string) {
+			defer wg.Done()
+			par[i] = csvBytes(t, id, quickCfg())
+		}(i, id)
+	}
+	wg.Wait()
+	for i, id := range ids {
+		for tid, sb := range seq[i] {
+			if !bytes.Equal(sb, par[i][tid]) {
+				t.Errorf("%s/%s: CSV differs between sequential and parallel runs", id, tid)
 			}
 		}
 	}

@@ -5,19 +5,29 @@ import (
 	"math"
 
 	"rrnorm/internal/core"
+	"rrnorm/internal/fast"
 	"rrnorm/internal/lp"
 	"rrnorm/internal/metrics"
 	"rrnorm/internal/policy"
 	"rrnorm/internal/stats"
 )
 
+// runEngine simulates via the engine selected by cfg.Engine. The default
+// (EngineAuto) takes the event-driven fast path for the structured policies
+// and falls back to the reference engine otherwise, so the whole suite
+// benefits without per-experiment opt-ins.
+func runEngine(cfg Config, in *core.Instance, p core.Policy, opts core.Options) (*core.Result, error) {
+	opts.Engine = cfg.Engine
+	return fast.Run(in, p, opts)
+}
+
 // runPolicy simulates the named policy and returns the result.
-func runPolicy(in *core.Instance, name string, m int, speed float64, segments bool) (*core.Result, error) {
+func runPolicy(cfg Config, in *core.Instance, name string, m int, speed float64, segments bool) (*core.Result, error) {
 	p, err := policy.New(name)
 	if err != nil {
 		return nil, err
 	}
-	res, err := core.Run(in, p, core.Options{Machines: m, Speed: speed, RecordSegments: segments})
+	res, err := runEngine(cfg, in, p, core.Options{Machines: m, Speed: speed, RecordSegments: segments})
 	if err != nil {
 		return nil, fmt.Errorf("exp: %s at speed %.3g: %w", name, speed, err)
 	}
@@ -26,8 +36,8 @@ func runPolicy(in *core.Instance, name string, m int, speed float64, segments bo
 
 // runWith runs a concrete policy instance on one machine at unit speed and
 // returns the ℓk norm of the flows — used by parameter ablations.
-func runWith(in *core.Instance, p core.Policy, k int) (float64, error) {
-	res, err := core.Run(in, p, core.Options{Machines: 1, Speed: 1})
+func runWith(cfg Config, in *core.Instance, p core.Policy, k int) (float64, error) {
+	res, err := runEngine(cfg, in, p, core.Options{Machines: 1, Speed: 1})
 	if err != nil {
 		return 0, fmt.Errorf("exp: %s: %w", p.Name(), err)
 	}
@@ -35,8 +45,8 @@ func runWith(in *core.Instance, p core.Policy, k int) (float64, error) {
 }
 
 // kPower runs the policy and returns its Σ F^k.
-func kPower(in *core.Instance, name string, m, k int, speed float64) (float64, error) {
-	res, err := runPolicy(in, name, m, speed, false)
+func kPower(cfg Config, in *core.Instance, name string, m, k int, speed float64) (float64, error) {
+	res, err := runPolicy(cfg, in, name, m, speed, false)
 	if err != nil {
 		return 0, err
 	}
@@ -65,11 +75,11 @@ func lowerBound(in *core.Instance, m, k int, quick bool) (lp.Bound, error) {
 // bestPolicyPower returns the minimum Σ F^k over a basket of strong
 // policies at unit speed — an UPPER estimate of OPT^k (any policy is
 // feasible). Used to bracket ratios: ALG/upper ≤ true ratio ≤ ALG/(LP/2).
-func bestPolicyPower(in *core.Instance, m, k int) (float64, string, error) {
+func bestPolicyPower(cfg Config, in *core.Instance, m, k int) (float64, string, error) {
 	best := math.Inf(1)
 	who := ""
 	for _, name := range []string{"SRPT", "SJF", "SETF", "RR"} {
-		v, err := kPower(in, name, m, k, 1)
+		v, err := kPower(cfg, in, name, m, k, 1)
 		if err != nil {
 			return 0, "", err
 		}

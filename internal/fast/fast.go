@@ -1,0 +1,120 @@
+// Package fast is the event-driven fast-path simulation engine. For the
+// structured policies — Round Robin, SRPT, SJF, FCFS and StaticPriority —
+// it produces the same schedules as the reference engine (core.Run) in
+// O((n + completions) log n) instead of the reference's O(events · n_t):
+// RR via incremental virtual-time ("fair share") accounting, the rank-based
+// policies via three indexed heaps over the running and waiting sets.
+//
+// Run is a drop-in replacement for core.Run that honors
+// core.Options.Engine: it dispatches to a fast path when one exists and
+// falls back to the reference engine for arbitrary Policy implementations
+// (or when RecordSegments demands the full rate timeline, which only the
+// reference engine produces).
+//
+// Agreement with the reference engine — completion times, flows and
+// ℓk-norms within 1e-6 — is enforced by the differential-testing oracle
+// harness in internal/check (bulk tests, a fuzz target and property tests).
+// The one intentional semantic gap: both engines complete a job once its
+// remaining work is within core.CompletionTol of zero at an event boundary,
+// so per-job discrepancies are bounded by tolerance/rate, never
+// accumulated.
+package fast
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"rrnorm/internal/core"
+	"rrnorm/internal/policy"
+)
+
+// ErrNoFastPath reports that core.Options required the fast engine
+// (EngineFast) but the policy/options combination has no fast path.
+var ErrNoFastPath = errors.New("fast: no fast path for policy/options")
+
+// Eligible reports whether the policy/options combination has a fast path:
+// one of the structured policies, with segment recording disabled (the rate
+// timeline is only produced by the reference engine).
+func Eligible(p core.Policy, opts core.Options) bool {
+	if opts.RecordSegments {
+		return false
+	}
+	switch p.(type) {
+	case policy.RR, *policy.RR, *policy.SRPT, *policy.SJF, *policy.FCFS, *policy.StaticPriority:
+		return true
+	}
+	return false
+}
+
+// Run simulates the policy on the instance, honoring opts.Engine:
+//
+//   - core.EngineAuto (the zero value): fast path when Eligible, reference
+//     engine otherwise;
+//   - core.EngineReference: always core.Run;
+//   - core.EngineFast: fast path required — ErrNoFastPath when there is
+//     none.
+//
+// Results are interchangeable with core.Run's (same normalized job order,
+// completions, flows); the fast paths do not record segments and do not
+// consume the MaxEvents budget (their event count is structurally bounded
+// by 2n).
+func Run(in *core.Instance, p core.Policy, opts core.Options) (*core.Result, error) {
+	switch opts.Engine {
+	case core.EngineReference:
+		return core.Run(in, p, opts)
+	case core.EngineAuto, core.EngineFast:
+	default:
+		return nil, fmt.Errorf("%w: unknown Engine %d", core.ErrBadOptions, opts.Engine)
+	}
+	if !Eligible(p, opts) {
+		if opts.Engine == core.EngineFast {
+			return nil, fmt.Errorf("%w: policy %s (RecordSegments=%v)", ErrNoFastPath, p.Name(), opts.RecordSegments)
+		}
+		return core.Run(in, p, opts)
+	}
+	// Same input contract as core.Run.
+	if opts.Machines < 1 {
+		return nil, fmt.Errorf("%w: Machines=%d", core.ErrBadOptions, opts.Machines)
+	}
+	if !(opts.Speed > 0) || math.IsInf(opts.Speed, 0) {
+		return nil, fmt.Errorf("%w: Speed=%v", core.ErrBadOptions, opts.Speed)
+	}
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	cl := in.Clone()
+	cl.Normalize()
+
+	switch pp := p.(type) {
+	case policy.RR, *policy.RR:
+		return runRR(cl, p.Name(), opts), nil
+	case *policy.SRPT:
+		return runTopM(cl, p.Name(), opts, func(rem, cAt []float64) ordering {
+			return srptOrdering(rem, cAt, opts.Speed)
+		}), nil
+	case *policy.SJF:
+		key := make([]float64, cl.N())
+		for i, j := range cl.Jobs {
+			key[i] = j.Size
+		}
+		return runTopM(cl, p.Name(), opts, func(rem, cAt []float64) ordering {
+			return staticOrdering(key)
+		}), nil
+	case *policy.FCFS:
+		// Normalized index order is (Release, ID) order — FCFS itself.
+		return runTopM(cl, p.Name(), opts, func(rem, cAt []float64) ordering {
+			return staticOrdering(nil)
+		}), nil
+	case *policy.StaticPriority:
+		key := make([]float64, cl.N())
+		for i, j := range cl.Jobs {
+			key[i] = pp.PriorityOf(j.ID)
+		}
+		return runTopM(cl, p.Name(), opts, func(rem, cAt []float64) ordering {
+			return staticOrdering(key)
+		}), nil
+	}
+	// Unreachable: Eligible covered the type switch.
+	return nil, fmt.Errorf("%w: policy %s", ErrNoFastPath, p.Name())
+}

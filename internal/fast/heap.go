@@ -1,0 +1,102 @@
+package fast
+
+// indexHeap is a binary heap over job indices 0..n−1 ordered by a
+// caller-supplied strict weak ordering, with position tracking so arbitrary
+// members can be removed in O(log n) — needed when a preemption pulls a job
+// out of the middle of the running set. Composite tie-breaks
+// (key, release, ID) live in the comparator, which is why the fast engines
+// use this instead of the float-keyed queue.IndexedMinHeap.
+type indexHeap struct {
+	items []int
+	pos   []int // pos[job] = index in items, or -1 when absent
+	less  func(a, b int) bool
+}
+
+// newIndexHeap creates an empty heap over jobs 0..n−1.
+func newIndexHeap(n int, less func(a, b int) bool) *indexHeap {
+	h := &indexHeap{items: make([]int, 0, n), pos: make([]int, n), less: less}
+	for i := range h.pos {
+		h.pos[i] = -1
+	}
+	return h
+}
+
+// Len returns the number of jobs currently in the heap.
+func (h *indexHeap) Len() int { return len(h.items) }
+
+// Min returns the least job under the ordering; the heap must be non-empty.
+func (h *indexHeap) Min() int { return h.items[0] }
+
+// Push inserts job j; it must not already be present.
+func (h *indexHeap) Push(j int) {
+	if h.pos[j] >= 0 {
+		panic("fast: Push of job already in heap")
+	}
+	h.pos[j] = len(h.items)
+	h.items = append(h.items, j)
+	h.up(len(h.items) - 1)
+}
+
+// Pop removes and returns the least job; the heap must be non-empty.
+func (h *indexHeap) Pop() int {
+	j := h.items[0]
+	h.removeAt(0)
+	return j
+}
+
+// Remove deletes job j from anywhere in the heap; it must be present.
+func (h *indexHeap) Remove(j int) {
+	i := h.pos[j]
+	if i < 0 {
+		panic("fast: Remove of absent job")
+	}
+	h.removeAt(i)
+}
+
+func (h *indexHeap) removeAt(i int) {
+	last := len(h.items) - 1
+	j := h.items[i]
+	h.swap(i, last)
+	h.items = h.items[:last]
+	h.pos[j] = -1
+	if i < last {
+		h.down(i)
+		h.up(i)
+	}
+}
+
+func (h *indexHeap) swap(i, k int) {
+	h.items[i], h.items[k] = h.items[k], h.items[i]
+	h.pos[h.items[i]] = i
+	h.pos[h.items[k]] = k
+}
+
+func (h *indexHeap) up(i int) {
+	for i > 0 {
+		p := (i - 1) / 2
+		if !h.less(h.items[i], h.items[p]) {
+			return
+		}
+		h.swap(i, p)
+		i = p
+	}
+}
+
+func (h *indexHeap) down(i int) {
+	n := len(h.items)
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < n && h.less(h.items[l], h.items[small]) {
+			small = l
+		}
+		if r < n && h.less(h.items[r], h.items[small]) {
+			small = r
+		}
+		if small == i {
+			return
+		}
+		h.swap(i, small)
+		i = small
+	}
+}

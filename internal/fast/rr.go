@@ -1,0 +1,106 @@
+package fast
+
+import (
+	"math"
+
+	"rrnorm/internal/core"
+	"rrnorm/internal/queue"
+)
+
+// runRR simulates Round Robin in O((n + completions) log n) with
+// incremental virtual-time ("fair share") accounting.
+//
+// Under RR every alive job accrues work at the identical rate
+// ρ(t) = min{1, m/n_t}·s, so with V(t) = ∫ ρ(τ) dτ (the cumulative fair
+// share) a job admitted at time t₀ with size p completes exactly when V
+// reaches V(t₀) + p. Arrivals and completions are therefore the only
+// events: the next completion is the smallest completion target in an
+// indexed min-heap, and between consecutive events ρ is constant, so each
+// event costs O(log n) instead of the reference engine's O(n_t) rate
+// recomputation.
+//
+// The instance must already be validated and normalized (fast.Run does
+// both).
+func runRR(in *core.Instance, name string, opts core.Options) *core.Result {
+	n := in.N()
+	res := &core.Result{
+		Policy:     name,
+		Machines:   opts.Machines,
+		Speed:      opts.Speed,
+		Jobs:       in.Jobs,
+		Completion: make([]float64, n),
+		Flow:       make([]float64, n),
+	}
+	if n == 0 {
+		return res
+	}
+
+	var (
+		h    = queue.NewIndexedMinHeap(n) // alive jobs keyed by completion target V(t₀)+p
+		now  = in.Jobs[0].Release
+		V    = 0.0 // cumulative per-job fair share
+		next = 0   // next arrival index
+	)
+	// admit moves all jobs released by `now` into the heap; degenerate
+	// (sub-tolerance size) jobs complete at admission, mirroring core.Run.
+	admit := func() {
+		for next < n && in.Jobs[next].Release <= now {
+			j := &in.Jobs[next]
+			if j.Size <= core.CompletionTol(j.Size) {
+				res.Completion[next] = now
+				res.Flow[next] = now - j.Release
+			} else {
+				h.Push(next, V+j.Size)
+			}
+			next++
+		}
+	}
+	// complete pops every job whose remaining work target−V is within its
+	// completion tolerance — the same boundary-check semantics as the
+	// reference engine applies at the end of each step.
+	complete := func() {
+		for h.Len() > 0 {
+			j, key := h.Min()
+			if key-V > core.CompletionTol(in.Jobs[j].Size) {
+				return
+			}
+			h.PopMin()
+			res.Completion[j] = now
+			res.Flow[j] = now - in.Jobs[j].Release
+		}
+	}
+
+	admit()
+	complete()
+	res.Events++
+	for h.Len() > 0 || next < n {
+		res.Events++
+		if h.Len() == 0 {
+			// Idle gap: jump to the next arrival; V does not advance.
+			now = in.Jobs[next].Release
+			admit()
+			complete()
+			continue
+		}
+		rate := opts.Speed * math.Min(1, float64(opts.Machines)/float64(h.Len()))
+		_, minKey := h.Min()
+		tC := now + (minKey-V)/rate
+		if tC < now {
+			tC = now // guard against cancellation in minKey−V
+		}
+		if next < n && in.Jobs[next].Release < tC {
+			// Next event is an arrival: advance the fair share to it.
+			t := in.Jobs[next].Release
+			V += (t - now) * rate
+			now = t
+			admit()
+		} else {
+			// Next event is a completion: land V exactly on the target so
+			// simultaneous completions (identical targets) drain together.
+			V = minKey
+			now = tC
+		}
+		complete()
+	}
+	return res
+}

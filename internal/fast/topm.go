@@ -1,0 +1,201 @@
+package fast
+
+import (
+	"math"
+
+	"rrnorm/internal/core"
+)
+
+// runTopM simulates the rank-based policies — the ones whose reference
+// implementation assigns a full machine to each of the m best alive jobs
+// under a strict order (SRPT, SJF, FCFS, StaticPriority) — in
+// O((n + completions) log n).
+//
+// State: at any moment at most m jobs are "running" (each on a dedicated
+// speed-s machine) and the rest wait. Because every running job drains at
+// the same rate s, the order of running jobs by remaining work never
+// changes while they run; each running job j is represented by cAt[j], its
+// absolute completion time if never preempted, and a waiting job by rem[j],
+// its (frozen) remaining work. The only events are arrivals — which start
+// on a free machine, preempt the worst running job, or queue — and
+// completions — which promote the best waiting job. Three indexed heaps
+// (next completion, preemption victim, promotion candidate) make every
+// event O(log n).
+//
+// Correctness relies on the invariant that every running job precedes every
+// waiting job in the policy order. It holds because keys are static (or,
+// for SRPT, only ever improve while running): a preemption victim was the
+// worst running job and by induction precedes all waiting jobs, and an
+// arrival beats the victim only if it precedes it. The running set is
+// therefore always exactly the reference engine's top-m selection,
+// including its (key, release, ID) tie-breaks, which the comparators
+// reproduce via the normalized job index.
+type ordering struct {
+	// waitLess orders waiting jobs: the least is promoted first.
+	waitLess func(a, b int) bool
+	// worstLess orders running jobs so the heap minimum is the preemption
+	// victim (i.e. it sorts "worse" jobs first).
+	worstLess func(a, b int) bool
+	// preempts reports whether newly arrived job j displaces victim v at
+	// time now.
+	preempts func(j, v int, now float64) bool
+}
+
+// staticOrdering ranks jobs by a fixed key with the normalized-index
+// tie-break (index order is (Release, ID) order, the reference tie-break).
+// A nil key slice means pure index order — FCFS.
+func staticOrdering(key []float64) ordering {
+	k := func(j int) float64 {
+		if key == nil {
+			return 0
+		}
+		return key[j]
+	}
+	return ordering{
+		waitLess: func(a, b int) bool {
+			if ka, kb := k(a), k(b); ka != kb {
+				return ka < kb
+			}
+			return a < b
+		},
+		worstLess: func(a, b int) bool {
+			if ka, kb := k(a), k(b); ka != kb {
+				return ka > kb
+			}
+			return a > b
+		},
+		preempts: func(j, v int, now float64) bool {
+			if kj, kv := k(j), k(v); kj != kv {
+				return kj < kv
+			}
+			return j < v
+		},
+	}
+}
+
+// srptOrdering ranks jobs by remaining work: frozen rem for waiting jobs,
+// cAt-implied for running ones (equal drain rate ⇒ cAt order is remaining
+// order).
+func srptOrdering(rem, cAt []float64, speed float64) ordering {
+	return ordering{
+		waitLess: func(a, b int) bool {
+			if rem[a] != rem[b] {
+				return rem[a] < rem[b]
+			}
+			return a < b
+		},
+		worstLess: func(a, b int) bool {
+			if cAt[a] != cAt[b] {
+				return cAt[a] > cAt[b]
+			}
+			return a > b
+		},
+		preempts: func(j, v int, now float64) bool {
+			remV := (cAt[v] - now) * speed
+			if rem[j] != remV {
+				return rem[j] < remV
+			}
+			return j < v
+		},
+	}
+}
+
+func runTopM(in *core.Instance, name string, opts core.Options, mkOrd func(rem, cAt []float64) ordering) *core.Result {
+	n, m, s := in.N(), opts.Machines, opts.Speed
+	res := &core.Result{
+		Policy:     name,
+		Machines:   m,
+		Speed:      s,
+		Jobs:       in.Jobs,
+		Completion: make([]float64, n),
+		Flow:       make([]float64, n),
+	}
+	if n == 0 {
+		return res
+	}
+
+	rem := make([]float64, n) // remaining work of waiting (and unreleased) jobs
+	cAt := make([]float64, n) // completion-if-unpreempted time of running jobs
+	for i := range rem {
+		rem[i] = in.Jobs[i].Size
+	}
+	ord := mkOrd(rem, cAt)
+	var (
+		byC     = newIndexHeap(n, func(a, b int) bool { // next completion
+			if cAt[a] != cAt[b] {
+				return cAt[a] < cAt[b]
+			}
+			return a < b
+		})
+		worst   = newIndexHeap(n, ord.worstLess) // preemption victim
+		waiting = newIndexHeap(n, ord.waitLess)  // promotion candidate
+		next    = 0
+		now     = in.Jobs[0].Release
+	)
+	start := func(j int, t float64) {
+		cAt[j] = t + rem[j]/s
+		byC.Push(j)
+		worst.Push(j)
+	}
+	finish := func(j int, t float64) {
+		res.Completion[j] = t
+		res.Flow[j] = t - in.Jobs[j].Release
+	}
+
+	for byC.Len() > 0 || waiting.Len() > 0 || next < n {
+		res.Events++
+		tA, tC := math.Inf(1), math.Inf(1)
+		if next < n {
+			tA = in.Jobs[next].Release
+		}
+		if byC.Len() > 0 {
+			tC = cAt[byC.Min()]
+		}
+		if tC <= tA {
+			// Completion: the running job with the least cAt finishes; the
+			// best waiting job takes its machine. (A free machine implies an
+			// empty waiting set, so promoting exactly one is enough.)
+			j := byC.Pop()
+			worst.Remove(j)
+			if tC < now {
+				tC = now // FP guard: time must not run backwards
+			}
+			now = tC
+			finish(j, now)
+			if waiting.Len() > 0 {
+				start(waiting.Pop(), now)
+			}
+			continue
+		}
+		// Arrival.
+		now = tA
+		j := next
+		next++
+		if in.Jobs[j].Size <= core.CompletionTol(in.Jobs[j].Size) {
+			finish(j, now) // degenerate job: completes at admission (as core.Run)
+			continue
+		}
+		switch {
+		case byC.Len() < m:
+			start(j, now) // free machine (waiting is empty by the invariant)
+		case ord.preempts(j, worst.Min(), now):
+			v := worst.Min()
+			remV := (cAt[v] - now) * s // freeze the victim's progress
+			byC.Remove(v)
+			worst.Remove(v)
+			if remV <= core.CompletionTol(in.Jobs[v].Size) {
+				// The victim was within its completion tolerance of
+				// finishing: the reference engine completes it at this
+				// boundary, so record it here rather than re-queueing.
+				finish(v, now)
+			} else {
+				rem[v] = remV
+				waiting.Push(v)
+			}
+			start(j, now)
+		default:
+			waiting.Push(j)
+		}
+	}
+	return res
+}

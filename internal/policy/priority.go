@@ -26,6 +26,16 @@ func NewStaticPriority(prio map[int]float64) *StaticPriority {
 // Name implements core.Policy.
 func (*StaticPriority) Name() string { return "PRIO" }
 
+// PriorityOf returns the priority assigned to the given job ID (lower runs
+// first), or +Inf when the ID has no entry. The fast engine (internal/fast)
+// uses it to precompute the static rank order.
+func (p *StaticPriority) PriorityOf(id int) float64 {
+	if v, ok := p.prio[id]; ok {
+		return v
+	}
+	return math.Inf(1)
+}
+
 // Clairvoyant implements core.Policy (the ordering may encode size
 // knowledge, so it is classified clairvoyant).
 func (*StaticPriority) Clairvoyant() bool { return true }

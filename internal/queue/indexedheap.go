@@ -1,6 +1,8 @@
 // Package queue provides an indexed binary min-heap over the items
 // 0..n−1 keyed by float64 priorities, with decrease-key — the priority
-// queue substrate for Dijkstra in the min-cost-flow solver.
+// queue substrate for Dijkstra in the min-cost-flow solver and for the
+// virtual-time completion queue in the fast simulation engine
+// (internal/fast).
 package queue
 
 // IndexedMinHeap is a binary min-heap over item IDs 0..n−1. Each item may be
@@ -72,6 +74,16 @@ func (h *IndexedMinHeap) PushOrDecrease(item int, key float64) bool {
 		return true
 	}
 	return false
+}
+
+// Min returns the item with the smallest key without removing it. It panics
+// on an empty heap.
+func (h *IndexedMinHeap) Min() (item int, key float64) {
+	if len(h.heap) == 0 {
+		panic("queue: Min of empty heap")
+	}
+	item = h.heap[0]
+	return item, h.keys[item]
 }
 
 // PopMin removes and returns the item with the smallest key. It panics on an

@@ -120,3 +120,31 @@ func TestHeapSortsRandom(t *testing.T) {
 		}
 	}
 }
+
+func TestHeapMinPeek(t *testing.T) {
+	h := NewIndexedMinHeap(4)
+	h.Push(2, 5)
+	h.Push(0, 3)
+	h.Push(3, 9)
+	if item, key := h.Min(); item != 0 || key != 3 {
+		t.Fatalf("Min = (%d, %v), want (0, 3)", item, key)
+	}
+	if h.Len() != 3 {
+		t.Fatalf("Min must not remove: len %d", h.Len())
+	}
+	h.DecreaseKey(2, 1)
+	if item, key := h.Min(); item != 2 || key != 1 {
+		t.Fatalf("Min after decrease = (%d, %v), want (2, 1)", item, key)
+	}
+	item, key := h.PopMin()
+	if item != 2 || key != 1 {
+		t.Fatalf("PopMin = (%d, %v), want (2, 1)", item, key)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Min on empty heap should panic")
+		}
+	}()
+	empty := NewIndexedMinHeap(1)
+	empty.Min()
+}

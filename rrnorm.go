@@ -25,6 +25,7 @@ import (
 
 	"rrnorm/internal/core"
 	"rrnorm/internal/dual"
+	"rrnorm/internal/fast"
 	"rrnorm/internal/lp"
 	"rrnorm/internal/metrics"
 	"rrnorm/internal/policy"
@@ -62,19 +63,37 @@ func Policies() []string { return policy.Names() }
 // NewPolicy constructs a registered policy by name with default parameters.
 func NewPolicy(name string) (Policy, error) { return policy.New(name) }
 
-// Simulate runs the named policy on the instance.
+// EngineKind selects the simulation engine; see Options.Engine. The zero
+// value (EngineAuto) uses the event-driven fast engine for structured
+// policies (RR, SRPT, SJF, FCFS, StaticPriority) and the step-based
+// reference engine otherwise; both produce the same schedules (enforced by
+// the differential harness in internal/check).
+type EngineKind = core.EngineKind
+
+// Engine selector values for Options.Engine.
+const (
+	EngineAuto      = core.EngineAuto
+	EngineReference = core.EngineReference
+	EngineFast      = core.EngineFast
+)
+
+// ParseEngineKind parses "auto", "reference"/"ref" or "fast" (as used by
+// the CLI -engine flags).
+func ParseEngineKind(s string) (EngineKind, error) { return core.ParseEngineKind(s) }
+
+// Simulate runs the named policy on the instance, honoring opts.Engine.
 func Simulate(in *Instance, policyName string, opts Options) (*Result, error) {
 	p, err := policy.New(policyName)
 	if err != nil {
 		return nil, err
 	}
-	return core.Run(in, p, opts)
+	return fast.Run(in, p, opts)
 }
 
 // SimulateWith runs a caller-provided policy (e.g. a custom core.Policy
-// implementation) on the instance.
+// implementation) on the instance, honoring opts.Engine.
 func SimulateWith(in *Instance, p Policy, opts Options) (*Result, error) {
-	return core.Run(in, p, opts)
+	return fast.Run(in, p, opts)
 }
 
 // LkNorm returns (Σ flows^k)^{1/k}.
