@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test verify bench fuzz suite clean
+.PHONY: build test verify bench fuzz suite serve serve-test serve-bench clean
 
 build:
 	$(GO) build ./...
@@ -10,16 +10,33 @@ test:
 	$(GO) build ./... && $(GO) test ./...
 
 # Full verify loop (see DESIGN.md "Verification loop"): vet + the whole
-# test suite under the race detector. The exp suite and the differential
-# harness both run experiments concurrently, so -race is load-bearing.
-verify:
+# test suite under the race detector. The exp suite, the differential
+# harness and the rrserve stress wall all run work concurrently, so -race
+# is load-bearing. serve-test is part of `go test ./...` already; listing
+# it keeps the race-mode service wall explicit in the verify contract.
+verify: serve-test
 	$(GO) vet ./... && $(GO) test -race ./...
 
-# Differential fuzzing of the fast engine against the reference engine.
+# The rrserve test wall on its own: e2e endpoints, cache/pool semantics,
+# and the 64-client byte-identical stress test, all under -race.
+serve-test:
+	$(GO) test -race ./internal/serve ./internal/par ./internal/stats
+
+# Run the service locally.
+serve:
+	$(GO) run ./cmd/rrserve -addr :8080
+
+# Regenerate the serve cache baseline (BENCH_serve.json).
+serve-bench:
+	WRITE_BENCH=1 $(GO) test ./internal/serve -run TestWriteServeBenchBaseline -v
+
+# Differential fuzzing of the fast engine against the reference engine,
+# plus fuzzing of the rrserve request surface (decoder + spec parser).
 # FUZZTIME=5m make fuzz for longer campaigns.
 FUZZTIME ?= 30s
 fuzz:
 	$(GO) test -fuzz=FuzzEngineAgreement -fuzztime=$(FUZZTIME) ./internal/check
+	$(GO) test -fuzz=FuzzSimulateRequest -fuzztime=$(FUZZTIME) ./internal/serve
 
 bench:
 	$(GO) test -run xxx -bench . -benchmem .

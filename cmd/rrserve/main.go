@@ -1,0 +1,89 @@
+// Command rrserve serves the simulator over HTTP: POST /v1/simulate and
+// POST /v1/compare run workloads through the library with a bounded worker
+// pool, an LRU result cache with in-flight dedup, per-request deadlines and
+// graceful drain on SIGTERM/SIGINT; GET /v1/policies, /metrics and
+// /healthz round out the surface (see DESIGN.md §10 and the README
+// quick-start).
+//
+// Examples:
+//
+//	rrserve -addr :8080
+//	curl -s localhost:8080/v1/policies
+//	curl -s -X POST localhost:8080/v1/simulate -d '{
+//	  "spec": "poisson:n=200,load=0.9,dist=exp", "seed": 1,
+//	  "policy": "RR", "machines": 1, "speed": 2}'
+package main
+
+import (
+	"context"
+	"errors"
+	"expvar"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"rrnorm/internal/serve"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", ":8080", "listen address")
+		workers = flag.Int("workers", 0, "simulation workers (0 = GOMAXPROCS)")
+		queue   = flag.Int("queue", 64, "admission-queue capacity; beyond it requests get 429")
+		timeout = flag.Duration("timeout", 30*time.Second, "per-request simulation deadline (504 past it)")
+		cache   = flag.Int("cache", 1024, "result-cache capacity in entries")
+		pprofOn = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
+		drain   = flag.Duration("drain", 15*time.Second, "graceful-shutdown budget on SIGTERM/SIGINT")
+	)
+	flag.Parse()
+
+	s := serve.NewServer(serve.Config{
+		Workers:        *workers,
+		QueueDepth:     *queue,
+		RequestTimeout: *timeout,
+		CacheEntries:   *cache,
+		EnablePprof:    *pprofOn,
+	})
+	// One server per process, so the global expvar page may carry its vars.
+	expvar.Publish("rrserve", s.Vars())
+
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           s.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, syscall.SIGTERM, syscall.SIGINT)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		sig := <-stop
+		log.Printf("rrserve: %v — draining (budget %v)", sig, *drain)
+		ctx, cancel := context.WithTimeout(context.Background(), *drain)
+		defer cancel()
+		if err := httpSrv.Shutdown(ctx); err != nil {
+			log.Printf("rrserve: shutdown: %v", err)
+		}
+		s.Close() // drain queued simulations after the listener stops
+	}()
+
+	effWorkers := *workers
+	if effWorkers <= 0 {
+		effWorkers = runtime.GOMAXPROCS(0)
+	}
+	log.Printf("rrserve: listening on %s (workers=%d queue=%d cache=%d timeout=%v pprof=%v)",
+		*addr, effWorkers, *queue, *cache, *timeout, *pprofOn)
+	if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintf(os.Stderr, "rrserve: %v\n", err)
+		os.Exit(1)
+	}
+	<-done
+	log.Printf("rrserve: drained, bye")
+}

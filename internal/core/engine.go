@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -70,6 +71,12 @@ type Options struct {
 	// (internal/fast.Run, rrnorm.Simulate). Run ignores it — it is the
 	// reference engine.
 	Engine EngineKind
+	// Context, when non-nil, is polled by both engines every few events; a
+	// run aborts with an error wrapping Context.Err() once it is canceled.
+	// The serving layer (internal/serve) uses it to enforce per-request
+	// deadlines, so a deadline set here bounds simulation wall time even
+	// for adversarially large instances. Nil means never canceled.
+	Context context.Context
 }
 
 // DefaultOptions returns single-machine, speed-1 options with segment
@@ -134,6 +141,7 @@ func (r *Result) Makespan() float64 {
 // Simulation errors.
 var (
 	ErrBadOptions   = errors.New("core: invalid options")
+	ErrCanceled     = errors.New("core: simulation canceled")
 	ErrBadRates     = errors.New("core: policy returned infeasible rates")
 	ErrStarvation   = errors.New("core: policy starves alive jobs with no future event")
 	ErrEventOverrun = errors.New("core: event budget exhausted (runaway policy horizon?)")
@@ -144,7 +152,27 @@ const (
 	rateTol = 1e-9
 	// minAdvance guards against zero-length steps looping forever.
 	minAdvance = 1e-15
+	// ctxStride is how many events pass between Options.Context polls: a
+	// power of two so the check compiles to a mask, coarse enough that the
+	// hot loops pay ~nothing, fine enough that cancellation latency stays
+	// well under a millisecond of simulation work.
+	ctxStride = 64
 )
+
+// Canceled returns a wrapped cancellation error when ctx is non-nil and
+// done, nil otherwise. Both engines poll it every ctxStride events; the
+// returned error matches errors.Is against ErrCanceled and against the
+// underlying context error (context.Canceled / context.DeadlineExceeded),
+// which the serving layer maps to HTTP 504.
+func Canceled(ctx context.Context, now float64, events int) error {
+	if ctx == nil {
+		return nil
+	}
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("%w at t=%v after %d events: %w", ErrCanceled, now, events, err)
+	}
+	return nil
+}
 
 // Run simulates policy on inst and returns the resulting schedule.
 // The instance is validated and normalized (sorted) as a side effect of
@@ -196,6 +224,11 @@ func Run(inst *Instance, policy Policy, opts Options) (*Result, error) {
 	for len(alive) > 0 || next < n {
 		if res.Events >= maxEvents {
 			return nil, fmt.Errorf("%w: %d events at t=%v (policy %s)", ErrEventOverrun, res.Events, now, policy.Name())
+		}
+		if res.Events&(ctxStride-1) == 0 {
+			if err := Canceled(opts.Context, now, res.Events); err != nil {
+				return nil, err
+			}
 		}
 		res.Events++
 

@@ -1,0 +1,50 @@
+package core
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"math"
+)
+
+// Fingerprint returns a canonical SHA-256 digest of a simulation request:
+// the normalized instance (jobs sorted by (Release, ID)), the policy name
+// and the result-affecting options. Two calls fingerprint equal iff they
+// describe the same simulation, independent of the caller's job order —
+// this is the cache key rrserve uses to dedupe and memoize results.
+//
+// Engine is part of the key on purpose: the engines agree within the
+// differential harness's tolerances, not bit-for-bit, and cached responses
+// are served byte-identical to what that engine would produce.
+func Fingerprint(in *Instance, policyName string, opts Options) string {
+	h := sha256.New()
+	var buf [8]byte
+	u64 := func(v uint64) {
+		binary.LittleEndian.PutUint64(buf[:], v)
+		h.Write(buf[:])
+	}
+	f64 := func(f float64) { u64(math.Float64bits(f)) }
+
+	h.Write([]byte("rrnorm/fp/v1\x00"))
+	h.Write([]byte(policyName))
+	h.Write([]byte{0})
+	u64(uint64(int64(opts.Machines)))
+	f64(opts.Speed)
+	u64(uint64(int64(opts.Engine)))
+	if opts.RecordSegments {
+		u64(1)
+	} else {
+		u64(0)
+	}
+
+	cl := in.Clone()
+	cl.Normalize()
+	u64(uint64(cl.N()))
+	for _, j := range cl.Jobs {
+		u64(uint64(int64(j.ID)))
+		f64(j.Release)
+		f64(j.Size)
+		f64(j.Weight)
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}

@@ -33,6 +33,11 @@ import (
 // (EngineFast) but the policy/options combination has no fast path.
 var ErrNoFastPath = errors.New("fast: no fast path for policy/options")
 
+// ctxStride is the event interval between Options.Context cancellation
+// polls in the fast paths — a power of two so the check is a mask; coarser
+// than the reference engine's because fast-path events are ~100× cheaper.
+const ctxStride = 256
+
 // Eligible reports whether the policy/options combination has a fast path:
 // one of the structured policies, with segment recording disabled (the rate
 // timeline is only produced by the reference engine).
@@ -88,11 +93,11 @@ func Run(in *core.Instance, p core.Policy, opts core.Options) (*core.Result, err
 
 	switch pp := p.(type) {
 	case policy.RR, *policy.RR:
-		return runRR(cl, p.Name(), opts), nil
+		return runRR(cl, p.Name(), opts)
 	case *policy.SRPT:
 		return runTopM(cl, p.Name(), opts, func(rem, cAt []float64) ordering {
 			return srptOrdering(rem, cAt, opts.Speed)
-		}), nil
+		})
 	case *policy.SJF:
 		key := make([]float64, cl.N())
 		for i, j := range cl.Jobs {
@@ -100,12 +105,12 @@ func Run(in *core.Instance, p core.Policy, opts core.Options) (*core.Result, err
 		}
 		return runTopM(cl, p.Name(), opts, func(rem, cAt []float64) ordering {
 			return staticOrdering(key)
-		}), nil
+		})
 	case *policy.FCFS:
 		// Normalized index order is (Release, ID) order — FCFS itself.
 		return runTopM(cl, p.Name(), opts, func(rem, cAt []float64) ordering {
 			return staticOrdering(nil)
-		}), nil
+		})
 	case *policy.StaticPriority:
 		key := make([]float64, cl.N())
 		for i, j := range cl.Jobs {
@@ -113,7 +118,7 @@ func Run(in *core.Instance, p core.Policy, opts core.Options) (*core.Result, err
 		}
 		return runTopM(cl, p.Name(), opts, func(rem, cAt []float64) ordering {
 			return staticOrdering(key)
-		}), nil
+		})
 	}
 	// Unreachable: Eligible covered the type switch.
 	return nil, fmt.Errorf("%w: policy %s", ErrNoFastPath, p.Name())

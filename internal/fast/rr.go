@@ -21,7 +21,7 @@ import (
 //
 // The instance must already be validated and normalized (fast.Run does
 // both).
-func runRR(in *core.Instance, name string, opts core.Options) *core.Result {
+func runRR(in *core.Instance, name string, opts core.Options) (*core.Result, error) {
 	n := in.N()
 	res := &core.Result{
 		Policy:     name,
@@ -32,7 +32,7 @@ func runRR(in *core.Instance, name string, opts core.Options) *core.Result {
 		Flow:       make([]float64, n),
 	}
 	if n == 0 {
-		return res
+		return res, nil
 	}
 
 	var (
@@ -75,6 +75,11 @@ func runRR(in *core.Instance, name string, opts core.Options) *core.Result {
 	res.Events++
 	for h.Len() > 0 || next < n {
 		res.Events++
+		if res.Events&(ctxStride-1) == 0 {
+			if err := core.Canceled(opts.Context, now, res.Events); err != nil {
+				return nil, err
+			}
+		}
 		if h.Len() == 0 {
 			// Idle gap: jump to the next arrival; V does not advance.
 			now = in.Jobs[next].Release
@@ -102,5 +107,5 @@ func runRR(in *core.Instance, name string, opts core.Options) *core.Result {
 		}
 		complete()
 	}
-	return res
+	return res, nil
 }

@@ -100,7 +100,7 @@ func srptOrdering(rem, cAt []float64, speed float64) ordering {
 	}
 }
 
-func runTopM(in *core.Instance, name string, opts core.Options, mkOrd func(rem, cAt []float64) ordering) *core.Result {
+func runTopM(in *core.Instance, name string, opts core.Options, mkOrd func(rem, cAt []float64) ordering) (*core.Result, error) {
 	n, m, s := in.N(), opts.Machines, opts.Speed
 	res := &core.Result{
 		Policy:     name,
@@ -111,7 +111,7 @@ func runTopM(in *core.Instance, name string, opts core.Options, mkOrd func(rem, 
 		Flow:       make([]float64, n),
 	}
 	if n == 0 {
-		return res
+		return res, nil
 	}
 
 	rem := make([]float64, n) // remaining work of waiting (and unreleased) jobs
@@ -121,7 +121,7 @@ func runTopM(in *core.Instance, name string, opts core.Options, mkOrd func(rem, 
 	}
 	ord := mkOrd(rem, cAt)
 	var (
-		byC     = newIndexHeap(n, func(a, b int) bool { // next completion
+		byC = newIndexHeap(n, func(a, b int) bool { // next completion
 			if cAt[a] != cAt[b] {
 				return cAt[a] < cAt[b]
 			}
@@ -144,6 +144,11 @@ func runTopM(in *core.Instance, name string, opts core.Options, mkOrd func(rem, 
 
 	for byC.Len() > 0 || waiting.Len() > 0 || next < n {
 		res.Events++
+		if res.Events&(ctxStride-1) == 0 {
+			if err := core.Canceled(opts.Context, now, res.Events); err != nil {
+				return nil, err
+			}
+		}
 		tA, tC := math.Inf(1), math.Inf(1)
 		if next < n {
 			tA = in.Jobs[next].Release
@@ -197,5 +202,5 @@ func runTopM(in *core.Instance, name string, opts core.Options, mkOrd func(rem, 
 			waiting.Push(j)
 		}
 	}
-	return res
+	return res, nil
 }

@@ -1,11 +1,13 @@
 // Package par provides the small deterministic parallelism utilities used
-// by the experiment harness: bounded-concurrency parallel map over index
-// ranges with first-error propagation. Results are collected by index, so
-// parallel execution never changes outputs — a hard requirement for the
-// reproducibility guarantees of rrbench tables.
+// by the experiment harness and the serving layer: bounded-concurrency
+// parallel map over index ranges with first-error propagation and optional
+// cooperative cancellation. Results are collected by index, so parallel
+// execution never changes outputs — a hard requirement for the
+// reproducibility guarantees of rrbench tables and rrserve responses.
 package par
 
 import (
+	"context"
 	"runtime"
 	"sync"
 )
@@ -15,8 +17,24 @@ import (
 // lowest index). All iterations run even after an error, keeping the cost
 // bounded and the behavior deterministic.
 func ForEach(n, workers int, fn func(i int) error) error {
+	return ForEachCtx(context.Background(), n, workers, func(_ context.Context, i int) error {
+		return fn(i)
+	})
+}
+
+// ForEachCtx is ForEach with cooperative cancellation: once ctx is
+// canceled no new iterations are scheduled; iterations already running are
+// handed ctx so they can return promptly (the simulation engines poll
+// Options.Context). When cancellation prevented any iteration from being
+// scheduled the return value is ctx.Err(); otherwise it is the first
+// iteration error by lowest index, preserving ForEach's determinism. A nil
+// ctx means never canceled.
+func ForEachCtx(ctx context.Context, n, workers int, fn func(ctx context.Context, i int) error) error {
 	if n <= 0 {
 		return nil
+	}
+	if ctx == nil {
+		ctx = context.Background()
 	}
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -25,26 +43,37 @@ func ForEach(n, workers int, fn func(i int) error) error {
 		workers = n
 	}
 	errs := make([]error, n)
-	var next int
-	var mu sync.Mutex
-	var wg sync.WaitGroup
+	var (
+		next    int
+		skipped bool
+		mu      sync.Mutex
+		wg      sync.WaitGroup
+	)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for {
 				mu.Lock()
+				if ctx.Err() != nil && next < n {
+					skipped = true
+					mu.Unlock()
+					return
+				}
 				i := next
 				next++
 				mu.Unlock()
 				if i >= n {
 					return
 				}
-				errs[i] = fn(i)
+				errs[i] = fn(ctx, i)
 			}
 		}()
 	}
 	wg.Wait()
+	if skipped {
+		return ctx.Err()
+	}
 	for _, err := range errs {
 		if err != nil {
 			return err
@@ -56,9 +85,18 @@ func ForEach(n, workers int, fn func(i int) error) error {
 // Map applies fn to each index and collects results in order; on error the
 // first (lowest-index) error is returned along with the partial results.
 func Map[T any](n, workers int, fn func(i int) (T, error)) ([]T, error) {
+	return MapCtx(context.Background(), n, workers, func(_ context.Context, i int) (T, error) {
+		return fn(i)
+	})
+}
+
+// MapCtx is Map with ForEachCtx's cancellation semantics; indices skipped
+// because of cancellation are left at T's zero value in the partial
+// results.
+func MapCtx[T any](ctx context.Context, n, workers int, fn func(ctx context.Context, i int) (T, error)) ([]T, error) {
 	out := make([]T, n)
-	err := ForEach(n, workers, func(i int) error {
-		v, err := fn(i)
+	err := ForEachCtx(ctx, n, workers, func(ctx context.Context, i int) error {
+		v, err := fn(ctx, i)
 		if err != nil {
 			return err
 		}

@@ -1,9 +1,12 @@
 package par
 
 import (
+	"context"
 	"errors"
+	"runtime"
 	"sync/atomic"
 	"testing"
+	"time"
 )
 
 func TestForEachRunsAll(t *testing.T) {
@@ -77,5 +80,93 @@ func TestMapDeterministicUnderConcurrency(t *testing.T) {
 		if a[i] != b[i] {
 			t.Fatalf("parallelism changed results at %d", i)
 		}
+	}
+}
+
+func TestForEachCtxStopsSchedulingOnCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var started int64
+	release := make(chan struct{})
+	done := make(chan error, 1)
+	go func() {
+		done <- ForEachCtx(ctx, 1000, 2, func(_ context.Context, i int) error {
+			atomic.AddInt64(&started, 1)
+			<-release
+			return nil
+		})
+	}()
+	// Wait for both workers to be inside an iteration, cancel, then free
+	// them: no further iterations may be scheduled.
+	for atomic.LoadInt64(&started) < 2 {
+		runtime.Gosched()
+	}
+	cancel()
+	close(release)
+	if err := <-done; !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	if n := atomic.LoadInt64(&started); n > 4 {
+		t.Fatalf("scheduled %d iterations after cancellation (want ≤ workers in flight)", n)
+	}
+}
+
+func TestForEachCtxCompletedRunKeepsIterationError(t *testing.T) {
+	eBad := errors.New("bad")
+	err := ForEachCtx(context.Background(), 50, 8, func(_ context.Context, i int) error {
+		if i == 11 {
+			return eBad
+		}
+		return nil
+	})
+	if !errors.Is(err, eBad) {
+		t.Fatalf("want iteration error, got %v", err)
+	}
+}
+
+func TestForEachCtxNilContext(t *testing.T) {
+	var ran int64
+	if err := ForEachCtx(nil, 10, 4, func(ctx context.Context, _ int) error {
+		if ctx == nil {
+			t.Error("fn received nil ctx")
+		}
+		atomic.AddInt64(&ran, 1)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if ran != 10 {
+		t.Fatalf("ran %d of 10", ran)
+	}
+}
+
+func TestForEachCtxCancelReturnsPromptly(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	err := ForEachCtx(ctx, 10000, 4, func(ctx context.Context, i int) error {
+		select { // a ctx-honoring body, as the simulation engines are
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(time.Millisecond):
+			return nil
+		}
+	})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("want DeadlineExceeded, got %v", err)
+	}
+	if d := time.Since(start); d > 2*time.Second {
+		t.Fatalf("cancelled ForEachCtx took %v", d)
+	}
+}
+
+func TestMapCtxPartialOnCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // canceled before any scheduling
+	out, err := MapCtx(ctx, 8, 4, func(_ context.Context, i int) (int, error) { return i + 1, nil })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	if len(out) != 8 {
+		t.Fatalf("want zero-valued partials of len 8, got %d", len(out))
 	}
 }

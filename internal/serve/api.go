@@ -1,0 +1,460 @@
+// Package serve is the HTTP serving layer for the simulator: rrserve.
+//
+// It exposes the library's simulate/compare surface as a small JSON API
+// with production concerns handled explicitly — a bounded worker pool with
+// a fixed-capacity admission queue (429 + Retry-After on overflow),
+// per-request deadlines plumbed as context cancellation into the simulation
+// engines (504 on expiry), a sharded LRU result cache with singleflight
+// dedup of identical in-flight requests, graceful drain, and an
+// observability surface (/metrics, /healthz, optional pprof).
+//
+// Determinism is a hard API guarantee: a response is the JSON encoding of a
+// deterministic computation over (workload, policy, options), so the same
+// request always yields byte-identical bytes whether it was computed, cache
+// hit, or deduped against a concurrent twin. The race-mode stress tests in
+// this package enforce exactly that.
+package serve
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+
+	"rrnorm/internal/core"
+	"rrnorm/internal/fast"
+	"rrnorm/internal/metrics"
+	"rrnorm/internal/polspec"
+	"rrnorm/internal/workload"
+)
+
+// Request-surface limits; requests beyond them are rejected with 400
+// before any simulation work happens.
+const (
+	// MaxInlineJobs bounds the jobs array of an inline-workload request.
+	MaxInlineJobs = 200_000
+	// MaxSpecJobs bounds the instance size a workload spec may generate.
+	MaxSpecJobs = 1_000_000
+	// MaxNorms bounds the requested ℓk-norm list.
+	MaxNorms = 16
+	// MaxNormK bounds each requested k (float64 overflows past ~e308^(1/k)).
+	MaxNormK = 64
+	// MaxComparePolicies bounds the fan-out of one /v1/compare request.
+	MaxComparePolicies = 32
+	// MaxBodyBytes bounds a request body (inline jobs dominate: ~100 bytes
+	// of JSON per job).
+	MaxBodyBytes = 32 << 20
+)
+
+// JobSpec is one inline job in a request body.
+type JobSpec struct {
+	ID      int     `json:"id"`
+	Release float64 `json:"release"`
+	Size    float64 `json:"size"`
+	Weight  float64 `json:"weight,omitempty"`
+}
+
+// SimulateRequest is the body of POST /v1/simulate. The workload is given
+// either as a compact spec (internal/workload.FromSpec grammar, seeded) or
+// as inline jobs — exactly one of the two.
+type SimulateRequest struct {
+	// Spec is a workload spec such as "poisson:n=200,load=0.9,dist=exp".
+	// File-backed kinds (trace, swf) are rejected: the server never reads
+	// paths from request bodies.
+	Spec string `json:"spec,omitempty"`
+	// Seed drives the workload generator when Spec is set.
+	Seed uint64 `json:"seed,omitempty"`
+	// Jobs is the inline workload alternative to Spec.
+	Jobs []JobSpec `json:"jobs,omitempty"`
+	// Policy is a policy spec (internal/polspec grammar): "RR", "SRPT",
+	// "LAPS:beta=0.3", ...
+	Policy string `json:"policy"`
+	// Machines is m ≥ 1 (default 1).
+	Machines int `json:"machines,omitempty"`
+	// Speed is the resource-augmentation factor s > 0 (default 1).
+	Speed float64 `json:"speed,omitempty"`
+	// Engine selects the simulation engine: auto (default), reference, fast.
+	Engine string `json:"engine,omitempty"`
+	// Norms lists the k values to report ℓk-norms for (default [1 2 3]).
+	Norms []int `json:"norms,omitempty"`
+	// Detail additionally returns per-job completions and flows.
+	Detail bool `json:"detail,omitempty"`
+}
+
+// CompareRequest is the body of POST /v1/compare: one workload fanned out
+// over several policies with shared options.
+type CompareRequest struct {
+	Spec     string    `json:"spec,omitempty"`
+	Seed     uint64    `json:"seed,omitempty"`
+	Jobs     []JobSpec `json:"jobs,omitempty"`
+	Policies []string  `json:"policies"`
+	Machines int       `json:"machines,omitempty"`
+	Speed    float64   `json:"speed,omitempty"`
+	Engine   string    `json:"engine,omitempty"`
+	Norms    []int     `json:"norms,omitempty"`
+}
+
+// NormValue is one reported ℓk-norm.
+type NormValue struct {
+	K     int     `json:"k"`
+	Value float64 `json:"value"`
+}
+
+// FlowSummary is the fairness/variability digest of a flow-time vector —
+// the statistics the paper's temporal-fairness story is about.
+type FlowSummary struct {
+	MeanFlow float64 `json:"mean_flow"`
+	MaxFlow  float64 `json:"max_flow"`
+	Stddev   float64 `json:"stddev"`
+	P50      float64 `json:"p50"`
+	P95      float64 `json:"p95"`
+	P99      float64 `json:"p99"`
+	Jain     float64 `json:"jain_index"`
+}
+
+// SimulateResponse is the body of a successful POST /v1/simulate.
+type SimulateResponse struct {
+	Policy      string      `json:"policy"`
+	Machines    int         `json:"machines"`
+	Speed       float64     `json:"speed"`
+	Engine      string      `json:"engine"`
+	N           int         `json:"n"`
+	Events      int         `json:"events"`
+	Norms       []NormValue `json:"norms"`
+	Summary     FlowSummary `json:"summary"`
+	Completions []float64   `json:"completions,omitempty"`
+	Flows       []float64   `json:"flows,omitempty"`
+}
+
+// CompareEntry is one policy's row in a compare response, ordered as
+// requested.
+type CompareEntry struct {
+	Policy  string      `json:"policy"`
+	Norms   []NormValue `json:"norms"`
+	Summary FlowSummary `json:"summary"`
+}
+
+// CompareResponse is the body of a successful POST /v1/compare.
+type CompareResponse struct {
+	Machines int            `json:"machines"`
+	Speed    float64        `json:"speed"`
+	Engine   string         `json:"engine"`
+	N        int            `json:"n"`
+	Policies []CompareEntry `json:"policies"`
+}
+
+// PoliciesResponse is the body of GET /v1/policies.
+type PoliciesResponse struct {
+	Policies []string `json:"policies"`
+}
+
+// apiError is a structured request failure; Status picks the HTTP code and
+// the rest is the JSON error body.
+type apiError struct {
+	Status  int    `json:"-"`
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+func (e *apiError) Error() string { return fmt.Sprintf("%s: %s", e.Code, e.Message) }
+
+func badRequest(format string, args ...any) *apiError {
+	return &apiError{Status: 400, Code: "bad_request", Message: fmt.Sprintf(format, args...)}
+}
+
+// decodeJSON decodes a request body strictly: unknown fields, trailing
+// garbage and oversized bodies are all 400s, so accept/reject is total over
+// arbitrary input (the FuzzSimulateRequest target's invariant).
+func decodeJSON(r io.Reader, dst any) *apiError {
+	dec := json.NewDecoder(io.LimitReader(r, MaxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil {
+		return badRequest("invalid JSON body: %v", err)
+	}
+	if dec.More() {
+		return badRequest("trailing data after JSON body")
+	}
+	return nil
+}
+
+// simSpec is a validated, normalized simulation request: everything needed
+// to run one policy on one workload, plus the derived cache key.
+//
+// For spec workloads the instance is built lazily by materialize — the
+// cache key hashes (spec, seed) directly, so a cache hit never pays for
+// generation. Inline workloads build eagerly: their key needs the jobs.
+type simSpec struct {
+	req      SimulateRequest
+	opts     core.Options // Context is filled in per attempt, never hashed
+	norms    []int
+	instance *core.Instance // nil for spec workloads until materialize
+}
+
+// materialize generates and validates the instance for a spec workload
+// (deterministic in (spec, seed), so laziness is unobservable). Generation
+// failures are the client's fault and map to 400; because the cache never
+// stores errors, a deferred rejection is recomputed — and re-reported —
+// on every attempt, exactly like an eager one.
+func (s *simSpec) materialize() *apiError {
+	if s.instance != nil {
+		return nil
+	}
+	in, err := workload.FromSpec(s.req.Spec, s.req.Seed)
+	if err != nil {
+		return badRequest("workload spec: %v", err)
+	}
+	if in.N() > MaxSpecJobs {
+		return badRequest("spec generates %d jobs, limit is %d", in.N(), MaxSpecJobs)
+	}
+	if err := in.Validate(); err != nil {
+		// Degenerate generator parameters (e.g. load=0 → infinite
+		// interarrivals) surface here as the client's fault, not a 500.
+		return badRequest("spec generates an invalid instance: %v", err)
+	}
+	s.instance = in
+	return nil
+}
+
+// validateWorkload checks the shared workload/options fields and builds
+// the instance. It is the one place request input can turn into jobs, so
+// every limit is enforced here.
+func validateWorkload(spec string, seed uint64, jobs []JobSpec, machines int, speed float64, engine string, norms []int) (*core.Instance, core.Options, []int, *apiError) {
+	var opts core.Options
+	if (spec == "") == (len(jobs) == 0) {
+		return nil, opts, nil, badRequest("exactly one of spec and jobs must be set")
+	}
+	if machines == 0 {
+		machines = 1
+	}
+	if machines < 1 {
+		return nil, opts, nil, badRequest("machines must be ≥ 1, got %d", machines)
+	}
+	if speed == 0 {
+		speed = 1
+	}
+	if !(speed > 0) || math.IsInf(speed, 0) {
+		return nil, opts, nil, badRequest("speed must be a positive finite number, got %v", speed)
+	}
+	eng, err := core.ParseEngineKind(engine)
+	if err != nil {
+		return nil, opts, nil, badRequest("%v", err)
+	}
+	if len(norms) == 0 {
+		norms = []int{1, 2, 3}
+	}
+	if len(norms) > MaxNorms {
+		return nil, opts, nil, badRequest("at most %d norms per request, got %d", MaxNorms, len(norms))
+	}
+	for _, k := range norms {
+		if k < 1 || k > MaxNormK {
+			return nil, opts, nil, badRequest("norm k must be in [1, %d], got %d", MaxNormK, k)
+		}
+	}
+
+	var in *core.Instance
+	if spec != "" {
+		// Cheap structural checks only — generation is deferred to
+		// simSpec.materialize so a cache hit never builds the instance.
+		kind, _, _ := strings.Cut(spec, ":")
+		switch strings.TrimSpace(strings.ToLower(kind)) {
+		case "trace", "swf":
+			return nil, opts, nil, badRequest("file-backed workload kind %q is not served; inline the jobs", kind)
+		}
+		if aerr := guardSpecSize(spec); aerr != nil {
+			return nil, opts, nil, aerr
+		}
+	} else {
+		if len(jobs) > MaxInlineJobs {
+			return nil, opts, nil, badRequest("at most %d inline jobs, got %d", MaxInlineJobs, len(jobs))
+		}
+		js := make([]core.Job, len(jobs))
+		for i, j := range jobs {
+			js[i] = core.Job{ID: j.ID, Release: j.Release, Size: j.Size, Weight: j.Weight}
+		}
+		in = core.NewInstance(js)
+		if err := in.Validate(); err != nil {
+			return nil, opts, nil, badRequest("jobs: %v", err)
+		}
+	}
+	opts = core.Options{Machines: machines, Speed: speed, Engine: eng}
+	return in, opts, norms, nil
+}
+
+// guardSpecSize bounds the instance size a workload spec may request
+// BEFORE any generation happens: the generators allocate proportional to
+// their count parameters (cascade doubles per level, rrstream multiplies
+// groups×m), so post-generation checks are too late for an adversarial
+// request — it would already have allocated, or panicked on a negative
+// count. Keys that do not parse as integers are left for FromSpec's own
+// validation.
+func guardSpecSize(spec string) *apiError {
+	_, rest, _ := strings.Cut(spec, ":")
+	if rest == "" {
+		return nil
+	}
+	vals := map[string]int{}
+	for _, pair := range strings.Split(rest, ",") {
+		k, v, ok := strings.Cut(pair, "=")
+		if !ok {
+			continue // FromSpec rejects malformed pairs with a better message
+		}
+		if n, err := strconv.Atoi(strings.TrimSpace(v)); err == nil {
+			vals[strings.TrimSpace(strings.ToLower(k))] = n
+		}
+	}
+	get := func(key string, def int) int {
+		if v, ok := vals[key]; ok {
+			return v
+		}
+		return def
+	}
+	for _, key := range []string{"n", "m", "groups", "bursts", "size", "levels"} {
+		v, ok := vals[key]
+		if !ok {
+			continue
+		}
+		if v < 0 {
+			return badRequest("spec %s=%d must be non-negative", key, v)
+		}
+		if v > MaxSpecJobs {
+			return badRequest("spec %s=%d exceeds the served limit %d", key, v, MaxSpecJobs)
+		}
+	}
+	if l := get("levels", 8); l > 20 {
+		return badRequest("spec levels=%d would generate 2^%d jobs; limit is levels ≤ 20", l, l)
+	}
+	if g, m := get("groups", 32), get("m", 1); g*m > MaxSpecJobs {
+		return badRequest("spec groups×m = %d exceeds the served limit %d", g*m, MaxSpecJobs)
+	}
+	if b, s := get("bursts", 5), get("size", 10); b*s > MaxSpecJobs {
+		return badRequest("spec bursts×size = %d exceeds the served limit %d", b*s, MaxSpecJobs)
+	}
+	return nil
+}
+
+// parseSimulate validates a SimulateRequest into a runnable simSpec.
+func parseSimulate(req SimulateRequest) (*simSpec, *apiError) {
+	if req.Policy == "" {
+		return nil, badRequest("policy is required")
+	}
+	if _, err := polspec.New(req.Policy); err != nil {
+		return nil, badRequest("%v", err)
+	}
+	in, opts, norms, aerr := validateWorkload(req.Spec, req.Seed, req.Jobs, req.Machines, req.Speed, req.Engine, req.Norms)
+	if aerr != nil {
+		return nil, aerr
+	}
+	return &simSpec{req: req, opts: opts, norms: norms, instance: in}, nil
+}
+
+// cacheKey derives the canonical cache key for a simulate request. Spec
+// workloads hash (spec, seed) directly — generation is deterministic — so
+// the hot path never rebuilds the instance; inline workloads hash the
+// normalized instance via core.Fingerprint. Detail changes the response
+// shape, so it is part of the key.
+func (s *simSpec) cacheKey() string {
+	h := sha256.New()
+	var buf [8]byte
+	u64 := func(v uint64) {
+		binary.LittleEndian.PutUint64(buf[:], v)
+		h.Write(buf[:])
+	}
+	h.Write([]byte("rrserve/simulate/v1\x00"))
+	h.Write([]byte(s.req.Policy))
+	h.Write([]byte{0})
+	if s.req.Spec != "" {
+		h.Write([]byte("spec\x00"))
+		h.Write([]byte(s.req.Spec))
+		h.Write([]byte{0})
+		u64(s.req.Seed)
+		u64(uint64(int64(s.opts.Machines)))
+		u64(math.Float64bits(s.opts.Speed))
+		u64(uint64(int64(s.opts.Engine)))
+	} else {
+		h.Write([]byte("jobs\x00"))
+		h.Write([]byte(core.Fingerprint(s.instance, s.req.Policy, s.opts)))
+	}
+	u64(uint64(len(s.norms)))
+	for _, k := range s.norms {
+		u64(uint64(int64(k)))
+	}
+	if s.req.Detail {
+		u64(1)
+	} else {
+		u64(0)
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// run executes the simulation under ctx and builds the response.
+func (s *simSpec) run(ctx context.Context) (*SimulateResponse, *apiError) {
+	if aerr := s.materialize(); aerr != nil {
+		return nil, aerr
+	}
+	p, err := polspec.New(s.req.Policy) // fresh instance: policies are stateful
+	if err != nil {
+		return nil, badRequest("%v", err)
+	}
+	opts := s.opts
+	opts.Context = ctx
+	res, err := fast.Run(s.instance, p, opts)
+	if err != nil {
+		return nil, mapSimError(err)
+	}
+	return buildResponse(res, s.norms, s.req.Detail, opts.Engine), nil
+}
+
+func buildResponse(res *core.Result, norms []int, detail bool, eng core.EngineKind) *SimulateResponse {
+	out := &SimulateResponse{
+		Policy:   res.Policy,
+		Machines: res.Machines,
+		Speed:    res.Speed,
+		Engine:   eng.String(),
+		N:        len(res.Jobs),
+		Events:   res.Events,
+		Norms:    make([]NormValue, 0, len(norms)),
+		Summary:  summarize(res.Flow),
+	}
+	for _, k := range norms {
+		out.Norms = append(out.Norms, NormValue{K: k, Value: metrics.LkNorm(res.Flow, k)})
+	}
+	if detail {
+		out.Completions = res.Completion
+		out.Flows = res.Flow
+	}
+	return out
+}
+
+func summarize(flows []float64) FlowSummary {
+	s := metrics.Summarize(flows)
+	return FlowSummary{
+		MeanFlow: s.MeanFlow,
+		MaxFlow:  s.MaxFlow,
+		Stddev:   s.Stddev,
+		P50:      s.P50,
+		P95:      s.P95,
+		P99:      s.P99,
+		Jain:     s.Jain,
+	}
+}
+
+// mapSimError converts an engine failure into an apiError: context expiry
+// becomes 504 (the request's deadline did the canceling), anything else is
+// a 500 — by construction validation already rejected every bad input we
+// know how to name.
+func mapSimError(err error) *apiError {
+	if errors.Is(err, context.DeadlineExceeded) {
+		return &apiError{Status: 504, Code: "deadline_exceeded", Message: "simulation exceeded the request deadline"}
+	}
+	if errors.Is(err, context.Canceled) {
+		return &apiError{Status: 499, Code: "canceled", Message: "request canceled by client"}
+	}
+	return &apiError{Status: 500, Code: "internal", Message: err.Error()}
+}

@@ -1,0 +1,112 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http/httptest"
+	"os"
+	"runtime"
+	"testing"
+)
+
+// benchServer builds a Server sized so the benchmark measures the cache and
+// handler path, not queue contention: plenty of workers, a deep queue, and a
+// cache large enough that miss-path entries never evict the hit-path entry.
+func benchServer(b *testing.B) *Server {
+	b.Helper()
+	s := NewServer(Config{Workers: runtime.GOMAXPROCS(0), QueueDepth: 4096, CacheEntries: 1 << 16})
+	b.Cleanup(s.Close)
+	return s
+}
+
+func benchPost(b *testing.B, s *Server, body []byte) {
+	b.Helper()
+	req := httptest.NewRequest("POST", "/v1/simulate", bytes.NewReader(body))
+	req.Header.Set("Content-Type", "application/json")
+	rec := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, req)
+	if rec.Code != 200 {
+		b.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+	}
+}
+
+const benchBody = `{"spec":"poisson:n=2000,load=0.9,dist=exp","seed":%d,"policy":"RR","speed":2}`
+
+// BenchmarkServeCacheHitVsMiss measures the full HTTP handler path for a
+// cache miss (unique seed per iteration → a fresh 2000-job simulation) vs a
+// cache hit (same body every iteration → sharded-LRU lookup + cached bytes).
+// The hit path must be ≥ 10× faster; TestWriteServeBenchBaseline enforces
+// that and records the baseline in BENCH_serve.json.
+func BenchmarkServeCacheHitVsMiss(b *testing.B) {
+	b.Run("miss", func(b *testing.B) {
+		s := benchServer(b)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			benchPost(b, s, []byte(fmt.Sprintf(benchBody, i+1)))
+		}
+	})
+	b.Run("hit", func(b *testing.B) {
+		s := benchServer(b)
+		body := []byte(fmt.Sprintf(benchBody, 1))
+		benchPost(b, s, body) // warm the cache
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			benchPost(b, s, body)
+		}
+	})
+}
+
+// TestWriteServeBenchBaseline runs the hit-vs-miss benchmark pair and writes
+// BENCH_serve.json at the repo root. Gated behind WRITE_BENCH=1 so routine
+// `go test ./...` stays fast:
+//
+//	WRITE_BENCH=1 go test ./internal/serve -run TestWriteServeBenchBaseline -v
+func TestWriteServeBenchBaseline(t *testing.T) {
+	if os.Getenv("WRITE_BENCH") != "1" {
+		t.Skip("set WRITE_BENCH=1 to (re)write BENCH_serve.json")
+	}
+	miss := testing.Benchmark(func(b *testing.B) {
+		s := benchServer(b)
+		for i := 0; i < b.N; i++ {
+			benchPost(b, s, []byte(fmt.Sprintf(benchBody, i+1)))
+		}
+	})
+	hit := testing.Benchmark(func(b *testing.B) {
+		s := benchServer(b)
+		body := []byte(fmt.Sprintf(benchBody, 1))
+		benchPost(b, s, body)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			benchPost(b, s, body)
+		}
+	})
+	missNs := float64(miss.NsPerOp())
+	hitNs := float64(hit.NsPerOp())
+	speedup := missNs / hitNs
+	t.Logf("miss %.0f ns/op (N=%d), hit %.0f ns/op (N=%d), speedup %.1fx",
+		missNs, miss.N, hitNs, hit.N, speedup)
+	if speedup < 10 {
+		t.Fatalf("cache hit only %.1fx faster than miss, want ≥ 10x", speedup)
+	}
+	out := map[string]any{
+		"benchmark":      "BenchmarkServeCacheHitVsMiss",
+		"workload":       fmt.Sprintf(benchBody, 1),
+		"miss_ns_per_op": missNs,
+		"hit_ns_per_op":  hitNs,
+		"speedup":        speedup,
+		"miss_n":         miss.N,
+		"hit_n":          hit.N,
+		"goos":           runtime.GOOS,
+		"goarch":         runtime.GOARCH,
+		"go_max_procs":   runtime.GOMAXPROCS(0),
+	}
+	b, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile("../../BENCH_serve.json", append(b, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,160 @@
+package serve
+
+import (
+	"container/list"
+	"context"
+	"hash/fnv"
+	"sync"
+	"sync/atomic"
+)
+
+// Outcome classifies how a cache lookup was satisfied — the serving layer
+// exports per-outcome counters.
+type Outcome int
+
+const (
+	// OutcomeMiss: this caller computed the value.
+	OutcomeMiss Outcome = iota
+	// OutcomeHit: the value was already cached.
+	OutcomeHit
+	// OutcomeDedup: an identical request was already in flight; this caller
+	// waited for its result instead of recomputing (singleflight).
+	OutcomeDedup
+)
+
+// Cache is a sharded LRU of computed response bodies with singleflight
+// dedup: concurrent lookups of the same key compute the value exactly
+// once. Sharding keeps lock contention off the 64-client hot path; each
+// shard has its own mutex, LRU list and in-flight table.
+//
+// Errors are never cached. A leader's failure propagates to every waiter
+// of that flight (they observe the same error rather than retrying), which
+// keeps the worst case at one simulation per key per flight generation.
+type Cache struct {
+	shards [cacheShards]cacheShard
+	// perShard is the per-shard entry capacity; total capacity is
+	// perShard × cacheShards.
+	perShard int
+
+	hits   atomic.Int64
+	misses atomic.Int64
+	dedups atomic.Int64
+}
+
+const cacheShards = 16
+
+type cacheShard struct {
+	mu       sync.Mutex
+	entries  map[string]*list.Element // key → element in lru; value is *cacheEntry
+	lru      *list.List               // front = most recently used
+	inflight map[string]*flight
+}
+
+type cacheEntry struct {
+	key string
+	val []byte
+}
+
+type flight struct {
+	done chan struct{} // closed when the leader finishes
+	val  []byte
+	err  error
+}
+
+// NewCache returns a cache holding at most capacity entries in total
+// (rounded up to a multiple of the shard count; capacity ≤ 0 → 1024).
+func NewCache(capacity int) *Cache {
+	if capacity <= 0 {
+		capacity = 1024
+	}
+	per := (capacity + cacheShards - 1) / cacheShards
+	c := &Cache{perShard: per}
+	for i := range c.shards {
+		c.shards[i] = cacheShard{
+			entries:  make(map[string]*list.Element),
+			lru:      list.New(),
+			inflight: make(map[string]*flight),
+		}
+	}
+	return c
+}
+
+func (c *Cache) shardFor(key string) *cacheShard {
+	h := fnv.New32a()
+	h.Write([]byte(key))
+	return &c.shards[h.Sum32()%cacheShards]
+}
+
+// Do returns the value for key, computing it via compute at most once
+// across concurrent callers. Waiters deduped against an in-flight leader
+// respect their own ctx: a waiter whose deadline expires returns ctx.Err()
+// while the leader's computation continues for the others.
+func (c *Cache) Do(ctx context.Context, key string, compute func() ([]byte, error)) ([]byte, Outcome, error) {
+	sh := c.shardFor(key)
+	sh.mu.Lock()
+	if el, ok := sh.entries[key]; ok {
+		sh.lru.MoveToFront(el)
+		val := el.Value.(*cacheEntry).val
+		sh.mu.Unlock()
+		c.hits.Add(1)
+		return val, OutcomeHit, nil
+	}
+	if fl, ok := sh.inflight[key]; ok {
+		sh.mu.Unlock()
+		c.dedups.Add(1)
+		select {
+		case <-fl.done:
+			return fl.val, OutcomeDedup, fl.err
+		case <-ctx.Done():
+			return nil, OutcomeDedup, ctx.Err()
+		}
+	}
+	fl := &flight{done: make(chan struct{})}
+	sh.inflight[key] = fl
+	sh.mu.Unlock()
+	c.misses.Add(1)
+
+	fl.val, fl.err = compute()
+
+	sh.mu.Lock()
+	delete(sh.inflight, key)
+	if fl.err == nil {
+		sh.entries[key] = sh.lru.PushFront(&cacheEntry{key: key, val: fl.val})
+		for sh.lru.Len() > c.perShard {
+			oldest := sh.lru.Back()
+			sh.lru.Remove(oldest)
+			delete(sh.entries, oldest.Value.(*cacheEntry).key)
+		}
+	}
+	sh.mu.Unlock()
+	close(fl.done)
+	return fl.val, OutcomeMiss, fl.err
+}
+
+// Len returns the current number of cached entries (racy across shards;
+// metrics only).
+func (c *Cache) Len() int {
+	n := 0
+	for i := range c.shards {
+		c.shards[i].mu.Lock()
+		n += c.shards[i].lru.Len()
+		c.shards[i].mu.Unlock()
+	}
+	return n
+}
+
+// Hits, Misses and Dedups expose the outcome counters.
+func (c *Cache) Hits() int64   { return c.hits.Load() }
+func (c *Cache) Misses() int64 { return c.misses.Load() }
+func (c *Cache) Dedups() int64 { return c.dedups.Load() }
+
+// InFlight returns the number of in-flight computations (metrics only).
+func (c *Cache) InFlight() int {
+	n := 0
+	for i := range c.shards {
+		c.shards[i].mu.Lock()
+		n += len(c.shards[i].inflight)
+		c.shards[i].mu.Unlock()
+	}
+	return n
+}

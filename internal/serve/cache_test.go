@@ -1,0 +1,207 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCacheHitReturnsIdenticalBytes(t *testing.T) {
+	c := NewCache(64)
+	computed := 0
+	compute := func() ([]byte, error) {
+		computed++
+		return []byte(`{"v":42}`), nil
+	}
+	ctx := context.Background()
+	first, out1, err := c.Do(ctx, "k", compute)
+	if err != nil || out1 != OutcomeMiss {
+		t.Fatalf("first Do: outcome %v err %v", out1, err)
+	}
+	second, out2, err := c.Do(ctx, "k", compute)
+	if err != nil || out2 != OutcomeHit {
+		t.Fatalf("second Do: outcome %v err %v", out2, err)
+	}
+	if !bytes.Equal(first, second) {
+		t.Fatalf("hit bytes differ from miss bytes: %q vs %q", first, second)
+	}
+	if computed != 1 {
+		t.Fatalf("compute ran %d times", computed)
+	}
+	if c.Hits() != 1 || c.Misses() != 1 || c.Dedups() != 0 {
+		t.Fatalf("counters hits=%d misses=%d dedups=%d", c.Hits(), c.Misses(), c.Dedups())
+	}
+}
+
+func TestCacheEvictionUnderCapacityPressure(t *testing.T) {
+	const capacity = 32
+	c := NewCache(capacity)
+	ctx := context.Background()
+	// 8× capacity distinct keys: the LRU must hold the line at capacity.
+	for i := 0; i < 8*capacity; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		if _, _, err := c.Do(ctx, key, func() ([]byte, error) { return []byte(key), nil }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := c.Len(); n > capacity {
+		t.Fatalf("cache holds %d entries, capacity %d", n, capacity)
+	}
+	// Same-shard LRU order: two keys in one shard with per-shard capacity
+	// exceeded evict the older one, and a re-fetch recomputes.
+	sh := c.shardFor("key-0")
+	var sameShard []string
+	for i := 0; i < 8*capacity && len(sameShard) < c.perShard+1; i++ {
+		k := fmt.Sprintf("key-%d", i)
+		if c.shardFor(k) == sh {
+			sameShard = append(sameShard, k)
+		}
+	}
+	missesBefore := c.Misses()
+	if _, out, _ := c.Do(ctx, sameShard[0], func() ([]byte, error) { return []byte("again"), nil }); out != OutcomeMiss {
+		t.Fatalf("evicted key came back as %v, want miss", out)
+	}
+	if c.Misses() != missesBefore+1 {
+		t.Fatal("eviction did not force a recompute")
+	}
+}
+
+func TestCacheSingleflightDedup(t *testing.T) {
+	c := NewCache(16)
+	ctx := context.Background()
+	enter := make(chan struct{})
+	release := make(chan struct{})
+	var computed int
+	go func() {
+		_, _, _ = c.Do(ctx, "k", func() ([]byte, error) {
+			computed++
+			close(enter)
+			<-release
+			return []byte("val"), nil
+		})
+	}()
+	<-enter // the leader is mid-compute: the key is observably in flight
+	if n := c.InFlight(); n != 1 {
+		t.Fatalf("in-flight counter = %d, want 1", n)
+	}
+
+	const waiters = 8
+	var wg sync.WaitGroup
+	results := make([][]byte, waiters)
+	outcomes := make([]Outcome, waiters)
+	for i := 0; i < waiters; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i], outcomes[i], _ = c.Do(ctx, "k", func() ([]byte, error) {
+				t.Error("waiter recomputed despite in-flight leader")
+				return nil, nil
+			})
+		}(i)
+	}
+	// Waiters register as dedups before the leader finishes.
+	deadline := time.Now().Add(5 * time.Second)
+	for c.Dedups() < waiters {
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d of %d waiters deduped", c.Dedups(), waiters)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(release)
+	wg.Wait()
+	for i := range results {
+		if string(results[i]) != "val" {
+			t.Fatalf("waiter %d got %q", i, results[i])
+		}
+		if outcomes[i] != OutcomeDedup {
+			t.Fatalf("waiter %d outcome %v, want dedup", i, outcomes[i])
+		}
+	}
+	if computed != 1 {
+		t.Fatalf("compute ran %d times", computed)
+	}
+	if n := c.InFlight(); n != 0 {
+		t.Fatalf("in-flight counter = %d after completion", n)
+	}
+}
+
+func TestCacheDedupWaiterHonorsOwnContext(t *testing.T) {
+	c := NewCache(16)
+	release := make(chan struct{})
+	enter := make(chan struct{})
+	defer close(release)
+	go func() {
+		_, _, _ = c.Do(context.Background(), "k", func() ([]byte, error) {
+			close(enter)
+			<-release
+			return []byte("late"), nil
+		})
+	}()
+	<-enter
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, _, err := c.Do(ctx, "k", func() ([]byte, error) { return nil, nil })
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("want DeadlineExceeded, got %v", err)
+	}
+	if d := time.Since(start); d > 2*time.Second {
+		t.Fatalf("deduped waiter ignored its deadline for %v", d)
+	}
+}
+
+func TestCacheErrorNotCached(t *testing.T) {
+	c := NewCache(16)
+	ctx := context.Background()
+	boom := errors.New("boom")
+	if _, _, err := c.Do(ctx, "k", func() ([]byte, error) { return nil, boom }); !errors.Is(err, boom) {
+		t.Fatalf("want boom, got %v", err)
+	}
+	val, out, err := c.Do(ctx, "k", func() ([]byte, error) { return []byte("ok"), nil })
+	if err != nil || out != OutcomeMiss || string(val) != "ok" {
+		t.Fatalf("error was cached: val=%q outcome=%v err=%v", val, out, err)
+	}
+}
+
+func TestPoolBackpressureAndDrain(t *testing.T) {
+	p := NewPool(1, 2, nil)
+	block := make(chan struct{})
+	ran := make(chan int, 8)
+	if !p.TrySubmit(func() { <-block; ran <- 0 }) {
+		t.Fatal("first submit rejected")
+	}
+	// Wait for the worker to pick up the blocker, then fill the queue.
+	deadline := time.Now().Add(5 * time.Second)
+	for p.Running() != 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("worker never started")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if !p.TrySubmit(func() { ran <- 1 }) || !p.TrySubmit(func() { ran <- 2 }) {
+		t.Fatal("queue-capacity submits rejected")
+	}
+	if p.TrySubmit(func() { ran <- 3 }) {
+		t.Fatal("submit beyond queue capacity accepted")
+	}
+	if d := p.QueueDepth(); d != 2 {
+		t.Fatalf("queue depth %d, want 2", d)
+	}
+	close(block)
+	p.Close() // graceful drain: queued tasks still run
+	close(ran)
+	var got []int
+	for v := range ran {
+		got = append(got, v)
+	}
+	if len(got) != 3 {
+		t.Fatalf("drained %d tasks, want 3 (got %v)", len(got), got)
+	}
+	if p.TrySubmit(func() {}) {
+		t.Fatal("closed pool accepted a task")
+	}
+}

@@ -1,0 +1,84 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"testing"
+	"time"
+)
+
+// FuzzSimulateRequest fuzzes the request surface: the strict JSON decoder,
+// the validation layer (including the pre-generation spec-size guard) and
+// the cache-key derivation. The invariant is totality — every input is
+// either rejected with a structured error or accepted into a runnable,
+// hashable simSpec; nothing panics, and small accepted instances simulate
+// without crashing. Run alongside FuzzEngineAgreement via `make fuzz`:
+//
+//	go test -fuzz=FuzzSimulateRequest ./internal/serve
+func FuzzSimulateRequest(f *testing.F) {
+	seeds := []string{
+		`{"spec":"poisson:n=20,load=0.9,dist=exp","seed":1,"policy":"RR","machines":1,"speed":2}`,
+		`{"spec":"batch:n=5,dist=pareto,alpha=2,xm=1","policy":"SRPT","norms":[1,2,3]}`,
+		`{"jobs":[{"id":1,"release":0,"size":2},{"id":2,"release":1,"size":0}],"policy":"FCFS","detail":true}`,
+		`{"spec":"cascade:levels=4,theta=0.8","policy":"LAPS:beta=0.3","engine":"reference"}`,
+		`{"spec":"staircase:n=6","policy":"SETF","machines":3}`,
+		`{"spec":"rrstream:groups=4,m=2","policy":"RR","machines":2,"engine":"fast"}`,
+		`{"spec":"trace:path=/etc/passwd","policy":"RR"}`,
+		`{"spec":"poisson:n=-5","policy":"RR"}`,
+		`{"spec":"poisson:n=999999999","policy":"RR"}`,
+		`{"spec":"cascade:levels=63","policy":"RR"}`,
+		`{"spec":"poisson:load=0","policy":"RR"}`,
+		`{"spec":"poisson:n=10","policy":"GITTINS:dist=exp,mean=1"}`,
+		`{"policy":"RR"}`,
+		`{"spec":"poisson:n=10","policy":"RR","bogus":true}`,
+		`{"spec":"poisson:n=10","policy":"RR"} trailing`,
+		`{"spec":":::","policy":"RR"}`,
+		`not json`,
+		``,
+		`null`,
+		`[]`,
+		`{"jobs":[{"id":1,"size":1e308},{"id":2,"size":1e-320}],"policy":"RR","speed":1e-9}`,
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 4096 {
+			return
+		}
+		var req SimulateRequest
+		if aerr := decodeJSON(bytes.NewReader(data), &req); aerr != nil {
+			if aerr.Status != 400 {
+				t.Fatalf("decode rejection with status %d, want 400", aerr.Status)
+			}
+			return
+		}
+		spec, aerr := parseSimulate(req)
+		if aerr != nil {
+			if aerr.Status != 400 {
+				t.Fatalf("validation rejection with status %d, want 400", aerr.Status)
+			}
+			return
+		}
+		// Accepted: the key derivation must be total...
+		if key := spec.cacheKey(); len(key) != 64 {
+			t.Fatalf("cache key %q is not a sha256 hex digest", key)
+		}
+		// ...generation may still reject (spec grammar, degenerate
+		// parameters) but only ever with a 400...
+		if aerr := spec.materialize(); aerr != nil {
+			if aerr.Status != 400 {
+				t.Fatalf("materialize rejection with status %d, want 400", aerr.Status)
+			}
+			return
+		}
+		// ...and small accepted instances must simulate without panicking
+		// (errors are legal: an adversarial-but-valid request may time out
+		// or overrun the event budget; crashing is not legal).
+		if spec.instance.N() <= 64 {
+			ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+			defer cancel()
+			_, _ = spec.run(ctx)
+		}
+	})
+}

@@ -1,0 +1,93 @@
+package serve
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Pool is a bounded worker pool with a fixed-capacity admission queue —
+// the server's backpressure mechanism. Simulations are CPU-bound, so the
+// pool caps concurrent simulation work at Workers regardless of how many
+// HTTP connections are open, and the queue bounds the latency debt the
+// server is willing to take on; beyond it, admission fails and the handler
+// answers 429 + Retry-After instead of queueing unboundedly.
+type Pool struct {
+	queue   chan func()
+	wg      sync.WaitGroup
+	queued  atomic.Int64
+	running atomic.Int64
+
+	mu     sync.Mutex
+	closed bool
+
+	// hookBeforeRun, when non-nil, runs on the worker goroutine before each
+	// task — a test seam for making "worker busy" deterministic in the
+	// overflow tests. Fixed at construction; never set in production.
+	hookBeforeRun func()
+}
+
+// NewPool starts workers goroutines (≤ 0 → 1) behind a queue of capacity
+// queueCap (< 0 → 0, i.e. admission only when a worker is free to pick the
+// task up). hook, when non-nil, runs before each task (tests only).
+func NewPool(workers, queueCap int, hook func()) *Pool {
+	if workers <= 0 {
+		workers = 1
+	}
+	if queueCap < 0 {
+		queueCap = 0
+	}
+	p := &Pool{queue: make(chan func(), queueCap), hookBeforeRun: hook}
+	p.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go p.worker()
+	}
+	return p
+}
+
+func (p *Pool) worker() {
+	defer p.wg.Done()
+	for fn := range p.queue {
+		p.queued.Add(-1)
+		p.running.Add(1)
+		if h := p.hookBeforeRun; h != nil {
+			h()
+		}
+		fn()
+		p.running.Add(-1)
+	}
+}
+
+// TrySubmit enqueues fn for execution; it returns false when the queue is
+// full or the pool is closed — the caller's cue to shed load.
+func (p *Pool) TrySubmit(fn func()) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return false
+	}
+	select {
+	case p.queue <- fn:
+		p.queued.Add(1)
+		return true
+	default:
+		return false
+	}
+}
+
+// QueueDepth returns the number of admitted-but-unstarted tasks.
+func (p *Pool) QueueDepth() int64 { return p.queued.Load() }
+
+// Running returns the number of tasks currently executing.
+func (p *Pool) Running() int64 { return p.running.Load() }
+
+// Close stops admission, drains the queue and waits for in-flight tasks —
+// the pool half of graceful shutdown. Safe to call more than once.
+func (p *Pool) Close() {
+	p.mu.Lock()
+	if !p.closed {
+		p.closed = true
+		close(p.queue)
+	}
+	p.mu.Unlock()
+	p.wg.Wait()
+}

@@ -1,0 +1,341 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"expvar"
+	"fmt"
+	"net/http"
+	"net/http/pprof"
+	"runtime"
+	"sync"
+	"time"
+
+	"rrnorm/internal/par"
+	"rrnorm/internal/policy"
+	"rrnorm/internal/stats"
+)
+
+// Config sizes the server's resources. The zero value gets production-sane
+// defaults from NewServer.
+type Config struct {
+	// Workers caps concurrent simulation work (default GOMAXPROCS).
+	Workers int
+	// QueueDepth is the admission-queue capacity beyond the workers
+	// (default 64); an admission attempt past it is answered 429.
+	QueueDepth int
+	// RequestTimeout is the per-request simulation deadline (default 30s);
+	// a simulation that outlives it is canceled via context and answered
+	// 504.
+	RequestTimeout time.Duration
+	// CacheEntries is the result cache's total LRU capacity (default 1024).
+	CacheEntries int
+	// EnablePprof mounts net/http/pprof under /debug/pprof/.
+	EnablePprof bool
+
+	// testHookBeforeRun runs on a pool worker before each task; tests use
+	// it to hold workers busy deterministically. Always nil in production.
+	testHookBeforeRun func()
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth == 0 {
+		c.QueueDepth = 64
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 30 * time.Second
+	}
+	if c.CacheEntries <= 0 {
+		c.CacheEntries = 1024
+	}
+	return c
+}
+
+// Server is the rrserve HTTP service: the simulate/compare API in front of
+// a bounded worker pool, a deduplicating result cache, and an expvar-style
+// metrics surface. Create with NewServer, mount Handler, and Close on
+// shutdown to drain in-flight simulations.
+type Server struct {
+	cfg   Config
+	pool  *Pool
+	cache *Cache
+	mux   *http.ServeMux
+
+	vars     *expvar.Map // unpublished: multiple Servers may coexist (tests)
+	requests expvar.Int
+	rejected expvar.Int // 4xx/5xx responses, by final status
+
+	histMu sync.Mutex
+	hist   *stats.StreamHist // service-time seconds, p50/p99 in /metrics
+}
+
+// errOverloaded is the admission-queue-full failure, mapped to 429.
+var errOverloaded = &apiError{Status: 429, Code: "overloaded", Message: "server at capacity; retry shortly"}
+
+// NewServer builds a Server and starts its worker pool.
+func NewServer(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:   cfg,
+		pool:  NewPool(cfg.Workers, cfg.QueueDepth, cfg.testHookBeforeRun),
+		cache: NewCache(cfg.CacheEntries),
+		mux:   http.NewServeMux(),
+		vars:  new(expvar.Map).Init(),
+		hist:  stats.NewStreamHist(0.01),
+	}
+	s.vars.Set("requests", &s.requests)
+	s.vars.Set("errors", &s.rejected)
+	s.vars.Set("cache_hits", expvar.Func(func() any { return s.cache.Hits() }))
+	s.vars.Set("cache_misses", expvar.Func(func() any { return s.cache.Misses() }))
+	s.vars.Set("cache_dedups", expvar.Func(func() any { return s.cache.Dedups() }))
+	s.vars.Set("cache_entries", expvar.Func(func() any { return s.cache.Len() }))
+	s.vars.Set("inflight", expvar.Func(func() any { return s.cache.InFlight() }))
+	s.vars.Set("queue_depth", expvar.Func(func() any { return s.pool.QueueDepth() }))
+	s.vars.Set("running", expvar.Func(func() any { return s.pool.Running() }))
+	s.vars.Set("service_time_p50", expvar.Func(func() any { return s.quantile(0.50) }))
+	s.vars.Set("service_time_p99", expvar.Func(func() any { return s.quantile(0.99) }))
+
+	s.mux.HandleFunc("POST /v1/simulate", s.handleSimulate)
+	s.mux.HandleFunc("POST /v1/compare", s.handleCompare)
+	s.mux.HandleFunc("GET /v1/policies", s.handlePolicies)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	if cfg.EnablePprof {
+		s.mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		s.mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		s.mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		s.mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		s.mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	}
+	return s
+}
+
+// Handler returns the server's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Vars returns the server's metrics map, for publishing under the global
+// expvar page (cmd/rrserve does; tests must not, since expvar.Publish is
+// global and panics on duplicates).
+func (s *Server) Vars() *expvar.Map { return s.vars }
+
+// Close stops admission and drains in-flight simulations — call after the
+// HTTP listener has stopped accepting (http.Server.Shutdown) so graceful
+// drain is: stop listening, finish queued work, exit.
+func (s *Server) Close() { s.pool.Close() }
+
+func (s *Server) quantile(q float64) float64 {
+	s.histMu.Lock()
+	defer s.histMu.Unlock()
+	return s.hist.Quantile(q)
+}
+
+func (s *Server) observe(d time.Duration) {
+	s.histMu.Lock()
+	s.hist.Add(d.Seconds())
+	s.histMu.Unlock()
+}
+
+// execute resolves one simulate request through cache, singleflight and
+// pool, returning the response body bytes. The returned error is either an
+// *apiError or a context error.
+func (s *Server) execute(ctx context.Context, spec *simSpec) ([]byte, Outcome, error) {
+	return s.cache.Do(ctx, spec.cacheKey(), func() ([]byte, error) {
+		type result struct {
+			b   []byte
+			err error
+		}
+		ch := make(chan result, 1) // buffered: the task must never block if the waiter gave up
+		if !s.pool.TrySubmit(func() {
+			resp, aerr := spec.run(ctx)
+			if aerr != nil {
+				ch <- result{nil, aerr}
+				return
+			}
+			b, err := json.Marshal(resp)
+			ch <- result{b, err}
+		}) {
+			return nil, errOverloaded
+		}
+		select {
+		case res := <-ch:
+			return res.b, res.err
+		case <-ctx.Done():
+			// Still queued or the engine hasn't hit a cancellation poll yet;
+			// don't make the client wait for either.
+			return nil, ctx.Err()
+		}
+	})
+}
+
+func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	s.requests.Add(1)
+	var req SimulateRequest
+	if aerr := decodeJSON(r.Body, &req); aerr != nil {
+		s.writeError(w, aerr)
+		return
+	}
+	spec, aerr := parseSimulate(req)
+	if aerr != nil {
+		s.writeError(w, aerr)
+		return
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+	defer cancel()
+	body, outcome, err := s.execute(ctx, spec)
+	s.observe(time.Since(start))
+	if err != nil {
+		s.writeError(w, toAPIError(err))
+		return
+	}
+	writeBody(w, body, outcome)
+}
+
+func (s *Server) handleCompare(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	s.requests.Add(1)
+	var req CompareRequest
+	if aerr := decodeJSON(r.Body, &req); aerr != nil {
+		s.writeError(w, aerr)
+		return
+	}
+	if len(req.Policies) == 0 {
+		s.writeError(w, badRequest("policies must list at least one policy"))
+		return
+	}
+	if len(req.Policies) > MaxComparePolicies {
+		s.writeError(w, badRequest("at most %d policies per compare, got %d", MaxComparePolicies, len(req.Policies)))
+		return
+	}
+	// Validate everything before burning a pool slot.
+	specs := make([]*simSpec, len(req.Policies))
+	for i, pol := range req.Policies {
+		sp, aerr := parseSimulate(SimulateRequest{
+			Spec: req.Spec, Seed: req.Seed, Jobs: req.Jobs,
+			Policy: pol, Machines: req.Machines, Speed: req.Speed,
+			Engine: req.Engine, Norms: req.Norms,
+		})
+		if aerr != nil {
+			s.writeError(w, aerr)
+			return
+		}
+		specs[i] = sp
+	}
+
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+	defer cancel()
+	// The whole compare occupies one admission slot; the per-policy fan-out
+	// runs on par.MapCtx inside it so a canceled request stops scheduling
+	// policies it has not started yet.
+	type result struct {
+		b   []byte
+		err error
+	}
+	ch := make(chan result, 1)
+	if !s.pool.TrySubmit(func() {
+		// All policies share one workload: materialize it once and hand the
+		// (read-only — both engines clone before normalizing) instance to
+		// every spec.
+		if aerr := specs[0].materialize(); aerr != nil {
+			ch <- result{nil, aerr}
+			return
+		}
+		for _, sp := range specs[1:] {
+			sp.instance = specs[0].instance
+		}
+		entries, err := par.MapCtx(ctx, len(specs), 0, func(ctx context.Context, i int) (CompareEntry, error) {
+			resp, aerr := specs[i].run(ctx)
+			if aerr != nil {
+				return CompareEntry{}, aerr
+			}
+			return CompareEntry{Policy: specs[i].req.Policy, Norms: resp.Norms, Summary: resp.Summary}, nil
+		})
+		if err != nil {
+			ch <- result{nil, err}
+			return
+		}
+		out := &CompareResponse{
+			Machines: specs[0].opts.Machines,
+			Speed:    specs[0].opts.Speed,
+			Engine:   specs[0].opts.Engine.String(),
+			N:        specs[0].instance.N(),
+			Policies: entries,
+		}
+		b, err := json.Marshal(out)
+		ch <- result{b, err}
+	}) {
+		s.observe(time.Since(start))
+		s.writeError(w, errOverloaded)
+		return
+	}
+	var res result
+	select {
+	case res = <-ch:
+	case <-ctx.Done():
+		res = result{nil, ctx.Err()}
+	}
+	s.observe(time.Since(start))
+	if res.err != nil {
+		s.writeError(w, toAPIError(res.err))
+		return
+	}
+	writeBody(w, res.b, OutcomeMiss)
+}
+
+func (s *Server) handlePolicies(w http.ResponseWriter, r *http.Request) {
+	s.requests.Add(1)
+	b, err := json.Marshal(&PoliciesResponse{Policies: policy.Names()})
+	if err != nil {
+		s.writeError(w, toAPIError(err))
+		return
+	}
+	writeBody(w, b, OutcomeMiss)
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	fmt.Fprintf(w, "{\"rrserve\": %s}\n", s.vars.String())
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+// toAPIError normalizes pool/cache/context failures into apiErrors.
+func toAPIError(err error) *apiError {
+	var aerr *apiError
+	if errors.As(err, &aerr) {
+		return aerr
+	}
+	return mapSimError(err)
+}
+
+func (s *Server) writeError(w http.ResponseWriter, aerr *apiError) {
+	s.rejected.Add(1)
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	if aerr.Status == 429 {
+		w.Header().Set("Retry-After", "1")
+	}
+	w.WriteHeader(aerr.Status)
+	_ = json.NewEncoder(w).Encode(struct {
+		Error *apiError `json:"error"`
+	}{aerr})
+}
+
+func writeBody(w http.ResponseWriter, body []byte, outcome Outcome) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	switch outcome {
+	case OutcomeHit:
+		w.Header().Set("X-Cache", "hit")
+	case OutcomeDedup:
+		w.Header().Set("X-Cache", "dedup")
+	default:
+		w.Header().Set("X-Cache", "miss")
+	}
+	_, _ = w.Write(body)
+}

@@ -1,0 +1,154 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"sync"
+	"testing"
+
+	"rrnorm"
+)
+
+// stressCases is the mixed-spec request set for the race-mode stress wall:
+// both engines, one and many machines, spec and inline workloads, detail on
+// and off, fast-path and reference-only policies.
+func stressCases() []SimulateRequest {
+	return []SimulateRequest{
+		{Spec: "poisson:n=500,load=0.9,dist=exp", Seed: 1, Policy: "RR", Speed: 2},
+		{Spec: "poisson:n=500,load=0.9,dist=pareto,alpha=1.8,xm=1", Seed: 2, Policy: "SRPT"},
+		{Spec: "bursts:bursts=5,size=20,period=10,dist=exp,mean=1", Seed: 3, Policy: "FCFS", Machines: 2},
+		{Spec: "cascade:levels=8,theta=0.8", Policy: "RR", Engine: "fast"},
+		{Spec: "staircase:n=50", Policy: "SJF", Norms: []int{1, 2, 3, 4}},
+		{Spec: "starvation:big=10,n=200,small=1", Policy: "SETF"}, // no fast path → reference engine
+		{Spec: "rrstream:groups=16,m=2", Policy: "RR", Machines: 2},
+		{Jobs: []JobSpec{
+			{ID: 1, Release: 0, Size: 3}, {ID: 2, Release: 1, Size: 2},
+			{ID: 3, Release: 1, Size: 1}, {ID: 4, Release: 2.5, Size: 4},
+		}, Policy: "SRPT", Detail: true},
+	}
+}
+
+// expectedBytes computes, via the public rrnorm facade (not the server
+// code path), the exact bytes the server must serve for req.
+func expectedBytes(t testing.TB, req SimulateRequest) []byte {
+	t.Helper()
+	var in *rrnorm.Instance
+	if req.Spec != "" {
+		in = rrnorm.FromSpecMust(req.Spec, req.Seed)
+	} else {
+		jobs := make([]rrnorm.Job, len(req.Jobs))
+		for i, j := range req.Jobs {
+			jobs[i] = rrnorm.Job{ID: j.ID, Release: j.Release, Size: j.Size, Weight: j.Weight}
+		}
+		in = rrnorm.NewInstance(jobs)
+	}
+	machines, speed := req.Machines, req.Speed
+	if machines == 0 {
+		machines = 1
+	}
+	if speed == 0 {
+		speed = 1
+	}
+	eng, err := rrnorm.ParseEngineKind(req.Engine)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := rrnorm.Simulate(in, req.Policy, rrnorm.Options{Machines: machines, Speed: speed, Engine: eng})
+	if err != nil {
+		t.Fatal(err)
+	}
+	norms := req.Norms
+	if len(norms) == 0 {
+		norms = []int{1, 2, 3}
+	}
+	b, err := json.Marshal(buildResponse(res, norms, req.Detail, eng))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// TestStress64Clients hammers the server with 64 concurrent clients over
+// mixed specs and requires every response to be byte-identical to a direct
+// rrnorm.Simulate call — across cache misses, hits and singleflight dedups,
+// and with zero races under `go test -race` (make verify runs it so).
+func TestStress64Clients(t *testing.T) {
+	cases := stressCases()
+	expected := make([][]byte, len(cases))
+	bodies := make([][]byte, len(cases))
+	for i, req := range cases {
+		expected[i] = expectedBytes(t, req)
+		b, err := json.Marshal(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bodies[i] = b
+	}
+
+	s, ts := newTestServer(t, Config{Workers: 4, QueueDepth: 4096, CacheEntries: 256})
+
+	const clients = 64
+	const perClient = 24
+	var wg sync.WaitGroup
+	for g := 0; g < clients; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perClient; i++ {
+				idx := (g*7 + i) % len(cases)
+				resp, err := http.Post(ts.URL+"/v1/simulate", "application/json", bytes.NewReader(bodies[idx]))
+				if err != nil {
+					t.Errorf("client %d: %v", g, err)
+					return
+				}
+				got, err := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				if err != nil {
+					t.Errorf("client %d: read: %v", g, err)
+					return
+				}
+				if resp.StatusCode != 200 {
+					t.Errorf("client %d case %d: status %d: %s", g, idx, resp.StatusCode, got)
+					return
+				}
+				if !bytes.Equal(got, expected[idx]) {
+					t.Errorf("client %d case %d (%s via %s): response differs from direct rrnorm.Simulate",
+						g, idx, cases[idx].Policy, resp.Header.Get("X-Cache"))
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	if s.cache.Hits() == 0 {
+		t.Error("stress run produced no cache hits")
+	}
+	total := s.cache.Hits() + s.cache.Misses() + s.cache.Dedups()
+	if total != clients*perClient {
+		t.Errorf("cache outcomes %d != %d requests", total, clients*perClient)
+	}
+	// The acceptance bar: /metrics reports cache hits and queue depth.
+	resp, body := get(t, ts.URL, "/metrics")
+	if resp.StatusCode != 200 {
+		t.Fatalf("metrics: %d", resp.StatusCode)
+	}
+	var m struct {
+		RRServe map[string]any `json:"rrserve"`
+	}
+	if err := json.Unmarshal(body, &m); err != nil {
+		t.Fatal(err)
+	}
+	hits, _ := m.RRServe["cache_hits"].(float64)
+	if hits < 1 {
+		t.Errorf("metrics cache_hits = %v, want ≥ 1", m.RRServe["cache_hits"])
+	}
+	if _, ok := m.RRServe["queue_depth"]; !ok {
+		t.Error("metrics missing queue_depth")
+	}
+	if int64(hits) != s.cache.Hits() {
+		t.Errorf("metrics cache_hits %v != cache counter %d", hits, s.cache.Hits())
+	}
+}

@@ -1,0 +1,108 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// StreamHist is a constant-memory streaming histogram for positive values
+// with bounded relative error, in the spirit of DDSketch: bucket b covers
+// (γ^b, γ^(b+1)] for a growth factor γ = (1+α)/(1−α), so any quantile
+// estimate is within relative error α of a true sample value. rrserve uses
+// it for p50/p99 service-time metrics — unlike Sample it never retains
+// observations, so it is safe for unbounded request streams.
+//
+// StreamHist is not safe for concurrent use; callers that share one across
+// goroutines (the serving layer) guard it with a mutex.
+type StreamHist struct {
+	counts   []uint64
+	zero     uint64 // values ≤ min representable
+	over     uint64 // values > max representable (clamped into the top bucket)
+	total    uint64
+	min, max float64 // representable range [min, max]
+	gamma    float64
+	invLogG  float64 // 1 / ln γ
+	logMin   float64 // ln min
+}
+
+// NewStreamHist returns a histogram with relative accuracy alpha ∈ (0, 0.5]
+// (0 → 0.01) covering values in [1e-9, 1e9] — in seconds, a nanosecond to
+// ~31 years, which spans any service time worth recording.
+func NewStreamHist(alpha float64) *StreamHist {
+	if !(alpha > 0) || alpha > 0.5 {
+		alpha = 0.01
+	}
+	const lo, hi = 1e-9, 1e9
+	gamma := (1 + alpha) / (1 - alpha)
+	nb := int(math.Ceil(math.Log(hi/lo)/math.Log(gamma))) + 1
+	return &StreamHist{
+		counts:  make([]uint64, nb),
+		min:     lo,
+		max:     hi,
+		gamma:   gamma,
+		invLogG: 1 / math.Log(gamma),
+		logMin:  math.Log(lo),
+	}
+}
+
+// Add records one observation. Non-finite and sub-minimum values land in
+// the zero bucket; values above the range are clamped into the top bucket.
+func (h *StreamHist) Add(x float64) {
+	h.total++
+	if math.IsNaN(x) || x <= h.min {
+		h.zero++
+		return
+	}
+	if x > h.max {
+		h.over++
+		h.counts[len(h.counts)-1]++
+		return
+	}
+	b := int((math.Log(x) - h.logMin) * h.invLogG)
+	if b < 0 {
+		b = 0
+	}
+	if b >= len(h.counts) {
+		b = len(h.counts) - 1
+	}
+	h.counts[b]++
+}
+
+// Count returns the number of recorded observations.
+func (h *StreamHist) Count() uint64 { return h.total }
+
+// Quantile returns an estimate of the q ∈ [0,1] quantile: the geometric
+// midpoint of the bucket holding the ⌈q·total⌉-th observation (0 when
+// empty, 0 when that observation is in the zero bucket).
+func (h *StreamHist) Quantile(q float64) float64 {
+	if h.total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := uint64(math.Ceil(q * float64(h.total)))
+	if rank == 0 {
+		rank = 1
+	}
+	if rank <= h.zero {
+		return 0
+	}
+	seen := h.zero
+	for b, c := range h.counts {
+		seen += c
+		if seen >= rank {
+			lo := h.min * math.Pow(h.gamma, float64(b))
+			return lo * math.Sqrt(h.gamma) // geometric bucket midpoint
+		}
+	}
+	return h.max
+}
+
+// String renders a compact summary for logs and /metrics debugging.
+func (h *StreamHist) String() string {
+	return fmt.Sprintf("n=%d p50=%.4g p99=%.4g", h.total, h.Quantile(0.5), h.Quantile(0.99))
+}

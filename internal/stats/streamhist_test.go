@@ -1,0 +1,80 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"testing"
+)
+
+// exactQuantile computes the ⌈q·n⌉-th order statistic, the definition
+// StreamHist approximates.
+func exactQuantile(xs []float64, q float64) float64 {
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	rank := int(math.Ceil(q * float64(len(s))))
+	if rank < 1 {
+		rank = 1
+	}
+	return s[rank-1]
+}
+
+func TestStreamHistRelativeAccuracy(t *testing.T) {
+	const alpha = 0.01
+	rng := NewRNG(42)
+	h := NewStreamHist(alpha)
+	xs := make([]float64, 20000)
+	for i := range xs {
+		xs[i] = Exp(rng, 0.05) // service-time-like: mean 50ms
+		h.Add(xs[i])
+	}
+	if h.Count() != uint64(len(xs)) {
+		t.Fatalf("count %d, want %d", h.Count(), len(xs))
+	}
+	for _, q := range []float64{0.5, 0.9, 0.99, 0.999} {
+		want := exactQuantile(xs, q)
+		got := h.Quantile(q)
+		// The bucket midpoint is within α of a value adjacent in rank to
+		// the exact order statistic; 3α covers the rank-vs-interpolation
+		// slack with margin.
+		if relErr := math.Abs(got-want) / want; relErr > 3*alpha {
+			t.Fatalf("q=%g: got %g want %g (rel err %.4f > %.4f)", q, got, want, relErr, 3*alpha)
+		}
+	}
+}
+
+func TestStreamHistEdgeCases(t *testing.T) {
+	h := NewStreamHist(0)
+	if got := h.Quantile(0.5); got != 0 {
+		t.Fatalf("empty quantile = %g, want 0", got)
+	}
+	h.Add(0)
+	h.Add(-5)
+	h.Add(math.NaN())
+	if got := h.Quantile(0.99); got != 0 {
+		t.Fatalf("all-degenerate quantile = %g, want 0", got)
+	}
+	h.Add(1e300) // clamped into the top bucket
+	h.Add(math.Inf(1))
+	if got := h.Quantile(1); got < 1e8 {
+		t.Fatalf("overflow quantile = %g, want ~max", got)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("count %d, want 5", h.Count())
+	}
+}
+
+func TestStreamHistMonotoneQuantiles(t *testing.T) {
+	rng := NewRNG(7)
+	h := NewStreamHist(0.02)
+	for i := 0; i < 5000; i++ {
+		h.Add(Pareto(rng, 1.5, 1e-3))
+	}
+	prev := -1.0
+	for q := 0.0; q <= 1.0; q += 0.05 {
+		v := h.Quantile(q)
+		if v < prev {
+			t.Fatalf("quantiles not monotone: q=%.2f gives %g < %g", q, v, prev)
+		}
+		prev = v
+	}
+}

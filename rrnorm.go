@@ -96,6 +96,14 @@ func SimulateWith(in *Instance, p Policy, opts Options) (*Result, error) {
 	return fast.Run(in, p, opts)
 }
 
+// Fingerprint returns a canonical SHA-256 digest of (instance, policy,
+// options): two calls fingerprint equal iff they describe the same
+// simulation, independent of the caller's job order. It is the cache key
+// rrserve (internal/serve) uses to memoize and dedupe simulation requests.
+func Fingerprint(in *Instance, policyName string, opts Options) string {
+	return core.Fingerprint(in, policyName, opts)
+}
+
 // LkNorm returns (Σ flows^k)^{1/k}.
 func LkNorm(flows []float64, k int) float64 { return metrics.LkNorm(flows, k) }
 
