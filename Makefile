@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test verify bench fuzz suite serve serve-test serve-bench clean
+.PHONY: build test verify lint lint-fix-check bench fuzz suite serve serve-test serve-bench clean
 
 build:
 	$(GO) build ./...
@@ -9,13 +9,26 @@ build:
 test:
 	$(GO) build ./... && $(GO) test ./...
 
-# Full verify loop (see DESIGN.md "Verification loop"): vet + the whole
-# test suite under the race detector. The exp suite, the differential
-# harness and the rrserve stress wall all run work concurrently, so -race
-# is load-bearing. serve-test is part of `go test ./...` already; listing
-# it keeps the race-mode service wall explicit in the verify contract.
+# Full verify loop (see DESIGN.md "Verification loop"): vet + rrlint +
+# the whole test suite under the race detector. The exp suite, the
+# differential harness and the rrserve stress wall all run work
+# concurrently, so -race is load-bearing. serve-test is part of
+# `go test ./...` already; listing it keeps the race-mode service wall
+# explicit in the verify contract.
 verify: serve-test
-	$(GO) vet ./... && $(GO) test -race ./...
+	$(GO) vet ./... && $(GO) run ./cmd/rrlint && $(GO) test -race ./...
+
+# Project-specific static analysis (DESIGN.md "Static analysis layer"):
+# determinism, cancellation and float-safety invariants. Exit 0 means a
+# clean tree; exit 1 lists file:line diagnostics; exit 2 is a load error.
+lint:
+	$(GO) run ./cmd/rrlint
+
+# Machine-readable lint pass for CI artifacts: same exit semantics as
+# `lint`, but the findings (and the suppressed-directive count) land in
+# rrlint.json instead of the terminal.
+lint-fix-check:
+	$(GO) run ./cmd/rrlint -json > rrlint.json
 
 # The rrserve test wall on its own: e2e endpoints, cache/pool semantics,
 # and the 64-client byte-identical stress test, all under -race.

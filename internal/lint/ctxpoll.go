@@ -1,0 +1,128 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// ctxpoll enforces cooperative cancellation in the engines: any engine
+// function (one that takes core.Options) containing an unbounded loop —
+// `for { ... }` or `for cond { ... }` with no post statement — must poll
+// core.Options.Context somewhere, normally via core.Canceled on a masked
+// event stride (ctxStride). The serving layer's per-request deadlines
+// (HTTP 504) only bound simulation wall time because every engine loop
+// reaches such a poll; a new engine path without one would let an
+// adversarial instance pin a worker forever.
+//
+// Bounded three-clause loops and range loops are exempt: their trip count
+// is structural. The check is per-function: one poll anywhere in the
+// function (including its closures) covers all of its loops, matching how
+// the engines hoist the stride check to the top of the main loop.
+var ctxpollAnalyzer = &Analyzer{
+	Name: "ctxpoll",
+	Doc:  "unbounded engine loop that never polls core.Options.Context",
+	Scope: scopePkgs(
+		"internal/core",
+		"internal/fast",
+	),
+	Run: runCtxpoll,
+}
+
+func runCtxpoll(p *Pass) {
+	corePath := p.Module.Path + "/internal/core"
+	for _, f := range p.Pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if !hasOptionsParam(p, fd, corePath) {
+				continue
+			}
+			if pollsContext(p, fd.Body, corePath) {
+				continue
+			}
+			// Report the first unbounded loop, if any.
+			var first *ast.ForStmt
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if first != nil {
+					return false
+				}
+				if fs, ok := n.(*ast.ForStmt); ok && fs.Post == nil {
+					first = fs
+					return false
+				}
+				return true
+			})
+			if first != nil {
+				p.Reportf(first.For, "unbounded loop in engine function %s never polls core.Options.Context; call core.Canceled on a masked event stride (see ctxStride)", fd.Name.Name)
+			}
+		}
+	}
+}
+
+// hasOptionsParam reports whether the function takes core.Options (or
+// *core.Options) as a parameter.
+func hasOptionsParam(p *Pass, fd *ast.FuncDecl, corePath string) bool {
+	if fd.Type.Params == nil {
+		return false
+	}
+	for _, field := range fd.Type.Params.List {
+		t := p.TypeOf(field.Type)
+		if t == nil {
+			continue
+		}
+		if ptr, ok := t.(*types.Pointer); ok {
+			t = ptr.Elem()
+		}
+		named, ok := t.(*types.Named)
+		if !ok {
+			continue
+		}
+		obj := named.Obj()
+		if obj.Name() == "Options" && obj.Pkg() != nil && obj.Pkg().Path() == corePath {
+			return true
+		}
+	}
+	return false
+}
+
+// pollsContext reports whether the body reaches a cancellation poll: a
+// call to core.Canceled, or a .Err()/.Done() call on a context.Context.
+func pollsContext(p *Pass, body *ast.BlockStmt, corePath string) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		var calleeID *ast.Ident
+		switch fun := call.Fun.(type) {
+		case *ast.Ident:
+			calleeID = fun
+		case *ast.SelectorExpr:
+			calleeID = fun.Sel
+			// ctx.Err() / ctx.Done() / <-ctx.Done()
+			if fun.Sel.Name == "Err" || fun.Sel.Name == "Done" {
+				if t := p.TypeOf(fun.X); t != nil && types.TypeString(t, nil) == "context.Context" {
+					found = true
+					return false
+				}
+			}
+		default:
+			return true
+		}
+		obj := p.ObjectOf(calleeID)
+		if obj != nil && obj.Name() == "Canceled" && obj.Pkg() != nil && obj.Pkg().Path() == corePath {
+			if _, isFunc := obj.(*types.Func); isFunc {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}

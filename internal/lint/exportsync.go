@@ -1,0 +1,155 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// exportsync extends `go vet`'s copylocks to the two cases vet does not
+// cover but that have bitten sharded-state code like the serve cache:
+//
+//   - declared result types: a function returning a struct that contains a
+//     sync.Mutex (or other lock/atomic state) by value hands every caller
+//     a dead copy of the lock;
+//   - copy-by-assignment, including from composite literals: writing
+//     `shards[i] = shard{...}` copies a mutex over one that other
+//     goroutines may hold — initialize the fields in place instead;
+//   - range-value copies over arrays/slices of lock-holding elements.
+//
+// Argument passing and value receivers are vet's job (copylocks) and are
+// not re-reported here.
+var exportsyncAnalyzer = &Analyzer{
+	Name:  "exportsync",
+	Doc:   "returning or copying structs containing sync primitives by value",
+	Scope: func(modPath, pkgPath string) bool { return true },
+	Run:   runExportsync,
+}
+
+func runExportsync(p *Pass) {
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch node := n.(type) {
+			case *ast.FuncDecl:
+				checkResults(p, node.Type)
+			case *ast.FuncLit:
+				checkResults(p, node.Type)
+			case *ast.AssignStmt:
+				if len(node.Lhs) != len(node.Rhs) {
+					return true // tuple from a call: the callee's result type is flagged at its decl
+				}
+				for i, rhs := range node.Rhs {
+					if id, ok := node.Lhs[i].(*ast.Ident); ok && id.Name == "_" {
+						continue
+					}
+					if lock := lockPath(p.TypeOf(rhs), nil); lock != "" {
+						p.Reportf(node.TokPos, "assignment copies a %s value (contains %s); initialize fields in place or use a pointer", typeName(p, rhs), lock)
+					}
+				}
+			case *ast.ValueSpec:
+				for _, v := range node.Values {
+					if lock := lockPath(p.TypeOf(v), nil); lock != "" {
+						p.Reportf(v.Pos(), "variable initialization copies a %s value (contains %s); use a pointer or initialize fields in place", typeName(p, v), lock)
+					}
+				}
+			case *ast.RangeStmt:
+				if node.Value != nil && !isBlankOrNil(node.Value) {
+					if lock := lockPath(p.TypeOf(node.Value), nil); lock != "" {
+						p.Reportf(node.Value.Pos(), "range value copies a %s element (contains %s); iterate by index", typeName(p, node.Value), lock)
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+// checkResults flags declared result types that carry a lock by value.
+func checkResults(p *Pass, ft *ast.FuncType) {
+	if ft.Results == nil {
+		return
+	}
+	for _, field := range ft.Results.List {
+		t := p.TypeOf(field.Type)
+		if lock := lockPath(t, nil); lock != "" {
+			p.Reportf(field.Type.Pos(), "result type %s is returned by value but contains %s; return a pointer", types.TypeString(t, types.RelativeTo(p.Pkg.Types)), lock)
+		}
+	}
+}
+
+func typeName(p *Pass, e ast.Expr) string {
+	t := p.TypeOf(e)
+	if t == nil {
+		return "?"
+	}
+	return types.TypeString(t, types.RelativeTo(p.Pkg.Types))
+}
+
+// lockTypes are the sync and sync/atomic types whose values must never be
+// copied once in use.
+var lockTypes = map[string]bool{
+	"sync.Mutex":     true,
+	"sync.RWMutex":   true,
+	"sync.WaitGroup": true,
+	"sync.Cond":      true,
+	"sync.Once":      true,
+	"sync.Map":       true,
+	"sync.Pool":      true,
+	"atomic.Bool":    true,
+	"atomic.Int32":   true,
+	"atomic.Int64":   true,
+	"atomic.Uint32":  true,
+	"atomic.Uint64":  true,
+	"atomic.Uintptr": true,
+	"atomic.Pointer": true,
+	"atomic.Value":   true,
+}
+
+// lockPath returns a human-readable path to the first lock found inside t
+// by value ("" when none): the lock type itself, a struct field holding
+// one, or an array element. Pointers, slices, maps and channels stop the
+// walk — copying a reference to a lock is fine.
+func lockPath(t types.Type, seen map[types.Type]bool) string {
+	if t == nil {
+		return ""
+	}
+	if seen == nil {
+		seen = make(map[types.Type]bool)
+	}
+	if seen[t] {
+		return ""
+	}
+	seen[t] = true
+	if named, ok := t.(*types.Named); ok {
+		obj := named.Obj()
+		if obj.Pkg() != nil {
+			key := pkgBase(obj.Pkg().Path()) + "." + obj.Name()
+			if (obj.Pkg().Path() == "sync" || obj.Pkg().Path() == "sync/atomic") && lockTypes[key] {
+				return key
+			}
+		}
+		return lockPath(named.Underlying(), seen)
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			f := u.Field(i)
+			if lock := lockPath(f.Type(), seen); lock != "" {
+				return lock + " (field " + f.Name() + ")"
+			}
+		}
+	case *types.Array:
+		if lock := lockPath(u.Elem(), seen); lock != "" {
+			return lock
+		}
+	}
+	return ""
+}
+
+func pkgBase(path string) string {
+	for i := len(path) - 1; i >= 0; i-- {
+		if path[i] == '/' {
+			return path[i+1:]
+		}
+	}
+	return path
+}

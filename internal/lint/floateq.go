@@ -1,0 +1,143 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+)
+
+// floateq polices float-comparison discipline in the numeric packages.
+// Exact == / != on computed floats is how engines drift apart silently:
+// a value that "should" be equal differs in the last ulp and a branch
+// flips. Comparisons must go through the approved epsilon helpers
+// (check.agree, stats.ApproxEqual) — except for two deliberate idioms:
+//
+//   - tie-breaks: `if a != b { return a < b }` — the exact-equality arm
+//     exists precisely to make ties deterministic (both engines reproduce
+//     the same (key, release, ID) order), so an epsilon there would be
+//     wrong;
+//   - sentinel zero: comparing against the constant 0 checks for an unset
+//     field or an exact additive identity, not for numeric closeness.
+var floateqAnalyzer = &Analyzer{
+	Name: "floateq",
+	Doc:  "exact ==/!= on float operands outside the approved comparison helpers",
+	Scope: scopePkgs(
+		"internal/core",
+		"internal/fast",
+		"internal/policy",
+		"internal/metrics",
+		"internal/check",
+		"internal/stats",
+	),
+	Run: runFloateq,
+}
+
+// approvedFloatHelpers are the functions allowed to compare floats
+// exactly: the epsilon helpers themselves (they short-circuit on exact
+// equality before applying the tolerance).
+var approvedFloatHelpers = map[string]bool{
+	"agree":       true, // internal/check
+	"ApproxEqual": true, // internal/stats
+	"approxEqual": true,
+}
+
+func runFloateq(p *Pass) {
+	for _, f := range p.Pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if approvedFloatHelpers[fd.Name.Name] {
+				continue
+			}
+			// First pass: collect the comparisons blessed by the tie-break
+			// idiom.
+			allowed := make(map[*ast.BinaryExpr]bool)
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				ifs, ok := n.(*ast.IfStmt)
+				if !ok {
+					return true
+				}
+				if be := tieBreakCond(p, ifs); be != nil {
+					allowed[be] = true
+				}
+				return true
+			})
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				be, ok := n.(*ast.BinaryExpr)
+				if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+					return true
+				}
+				if !isFloat(p.TypeOf(be.X)) || !isFloat(p.TypeOf(be.Y)) {
+					return true
+				}
+				if allowed[be] || isConstZero(p, be.X) || isConstZero(p, be.Y) {
+					return true
+				}
+				p.Reportf(be.OpPos, "exact float comparison (%s %s %s); use an approved epsilon helper (check.agree, stats.ApproxEqual), the tie-break idiom `if a != b { return a < b }`, or //rrlint:ignore floateq <reason>",
+					p.ExprString(be.X), be.Op, p.ExprString(be.Y))
+				return true
+			})
+		}
+	}
+}
+
+// tieBreakCond returns the if-condition when ifs matches the tie-break
+// idiom: `if a != b { return a < b }` (any of < > <= >= inside, operands
+// syntactically identical to the condition's, in either order).
+func tieBreakCond(p *Pass, ifs *ast.IfStmt) *ast.BinaryExpr {
+	cond, ok := ifs.Cond.(*ast.BinaryExpr)
+	if !ok || cond.Op != token.NEQ {
+		return nil
+	}
+	if len(ifs.Body.List) != 1 {
+		return nil
+	}
+	ret, ok := ifs.Body.List[0].(*ast.ReturnStmt)
+	if !ok || len(ret.Results) != 1 {
+		return nil
+	}
+	cmp, ok := ret.Results[0].(*ast.BinaryExpr)
+	if !ok {
+		return nil
+	}
+	switch cmp.Op {
+	case token.LSS, token.GTR, token.LEQ, token.GEQ:
+	default:
+		return nil
+	}
+	cx, cy := p.ExprString(cond.X), p.ExprString(cond.Y)
+	rx, ry := p.ExprString(cmp.X), p.ExprString(cmp.Y)
+	if cx == "" || cy == "" {
+		return nil
+	}
+	if (cx == rx && cy == ry) || (cx == ry && cy == rx) {
+		return cond
+	}
+	return nil
+}
+
+func isFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+// isConstZero reports whether the expression is a compile-time constant
+// equal to zero (the sentinel-check allowance).
+func isConstZero(p *Pass, e ast.Expr) bool {
+	tv, ok := p.Pkg.Info.Types[e]
+	if !ok || tv.Value == nil {
+		return false
+	}
+	switch tv.Value.Kind() {
+	case constant.Int, constant.Float:
+		f, _ := constant.Float64Val(tv.Value)
+		return f == 0
+	}
+	return false
+}

@@ -1,0 +1,166 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// mapiter guards bit-determinism in the order-sensitive packages: Go map
+// iteration order is randomized per run, so a `range` over a map whose body
+// feeds scheduling order, output slices or hashing makes two runs of the
+// same instance diverge. Engine, policy and metrics code must iterate
+// slices, or collect map keys and sort them first.
+//
+// Allowed forms:
+//   - `for range m { ... }` with no iteration variables — iterations are
+//     indistinguishable, so order cannot leak;
+//   - the sorted-keys idiom: a body consisting only of `keys = append(keys,
+//     k)` where `keys` is passed to a sort.* / slices.Sort* call later in
+//     the same function.
+var mapiterAnalyzer = &Analyzer{
+	Name: "mapiter",
+	Doc:  "range over a map in order-sensitive engine/policy/metrics code",
+	Scope: scopePkgs(
+		"internal/core",
+		"internal/fast",
+		"internal/policy",
+		"internal/metrics",
+	),
+	Run: runMapiter,
+}
+
+func runMapiter(p *Pass) {
+	for _, f := range p.Pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				rs, ok := n.(*ast.RangeStmt)
+				if !ok {
+					return true
+				}
+				t := p.TypeOf(rs.X)
+				if t == nil {
+					return true
+				}
+				if _, isMap := t.Underlying().(*types.Map); !isMap {
+					return true
+				}
+				if isBlankOrNil(rs.Key) && isBlankOrNil(rs.Value) {
+					return true // no loop variables: order cannot be observed
+				}
+				if sortedKeysIdiom(p, fd, rs) {
+					return true
+				}
+				p.Reportf(rs.For, "range over map %s has nondeterministic iteration order; collect and sort the keys (or justify with //rrlint:ignore mapiter <reason>)", p.ExprString(rs.X))
+				return true
+			})
+		}
+	}
+}
+
+func isBlankOrNil(e ast.Expr) bool {
+	if e == nil {
+		return true
+	}
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "_"
+}
+
+// sortedKeysIdiom recognizes
+//
+//	for k := range m { keys = append(keys, k) }
+//	...
+//	sort.Strings(keys)            // or any sort.*/slices.* call on keys
+//
+// i.e. a range whose body only appends the key variable to a slice that is
+// sorted later in the same declared function. The values must not be
+// consumed — a body that touches m[k] or the value variable is
+// order-sensitive and stays flagged.
+func sortedKeysIdiom(p *Pass, fd *ast.FuncDecl, rs *ast.RangeStmt) bool {
+	keyID, ok := rs.Key.(*ast.Ident)
+	if !ok || keyID.Name == "_" || !isBlankOrNil(rs.Value) {
+		return false
+	}
+	keyObj := p.ObjectOf(keyID)
+	if keyObj == nil {
+		return false
+	}
+	// Every body statement must be `dst = append(dst, k)`.
+	var dests []types.Object
+	for _, stmt := range rs.Body.List {
+		as, ok := stmt.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+			return false
+		}
+		lhs, ok := as.Lhs[0].(*ast.Ident)
+		if !ok {
+			return false
+		}
+		call, ok := as.Rhs[0].(*ast.CallExpr)
+		if !ok || len(call.Args) != 2 || call.Ellipsis != token.NoPos {
+			return false
+		}
+		fun, ok := call.Fun.(*ast.Ident)
+		if !ok || fun.Name != "append" {
+			return false
+		}
+		if b, ok := p.ObjectOf(fun).(*types.Builtin); !ok || b.Name() != "append" {
+			return false
+		}
+		arg0, ok := call.Args[0].(*ast.Ident)
+		if !ok || p.ObjectOf(arg0) != p.ObjectOf(lhs) {
+			return false
+		}
+		arg1, ok := call.Args[1].(*ast.Ident)
+		if !ok || p.ObjectOf(arg1) != keyObj {
+			return false
+		}
+		dests = append(dests, p.ObjectOf(lhs))
+	}
+	if len(dests) == 0 {
+		return false
+	}
+	// Every destination slice must reach a sort call after the range.
+	for _, dst := range dests {
+		if !sortedAfter(p, fd, rs, dst) {
+			return false
+		}
+	}
+	return true
+}
+
+// sortedAfter reports whether a sort.* or slices.* call whose first
+// argument is dst appears after the range statement in the function body.
+func sortedAfter(p *Pass, fd *ast.FuncDecl, rs *ast.RangeStmt, dst types.Object) bool {
+	found := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rs.End() || len(call.Args) == 0 {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		qual, ok := sel.X.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if pkg := p.pkgNameOf(qual); pkg != "sort" && pkg != "slices" {
+			return true
+		}
+		arg0, ok := call.Args[0].(*ast.Ident)
+		if ok && p.ObjectOf(arg0) == dst {
+			found = true
+		}
+		return true
+	})
+	return found
+}

@@ -1,0 +1,68 @@
+// Package ctxpoll is the golden fixture for the ctxpoll analyzer. It
+// imports the real rrnorm/internal/core so the Options-parameter and
+// core.Canceled detection run against the true types.
+package ctxpoll
+
+import "rrnorm/internal/core"
+
+// Polled drains events but polls the context on a masked stride, the way
+// both engines do. Allowed.
+func Polled(n int, opts core.Options) error {
+	events := 0
+	for n > 0 {
+		events++
+		if events&63 == 0 {
+			if err := core.Canceled(opts.Context, 0, events); err != nil {
+				return err
+			}
+		}
+		n--
+	}
+	return nil
+}
+
+// PolledViaCtx polls the context directly rather than through
+// core.Canceled. Allowed.
+func PolledViaCtx(n int, opts core.Options) error {
+	for n > 0 {
+		if opts.Context != nil {
+			if err := opts.Context.Err(); err != nil {
+				return err
+			}
+		}
+		n--
+	}
+	return nil
+}
+
+// Bounded uses only three-clause loops, whose trip count is structural:
+// no poll needed. Allowed.
+func Bounded(n int, opts core.Options) int {
+	s := 0
+	for i := 0; i < n; i++ {
+		s += i
+	}
+	return s
+}
+
+// NotAnEngine has an unbounded loop but no core.Options parameter; other
+// packages' loops are not this analyzer's business. Allowed.
+func NotAnEngine(n int) int {
+	s := 0
+	for n > 0 {
+		s += n
+		n--
+	}
+	return s
+}
+
+// Runaway never polls: an adversarial instance would pin the worker past
+// its deadline. Flagged.
+func Runaway(n int, opts core.Options) int {
+	s := 0
+	for n > 0 { // want "never polls core.Options.Context"
+		s += n
+		n--
+	}
+	return s
+}

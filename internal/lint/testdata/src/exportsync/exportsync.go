@@ -1,0 +1,58 @@
+// Package exportsync is the golden fixture for the exportsync analyzer.
+package exportsync
+
+import "sync"
+
+type counter struct {
+	mu sync.Mutex
+	n  int
+}
+
+type registry struct {
+	shards [4]counter
+}
+
+// NewCounter returns a pointer: the lock is shared, never copied. Allowed.
+func NewCounter() *counter { return &counter{} }
+
+// Bump takes the pointer and locks in place. Allowed.
+func Bump(c *counter) {
+	c.mu.Lock()
+	c.n++
+	c.mu.Unlock()
+}
+
+// Snapshot returns the lock-holding struct by value: every caller gets a
+// dead copy of the mutex. Flagged at the result type.
+func Snapshot(c *counter) counter { // want "contains sync.Mutex"
+	return *c
+}
+
+// grab copies a shard out of the live array. Flagged.
+func grab(r *registry) int {
+	sh := r.shards[0] // want "contains sync.Mutex"
+	return sh.n
+}
+
+// reset overwrites a live shard with a composite literal — this copies a
+// mutex over one other goroutines may hold. Flagged.
+func reset(r *registry) {
+	r.shards[1] = counter{} // want "contains sync.Mutex"
+}
+
+// inPlace initializes the fields directly. Allowed.
+func inPlace(r *registry) {
+	r.shards[2].n = 0
+}
+
+// totals iterates by index (allowed), then by value (flagged).
+func totals(r *registry) int {
+	t := 0
+	for i := range r.shards {
+		t += r.shards[i].n
+	}
+	for _, sh := range r.shards { // want "contains sync.Mutex"
+		t += sh.n
+	}
+	return t
+}

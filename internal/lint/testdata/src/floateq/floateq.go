@@ -1,0 +1,60 @@
+// Package floateq is the golden fixture for the floateq analyzer.
+package floateq
+
+// agree mirrors the approved epsilon helper in internal/check: exact
+// comparison is allowed inside approved helpers (they short-circuit on
+// equality before applying the tolerance). Allowed.
+func agree(a, b, tol float64) bool {
+	if a == b {
+		return true
+	}
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d <= tol
+}
+
+// Less is the tie-break idiom: the exact-inequality arm exists to make
+// ties deterministic. Allowed.
+func Less(key, otherKey float64, id, otherID int) bool {
+	if key != otherKey {
+		return key < otherKey
+	}
+	return id < otherID
+}
+
+// IsUnset compares against the constant zero — a sentinel check, not a
+// numeric closeness test. Allowed.
+func IsUnset(x float64) bool {
+	return x == 0
+}
+
+// IntsCompareExactly: integer equality is not the analyzer's business.
+func IntsCompareExactly(a, b int) bool {
+	return a == b
+}
+
+// Same compares computed floats exactly. Flagged.
+func Same(a, b float64) bool {
+	return a == b // want "exact float comparison"
+}
+
+// Differs on float32 operands. Flagged.
+func Differs(a, b float32) bool {
+	return a != b // want "exact float comparison"
+}
+
+// AgainstNonZeroConstant: only the constant zero is a sentinel. Flagged.
+func AgainstNonZeroConstant(x float64) bool {
+	return x == 1.5 // want "exact float comparison"
+}
+
+// HalfTieBreak looks like a tie-break but compares different operands in
+// the body, so the idiom does not apply. Flagged.
+func HalfTieBreak(a, b, c float64) bool {
+	if a != b { // want "exact float comparison"
+		return a < c
+	}
+	return false
+}

@@ -1,0 +1,65 @@
+// Package mapiter is the golden fixture for the mapiter analyzer: every
+// flagged line carries a want annotation; unannotated ranges are the
+// negative cases the analyzer must stay silent on.
+package mapiter
+
+import "sort"
+
+// Names is the sorted-keys idiom: collect, then sort. Allowed.
+func Names(reg map[string]int) []string {
+	out := make([]string, 0, len(reg))
+	for k := range reg {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// SliceSum ranges over a slice, not a map. Allowed.
+func SliceSum(xs []float64) float64 {
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+// Count uses no iteration variables, so order cannot be observed. Allowed.
+func Count(reg map[string]int) int {
+	n := 0
+	for range reg {
+		n++
+	}
+	return n
+}
+
+// SumValues accumulates floats in map order — float addition is not
+// associative, so the total depends on iteration order. Flagged.
+func SumValues(sizes map[int]float64) float64 {
+	var s float64
+	for _, v := range sizes { // want "nondeterministic iteration order"
+		s += v
+	}
+	return s
+}
+
+// CollectUnsorted appends keys but never sorts the result. Flagged.
+func CollectUnsorted(reg map[string]int) []string {
+	var out []string
+	for k := range reg { // want "nondeterministic iteration order"
+		out = append(out, k)
+	}
+	return out
+}
+
+// CollectPairs collects values, not keys; only the sorted-keys idiom is
+// blessed, so this stays flagged (suppress it if the sort genuinely makes
+// it order-independent). Flagged.
+func CollectPairs(reg map[string]int) []int {
+	var out []int
+	for _, v := range reg { // want "nondeterministic iteration order"
+		out = append(out, v)
+	}
+	sort.Ints(out)
+	return out
+}

@@ -1,0 +1,39 @@
+// Package seededrand is the golden fixture for the seededrand analyzer.
+package seededrand
+
+import (
+	"math/rand/v2"
+	"time"
+)
+
+// Seeded threads an explicit seed through a constructor. Allowed.
+func Seeded(seed uint64) float64 {
+	rng := rand.New(rand.NewPCG(seed, 1))
+	return rng.Float64()
+}
+
+// Draw consumes a caller-provided generator. Allowed.
+func Draw(rng *rand.Rand, n int) int {
+	return rng.IntN(n)
+}
+
+// Global draws from the package-level, unseeded source. Flagged.
+func Global() float64 {
+	return rand.Float64() // want "global unseeded source"
+}
+
+// GlobalShuffle mutates via the global source. Flagged.
+func GlobalShuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want "global unseeded source"
+}
+
+// GlobalGeneric draws through the generic helper. Flagged.
+func GlobalGeneric() time.Duration {
+	return rand.N[time.Duration](1000) // want "global unseeded source"
+}
+
+// WallClock seeds from time.Now, so two runs differ. Flagged once, at the
+// innermost constructor consuming the clock.
+func WallClock() *rand.Rand {
+	return rand.New(rand.NewPCG(uint64(time.Now().UnixNano()), 1)) // want "wall clock"
+}

@@ -70,11 +70,12 @@ func NewCache(capacity int) *Cache {
 	per := (capacity + cacheShards - 1) / cacheShards
 	c := &Cache{perShard: per}
 	for i := range c.shards {
-		c.shards[i] = cacheShard{
-			entries:  make(map[string]*list.Element),
-			lru:      list.New(),
-			inflight: make(map[string]*flight),
-		}
+		// Initialize fields in place: assigning a cacheShard literal would
+		// copy the shard's mutex by value (rrlint exportsync).
+		sh := &c.shards[i]
+		sh.entries = make(map[string]*list.Element)
+		sh.lru = list.New()
+		sh.inflight = make(map[string]*flight)
 	}
 	return c
 }

@@ -55,10 +55,12 @@ func Plot(series []Series, width, height int, logX, logY bool) string {
 	if !any {
 		return "(no finite points)\n"
 	}
-	if maxX == minX {
+	// Degenerate-axis guards: with at least one finite point max ≥ min, so
+	// ≤ triggers exactly on a collapsed range (no exact float equality).
+	if maxX <= minX {
 		maxX = minX + 1
 	}
-	if maxY == minY {
+	if maxY <= minY {
 		maxY = minY + 1
 	}
 	grid := make([][]byte, height)

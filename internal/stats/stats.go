@@ -17,6 +17,17 @@ func NewRNG(seed uint64) *rand.Rand {
 	return rand.New(rand.NewPCG(seed, seed^0x9e3779b97f4a7c15))
 }
 
+// ApproxEqual reports whether a and b agree within tol under the mixed
+// absolute/relative reading |a−b| ≤ tol·(1 + max(|a|, |b|)) — absolute near
+// zero, relative for large magnitudes (the same contract as the
+// differential harness's tolerance check). It is one of rrlint's approved
+// float-comparison helpers: code outside the harness that needs float
+// equality should call it instead of == (see DESIGN.md §11, floateq).
+// NaN operands never compare equal.
+func ApproxEqual(a, b, tol float64) bool {
+	return math.Abs(a-b) <= tol*(1+math.Max(math.Abs(a), math.Abs(b)))
+}
+
 // Sample accumulates replicated measurements of one quantity.
 type Sample struct {
 	xs []float64
