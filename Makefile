@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test verify lint lint-fix-check bench fuzz suite serve serve-test serve-bench clean
+.PHONY: build test verify lint lint-fix-check bench bench-engine bench-smoke fuzz suite serve serve-test serve-bench clean
 
 build:
 	$(GO) build ./...
@@ -53,6 +53,20 @@ fuzz:
 
 bench:
 	$(GO) test -run xxx -bench . -benchmem .
+
+# Regenerate the committed engine baseline (BENCH_engine.json): ns/op,
+# allocs/op and B/op for RR and SRPT at n ∈ {1e3, 1e4, 1e5}, m ∈ {1, 8},
+# plus the workspace-vs-fresh comparison. The writer fails if any grid
+# cell allocates or the n=1e4 workspace speedup drops below 25%.
+bench-engine:
+	WRITE_BENCH=1 $(GO) test -run TestWriteEngineBenchBaseline -v .
+
+# CI allocation gate: the hot-path alloc budget test (0 allocs/run with a
+# reused workspace) plus a 100-iteration pass over the workspace grid so
+# allocs/op regressions surface in the job log without a full bench run.
+bench-smoke:
+	$(GO) test -run TestEngineAllocBudget -v .
+	$(GO) test -run xxx -bench 'BenchmarkEngineWorkspaceGrid|BenchmarkEngineRR$$|BenchmarkEngineFastVsReference' -benchtime=100x -benchmem .
 
 # Regenerate the experiment suite into results/.
 suite:

@@ -1,0 +1,279 @@
+package rrnorm_test
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+
+	"rrnorm/internal/core"
+	"rrnorm/internal/fast"
+	"rrnorm/internal/policy"
+	"rrnorm/internal/stats"
+	"rrnorm/internal/workload"
+)
+
+// --- allocation budget (tier-1 + CI bench smoke) -----------------------------
+
+// TestEngineAllocBudget pins the engine hot path's allocation budget: after
+// one warm-up run on a workspace, a simulation must perform zero heap
+// allocations per run. This is the regression harness behind the workspace
+// layer (DESIGN.md §12) — any closure that starts escaping, any buffer that
+// stops being reused, shows up here as a hard failure, in `go test ./...`
+// and in the CI bench smoke job alike.
+func TestEngineAllocBudget(t *testing.T) {
+	if testing.Short() {
+		t.Skip("allocation counting is disturbed by -short test interleavings")
+	}
+	in := workload.PoissonLoad(stats.NewRNG(7), 2000, 2, 0.9, workload.ExpSizes{M: 1})
+	cases := []struct {
+		name   string
+		pol    core.Policy
+		engine core.EngineKind
+	}{
+		{"fast/RR", policy.NewRR(), core.EngineFast},
+		{"fast/SRPT", policy.NewSRPT(), core.EngineFast},
+		{"fast/SJF", policy.NewSJF(), core.EngineFast},
+		{"fast/FCFS", policy.NewFCFS(), core.EngineFast},
+		{"reference/RR", policy.NewRR(), core.EngineReference},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			ws := core.NewWorkspace()
+			opts := core.Options{Machines: 2, Speed: 1, Engine: tc.engine}
+			run := func() {
+				if _, err := fast.RunWS(in, tc.pol, opts, ws); err != nil {
+					t.Fatal(err)
+				}
+			}
+			run() // warm-up: grows the buffers, attaches the engine scratch
+			if allocs := testing.AllocsPerRun(10, run); allocs > 0 {
+				t.Errorf("%s: %v allocs/run in steady state, want 0", tc.name, allocs)
+			}
+		})
+	}
+}
+
+// --- benchmark grid ----------------------------------------------------------
+
+// engineGridCell is one point of the committed BENCH_engine.json grid.
+type engineGridCell struct {
+	Policy      string  `json:"policy"`
+	N           int     `json:"n"`
+	Machines    int     `json:"machines"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+}
+
+var engineGridNs = []int{1_000, 10_000, 100_000}
+var engineGridMs = []int{1, 8}
+
+func engineGridInstance(n, m int) *core.Instance {
+	return workload.PoissonLoad(stats.NewRNG(1), n, m, 0.9, workload.ExpSizes{M: 1})
+}
+
+func benchEngineCell(b *testing.B, pol string, n, m int, ws *core.Workspace) {
+	b.Helper()
+	in := engineGridInstance(n, m)
+	p, err := policy.New(pol)
+	if err != nil {
+		b.Fatal(err)
+	}
+	opts := core.Options{Machines: m, Speed: 1, Engine: core.EngineFast}
+	if _, err := fast.RunWS(in, p, opts, ws); err != nil {
+		b.Fatal(err) // warm-up
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := fast.RunWS(in, p, opts, ws); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(n), "jobs/op")
+}
+
+// BenchmarkEngineWorkspaceGrid is the RR/SRPT × n × m grid recorded in
+// BENCH_engine.json (`make bench-engine` refreshes it). Steady state with
+// workspace reuse: 0 allocs/op across the whole grid.
+func BenchmarkEngineWorkspaceGrid(b *testing.B) {
+	ws := core.NewWorkspace()
+	for _, pol := range []string{"RR", "SRPT"} {
+		for _, n := range engineGridNs {
+			for _, m := range engineGridMs {
+				b.Run(fmt.Sprintf("%s/n=%d/m=%d", pol, n, m), func(b *testing.B) {
+					benchEngineCell(b, pol, n, m, ws)
+				})
+			}
+		}
+	}
+}
+
+// --- committed baseline (make bench-engine) ----------------------------------
+
+// engineBenchBaseline is the schema of BENCH_engine.json.
+type engineBenchBaseline struct {
+	Benchmark string           `json:"benchmark"`
+	GoMaxProc int              `json:"gomaxprocs"`
+	Grid      []engineGridCell `json:"grid"`
+	// WorkspaceVsFresh records the n=10000 single-machine RR/SRPT runs with
+	// and without workspace reuse (fresh still benefits from this PR's
+	// closure-free engine rewrite; reuse additionally drops allocs/op to 0).
+	WorkspaceVsFresh map[string]engineWsVsFresh `json:"workspace_vs_fresh_n10000"`
+	// VsSeed compares the workspace-reuse fast RR path against the
+	// pre-workspace engine (seed commit), measured on the same machine.
+	// Improvement = 1 − current/seed ns/op; the acceptance floor at
+	// n=10000 is 0.25.
+	VsSeed map[string]engineVsSeed `json:"vs_seed_fast_rr"`
+}
+
+// seedFastRRNsPerOp is BenchmarkEngineFastVsReference/n=<n>/fast on the
+// seed commit (54df534, before the workspace layer and the closure-free
+// engine rewrite), measured on the reference machine at -benchtime=500x.
+// Refresh these alongside BENCH_engine.json when re-baselining on new
+// hardware.
+var seedFastRRNsPerOp = map[int]float64{
+	10_000:  1_624_384,
+	100_000: 18_426_619,
+}
+
+type engineVsSeed struct {
+	SeedNsPerOp    float64 `json:"seed_ns_per_op"`
+	CurrentNsPerOp float64 `json:"current_ns_per_op"`
+	Improvement    float64 `json:"improvement"`
+}
+
+type engineWsVsFresh struct {
+	FreshNsPerOp    float64 `json:"fresh_ns_per_op"`
+	WsNsPerOp       float64 `json:"ws_ns_per_op"`
+	FreshAllocsPerO int64   `json:"fresh_allocs_per_op"`
+	WsAllocsPerOp   int64   `json:"ws_allocs_per_op"`
+	Improvement     float64 `json:"improvement"`
+}
+
+// TestWriteEngineBenchBaseline rewrites BENCH_engine.json. Gated behind
+// WRITE_BENCH=1 (`make bench-engine`) because it runs the full benchmark
+// grid; it also enforces the PR's acceptance floor — ≥25% ns/op improvement
+// over the seed engine for fast RR at n=10000 and 0 allocs/op across the
+// grid — so the committed numbers can never drift below what the README
+// claims.
+func TestWriteEngineBenchBaseline(t *testing.T) {
+	if os.Getenv("WRITE_BENCH") == "" {
+		t.Skip("set WRITE_BENCH=1 to rewrite BENCH_engine.json")
+	}
+	base := engineBenchBaseline{
+		Benchmark:        "BenchmarkEngineWorkspaceGrid",
+		GoMaxProc:        runtime.GOMAXPROCS(0),
+		WorkspaceVsFresh: map[string]engineWsVsFresh{},
+	}
+	ws := core.NewWorkspace()
+	for _, pol := range []string{"RR", "SRPT"} {
+		for _, n := range engineGridNs {
+			for _, m := range engineGridMs {
+				r := testing.Benchmark(func(b *testing.B) {
+					benchEngineCell(b, pol, n, m, ws)
+				})
+				cell := engineGridCell{
+					Policy:      pol,
+					N:           n,
+					Machines:    m,
+					NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+					AllocsPerOp: r.AllocsPerOp(),
+					BytesPerOp:  r.AllocedBytesPerOp(),
+				}
+				base.Grid = append(base.Grid, cell)
+				t.Logf("%s n=%d m=%d: %.0f ns/op, %d allocs/op, %d B/op",
+					pol, n, m, cell.NsPerOp, cell.AllocsPerOp, cell.BytesPerOp)
+				if cell.AllocsPerOp > 0 {
+					t.Errorf("%s n=%d m=%d: %d allocs/op, budget is 0", pol, n, m, cell.AllocsPerOp)
+				}
+			}
+		}
+	}
+	for _, pol := range []string{"RR", "SRPT"} {
+		in := engineGridInstance(10_000, 1)
+		p, err := policy.New(pol)
+		if err != nil {
+			t.Fatal(err)
+		}
+		opts := core.Options{Machines: 1, Speed: 1, Engine: core.EngineFast}
+		fresh := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := fast.Run(in, p, opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		reused := testing.Benchmark(func(b *testing.B) {
+			if _, err := fast.RunWS(in, p, opts, ws); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := fast.RunWS(in, p, opts, ws); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		freshNs := float64(fresh.T.Nanoseconds()) / float64(fresh.N)
+		wsNs := float64(reused.T.Nanoseconds()) / float64(reused.N)
+		imp := 1 - wsNs/freshNs
+		base.WorkspaceVsFresh[pol] = engineWsVsFresh{
+			FreshNsPerOp:    freshNs,
+			WsNsPerOp:       wsNs,
+			FreshAllocsPerO: fresh.AllocsPerOp(),
+			WsAllocsPerOp:   reused.AllocsPerOp(),
+			Improvement:     imp,
+		}
+		t.Logf("%s n=10000: fresh %.0f ns/op (%d allocs/op) vs workspace %.0f ns/op (%d allocs/op): %.1f%% faster",
+			pol, freshNs, fresh.AllocsPerOp(), wsNs, reused.AllocsPerOp(), imp*100)
+		if reused.AllocsPerOp() > 0 {
+			t.Errorf("%s n=10000: %d allocs/op with workspace reuse, budget is 0", pol, reused.AllocsPerOp())
+		}
+	}
+	// Acceptance floor: the workspace-reuse fast RR path must beat the
+	// seed engine by ≥25% ns/op at n=10000 (same instance as the seed
+	// measurement: BenchmarkEngineFastVsReference's 0.98-load workload).
+	base.VsSeed = map[string]engineVsSeed{}
+	for _, n := range []int{10_000, 100_000} {
+		in := workload.PoissonLoad(stats.NewRNG(1), n, 1, 0.98, workload.ExpSizes{M: 1})
+		opts := core.Options{Machines: 1, Speed: 1, Engine: core.EngineFast}
+		p := policy.NewRR()
+		r := testing.Benchmark(func(b *testing.B) {
+			if _, err := fast.RunWS(in, p, opts, ws); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := fast.RunWS(in, p, opts, ws); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		cur := float64(r.T.Nanoseconds()) / float64(r.N)
+		imp := 1 - cur/seedFastRRNsPerOp[n]
+		base.VsSeed[fmt.Sprintf("n=%d", n)] = engineVsSeed{
+			SeedNsPerOp:    seedFastRRNsPerOp[n],
+			CurrentNsPerOp: cur,
+			Improvement:    imp,
+		}
+		t.Logf("fast RR n=%d: seed %.0f ns/op vs current %.0f ns/op: %.1f%% faster",
+			n, seedFastRRNsPerOp[n], cur, imp*100)
+		if n == 10_000 && imp < 0.25 {
+			t.Errorf("fast RR n=10000: %.1f%% ns/op improvement vs seed, acceptance floor is 25%%", imp*100)
+		}
+	}
+	buf, err := json.MarshalIndent(base, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile("BENCH_engine.json", buf, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Log("wrote BENCH_engine.json")
+}

@@ -35,9 +35,14 @@ func benchPolicy(b *testing.B, name string, n, m int) {
 		b.Fatal(err)
 	}
 	opts := core.Options{Machines: m, Speed: 1}
+	ws := core.NewWorkspace()
+	if _, err := core.RunWS(in, p, opts, ws); err != nil { // warm the workspace
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := core.Run(in, p, opts); err != nil {
+		if _, err := core.RunWS(in, p, opts, ws); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -77,8 +82,14 @@ func BenchmarkEngineFastVsReference(b *testing.B) {
 		}{{"reference", core.EngineReference}, {"fast", core.EngineFast}} {
 			b.Run(fmt.Sprintf("n=%d/%s", n, eng.name), func(b *testing.B) {
 				opts := core.Options{Machines: 1, Speed: 1, Engine: eng.kind}
+				ws := core.NewWorkspace()
+				if _, err := fast.RunWS(in, policy.NewRR(), opts, ws); err != nil { // warm the workspace
+					b.Fatal(err)
+				}
+				b.ReportAllocs()
+				b.ResetTimer()
 				for i := 0; i < b.N; i++ {
-					if _, err := fast.Run(in, policy.NewRR(), opts); err != nil {
+					if _, err := fast.RunWS(in, policy.NewRR(), opts, ws); err != nil {
 						b.Fatal(err)
 					}
 				}

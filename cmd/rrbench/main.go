@@ -7,28 +7,34 @@
 //	rrbench                     # full suite
 //	rrbench -exp E2 -out results
 //	rrbench -quick              # reduced grids (what the tests run)
+//	rrbench -exp E2 -cpuprofile cpu.out -memprofile mem.out
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
-	"sync"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"rrnorm/internal/core"
 	"rrnorm/internal/exp"
+	"rrnorm/internal/par"
 )
 
 func main() {
 	var (
-		id       = flag.String("exp", "all", "experiment ID (E1..E19) or 'all'")
-		out      = flag.String("out", "", "directory for CSV output (empty = none)")
-		quick    = flag.Bool("quick", false, "reduced instance sizes and grids")
-		seed     = flag.Uint64("seed", 42, "workload RNG seed")
-		html     = flag.String("html", "", "also write a self-contained HTML report to this path")
-		parallel = flag.Bool("parallel", false, "run experiments concurrently (results still print in order)")
-		engine   = flag.String("engine", "auto", "simulation engine: auto, reference or fast")
+		id         = flag.String("exp", "all", "experiment ID (E1..E19) or 'all'")
+		out        = flag.String("out", "", "directory for CSV output (empty = none)")
+		quick      = flag.Bool("quick", false, "reduced instance sizes and grids")
+		seed       = flag.Uint64("seed", 42, "workload RNG seed")
+		html       = flag.String("html", "", "also write a self-contained HTML report to this path")
+		parallel   = flag.Bool("parallel", false, "run experiments concurrently (results still print in order)")
+		workers    = flag.Int("workers", 0, "worker cap for -parallel (0 = GOMAXPROCS)")
+		engine     = flag.String("engine", "auto", "simulation engine: auto, reference or fast")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file (go tool pprof)")
+		memprofile = flag.String("memprofile", "", "write an allocation (heap) profile to this file on exit")
 	)
 	flag.Parse()
 	eng, err := core.ParseEngineKind(*engine)
@@ -47,31 +53,44 @@ func main() {
 		}
 		exps = []exp.Experiment{e}
 	}
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+
 	type outcome struct {
 		tables  []*exp.Table
 		err     error
 		elapsed time.Duration
 	}
 	results := make([]outcome, len(exps))
+	runOne := func(i int) error {
+		start := time.Now()
+		tables, err := exps[i].Run(cfg)
+		results[i] = outcome{tables, err, time.Since(start)}
+		return nil // keep running the rest even after a failure, as before
+	}
 	if *parallel {
-		// Experiments are independent and deterministic per Config, so
-		// fan them out; rendering below stays in suite order.
-		var wg sync.WaitGroup
-		for i := range exps {
-			wg.Add(1)
-			go func(i int) {
-				defer wg.Done()
-				start := time.Now()
-				tables, err := exps[i].Run(cfg)
-				results[i] = outcome{tables, err, time.Since(start)}
-			}(i)
+		// Experiments are independent and deterministic per Config, so fan
+		// them out on a bounded pool (the sweeps inside already batch their
+		// simulation points over per-worker workspaces); rendering below
+		// stays in suite order.
+		if err := par.ForEach(len(exps), *workers, runOne); err != nil {
+			fatal(err)
 		}
-		wg.Wait()
 	} else {
 		for i := range exps {
-			start := time.Now()
-			tables, err := exps[i].Run(cfg)
-			results[i] = outcome{tables, err, time.Since(start)}
+			if err := runOne(i); err != nil {
+				fatal(err)
+			}
 		}
 	}
 
@@ -107,6 +126,17 @@ func main() {
 			fatal(err)
 		}
 		fmt.Printf("HTML report written to %s\n", *html)
+	}
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		runtime.GC() // settle the heap so the profile shows retained allocations
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fatal(err)
+		}
 	}
 }
 

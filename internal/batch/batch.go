@@ -1,0 +1,94 @@
+// Package batch is the memory-bounded batch simulation runner: it fans a
+// slice of (instance, policy, options) points over a bounded worker pool
+// (internal/par) in which every worker owns one pooled core.Workspace.
+// Peak memory is therefore O(workers · max instance) no matter how large
+// the batch, and after each worker's first run the simulation hot path
+// performs zero heap allocations. It backs rrnorm.SimulateBatch, the
+// experiment sweep grids (internal/exp) and rrserve's /v1/compare fan-out.
+package batch
+
+import (
+	"context"
+
+	"rrnorm/internal/core"
+	"rrnorm/internal/fast"
+	"rrnorm/internal/par"
+)
+
+// Point is one simulation of a batch.
+//
+// Policy instances are stateful (rank buffers, MLFQ queues): each Point
+// must own its Policy — sharing one policy value between points of the
+// same batch is a data race under concurrent workers. Instances are
+// read-only during a run and may be shared freely across points.
+type Point struct {
+	Instance *core.Instance
+	Policy   core.Policy
+	Options  core.Options
+}
+
+// Run simulates every point, dispatching through fast.RunWS (so
+// Options.Engine is honored per point), and hands each result to
+// consume(i, res) as it completes. res is owned by the executing worker's
+// workspace: consume must reduce it (norms, sums) or copy what it needs —
+// res.Clone for everything — before returning; the slices it references
+// are overwritten by that worker's next run. consume runs concurrently for
+// distinct i and must be safe for that; writing to disjoint elements of a
+// pre-sized slice is the intended pattern.
+//
+// A point whose Options.Context is nil inherits ctx, so canceling ctx both
+// stops scheduling new points (par.ForEachCtx semantics) and aborts
+// in-flight runs at the engines' next poll. Error and determinism
+// semantics are par's: first error by lowest index wins.
+//
+// workers ≤ 0 means GOMAXPROCS. Worker workspaces come from the process
+// pool (core.GetWorkspace) and return to it on exit, reset.
+func Run(ctx context.Context, points []Point, workers int, consume func(i int, res *core.Result) error) error {
+	n := len(points)
+	if n == 0 {
+		return nil
+	}
+	workers = par.WorkerCount(n, workers)
+	wss := make([]*core.Workspace, workers)
+	defer func() {
+		for _, ws := range wss {
+			if ws != nil {
+				core.PutWorkspace(ws)
+			}
+		}
+	}()
+	return par.ForEachWorkerCtx(ctx, n, workers, func(ctx context.Context, w, i int) error {
+		ws := wss[w]
+		if ws == nil {
+			ws = core.GetWorkspace()
+			wss[w] = ws
+		}
+		pt := points[i]
+		opts := pt.Options
+		if opts.Context == nil {
+			opts.Context = ctx
+		}
+		res, err := fast.RunWS(pt.Instance, pt.Policy, opts, ws)
+		if err != nil {
+			return err
+		}
+		return consume(i, res)
+	})
+}
+
+// Simulate runs the points and returns the results in point order, each
+// deep-copied out of its worker's workspace. The output is byte-identical
+// to running the same points sequentially through fast.Run — parallelism
+// and workspace reuse never change results (the differential tests in this
+// package and internal/check pin that).
+func Simulate(ctx context.Context, points []Point, workers int) ([]*core.Result, error) {
+	out := make([]*core.Result, len(points))
+	err := Run(ctx, points, workers, func(i int, res *core.Result) error {
+		out[i] = res.Clone()
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}

@@ -1,0 +1,135 @@
+package batch_test
+
+import (
+	"context"
+	"errors"
+	"math"
+	"runtime"
+	"testing"
+
+	"rrnorm/internal/batch"
+	"rrnorm/internal/check"
+	"rrnorm/internal/core"
+	"rrnorm/internal/fast"
+)
+
+// corpus builds a batch over the differential harness's seeded corpus —
+// varied sizes (0..60 jobs), ties, degenerate jobs, multi-machine options —
+// plus a parallel set of expected results computed sequentially with fresh
+// allocations.
+func corpus(t *testing.T, seeds uint64) ([]batch.Point, []*core.Result) {
+	t.Helper()
+	var pts []batch.Point
+	var want []*core.Result
+	for seed := uint64(0); seed < seeds; seed++ {
+		in := check.RandomInstance(seed)
+		opts := check.RandomOptions(seed)
+		seqPols := check.Policies(seed)
+		batchPols := check.Policies(seed) // per-path policy instances: they are stateful
+		for pi := range seqPols {
+			res, err := fast.Run(in, seqPols[pi], opts)
+			if err != nil {
+				t.Fatalf("seed %d policy %s: %v", seed, seqPols[pi].Name(), err)
+			}
+			want = append(want, res)
+			pts = append(pts, batch.Point{Instance: in, Policy: batchPols[pi], Options: opts})
+		}
+	}
+	return pts, want
+}
+
+func sameResult(t *testing.T, i int, want, got *core.Result) {
+	t.Helper()
+	if want.Policy != got.Policy || want.Events != got.Events ||
+		len(want.Flow) != len(got.Flow) {
+		t.Fatalf("point %d: result shape mismatch: %s/%d/%d vs %s/%d/%d",
+			i, want.Policy, want.Events, len(want.Flow), got.Policy, got.Events, len(got.Flow))
+	}
+	for j := range want.Flow {
+		if math.Float64bits(want.Completion[j]) != math.Float64bits(got.Completion[j]) ||
+			math.Float64bits(want.Flow[j]) != math.Float64bits(got.Flow[j]) {
+			t.Fatalf("point %d job %d: (%v, %v) vs (%v, %v)", i, j,
+				want.Completion[j], want.Flow[j], got.Completion[j], got.Flow[j])
+		}
+	}
+}
+
+// TestSimulateMatchesSequential is the acceptance test for the batch
+// runner: at worker counts 1, 4 and GOMAXPROCS (run it under -race), every
+// result must be byte-identical to the sequential fresh-allocation run.
+func TestSimulateMatchesSequential(t *testing.T) {
+	seeds := uint64(80)
+	if testing.Short() {
+		seeds = 20
+	}
+	pts, want := corpus(t, seeds)
+	for _, workers := range []int{1, 4, runtime.GOMAXPROCS(0)} {
+		got, err := batch.Simulate(context.Background(), pts, workers)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("workers=%d: %d results, want %d", workers, len(got), len(want))
+		}
+		for i := range want {
+			sameResult(t, i, want[i], got[i])
+		}
+	}
+}
+
+// TestRunConsumeOwnership checks the documented consume contract: reducing
+// the workspace-owned result inside consume (here to an ℓ1 norm) gives the
+// same numbers as owning copies, with no reliance on res surviving the
+// callback.
+func TestRunConsumeOwnership(t *testing.T) {
+	pts, want := corpus(t, 20)
+	sums := make([]float64, len(pts))
+	err := batch.Run(context.Background(), pts, 0, func(i int, res *core.Result) error {
+		var s float64
+		for _, f := range res.Flow {
+			s += f
+		}
+		sums[i] = s
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, w := range want {
+		var s float64
+		for _, f := range w.Flow {
+			s += f
+		}
+		if math.Float64bits(s) != math.Float64bits(sums[i]) {
+			t.Fatalf("point %d: consumed sum %v, want %v", i, sums[i], s)
+		}
+	}
+}
+
+// TestRunFirstErrorWins pins par's determinism contract on the batch path:
+// with several failing points the lowest-index error is returned, at any
+// worker count.
+func TestRunFirstErrorWins(t *testing.T) {
+	pts, _ := corpus(t, 4)
+	bad := core.Options{Machines: 0, Speed: 1}
+	pts[3].Options = bad
+	pts[7].Options = bad
+	for _, workers := range []int{1, 4} {
+		err := batch.Run(context.Background(), pts, workers, func(int, *core.Result) error { return nil })
+		if !errors.Is(err, core.ErrBadOptions) {
+			t.Fatalf("workers=%d: err=%v, want ErrBadOptions", workers, err)
+		}
+	}
+}
+
+// TestRunCancellation: a canceled context stops scheduling and surfaces
+// ctx.Err, and in-flight runs inherit the context.
+func TestRunCancellation(t *testing.T) {
+	pts, _ := corpus(t, 10)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err := batch.Run(ctx, pts, 2, func(int, *core.Result) error { return nil })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err=%v, want context.Canceled", err)
+	}
+}

@@ -1,0 +1,115 @@
+package check
+
+import (
+	"math"
+	"testing"
+
+	"rrnorm/internal/core"
+	"rrnorm/internal/fast"
+)
+
+// sameFloats is bit-level equality: workspace reuse must not perturb a
+// single ulp, so no tolerance is allowed here.
+func sameFloats(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if math.Float64bits(a[i]) != math.Float64bits(b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// sameResult compares everything a run produces that downstream consumers
+// (metrics, serve responses, goldens) can observe.
+func sameResult(t *testing.T, label string, fresh, reused *core.Result) {
+	t.Helper()
+	if fresh.Policy != reused.Policy || fresh.Machines != reused.Machines ||
+		math.Float64bits(fresh.Speed) != math.Float64bits(reused.Speed) {
+		t.Errorf("%s: header mismatch: %+v vs %+v", label, fresh, reused)
+	}
+	if fresh.Events != reused.Events {
+		t.Errorf("%s: events %d vs %d", label, fresh.Events, reused.Events)
+	}
+	if len(fresh.Jobs) != len(reused.Jobs) {
+		t.Fatalf("%s: job count %d vs %d", label, len(fresh.Jobs), len(reused.Jobs))
+	}
+	for i := range fresh.Jobs {
+		if fresh.Jobs[i] != reused.Jobs[i] {
+			t.Fatalf("%s: job %d differs: %+v vs %+v", label, i, fresh.Jobs[i], reused.Jobs[i])
+		}
+	}
+	if !sameFloats(fresh.Completion, reused.Completion) {
+		t.Errorf("%s: completions differ", label)
+	}
+	if !sameFloats(fresh.Flow, reused.Flow) {
+		t.Errorf("%s: flows differ", label)
+	}
+}
+
+// TestWorkspaceReuseByteIdentical runs the full oracle corpus twice — once
+// with fresh allocations, once through a single workspace reused across
+// every (instance, policy, engine) combination — and requires bit-level
+// identical results. This is the differential guarantee the workspace
+// layer rests on (DESIGN.md §12): reuse is purely an allocator-level
+// optimization, invisible to every consumer.
+func TestWorkspaceReuseByteIdentical(t *testing.T) {
+	seeds := uint64(1200)
+	if testing.Short() {
+		seeds = 150
+	}
+	ws := core.NewWorkspace()
+	for seed := uint64(0); seed < seeds; seed++ {
+		in := RandomInstance(seed)
+		opts := RandomOptions(seed)
+		freshPols := Policies(seed)
+		wsPols := Policies(seed) // policies are stateful: one set per path
+		for pi := range freshPols {
+			for _, eng := range []core.EngineKind{core.EngineAuto, core.EngineReference} {
+				o := opts
+				o.Engine = eng
+				fresh, errF := fast.Run(in, freshPols[pi], o)
+				reused, errW := fast.RunWS(in, wsPols[pi], o, ws)
+				if (errF == nil) != (errW == nil) {
+					t.Fatalf("seed %d policy %s engine %v: fresh err %v vs workspace err %v",
+						seed, freshPols[pi].Name(), eng, errF, errW)
+				}
+				if errF != nil {
+					continue
+				}
+				label := freshPols[pi].Name() + "/" + eng.String()
+				sameResult(t, label, fresh, reused)
+			}
+		}
+	}
+}
+
+// TestPooledWorkspaceReuse exercises the Get/Put pool path: results
+// consumed before release stay valid, Reset truncates, and a recycled
+// workspace reproduces fresh results after arbitrary prior shapes.
+func TestPooledWorkspaceReuse(t *testing.T) {
+	for seed := uint64(0); seed < 50; seed++ {
+		in := RandomInstance(seed)
+		opts := RandomOptions(seed)
+		p1 := Policies(seed)
+		p2 := Policies(seed)
+		for pi := range p1 {
+			fresh, errF := fast.Run(in, p1[pi], opts)
+			ws := core.GetWorkspace()
+			reused, errW := fast.RunWS(in, p2[pi], opts, ws)
+			if (errF == nil) != (errW == nil) {
+				t.Fatalf("seed %d: fresh err %v vs pooled err %v", seed, errF, errW)
+			}
+			if errF == nil {
+				// Clone before release: the ownership rule under test.
+				kept := reused.Clone()
+				core.PutWorkspace(ws)
+				sameResult(t, "pooled/"+p1[pi].Name(), fresh, kept)
+			} else {
+				core.PutWorkspace(ws)
+			}
+		}
+	}
+}

@@ -178,18 +178,32 @@ func Canceled(ctx context.Context, now float64, events int) error {
 // The instance is validated and normalized (sorted) as a side effect of
 // copying; the caller's instance is not modified.
 func Run(inst *Instance, policy Policy, opts Options) (*Result, error) {
+	return RunWS(inst, policy, opts, nil)
+}
+
+// RunWS is Run with an optional reusable workspace. With a non-nil ws the
+// run performs zero steady-state heap allocations — every buffer, and the
+// returned Result itself, comes from ws — at the price of the ownership
+// rule documented on Workspace: the result is workspace-owned and must be
+// consumed or Cloned before ws's next run or release. ws == nil behaves
+// exactly like Run: a private workspace is allocated and the caller owns
+// the result. Outputs are byte-identical either way.
+func RunWS(inst *Instance, policy Policy, opts Options, ws *Workspace) (*Result, error) {
 	if opts.Machines < 1 {
 		return nil, fmt.Errorf("%w: Machines=%d", ErrBadOptions, opts.Machines)
 	}
 	if !(opts.Speed > 0) || math.IsInf(opts.Speed, 0) {
 		return nil, fmt.Errorf("%w: Speed=%v", ErrBadOptions, opts.Speed)
 	}
-	if err := inst.Validate(); err != nil {
+	if ws == nil {
+		ws = NewWorkspace()
+	}
+	res, err := ws.StartRun(inst, policy.Name(), opts)
+	if err != nil {
 		return nil, err
 	}
-	in := inst.Clone()
-	in.Normalize()
-	n := in.N()
+	in := Instance{Jobs: res.Jobs}
+	n := len(res.Jobs)
 
 	maxEvents := opts.MaxEvents
 	if maxEvents == 0 {
@@ -200,23 +214,19 @@ func Run(inst *Instance, policy Policy, opts Options) (*Result, error) {
 		r.Reset()
 	}
 
-	res := &Result{
-		Policy:     policy.Name(),
-		Machines:   opts.Machines,
-		Speed:      opts.Speed,
-		Jobs:       in.Jobs,
-		Completion: make([]float64, n),
-		Flow:       make([]float64, n),
-	}
 	if n == 0 {
 		return res, nil
 	}
 
+	ws.elapsed = grow(ws.elapsed, n)
+	ws.alive = grow(ws.alive, n)
+	ws.views = grow(ws.views, n)
+	ws.rates = grow(ws.rates, n)
 	var (
-		alive   []int // instance indices, kept in (Release, ID) order
-		elapsed = make([]float64, n)
-		views   []JobView
-		rates   []float64
+		alive   = ws.alive[:0] // instance indices, kept in (Release, ID) order
+		elapsed = ws.elapsed
+		views   = ws.views
+		rates   = ws.rates
 		next    = 0 // next arrival index
 		now     = in.Jobs[0].Release
 	)

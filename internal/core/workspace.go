@@ -1,0 +1,260 @@
+package core
+
+import (
+	"cmp"
+	"fmt"
+	"math"
+	"slices"
+	"sync"
+)
+
+// Workspace is pooled scratch for the simulation engines: the result
+// slices, the normalized job copy, the validation buffer and the per-step
+// buffers the reference engine otherwise rebuilds every run. Threaded
+// through RunWS (and fast.RunWS) it makes the steady-state hot path
+// allocation-free: every buffer is grown once and reused run after run, so
+// a sweep of thousands of simulations costs the allocator nothing after
+// warm-up.
+//
+// Ownership rule (DESIGN.md §12): the *Result returned by a run that was
+// given a workspace — and every slice it references — is owned by that
+// workspace. Consume it (compute norms, marshal it, copy fields out) or
+// deep-copy it with Result.Clone before the workspace's next run, Reset,
+// or release back to a pool.
+//
+// A Workspace is not safe for concurrent use; use one per goroutine. The
+// batch layer (internal/batch) keeps one per worker.
+type Workspace struct {
+	res        Result
+	jobs       []Job
+	completion []float64
+	flow       []float64
+
+	// idpairs is validation scratch: (ID, index) pairs sorted by ID for
+	// duplicate detection without the map Instance.Validate allocates.
+	// stamp/epoch are the O(n) fast path for the common dense-ID case:
+	// stamp[id-minID] == epoch marks an ID as seen this validation, so no
+	// sort (and no clearing — the epoch bump invalidates old marks).
+	idpairs []idPair
+	stamp   []int
+	epoch   int
+
+	// Reference-engine per-step scratch.
+	elapsed []float64
+	rates   []float64
+	alive   []int
+	views   []JobView
+
+	// engine is opaque scratch owned by an alternative engine
+	// (internal/fast); see EngineScratch.
+	engine any
+}
+
+type idPair struct{ id, idx int }
+
+// NewWorkspace returns an empty workspace; buffers are grown on first use.
+func NewWorkspace() *Workspace { return &Workspace{} }
+
+// Reset truncates every buffer (keeping capacity) and drops the references
+// the workspace holds into the last run's result, so a pooled workspace
+// never pins job or segment memory from an old run. PutWorkspace calls it;
+// call it yourself before handing a workspace to any other pool.
+func (w *Workspace) Reset() {
+	w.res = Result{}
+	w.jobs = w.jobs[:0]
+	w.completion = w.completion[:0]
+	w.flow = w.flow[:0]
+	w.idpairs = w.idpairs[:0]
+	w.elapsed = w.elapsed[:0]
+	w.rates = w.rates[:0]
+	w.alive = w.alive[:0]
+	w.views = w.views[:0]
+	if r, ok := w.engine.(interface{ Reset() }); ok {
+		r.Reset()
+	}
+}
+
+// EngineScratch returns the scratch value a non-reference engine attached
+// with SetEngineScratch (nil if none). The fast engine keeps its own
+// reusable state (heaps, key arrays) on the workspace this way, without
+// core knowing its shape.
+func (w *Workspace) EngineScratch() any { return w.engine }
+
+// SetEngineScratch attaches engine-owned scratch to the workspace. If the
+// value has a Reset method, Workspace.Reset invokes it.
+func (w *Workspace) SetEngineScratch(s any) { w.engine = s }
+
+// wsPool is the process-wide pool behind GetWorkspace/PutWorkspace.
+var wsPool = &sync.Pool{New: func() any { return NewWorkspace() }}
+
+// GetWorkspace takes a workspace from the process-wide pool.
+func GetWorkspace() *Workspace { return wsPool.Get().(*Workspace) }
+
+// PutWorkspace resets w and returns it to the pool. Neither w nor any
+// Result produced with it may be used after the call.
+func PutWorkspace(w *Workspace) {
+	w.Reset()
+	wsPool.Put(w)
+}
+
+// StartRun validates in and prepares the workspace's reusable Result for a
+// run: Result.Jobs is a workspace-owned normalized copy of in.Jobs, and
+// Completion/Flow are zeroed to length n. Both engines call it; the
+// returned pointer is to workspace-owned memory (see the type comment for
+// the ownership rule). The caller's instance is never modified.
+func (w *Workspace) StartRun(in *Instance, policyName string, opts Options) (*Result, error) {
+	if err := w.validate(in); err != nil {
+		return nil, err
+	}
+	n := len(in.Jobs)
+	w.jobs = append(w.jobs[:0], in.Jobs...)
+	if !slices.IsSortedFunc(w.jobs, compareJobs) {
+		slices.SortFunc(w.jobs, compareJobs)
+	}
+	w.completion = grow(w.completion, n)
+	w.flow = grow(w.flow, n)
+	w.res = Result{
+		Policy:     policyName,
+		Machines:   opts.Machines,
+		Speed:      opts.Speed,
+		Jobs:       w.jobs,
+		Completion: w.completion,
+		Flow:       w.flow,
+	}
+	return &w.res, nil
+}
+
+// compareJobs is the (Release, ID) normalization order shared with
+// Instance.Normalize. IDs are unique in a valid instance, so the order is
+// total and the sort is deterministic.
+func compareJobs(a, b Job) int {
+	if c := cmp.Compare(a.Release, b.Release); c != 0 {
+		return c
+	}
+	return cmp.Compare(a.ID, b.ID)
+}
+
+func compareIDPairs(a, b idPair) int {
+	if c := cmp.Compare(a.id, b.id); c != 0 {
+		return c
+	}
+	return cmp.Compare(a.idx, b.idx)
+}
+
+// validate is Instance.Validate without its map allocation: the per-job
+// scalar checks run in job order, and duplicate IDs are found by sorting
+// workspace-owned (ID, index) pairs. The first failure by the original
+// iteration order is reported — with Validate's exact message — so callers
+// cannot tell the two implementations apart.
+func (w *Workspace) validate(in *Instance) error {
+	scalarIdx := -1
+	var scalarErr error
+	for i, j := range in.Jobs {
+		switch {
+		case !(j.Size >= 0) || math.IsInf(j.Size, 0):
+			scalarErr = fmt.Errorf("%w: job %d has negative or non-finite size %v", ErrInvalidInstance, j.ID, j.Size)
+		case j.Release < 0 || math.IsInf(j.Release, 0) || math.IsNaN(j.Release):
+			scalarErr = fmt.Errorf("%w: job %d has invalid release %v", ErrInvalidInstance, j.ID, j.Release)
+		case j.Weight < 0 || math.IsInf(j.Weight, 0) || math.IsNaN(j.Weight):
+			scalarErr = fmt.Errorf("%w: job %d has invalid weight %v", ErrInvalidInstance, j.ID, j.Weight)
+		default:
+			continue
+		}
+		scalarIdx = i
+		break
+	}
+	dupIdx := w.firstDuplicate(in.Jobs)
+	// Validate checks duplicates before the scalar fields at each index,
+	// so a duplicate at the same index as a scalar failure wins.
+	if dupIdx >= 0 && (scalarIdx < 0 || dupIdx <= scalarIdx) {
+		return fmt.Errorf("%w: duplicate job ID %d (index %d)", ErrInvalidInstance, in.Jobs[dupIdx].ID, dupIdx)
+	}
+	return scalarErr
+}
+
+// firstDuplicate returns the smallest index whose ID already occurred
+// earlier in jobs, or -1 — exactly where Instance.Validate's map scan
+// would fire. When the ID range is at most a small multiple of n (true
+// for every workload generator, which numbers jobs 0..n−1) it runs in
+// O(n) against the epoch-stamped scratch array; otherwise it falls back
+// to sorting (ID, index) pairs.
+func (w *Workspace) firstDuplicate(jobs []Job) int {
+	n := len(jobs)
+	if n == 0 {
+		return -1
+	}
+	minID, maxID := jobs[0].ID, jobs[0].ID
+	for i := 1; i < n; i++ {
+		if id := jobs[i].ID; id < minID {
+			minID = id
+		} else if id > maxID {
+			maxID = id
+		}
+	}
+	// span stays in int: overflow makes it negative and takes the sort path.
+	if span := maxID - minID; span >= 0 && span < 4*n {
+		span++
+		if cap(w.stamp) < span {
+			w.stamp = make([]int, span)
+		}
+		w.stamp = w.stamp[:span]
+		w.epoch++ // marks from earlier validations become stale, no clear needed
+		for i := 0; i < n; i++ {
+			off := jobs[i].ID - minID
+			if w.stamp[off] == w.epoch {
+				return i
+			}
+			w.stamp[off] = w.epoch
+		}
+		return -1
+	}
+	w.idpairs = grow(w.idpairs, n)
+	for i, j := range jobs {
+		w.idpairs[i] = idPair{id: j.ID, idx: i}
+	}
+	slices.SortFunc(w.idpairs, compareIDPairs)
+	// Within a run of equal IDs the smallest non-first index is the point
+	// at which Validate's map scan would fire; take the minimum over all
+	// runs to match it exactly.
+	dupIdx := -1
+	for i := 1; i < len(w.idpairs); i++ {
+		if w.idpairs[i].id == w.idpairs[i-1].id {
+			if second := w.idpairs[i].idx; dupIdx < 0 || second < dupIdx {
+				dupIdx = second
+			}
+		}
+	}
+	return dupIdx
+}
+
+// grow returns s resized to length n and zeroed, reallocating only when
+// capacity is insufficient — the workspace's one buffer-management idiom.
+func grow[T any](s []T, n int) []T {
+	if cap(s) < n {
+		return make([]T, n)
+	}
+	s = s[:n]
+	clear(s)
+	return s
+}
+
+// Clone returns a deep copy of the result sharing no memory with r — the
+// way to keep a workspace-owned result past the workspace's release.
+func (r *Result) Clone() *Result {
+	out := *r
+	out.Jobs = append([]Job(nil), r.Jobs...)
+	out.Completion = append([]float64(nil), r.Completion...)
+	out.Flow = append([]float64(nil), r.Flow...)
+	if r.Segments != nil {
+		out.Segments = make([]Segment, len(r.Segments))
+		for i, s := range r.Segments {
+			out.Segments[i] = Segment{
+				Start: s.Start,
+				End:   s.End,
+				Jobs:  append([]int(nil), s.Jobs...),
+				Rates: append([]float64(nil), s.Rates...),
+			}
+		}
+	}
+	return &out
+}

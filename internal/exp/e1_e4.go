@@ -1,11 +1,15 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 
-	"rrnorm/internal/par"
-
+	"rrnorm/internal/batch"
 	"rrnorm/internal/core"
+	"rrnorm/internal/lp"
+	"rrnorm/internal/metrics"
+	"rrnorm/internal/par"
+	"rrnorm/internal/policy"
 	"rrnorm/internal/stats"
 	"rrnorm/internal/workload"
 )
@@ -53,17 +57,13 @@ func E1(cfg Config) ([]*Table, error) {
 				if err != nil {
 					return nil, err
 				}
-				for _, s := range speeds {
-					rr, err := kPower(cfg, in, "RR", 1, k, s)
-					if err != nil {
-						return nil, err
-					}
-					srpt, err := kPower(cfg, in, "SRPT", 1, k, s)
-					if err != nil {
-						return nil, err
-					}
-					sums[s].rr.Add(normRatio(rr, lb.Value, k))
-					sums[s].srpt.Add(normRatio(srpt, lb.Value, k))
+				grid, err := kPowerGrid(cfg, in, []string{"RR", "SRPT"}, 1, k, speeds)
+				if err != nil {
+					return nil, err
+				}
+				for si, s := range speeds {
+					sums[s].rr.Add(normRatio(grid[0][si], lb.Value, k))
+					sums[s].srpt.Add(normRatio(grid[1][si], lb.Value, k))
 				}
 			}
 			for _, s := range speeds {
@@ -113,32 +113,44 @@ func lbSweep(cfg Config, id string, k int, levels []int, speeds []float64) ([]*T
 			"growth with n at a speed ⇒ RR not O(1)-competitive at that speed",
 		},
 	}
-	type row struct {
-		n      int
-		ratios []float64
+	// The LP lower bounds are the expensive, allocation-heavy part; keep
+	// them on par.Map, one per level. The RR sweep itself then runs as one
+	// flat |levels|·|speeds| batch over pooled workspaces.
+	ins := make([]*core.Instance, len(levels))
+	for i, L := range levels {
+		ins[i] = workload.Cascade(L, cascadeTheta)
 	}
-	rows, err := par.Map(len(levels), 0, func(i int) (row, error) {
-		in := workload.Cascade(levels[i], cascadeTheta)
-		lb, err := lowerBound(in, 1, k, cfg.Quick)
-		if err != nil {
-			return row{}, err
-		}
-		r := row{n: in.N()}
-		for _, s := range speeds {
-			rr, err := kPower(cfg, in, "RR", 1, k, s)
-			if err != nil {
-				return row{}, err
-			}
-			r.ratios = append(r.ratios, normRatio(rr, lb.Value, k))
-		}
-		return r, nil
+	lbs, err := par.Map(len(levels), 0, func(i int) (lp.Bound, error) {
+		return lowerBound(ins[i], 1, k, cfg.Quick)
 	})
 	if err != nil {
 		return nil, err
 	}
+	pts := make([]batch.Point, 0, len(levels)*len(speeds))
+	for _, in := range ins {
+		for _, s := range speeds {
+			p, err := policy.New("RR")
+			if err != nil {
+				return nil, err
+			}
+			pts = append(pts, batch.Point{
+				Instance: in,
+				Policy:   p,
+				Options:  core.Options{Machines: 1, Speed: s, Engine: cfg.Engine},
+			})
+		}
+	}
+	ratios := make([]float64, len(pts))
+	err = batch.Run(context.Background(), pts, 0, func(i int, res *core.Result) error {
+		ratios[i] = normRatio(metrics.KthPowerSum(res.Flow, k), lbs[i/len(speeds)].Value, k)
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("exp: %s sweep: %w", id, err)
+	}
 	for i, L := range levels {
 		for si, s := range speeds {
-			t.AddRow(L, rows[i].n, s, rows[i].ratios[si])
+			t.AddRow(L, ins[i].N(), s, ratios[i*len(speeds)+si])
 		}
 	}
 	return []*Table{t}, nil
@@ -164,13 +176,15 @@ func E4(cfg Config) ([]*Table, error) {
 		if err != nil {
 			return nil, err
 		}
+		// One batch per n: SETF has no fast path, so its point exercises
+		// the reference-engine-with-workspace fallback inside the pool.
+		grid, err := kPowerGrid(cfg, in, []string{"SRPT", "SJF", "SETF", "RR"}, 1, k, []float64{1.1})
+		if err != nil {
+			return nil, err
+		}
 		row := []any{n}
-		for _, name := range []string{"SRPT", "SJF", "SETF", "RR"} {
-			v, err := kPower(cfg, in, name, 1, k, 1.1)
-			if err != nil {
-				return nil, err
-			}
-			row = append(row, normRatio(v, lb.Value, k))
+		for pi := range grid {
+			row = append(row, normRatio(grid[pi][0], lb.Value, k))
 		}
 		t.AddRow(row...)
 	}

@@ -1,9 +1,11 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"math"
 
+	"rrnorm/internal/batch"
 	"rrnorm/internal/core"
 	"rrnorm/internal/fast"
 	"rrnorm/internal/lp"
@@ -51,6 +53,41 @@ func kPower(cfg Config, in *core.Instance, name string, m, k int, speed float64)
 		return 0, err
 	}
 	return metrics.KthPowerSum(res.Flow, k), nil
+}
+
+// kPowerGrid computes Σ F^k for every (policy, speed) pair on one instance
+// through the memory-bounded batch runner (internal/batch): one flat batch
+// of |names|·|speeds| points over per-worker pooled workspaces — bounded
+// peak memory and zero steady-state allocations — instead of that many
+// independently allocating kPower runs. grid[pi][si] aligns with
+// names × speeds; values are byte-identical to sequential kPower calls.
+func kPowerGrid(cfg Config, in *core.Instance, names []string, m, k int, speeds []float64) ([][]float64, error) {
+	pts := make([]batch.Point, 0, len(names)*len(speeds))
+	for _, name := range names {
+		for _, s := range speeds {
+			p, err := policy.New(name)
+			if err != nil {
+				return nil, err
+			}
+			pts = append(pts, batch.Point{
+				Instance: in,
+				Policy:   p,
+				Options:  core.Options{Machines: m, Speed: s, Engine: cfg.Engine},
+			})
+		}
+	}
+	grid := make([][]float64, len(names))
+	for i := range grid {
+		grid[i] = make([]float64, len(speeds))
+	}
+	err := batch.Run(context.Background(), pts, 0, func(i int, res *core.Result) error {
+		grid[i/len(speeds)][i%len(speeds)] = metrics.KthPowerSum(res.Flow, k)
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("exp: k-power grid (m=%d, k=%d): %w", m, k, err)
+	}
+	return grid, nil
 }
 
 // normRatio converts a k-th power ratio to an ℓk-norm ratio.

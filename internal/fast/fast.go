@@ -65,9 +65,19 @@ func Eligible(p core.Policy, opts core.Options) bool {
 // consume the MaxEvents budget (their event count is structurally bounded
 // by 2n).
 func Run(in *core.Instance, p core.Policy, opts core.Options) (*core.Result, error) {
+	return RunWS(in, p, opts, nil)
+}
+
+// RunWS is Run with an optional reusable workspace, mirroring core.RunWS:
+// with a non-nil ws both the fast paths and the reference fallback draw
+// every buffer — including the returned Result — from ws, performing zero
+// steady-state heap allocations after the first run; the result is then
+// workspace-owned (see core.Workspace for the ownership rule). ws == nil
+// behaves exactly like Run. Outputs are byte-identical either way.
+func RunWS(in *core.Instance, p core.Policy, opts core.Options, ws *core.Workspace) (*core.Result, error) {
 	switch opts.Engine {
 	case core.EngineReference:
-		return core.Run(in, p, opts)
+		return core.RunWS(in, p, opts, ws)
 	case core.EngineAuto, core.EngineFast:
 	default:
 		return nil, fmt.Errorf("%w: unknown Engine %d", core.ErrBadOptions, opts.Engine)
@@ -76,7 +86,7 @@ func Run(in *core.Instance, p core.Policy, opts core.Options) (*core.Result, err
 		if opts.Engine == core.EngineFast {
 			return nil, fmt.Errorf("%w: policy %s (RecordSegments=%v)", ErrNoFastPath, p.Name(), opts.RecordSegments)
 		}
-		return core.Run(in, p, opts)
+		return core.RunWS(in, p, opts, ws)
 	}
 	// Same input contract as core.Run.
 	if opts.Machines < 1 {
@@ -85,41 +95,44 @@ func Run(in *core.Instance, p core.Policy, opts core.Options) (*core.Result, err
 	if !(opts.Speed > 0) || math.IsInf(opts.Speed, 0) {
 		return nil, fmt.Errorf("%w: Speed=%v", core.ErrBadOptions, opts.Speed)
 	}
-	if err := in.Validate(); err != nil {
+	if ws == nil {
+		ws = core.NewWorkspace()
+	}
+	res, err := ws.StartRun(in, p.Name(), opts)
+	if err != nil {
 		return nil, err
 	}
-	cl := in.Clone()
-	cl.Normalize()
+	s := scratchOf(ws)
 
 	switch pp := p.(type) {
 	case policy.RR, *policy.RR:
-		return runRR(cl, p.Name(), opts)
+		s.rrTol = growFloats(s.rrTol, len(res.Jobs))
+		err = runRR(res, opts, &s.rrHeap, s.rrTol)
 	case *policy.SRPT:
-		return runTopM(cl, p.Name(), opts, func(rem, cAt []float64) ordering {
-			return srptOrdering(rem, cAt, opts.Speed)
-		})
+		s.prepareTopM(ordSRPT, res, opts.Speed, false)
+		err = runTopM(res, opts, s)
 	case *policy.SJF:
-		key := make([]float64, cl.N())
-		for i, j := range cl.Jobs {
-			key[i] = j.Size
+		s.prepareTopM(ordStatic, res, opts.Speed, true)
+		for i := range res.Jobs {
+			s.key[i] = res.Jobs[i].Size
 		}
-		return runTopM(cl, p.Name(), opts, func(rem, cAt []float64) ordering {
-			return staticOrdering(key)
-		})
+		err = runTopM(res, opts, s)
 	case *policy.FCFS:
 		// Normalized index order is (Release, ID) order — FCFS itself.
-		return runTopM(cl, p.Name(), opts, func(rem, cAt []float64) ordering {
-			return staticOrdering(nil)
-		})
+		s.prepareTopM(ordStatic, res, opts.Speed, false)
+		err = runTopM(res, opts, s)
 	case *policy.StaticPriority:
-		key := make([]float64, cl.N())
-		for i, j := range cl.Jobs {
-			key[i] = pp.PriorityOf(j.ID)
+		s.prepareTopM(ordStatic, res, opts.Speed, true)
+		for i := range res.Jobs {
+			s.key[i] = pp.PriorityOf(res.Jobs[i].ID)
 		}
-		return runTopM(cl, p.Name(), opts, func(rem, cAt []float64) ordering {
-			return staticOrdering(key)
-		})
+		err = runTopM(res, opts, s)
+	default:
+		// Unreachable: Eligible covered the type switch.
+		return nil, fmt.Errorf("%w: policy %s", ErrNoFastPath, p.Name())
 	}
-	// Unreachable: Eligible covered the type switch.
-	return nil, fmt.Errorf("%w: policy %s", ErrNoFastPath, p.Name())
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
 }

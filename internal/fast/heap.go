@@ -1,24 +1,55 @@
 package fast
 
-// indexHeap is a binary heap over job indices 0..n−1 ordered by a
-// caller-supplied strict weak ordering, with position tracking so arbitrary
-// members can be removed in O(log n) — needed when a preemption pulls a job
-// out of the middle of the running set. Composite tie-breaks
-// (key, release, ID) live in the comparator, which is why the fast engines
-// use this instead of the float-keyed queue.IndexedMinHeap.
+// heapRole selects which of the shared ordering's three comparators an
+// indexHeap sorts by. Dispatching on a role tag through a shared *ordering
+// — instead of storing a comparator closure per heap — keeps workspace
+// reuse allocation-free: closures stored in struct fields escape to the
+// heap on every construction, a role byte does not.
+type heapRole uint8
+
+const (
+	roleByC   heapRole = iota // next completion: least cAt first
+	roleWorst                 // preemption victim: "worse" jobs first
+	roleWait                  // promotion candidate: best waiting job first
+)
+
+// indexHeap is a binary heap over job indices 0..n−1 ordered by one role of
+// a shared ordering, with position tracking so arbitrary members can be
+// removed in O(log n) — needed when a preemption pulls a job out of the
+// middle of the running set. Composite tie-breaks (key, release, ID) live
+// in the ordering, which is why the fast engine uses this instead of the
+// float-keyed queue.IndexedMinHeap.
 type indexHeap struct {
 	items []int
 	pos   []int // pos[job] = index in items, or -1 when absent
-	less  func(a, b int) bool
+	ord   *ordering
+	role  heapRole
 }
 
-// newIndexHeap creates an empty heap over jobs 0..n−1.
-func newIndexHeap(n int, less func(a, b int) bool) *indexHeap {
-	h := &indexHeap{items: make([]int, 0, n), pos: make([]int, n), less: less}
+// reuse re-targets the heap at jobs 0..n−1 with the given ordering role and
+// empties it, reusing the backing arrays whenever capacity allows.
+func (h *indexHeap) reuse(n int, ord *ordering, role heapRole) {
+	if cap(h.pos) < n {
+		h.items = make([]int, 0, n)
+		h.pos = make([]int, n)
+	}
+	h.items = h.items[:0]
+	h.pos = h.pos[:n]
 	for i := range h.pos {
 		h.pos[i] = -1
 	}
-	return h
+	h.ord, h.role = ord, role
+}
+
+func (h *indexHeap) less(a, b int) bool {
+	switch h.role {
+	case roleByC:
+		return h.ord.byCLess(a, b)
+	case roleWorst:
+		return h.ord.worstLess(a, b)
+	default:
+		return h.ord.waitLess(a, b)
+	}
 }
 
 // Len returns the number of jobs currently in the heap.

@@ -1,11 +1,53 @@
 package fast
 
 import (
-	"math"
-
 	"rrnorm/internal/core"
 	"rrnorm/internal/queue"
 )
+
+// rrState is the Round Robin sweep state. admit/complete are methods on a
+// stack-local value rather than closures so that workspace-reuse runs stay
+// allocation-free (captured-variable closures escape to the heap).
+type rrState struct {
+	res  *core.Result
+	h    *queue.PairHeap
+	tol  []float64 // tol[i] = CompletionTol(Jobs[i].Size), precomputed
+	now  float64
+	V    float64 // cumulative per-job fair share
+	next int     // next arrival index
+}
+
+// admit moves all jobs released by now into the heap; degenerate
+// (sub-tolerance size) jobs complete at admission, mirroring core.Run.
+func (r *rrState) admit() {
+	jobs := r.res.Jobs
+	for r.next < len(jobs) && jobs[r.next].Release <= r.now {
+		j := &jobs[r.next]
+		if j.Size <= r.tol[r.next] {
+			r.res.Completion[r.next] = r.now
+			r.res.Flow[r.next] = r.now - j.Release
+		} else {
+			r.h.Push(r.next, r.V+j.Size)
+		}
+		r.next++
+	}
+}
+
+// complete pops every job whose remaining work target−V is within its
+// completion tolerance — the same boundary-check semantics as the
+// reference engine applies at the end of each step.
+func (r *rrState) complete() {
+	jobs := r.res.Jobs
+	for r.h.Len() > 0 {
+		j, key := r.h.Min()
+		if key-r.V > r.tol[j] {
+			return
+		}
+		r.h.PopMin()
+		r.res.Completion[j] = r.now
+		r.res.Flow[j] = r.now - jobs[j].Release
+	}
+}
 
 // runRR simulates Round Robin in O((n + completions) log n) with
 // incremental virtual-time ("fair share") accounting.
@@ -14,98 +56,67 @@ import (
 // ρ(t) = min{1, m/n_t}·s, so with V(t) = ∫ ρ(τ) dτ (the cumulative fair
 // share) a job admitted at time t₀ with size p completes exactly when V
 // reaches V(t₀) + p. Arrivals and completions are therefore the only
-// events: the next completion is the smallest completion target in an
-// indexed min-heap, and between consecutive events ρ is constant, so each
-// event costs O(log n) instead of the reference engine's O(n_t) rate
-// recomputation.
+// events: the next completion is the smallest completion target in a
+// min-heap of (target, job) pairs, and between consecutive events ρ is
+// constant, so each event costs O(log n) instead of the reference
+// engine's O(n_t) rate recomputation.
 //
-// The instance must already be validated and normalized (fast.Run does
-// both).
-func runRR(in *core.Instance, name string, opts core.Options) (*core.Result, error) {
-	n := in.N()
-	res := &core.Result{
-		Policy:     name,
-		Machines:   opts.Machines,
-		Speed:      opts.Speed,
-		Jobs:       in.Jobs,
-		Completion: make([]float64, n),
-		Flow:       make([]float64, n),
-	}
+// res comes from Workspace.StartRun (jobs validated and normalized); h
+// and tol are the workspace's reusable completion heap and tolerance
+// buffer.
+func runRR(res *core.Result, opts core.Options, h *queue.PairHeap, tol []float64) error {
+	n := len(res.Jobs)
 	if n == 0 {
-		return res, nil
+		return nil
 	}
+	h.Reuse(n)
+	for i := range res.Jobs {
+		tol[i] = core.CompletionTol(res.Jobs[i].Size)
+	}
+	r := rrState{res: res, h: h, tol: tol, now: res.Jobs[0].Release}
 
-	var (
-		h    = queue.NewIndexedMinHeap(n) // alive jobs keyed by completion target V(t₀)+p
-		now  = in.Jobs[0].Release
-		V    = 0.0 // cumulative per-job fair share
-		next = 0   // next arrival index
-	)
-	// admit moves all jobs released by `now` into the heap; degenerate
-	// (sub-tolerance size) jobs complete at admission, mirroring core.Run.
-	admit := func() {
-		for next < n && in.Jobs[next].Release <= now {
-			j := &in.Jobs[next]
-			if j.Size <= core.CompletionTol(j.Size) {
-				res.Completion[next] = now
-				res.Flow[next] = now - j.Release
-			} else {
-				h.Push(next, V+j.Size)
-			}
-			next++
-		}
-	}
-	// complete pops every job whose remaining work target−V is within its
-	// completion tolerance — the same boundary-check semantics as the
-	// reference engine applies at the end of each step.
-	complete := func() {
-		for h.Len() > 0 {
-			j, key := h.Min()
-			if key-V > core.CompletionTol(in.Jobs[j].Size) {
-				return
-			}
-			h.PopMin()
-			res.Completion[j] = now
-			res.Flow[j] = now - in.Jobs[j].Release
-		}
-	}
-
-	admit()
-	complete()
+	r.admit()
+	r.complete()
 	res.Events++
-	for h.Len() > 0 || next < n {
+	for h.Len() > 0 || r.next < n {
 		res.Events++
 		if res.Events&(ctxStride-1) == 0 {
-			if err := core.Canceled(opts.Context, now, res.Events); err != nil {
-				return nil, err
+			if err := core.Canceled(opts.Context, r.now, res.Events); err != nil {
+				return err
 			}
 		}
 		if h.Len() == 0 {
 			// Idle gap: jump to the next arrival; V does not advance.
-			now = in.Jobs[next].Release
-			admit()
-			complete()
+			r.now = res.Jobs[r.next].Release
+			r.admit()
+			r.complete()
 			continue
 		}
-		rate := opts.Speed * math.Min(1, float64(opts.Machines)/float64(h.Len()))
-		_, minKey := h.Min()
-		tC := now + (minKey-V)/rate
-		if tC < now {
-			tC = now // guard against cancellation in minKey−V
+		// rate = speed · min(1, m/alive), spelled as a branch: m and alive
+		// are small ints, so m/alive is exact when it matters (alive ≤ m ⇒
+		// factor 1) and math.Min's NaN handling is dead weight here.
+		rate := opts.Speed
+		if alive := h.Len(); alive > opts.Machines {
+			rate *= float64(opts.Machines) / float64(alive)
 		}
-		if next < n && in.Jobs[next].Release < tC {
+		_, minKey := h.Min()
+		tC := r.now + (minKey-r.V)/rate
+		if tC < r.now {
+			tC = r.now // guard against cancellation in minKey−V
+		}
+		if r.next < n && res.Jobs[r.next].Release < tC {
 			// Next event is an arrival: advance the fair share to it.
-			t := in.Jobs[next].Release
-			V += (t - now) * rate
-			now = t
-			admit()
+			t := res.Jobs[r.next].Release
+			r.V += (t - r.now) * rate
+			r.now = t
+			r.admit()
 		} else {
 			// Next event is a completion: land V exactly on the target so
 			// simultaneous completions (identical targets) drain together.
-			V = minKey
-			now = tC
+			r.V = minKey
+			r.now = tC
 		}
-		complete()
+		r.complete()
 	}
-	return res, nil
+	return nil
 }

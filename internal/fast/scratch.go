@@ -1,0 +1,83 @@
+package fast
+
+import (
+	"rrnorm/internal/core"
+	"rrnorm/internal/queue"
+)
+
+// scratch is the fast engine's per-workspace state: the RR virtual-time
+// completion heap, and the top-m engine's three indexed heaps plus the
+// key/rem/cAt arrays their shared ordering reads. It rides on
+// core.Workspace.EngineScratch, so one pooled workspace serves both
+// engines; after the first run on a workspace every buffer here is reused
+// and the fast paths allocate nothing.
+type scratch struct {
+	rrHeap queue.PairHeap
+	rrTol  []float64
+
+	ord     ordering
+	rem     []float64
+	cAt     []float64
+	key     []float64
+	byC     indexHeap
+	worst   indexHeap
+	waiting indexHeap
+}
+
+// Reset truncates the float buffers and drops cross-run ordering state.
+// core.Workspace.Reset calls it (via the Reset interface) before the
+// workspace returns to its pool; heap backing arrays are kept — reuse
+// re-initializes them per run, and they hold no references.
+func (s *scratch) Reset() {
+	s.rrHeap.Reset()
+	s.rrTol = s.rrTol[:0]
+	s.ord = ordering{}
+	s.rem = s.rem[:0]
+	s.cAt = s.cAt[:0]
+	s.key = s.key[:0]
+}
+
+// scratchOf returns ws's fast-engine scratch, attaching a fresh one on
+// first use — the only allocation a reused workspace ever sees.
+func scratchOf(ws *core.Workspace) *scratch {
+	if s, ok := ws.EngineScratch().(*scratch); ok {
+		return s
+	}
+	s := &scratch{}
+	ws.SetEngineScratch(s)
+	return s
+}
+
+// prepareTopM sizes the top-m state for a run over res.Jobs: rem seeded
+// with the job sizes, cAt zeroed, the heaps emptied and re-pointed at the
+// ordering. With withKey the static key array is zeroed to length n for
+// the caller to fill (SJF sizes, StaticPriority ranks); without it the
+// ordering ranks by index alone (FCFS) or by remaining work (SRPT).
+func (s *scratch) prepareTopM(kind ordKind, res *core.Result, speed float64, withKey bool) {
+	n := len(res.Jobs)
+	s.rem = growFloats(s.rem, n)
+	s.cAt = growFloats(s.cAt, n)
+	for i := range res.Jobs {
+		s.rem[i] = res.Jobs[i].Size
+	}
+	var key []float64
+	if withKey {
+		s.key = growFloats(s.key, n)
+		key = s.key
+	}
+	s.ord = ordering{kind: kind, key: key, rem: s.rem, cAt: s.cAt, speed: speed}
+	s.byC.reuse(n, &s.ord, roleByC)
+	s.worst.reuse(n, &s.ord, roleWorst)
+	s.waiting.reuse(n, &s.ord, roleWait)
+}
+
+// growFloats returns s resized to length n and zeroed, reallocating only
+// when capacity is insufficient.
+func growFloats(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	s = s[:n]
+	clear(s)
+	return s
+}

@@ -30,131 +30,133 @@ import (
 // therefore always exactly the reference engine's top-m selection,
 // including its (key, release, ID) tie-breaks, which the comparators
 // reproduce via the normalized job index.
+
+// ordKind selects how an ordering ranks jobs.
+type ordKind uint8
+
+const (
+	// ordStatic ranks by a fixed per-job key with the normalized-index
+	// tie-break (index order is (Release, ID) order, the reference
+	// tie-break). A nil key slice means pure index order — FCFS.
+	ordStatic ordKind = iota
+	// ordSRPT ranks by remaining work: frozen rem for waiting jobs,
+	// cAt-implied for running ones (equal drain rate ⇒ cAt order is
+	// remaining order).
+	ordSRPT
+)
+
+// ordering ranks jobs for the top-m engine. It is a concrete struct with
+// methods rather than a set of closures so workspace reuse stays
+// allocation-free: the three heaps reach it through one shared pointer and
+// dispatch on kind, instead of each capturing a freshly allocated closure
+// per run.
 type ordering struct {
-	// waitLess orders waiting jobs: the least is promoted first.
-	waitLess func(a, b int) bool
-	// worstLess orders running jobs so the heap minimum is the preemption
-	// victim (i.e. it sorts "worse" jobs first).
-	worstLess func(a, b int) bool
-	// preempts reports whether newly arrived job j displaces victim v at
-	// time now.
-	preempts func(j, v int, now float64) bool
+	kind  ordKind
+	key   []float64 // static per-job keys (ordStatic); nil = index order
+	rem   []float64 // frozen remaining work of waiting jobs
+	cAt   []float64 // completion-if-unpreempted time of running jobs
+	speed float64
 }
 
-// staticOrdering ranks jobs by a fixed key with the normalized-index
-// tie-break (index order is (Release, ID) order, the reference tie-break).
-// A nil key slice means pure index order — FCFS.
-func staticOrdering(key []float64) ordering {
-	k := func(j int) float64 {
-		if key == nil {
-			return 0
+func (o *ordering) keyOf(j int) float64 {
+	if o.key == nil {
+		return 0
+	}
+	return o.key[j]
+}
+
+// waitLess orders waiting jobs: the least is promoted first.
+func (o *ordering) waitLess(a, b int) bool {
+	if o.kind == ordSRPT {
+		if o.rem[a] != o.rem[b] {
+			return o.rem[a] < o.rem[b]
 		}
-		return key[j]
+		return a < b
 	}
-	return ordering{
-		waitLess: func(a, b int) bool {
-			if ka, kb := k(a), k(b); ka != kb {
-				return ka < kb
-			}
-			return a < b
-		},
-		worstLess: func(a, b int) bool {
-			if ka, kb := k(a), k(b); ka != kb {
-				return ka > kb
-			}
-			return a > b
-		},
-		preempts: func(j, v int, now float64) bool {
-			if kj, kv := k(j), k(v); kj != kv {
-				return kj < kv
-			}
-			return j < v
-		},
+	if ka, kb := o.keyOf(a), o.keyOf(b); ka != kb {
+		return ka < kb
 	}
+	return a < b
 }
 
-// srptOrdering ranks jobs by remaining work: frozen rem for waiting jobs,
-// cAt-implied for running ones (equal drain rate ⇒ cAt order is remaining
-// order).
-func srptOrdering(rem, cAt []float64, speed float64) ordering {
-	return ordering{
-		waitLess: func(a, b int) bool {
-			if rem[a] != rem[b] {
-				return rem[a] < rem[b]
-			}
-			return a < b
-		},
-		worstLess: func(a, b int) bool {
-			if cAt[a] != cAt[b] {
-				return cAt[a] > cAt[b]
-			}
-			return a > b
-		},
-		preempts: func(j, v int, now float64) bool {
-			remV := (cAt[v] - now) * speed
-			if rem[j] != remV {
-				return rem[j] < remV
-			}
-			return j < v
-		},
+// worstLess orders running jobs so the heap minimum is the preemption
+// victim (i.e. it sorts "worse" jobs first).
+func (o *ordering) worstLess(a, b int) bool {
+	if o.kind == ordSRPT {
+		if o.cAt[a] != o.cAt[b] {
+			return o.cAt[a] > o.cAt[b]
+		}
+		return a > b
 	}
+	if ka, kb := o.keyOf(a), o.keyOf(b); ka != kb {
+		return ka > kb
+	}
+	return a > b
 }
 
-func runTopM(in *core.Instance, name string, opts core.Options, mkOrd func(rem, cAt []float64) ordering) (*core.Result, error) {
-	n, m, s := in.N(), opts.Machines, opts.Speed
-	res := &core.Result{
-		Policy:     name,
-		Machines:   m,
-		Speed:      s,
-		Jobs:       in.Jobs,
-		Completion: make([]float64, n),
-		Flow:       make([]float64, n),
+// byCLess orders running jobs by next completion.
+func (o *ordering) byCLess(a, b int) bool {
+	if o.cAt[a] != o.cAt[b] {
+		return o.cAt[a] < o.cAt[b]
 	}
+	return a < b
+}
+
+// preempts reports whether newly arrived job j displaces victim v at time
+// now.
+func (o *ordering) preempts(j, v int, now float64) bool {
+	if o.kind == ordSRPT {
+		remV := (o.cAt[v] - now) * o.speed
+		if o.rem[j] != remV {
+			return o.rem[j] < remV
+		}
+		return j < v
+	}
+	if kj, kv := o.keyOf(j), o.keyOf(v); kj != kv {
+		return kj < kv
+	}
+	return j < v
+}
+
+// start puts job j on a machine at time t.
+func (s *scratch) start(j int, t, speed float64) {
+	s.cAt[j] = t + s.rem[j]/speed
+	s.byC.Push(j)
+	s.worst.Push(j)
+}
+
+// finish records job j completing at time t.
+func finish(res *core.Result, j int, t float64) {
+	res.Completion[j] = t
+	res.Flow[j] = t - res.Jobs[j].Release
+}
+
+// runTopM runs the top-m engine over res.Jobs (already validated and
+// normalized by StartRun) using s, which prepareTopM sized for this run.
+func runTopM(res *core.Result, opts core.Options, s *scratch) error {
+	jobs := res.Jobs
+	n, m, sp := len(jobs), opts.Machines, opts.Speed
 	if n == 0 {
-		return res, nil
+		return nil
 	}
-
-	rem := make([]float64, n) // remaining work of waiting (and unreleased) jobs
-	cAt := make([]float64, n) // completion-if-unpreempted time of running jobs
-	for i := range rem {
-		rem[i] = in.Jobs[i].Size
-	}
-	ord := mkOrd(rem, cAt)
-	var (
-		byC = newIndexHeap(n, func(a, b int) bool { // next completion
-			if cAt[a] != cAt[b] {
-				return cAt[a] < cAt[b]
-			}
-			return a < b
-		})
-		worst   = newIndexHeap(n, ord.worstLess) // preemption victim
-		waiting = newIndexHeap(n, ord.waitLess)  // promotion candidate
-		next    = 0
-		now     = in.Jobs[0].Release
-	)
-	start := func(j int, t float64) {
-		cAt[j] = t + rem[j]/s
-		byC.Push(j)
-		worst.Push(j)
-	}
-	finish := func(j int, t float64) {
-		res.Completion[j] = t
-		res.Flow[j] = t - in.Jobs[j].Release
-	}
+	ord := &s.ord
+	byC, worst, waiting := &s.byC, &s.worst, &s.waiting
+	next := 0
+	now := jobs[0].Release
 
 	for byC.Len() > 0 || waiting.Len() > 0 || next < n {
 		res.Events++
 		if res.Events&(ctxStride-1) == 0 {
 			if err := core.Canceled(opts.Context, now, res.Events); err != nil {
-				return nil, err
+				return err
 			}
 		}
 		tA, tC := math.Inf(1), math.Inf(1)
 		if next < n {
-			tA = in.Jobs[next].Release
+			tA = jobs[next].Release
 		}
 		if byC.Len() > 0 {
-			tC = cAt[byC.Min()]
+			tC = s.cAt[byC.Min()]
 		}
 		if tC <= tA {
 			// Completion: the running job with the least cAt finishes; the
@@ -166,9 +168,9 @@ func runTopM(in *core.Instance, name string, opts core.Options, mkOrd func(rem, 
 				tC = now // FP guard: time must not run backwards
 			}
 			now = tC
-			finish(j, now)
+			finish(res, j, now)
 			if waiting.Len() > 0 {
-				start(waiting.Pop(), now)
+				s.start(waiting.Pop(), now, sp)
 			}
 			continue
 		}
@@ -176,31 +178,31 @@ func runTopM(in *core.Instance, name string, opts core.Options, mkOrd func(rem, 
 		now = tA
 		j := next
 		next++
-		if in.Jobs[j].Size <= core.CompletionTol(in.Jobs[j].Size) {
-			finish(j, now) // degenerate job: completes at admission (as core.Run)
+		if jobs[j].Size <= core.CompletionTol(jobs[j].Size) {
+			finish(res, j, now) // degenerate job: completes at admission (as core.Run)
 			continue
 		}
 		switch {
 		case byC.Len() < m:
-			start(j, now) // free machine (waiting is empty by the invariant)
+			s.start(j, now, sp) // free machine (waiting is empty by the invariant)
 		case ord.preempts(j, worst.Min(), now):
 			v := worst.Min()
-			remV := (cAt[v] - now) * s // freeze the victim's progress
+			remV := (s.cAt[v] - now) * sp // freeze the victim's progress
 			byC.Remove(v)
 			worst.Remove(v)
-			if remV <= core.CompletionTol(in.Jobs[v].Size) {
+			if remV <= core.CompletionTol(jobs[v].Size) {
 				// The victim was within its completion tolerance of
 				// finishing: the reference engine completes it at this
 				// boundary, so record it here rather than re-queueing.
-				finish(v, now)
+				finish(res, v, now)
 			} else {
-				rem[v] = remV
+				s.rem[v] = remV
 				waiting.Push(v)
 			}
-			start(j, now)
+			s.start(j, now, sp)
 		default:
 			waiting.Push(j)
 		}
 	}
-	return res, nil
+	return nil
 }

@@ -60,6 +60,7 @@ func Analyzers() []*Analyzer {
 		floateqAnalyzer,
 		ctxpollAnalyzer,
 		exportsyncAnalyzer,
+		poolputAnalyzer,
 	}
 }
 

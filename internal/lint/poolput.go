@@ -1,0 +1,179 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// poolput guards the workspace-pooling discipline introduced with the
+// zero-allocation hot path (DESIGN.md §12). A value returned to a
+// sync.Pool keeps its backing slices alive and hands them to an unknown
+// future caller: putting it back without truncating those slices leaks
+// stale jobs, completions and events into the next run — exactly the kind
+// of cross-request contamination the differential tests exist to catch,
+// except a pool makes it timing-dependent. The rule is mechanical: any
+// sliceful value going into Pool.Put must be reset first.
+//
+// Concretely, for each `p.Put(x)` where p is a sync.Pool:
+//
+//   - fresh values (composite literals, their addresses, constructor
+//     calls) are allowed — there is nothing stale to carry over;
+//   - values whose type holds no slices or maps (directly or through
+//     nested structs) are allowed — they retain no memory;
+//   - otherwise the type must have a Reset method, and the same
+//     expression must call it earlier in the function body, before the
+//     Put (`x.Reset(); p.Put(x)` — the core.PutWorkspace shape).
+var poolputAnalyzer = &Analyzer{
+	Name: "poolput",
+	Doc:  "sync.Pool.Put of a sliceful value without a preceding Reset",
+	Scope: scopePkgs(
+		"internal",
+		"cmd",
+	),
+	Run: runPoolput,
+}
+
+// resetNames are the method names accepted as "this value was wiped":
+// the canonical Reset plus the truncation spellings scratch types use.
+var resetNames = map[string]bool{
+	"Reset":    true,
+	"reset":    true,
+	"Truncate": true,
+	"truncate": true,
+}
+
+func runPoolput(p *Pass) {
+	for _, f := range p.Pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkPoolPuts(p, fd.Body)
+		}
+	}
+}
+
+func checkPoolPuts(p *Pass, body *ast.BlockStmt) {
+	// First pass: positions of x.Reset()-style calls, keyed by the
+	// receiver's source text (the same syntactic matching the tie-break
+	// idiom uses — aliasing is out of scope for a lint).
+	resets := make(map[string][]ast.Node)
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || !resetNames[sel.Sel.Name] {
+			return true
+		}
+		if key := p.ExprString(sel.X); key != "" {
+			resets[key] = append(resets[key], call)
+		}
+		return true
+	})
+
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || len(call.Args) != 1 {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "Put" || !isSyncPool(p.TypeOf(sel.X)) {
+			return true
+		}
+		arg := call.Args[0]
+		if isFreshValue(arg) {
+			return true
+		}
+		argType := p.TypeOf(arg)
+		if argType == nil || !holdsSlices(argType, make(map[types.Type]bool)) {
+			return true
+		}
+		argText := p.ExprString(arg)
+		if !hasResetMethod(argType) {
+			p.Reportf(call.Pos(), "sync.Pool.Put of %s, whose type %s holds slices but has no Reset method; give it one and call it before Put, or //rrlint:ignore poolput <reason>",
+				argText, argType)
+			return true
+		}
+		for _, rc := range resets[argText] {
+			if rc.Pos() < call.Pos() {
+				return true
+			}
+		}
+		p.Reportf(call.Pos(), "sync.Pool.Put of %s without a preceding %s.Reset(): stale slice contents leak into the next pool user",
+			argText, argText)
+		return true
+	})
+}
+
+// isSyncPool reports whether t is sync.Pool or *sync.Pool.
+func isSyncPool(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync" && obj.Name() == "Pool"
+}
+
+// isFreshValue reports whether the Put argument is a value constructed at
+// the call site — a composite literal, its address, or a constructor
+// call — which by definition carries no stale state.
+func isFreshValue(e ast.Expr) bool {
+	switch e := e.(type) {
+	case *ast.CompositeLit:
+		return true
+	case *ast.UnaryExpr:
+		_, ok := e.X.(*ast.CompositeLit)
+		return ok
+	case *ast.CallExpr:
+		return true
+	case *ast.ParenExpr:
+		return isFreshValue(e.X)
+	}
+	return false
+}
+
+// holdsSlices reports whether the type retains heap memory through slices
+// or maps, directly or inside nested structs. seen breaks cycles through
+// self-referential types.
+func holdsSlices(t types.Type, seen map[types.Type]bool) bool {
+	if t == nil || seen[t] {
+		return false
+	}
+	seen[t] = true
+	switch u := t.Underlying().(type) {
+	case *types.Slice, *types.Map:
+		return true
+	case *types.Pointer:
+		return holdsSlices(u.Elem(), seen)
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if holdsSlices(u.Field(i).Type(), seen) {
+				return true
+			}
+		}
+	case *types.Interface:
+		// An interface (e.g. Workspace.engine's scratch slot) may hold
+		// anything; the owning type's Reset is responsible for it, so the
+		// interface alone does not make a type sliceful.
+	}
+	return false
+}
+
+// hasResetMethod reports whether t (or *t) has a method named Reset.
+func hasResetMethod(t types.Type) bool {
+	obj, _, _ := types.LookupFieldOrMethod(t, true, nil, "Reset")
+	if _, ok := obj.(*types.Func); ok {
+		return true
+	}
+	return false
+}

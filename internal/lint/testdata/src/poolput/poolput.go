@@ -1,0 +1,78 @@
+// Package poolput is the golden fixture for the poolput analyzer: every
+// shape of sync.Pool.Put the check must allow or flag.
+package poolput
+
+import "sync"
+
+// buffer is the Workspace shape: pooled scratch whose slices must be
+// truncated before the value re-enters the pool.
+type buffer struct {
+	vals []float64
+	ids  []int
+}
+
+func (b *buffer) Reset() {
+	b.vals = b.vals[:0]
+	b.ids = b.ids[:0]
+}
+
+// leaky holds slices but offers no way to wipe them.
+type leaky struct {
+	data []byte
+}
+
+// counter holds no slices or maps; putting it back stale is harmless.
+type counter struct {
+	n    int
+	last float64
+}
+
+var (
+	bufPool     = sync.Pool{New: func() any { return new(buffer) }}
+	leakPool    = sync.Pool{New: func() any { return new(leaky) }}
+	counterPool = sync.Pool{New: func() any { return new(counter) }}
+)
+
+// PutReset is the canonical discipline: Reset, then Put. Allowed.
+func PutReset(b *buffer) {
+	b.Reset()
+	bufPool.Put(b)
+}
+
+// PutFresh seeds the pool with a brand-new value: nothing stale to carry
+// over. Allowed.
+func PutFresh() {
+	bufPool.Put(&buffer{})
+}
+
+// PutConstructed returns a constructor's result — also fresh. Allowed.
+func PutConstructed() {
+	bufPool.Put(newBuffer())
+}
+
+func newBuffer() *buffer { return new(buffer) }
+
+// PutPlain puts a value with no slice state; no reset needed. Allowed.
+func PutPlain(c *counter) {
+	c.n++
+	counterPool.Put(c)
+}
+
+// PutStale returns a used buffer without wiping it: the next Get hands
+// its old contents to a stranger. Flagged.
+func PutStale(b *buffer) {
+	b.vals = append(b.vals, 1)
+	bufPool.Put(b) // want "without a preceding b.Reset"
+}
+
+// PutResetAfter resets on the wrong side of the Put — the pool already
+// has the dirty value. Flagged.
+func PutResetAfter(b *buffer) {
+	bufPool.Put(b) // want "without a preceding b.Reset"
+	b.Reset()
+}
+
+// PutNoReset pools a sliceful type that cannot be wiped at all. Flagged.
+func PutNoReset(l *leaky) {
+	leakPool.Put(l) // want "no Reset method"
+}

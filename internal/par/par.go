@@ -30,18 +30,44 @@ func ForEach(n, workers int, fn func(i int) error) error {
 // iteration error by lowest index, preserving ForEach's determinism. A nil
 // ctx means never canceled.
 func ForEachCtx(ctx context.Context, n, workers int, fn func(ctx context.Context, i int) error) error {
-	if n <= 0 {
-		return nil
-	}
-	if ctx == nil {
-		ctx = context.Background()
-	}
+	return ForEachWorkerCtx(ctx, n, workers, func(ctx context.Context, _, i int) error {
+		return fn(ctx, i)
+	})
+}
+
+// WorkerCount resolves the effective worker count the dispatchers use for n
+// iterations: workers ≤ 0 means GOMAXPROCS, and the count never exceeds n
+// (nor drops below 1). Exported so callers that keep per-worker state
+// (batch simulation workspaces) size their arrays exactly the way
+// ForEachWorkerCtx will index them.
+func WorkerCount(n, workers int) int {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	if workers > n {
 		workers = n
 	}
+	if workers < 1 {
+		workers = 1
+	}
+	return workers
+}
+
+// ForEachWorkerCtx is ForEachCtx with the executing worker's index
+// w ∈ [0, WorkerCount(n, workers)) passed to each iteration — the hook for
+// callers that keep per-worker reusable state (e.g. simulation workspaces)
+// without any locking: a worker runs its iterations sequentially, so state
+// indexed by w is never shared. Iterations are pulled off a shared counter
+// (work stealing by another name), so one slow iteration never stalls the
+// rest of the grid.
+func ForEachWorkerCtx(ctx context.Context, n, workers int, fn func(ctx context.Context, worker, i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	workers = WorkerCount(n, workers)
 	errs := make([]error, n)
 	var (
 		next    int
@@ -51,7 +77,7 @@ func ForEachCtx(ctx context.Context, n, workers int, fn func(ctx context.Context
 	)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(w int) {
 			defer wg.Done()
 			for {
 				mu.Lock()
@@ -66,9 +92,9 @@ func ForEachCtx(ctx context.Context, n, workers int, fn func(ctx context.Context
 				if i >= n {
 					return
 				}
-				errs[i] = fn(ctx, i)
+				errs[i] = fn(ctx, w, i)
 			}
-		}()
+		}(w)
 	}
 	wg.Wait()
 	if skipped {

@@ -170,3 +170,49 @@ func TestMapCtxPartialOnCancel(t *testing.T) {
 		t.Fatalf("want zero-valued partials of len 8, got %d", len(out))
 	}
 }
+
+func TestWorkerCount(t *testing.T) {
+	cases := []struct{ n, workers, want int }{
+		{10, 4, 4},
+		{3, 8, 3},   // capped at n
+		{10, 0, runtime.GOMAXPROCS(0)},
+		{10, -1, runtime.GOMAXPROCS(0)},
+		{0, 4, 1},   // never below 1
+	}
+	for _, c := range cases {
+		if got := WorkerCount(c.n, c.workers); got != c.want {
+			t.Errorf("WorkerCount(%d, %d) = %d, want %d", c.n, c.workers, got, c.want)
+		}
+	}
+}
+
+// TestForEachWorkerCtxWorkerIDs pins the per-worker-state contract the
+// batch layer builds on: every worker index is in [0, WorkerCount), every
+// iteration runs exactly once, and iterations sharing a worker index never
+// overlap in time (so unsynchronized per-worker state is safe).
+func TestForEachWorkerCtxWorkerIDs(t *testing.T) {
+	const n, workers = 200, 5
+	want := WorkerCount(n, workers)
+	var ran [n]int64
+	var busy [workers]int64
+	err := ForEachWorkerCtx(context.Background(), n, workers, func(_ context.Context, w, i int) error {
+		if w < 0 || w >= want {
+			t.Errorf("iteration %d: worker %d out of [0, %d)", i, w, want)
+		}
+		if atomic.AddInt64(&busy[w], 1) != 1 {
+			t.Errorf("worker %d entered concurrently", w)
+		}
+		time.Sleep(time.Microsecond)
+		atomic.AddInt64(&busy[w], -1)
+		atomic.AddInt64(&ran[i], 1)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range ran {
+		if ran[i] != 1 {
+			t.Fatalf("index %d ran %d times", i, ran[i])
+		}
+	}
+}

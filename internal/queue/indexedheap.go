@@ -7,7 +7,8 @@ package queue
 
 // IndexedMinHeap is a binary min-heap over item IDs 0..n−1. Each item may be
 // present at most once; its key can be decreased while present.
-// The zero value is not usable; call NewIndexedMinHeap.
+// Construct with NewIndexedMinHeap, or call Reuse on a zero (or spent)
+// value to size it without allocating when capacity already suffices.
 type IndexedMinHeap struct {
 	keys []float64 // keys[item]
 	heap []int     // heap[i] = item at heap position i
@@ -16,15 +17,27 @@ type IndexedMinHeap struct {
 
 // NewIndexedMinHeap creates a heap over items 0..n−1, initially empty.
 func NewIndexedMinHeap(n int) *IndexedMinHeap {
-	h := &IndexedMinHeap{
-		keys: make([]float64, n),
-		heap: make([]int, 0, n),
-		pos:  make([]int, n),
+	h := new(IndexedMinHeap)
+	h.Reuse(n)
+	return h
+}
+
+// Reuse re-targets the heap at items 0..n−1 and empties it, reusing the
+// backing arrays whenever capacity allows. It makes a zero or previously
+// used value equivalent to NewIndexedMinHeap(n) without the allocations —
+// the hook the fast engine's pooled workspaces rely on.
+func (h *IndexedMinHeap) Reuse(n int) {
+	if cap(h.keys) < n {
+		h.keys = make([]float64, n)
+		h.heap = make([]int, 0, n)
+		h.pos = make([]int, n)
 	}
+	h.keys = h.keys[:n]
+	h.heap = h.heap[:0]
+	h.pos = h.pos[:n]
 	for i := range h.pos {
 		h.pos[i] = -1
 	}
-	return h
 }
 
 // Len returns the number of items currently in the heap.

@@ -1,0 +1,111 @@
+package queue
+
+// PairHeap is a binary min-heap of (key, id) pairs stored contiguously,
+// ordered by key with id as the tie-break — a strict total order, so the
+// pop sequence is fully canonical. Unlike IndexedMinHeap it keeps no
+// position index: Push/Min/PopMin only, no decrease-key, no removal by
+// item. That makes each sift touch a single flat array (better cache
+// behavior) and halves the stores per level — the profile-guided choice
+// for the fast engine's RR completion queue, which never reorders items
+// after insertion.
+//
+// The zero value is an empty heap; call Reuse to pre-size it without
+// allocating when capacity already suffices.
+type PairHeap struct {
+	items []pairItem
+}
+
+type pairItem struct {
+	key float64
+	id  int
+}
+
+// Reuse empties the heap, reallocating only when capacity is below n —
+// the workspace-pooling hook, mirroring IndexedMinHeap.Reuse.
+func (h *PairHeap) Reuse(n int) {
+	if cap(h.items) < n {
+		h.items = make([]pairItem, 0, n)
+	}
+	h.items = h.items[:0]
+}
+
+// Reset empties the heap without reallocating.
+func (h *PairHeap) Reset() { h.items = h.items[:0] }
+
+// Len returns the number of pairs currently in the heap.
+func (h *PairHeap) Len() int { return len(h.items) }
+
+// Push inserts id with the given key.
+func (h *PairHeap) Push(id int, key float64) {
+	h.items = append(h.items, pairItem{key: key, id: id})
+	h.up(len(h.items) - 1)
+}
+
+// Min returns the pair with the smallest (key, id) without removing it.
+// It panics on an empty heap.
+func (h *PairHeap) Min() (id int, key float64) {
+	if len(h.items) == 0 {
+		panic("queue: Min of empty heap")
+	}
+	return h.items[0].id, h.items[0].key
+}
+
+// PopMin removes and returns the pair with the smallest (key, id). It
+// panics on an empty heap.
+func (h *PairHeap) PopMin() (id int, key float64) {
+	if len(h.items) == 0 {
+		panic("queue: PopMin of empty heap")
+	}
+	top := h.items[0]
+	last := len(h.items) - 1
+	h.items[0] = h.items[last]
+	h.items = h.items[:last]
+	if last > 0 {
+		h.down(0)
+	}
+	return top.id, top.key
+}
+
+func pairLess(a, b pairItem) bool {
+	if a.key != b.key {
+		return a.key < b.key
+	}
+	return a.id < b.id
+}
+
+// up and down sift with a hole instead of pairwise swaps: the moving
+// element is held in a register and written once at its final slot.
+func (h *PairHeap) up(i int) {
+	items := h.items
+	cur := items[i]
+	for i > 0 {
+		p := (i - 1) / 2
+		if !pairLess(cur, items[p]) {
+			break
+		}
+		items[i] = items[p]
+		i = p
+	}
+	items[i] = cur
+}
+
+func (h *PairHeap) down(i int) {
+	items := h.items
+	n := len(items)
+	cur := items[i]
+	for {
+		c := 2*i + 1
+		if c >= n {
+			break
+		}
+		if r := c + 1; r < n && pairLess(items[r], items[c]) {
+			c = r
+		}
+		if !pairLess(items[c], cur) {
+			break
+		}
+		items[i] = items[c]
+		i = c
+	}
+	items[i] = cur
+}

@@ -1,0 +1,76 @@
+package queue
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// TestPairHeapCanonicalOrder pins the property the fast engine's
+// determinism rests on: PopMin drains in strict (key, id) order — ties
+// included — regardless of insertion order.
+func TestPairHeapCanonicalOrder(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(200)
+		type pair struct {
+			key float64
+			id  int
+		}
+		pairs := make([]pair, n)
+		for i := range pairs {
+			// Keys drawn from a small set so exact ties are common.
+			pairs[i] = pair{key: float64(rng.Intn(8)), id: i}
+		}
+		var h PairHeap
+		h.Reuse(n)
+		for _, p := range rng.Perm(n) {
+			h.Push(pairs[p].id, pairs[p].key)
+		}
+		want := append([]pair(nil), pairs...)
+		sort.Slice(want, func(a, b int) bool {
+			if want[a].key != want[b].key {
+				return want[a].key < want[b].key
+			}
+			return want[a].id < want[b].id
+		})
+		for i, w := range want {
+			if gotID, gotKey := h.Min(); gotID != w.id || gotKey != w.key {
+				t.Fatalf("trial %d pop %d: Min = (%d, %v), want (%d, %v)", trial, i, gotID, gotKey, w.id, w.key)
+			}
+			id, key := h.PopMin()
+			if id != w.id || key != w.key {
+				t.Fatalf("trial %d pop %d: PopMin = (%d, %v), want (%d, %v)", trial, i, id, key, w.id, w.key)
+			}
+		}
+		if h.Len() != 0 {
+			t.Fatalf("trial %d: %d items left after draining", trial, h.Len())
+		}
+	}
+}
+
+// TestPairHeapReuse pins the workspace contract: Reuse empties the heap,
+// keeps capacity when it suffices, and the zero value is usable.
+func TestPairHeapReuse(t *testing.T) {
+	var h PairHeap // zero value
+	h.Push(1, 2.5)
+	h.Push(0, 2.5)
+	if id, _ := h.PopMin(); id != 0 {
+		t.Fatalf("tie broke to id %d, want 0", id)
+	}
+	h.Reuse(64)
+	if h.Len() != 0 {
+		t.Fatalf("Len = %d after Reuse, want 0", h.Len())
+	}
+	grown := cap(h.items)
+	h.Push(3, 1)
+	h.Reuse(16) // smaller: must keep the larger backing array
+	if cap(h.items) != grown {
+		t.Fatalf("Reuse(16) reallocated: cap %d, want %d", cap(h.items), grown)
+	}
+	h.Push(7, 9)
+	h.Reset()
+	if h.Len() != 0 || cap(h.items) != grown {
+		t.Fatalf("Reset: len %d cap %d, want 0 and %d", h.Len(), cap(h.items), grown)
+	}
+}

@@ -404,7 +404,12 @@ func (s *simSpec) run(ctx context.Context) (*SimulateResponse, *apiError) {
 	}
 	opts := s.opts
 	opts.Context = ctx
-	res, err := fast.Run(s.instance, p, opts)
+	// Pooled workspace: the run's Result is workspace-owned, and
+	// buildResponse fully consumes it (norms, summary, detail copies)
+	// before the deferred release — the ownership rule of DESIGN.md §12.
+	ws := core.GetWorkspace()
+	defer core.PutWorkspace(ws)
+	res, err := fast.RunWS(s.instance, p, opts, ws)
 	if err != nil {
 		return nil, mapSimError(err)
 	}
@@ -426,8 +431,10 @@ func buildResponse(res *core.Result, norms []int, detail bool, eng core.EngineKi
 		out.Norms = append(out.Norms, NormValue{K: k, Value: metrics.LkNorm(res.Flow, k)})
 	}
 	if detail {
-		out.Completions = res.Completion
-		out.Flows = res.Flow
+		// Copy, not alias: res may be workspace-owned, and the response is
+		// marshaled after the workspace goes back to its pool.
+		out.Completions = append([]float64(nil), res.Completion...)
+		out.Flows = append([]float64(nil), res.Flow...)
 	}
 	return out
 }

@@ -12,8 +12,10 @@ import (
 	"sync"
 	"time"
 
-	"rrnorm/internal/par"
+	"rrnorm/internal/batch"
+	"rrnorm/internal/core"
 	"rrnorm/internal/policy"
+	"rrnorm/internal/polspec"
 	"rrnorm/internal/stats"
 )
 
@@ -229,8 +231,9 @@ func (s *Server) handleCompare(w http.ResponseWriter, r *http.Request) {
 	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
 	defer cancel()
 	// The whole compare occupies one admission slot; the per-policy fan-out
-	// runs on par.MapCtx inside it so a canceled request stops scheduling
-	// policies it has not started yet.
+	// runs on the batch runner inside it — per-worker pooled workspaces,
+	// zero steady-state allocations — and a canceled request stops
+	// scheduling policies it has not started yet (par semantics).
 	type result struct {
 		b   []byte
 		err error
@@ -238,21 +241,28 @@ func (s *Server) handleCompare(w http.ResponseWriter, r *http.Request) {
 	ch := make(chan result, 1)
 	if !s.pool.TrySubmit(func() {
 		// All policies share one workload: materialize it once and hand the
-		// (read-only — both engines clone before normalizing) instance to
+		// (read-only — both engines copy before normalizing) instance to
 		// every spec.
 		if aerr := specs[0].materialize(); aerr != nil {
 			ch <- result{nil, aerr}
 			return
 		}
-		for _, sp := range specs[1:] {
-			sp.instance = specs[0].instance
-		}
-		entries, err := par.MapCtx(ctx, len(specs), 0, func(ctx context.Context, i int) (CompareEntry, error) {
-			resp, aerr := specs[i].run(ctx)
-			if aerr != nil {
-				return CompareEntry{}, aerr
+		pts := make([]batch.Point, len(specs))
+		for i, sp := range specs {
+			p, err := polspec.New(sp.req.Policy) // fresh per point: policies are stateful
+			if err != nil {
+				ch <- result{nil, badRequest("%v", err)}
+				return
 			}
-			return CompareEntry{Policy: specs[i].req.Policy, Norms: resp.Norms, Summary: resp.Summary}, nil
+			pts[i] = batch.Point{Instance: specs[0].instance, Policy: p, Options: sp.opts}
+		}
+		entries := make([]CompareEntry, len(specs))
+		err := batch.Run(ctx, pts, 0, func(i int, res *core.Result) error {
+			// res is workspace-owned; buildResponse consumes it in full
+			// (detail=false) before this callback returns.
+			resp := buildResponse(res, specs[i].norms, false, specs[i].opts.Engine)
+			entries[i] = CompareEntry{Policy: specs[i].req.Policy, Norms: resp.Norms, Summary: resp.Summary}
+			return nil
 		})
 		if err != nil {
 			ch <- result{nil, err}

@@ -21,8 +21,10 @@
 package rrnorm
 
 import (
+	"context"
 	"fmt"
 
+	"rrnorm/internal/batch"
 	"rrnorm/internal/core"
 	"rrnorm/internal/dual"
 	"rrnorm/internal/fast"
@@ -94,6 +96,36 @@ func Simulate(in *Instance, policyName string, opts Options) (*Result, error) {
 // implementation) on the instance, honoring opts.Engine.
 func SimulateWith(in *Instance, p Policy, opts Options) (*Result, error) {
 	return fast.Run(in, p, opts)
+}
+
+// BatchPoint is one (instance, policy, options) simulation of a batch; see
+// SimulateBatch. Instances may be shared between points (they are
+// read-only during a run); the policy is constructed fresh per point from
+// its registered name, so policy state is never shared.
+type BatchPoint struct {
+	Instance *Instance
+	Policy   string
+	Options  Options
+}
+
+// SimulateBatch runs the points over a bounded worker pool — workers ≤ 0
+// means GOMAXPROCS — in which every worker reuses one pooled simulation
+// workspace, so peak memory stays O(workers · largest instance) and the
+// engine hot path allocates nothing in steady state, for arbitrarily large
+// sweep grids. Results are in point order and byte-identical to calling
+// Simulate on each point sequentially; the first error by lowest point
+// index wins. The experiment sweeps (internal/exp), rrserve's /v1/compare
+// and `rrbench -parallel` all run on this path.
+func SimulateBatch(points []BatchPoint, workers int) ([]*Result, error) {
+	pts := make([]batch.Point, len(points))
+	for i, bp := range points {
+		p, err := policy.New(bp.Policy)
+		if err != nil {
+			return nil, fmt.Errorf("point %d: %w", i, err)
+		}
+		pts[i] = batch.Point{Instance: bp.Instance, Policy: p, Options: bp.Options}
+	}
+	return batch.Simulate(context.Background(), pts, workers)
 }
 
 // Fingerprint returns a canonical SHA-256 digest of (instance, policy,

@@ -1,0 +1,78 @@
+package rrnorm_test
+
+import (
+	"math"
+	"runtime"
+	"testing"
+
+	"rrnorm"
+)
+
+// TestSimulateBatchMatchesSequential is the facade-level acceptance test
+// for the batch runner: rrnorm.SimulateBatch output must be byte-identical
+// to sequential rrnorm.Simulate calls for the same points, at worker
+// counts 1, 4 and GOMAXPROCS (make verify runs this under -race).
+func TestSimulateBatchMatchesSequential(t *testing.T) {
+	specs := []string{
+		"poisson:n=120,load=0.9,dist=exp",
+		"poisson:n=60,load=0.7,dist=pareto",
+		"bursts:bursts=4,size=20",
+	}
+	policies := []string{"RR", "SRPT", "SJF", "FCFS", "SETF", "MLFQ"}
+	var points []rrnorm.BatchPoint
+	for si, spec := range specs {
+		in := rrnorm.FromSpecMust(spec, uint64(17+si))
+		for pi, pol := range policies {
+			points = append(points, rrnorm.BatchPoint{
+				Instance: in,
+				Policy:   pol,
+				Options: rrnorm.Options{
+					Machines: 1 + (si+pi)%3,
+					Speed:    1 + 0.25*float64(pi%2),
+				},
+			})
+		}
+	}
+
+	want := make([]*rrnorm.Result, len(points))
+	for i, pt := range points {
+		res, err := rrnorm.Simulate(pt.Instance, pt.Policy, pt.Options)
+		if err != nil {
+			t.Fatalf("sequential point %d: %v", i, err)
+		}
+		want[i] = res
+	}
+
+	for _, workers := range []int{1, 4, runtime.GOMAXPROCS(0)} {
+		got, err := rrnorm.SimulateBatch(points, workers)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i := range want {
+			if got[i].Policy != want[i].Policy || got[i].Events != want[i].Events {
+				t.Fatalf("workers=%d point %d: %s/%d events, want %s/%d",
+					workers, i, got[i].Policy, got[i].Events, want[i].Policy, want[i].Events)
+			}
+			for j := range want[i].Flow {
+				if math.Float64bits(got[i].Flow[j]) != math.Float64bits(want[i].Flow[j]) ||
+					math.Float64bits(got[i].Completion[j]) != math.Float64bits(want[i].Completion[j]) {
+					t.Fatalf("workers=%d point %d job %d: flow/completion differ from sequential",
+						workers, i, j)
+				}
+			}
+		}
+	}
+}
+
+// TestSimulateBatchBadPolicy pins the error contract: an unknown policy
+// name fails up front with the point index, before any simulation runs.
+func TestSimulateBatchBadPolicy(t *testing.T) {
+	in := rrnorm.FromSpecMust("poisson:n=10,load=0.5", 1)
+	pts := []rrnorm.BatchPoint{
+		{Instance: in, Policy: "RR", Options: rrnorm.Options{Machines: 1, Speed: 1}},
+		{Instance: in, Policy: "NOPE", Options: rrnorm.Options{Machines: 1, Speed: 1}},
+	}
+	if _, err := rrnorm.SimulateBatch(pts, 0); err == nil {
+		t.Fatal("expected error for unknown policy")
+	}
+}
