@@ -54,19 +54,24 @@ fuzz:
 bench:
 	$(GO) test -run xxx -bench . -benchmem .
 
-# Regenerate the committed engine baseline (BENCH_engine.json): ns/op,
+# Regenerate the committed engine baselines: BENCH_engine.json (ns/op,
 # allocs/op and B/op for RR and SRPT at n ∈ {1e3, 1e4, 1e5}, m ∈ {1, 8},
-# plus the workspace-vs-fresh comparison. The writer fails if any grid
-# cell allocates or the n=1e4 workspace speedup drops below 25%.
+# plus the workspace-vs-fresh comparison) and BENCH_observe.json (the
+# n=1e6 streaming-observer vs RecordSegments comparison: ns/op, heap
+# churn, peak RSS). The writers fail if any grid cell or observer path
+# allocates, the n=1e4 workspace speedup drops below 25%, or Segment
+# recording stops being ≥10x the observer path's heap churn.
 bench-engine:
-	WRITE_BENCH=1 $(GO) test -run TestWriteEngineBenchBaseline -v .
+	WRITE_BENCH=1 $(GO) test -run 'TestWriteEngineBenchBaseline|TestWriteObserveBenchBaseline' -v -timeout 30m .
 
-# CI allocation gate: the hot-path alloc budget test (0 allocs/run with a
-# reused workspace) plus a 100-iteration pass over the workspace grid so
-# allocs/op regressions surface in the job log without a full bench run.
+# CI allocation gate: the hot-path alloc budget tests (0 allocs/run with a
+# reused workspace, with and without observers attached) plus a
+# 100-iteration pass over the workspace grid and the observers-vs-segments
+# comparison so allocs/op regressions surface in the job log without a
+# full bench run.
 bench-smoke:
-	$(GO) test -run TestEngineAllocBudget -v .
-	$(GO) test -run xxx -bench 'BenchmarkEngineWorkspaceGrid|BenchmarkEngineRR$$|BenchmarkEngineFastVsReference' -benchtime=100x -benchmem .
+	$(GO) test -run 'TestEngineAllocBudget|TestObserverAllocBudget' -v .
+	$(GO) test -run xxx -bench 'BenchmarkEngineWorkspaceGrid|BenchmarkEngineRR$$|BenchmarkEngineFastVsReference|BenchmarkObserverVsSegments' -benchtime=100x -benchmem .
 
 # Regenerate the experiment suite into results/.
 suite:

@@ -33,6 +33,7 @@ func main() {
 		parallel   = flag.Bool("parallel", false, "run experiments concurrently (results still print in order)")
 		workers    = flag.Int("workers", 0, "worker cap for -parallel (0 = GOMAXPROCS)")
 		engine     = flag.String("engine", "auto", "simulation engine: auto, reference or fast")
+		noSegments = flag.Bool("no-segments", false, "fail any experiment that records Segments: asserts the whole run went through the streaming observer pipeline")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file (go tool pprof)")
 		memprofile = flag.String("memprofile", "", "write an allocation (heap) profile to this file on exit")
 	)
@@ -41,7 +42,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	cfg := exp.Config{Seed: *seed, Quick: *quick, OutDir: *out, Engine: eng}
+	cfg := exp.Config{Seed: *seed, Quick: *quick, OutDir: *out, Engine: eng, ForbidSegments: *noSegments}
 
 	var exps []exp.Experiment
 	if *id == "all" {

@@ -43,11 +43,19 @@ func main() {
 	}
 	fmt.Printf("workload: %s\nRR on m=%d machines at speed %.4g (theorem speed: %.4g)\n",
 		workload.Describe(in), *m, s, dual.Eta(*k, *eps))
-	res, err := core.Run(in, policy.NewRR(), core.Options{Machines: *m, Speed: s, RecordSegments: true})
+	// The certificate is built by a streaming witness observer during the
+	// run — no Segment timeline is materialized, so memory stays O(n)
+	// instead of O(events·n). The construction is shared with dual.Build,
+	// so the result is identical to the old recorded-run path.
+	w, err := dual.NewWitnessObserver(*k, *eps, *m)
 	if err != nil {
 		fatal(err)
 	}
-	cert, err := dual.Build(res, *k, *eps)
+	res, err := core.Run(in, policy.NewRR(), core.Options{Machines: *m, Speed: s, Observer: w})
+	if err != nil {
+		fatal(err)
+	}
+	cert, err := w.Certificate()
 	if err != nil {
 		fatal(err)
 	}

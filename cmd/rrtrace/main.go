@@ -6,6 +6,7 @@
 //	rrtrace gen -workload poisson:n=100 -o jobs.csv [-json]
 //	rrtrace describe -workload trace:path=jobs.csv
 //	rrtrace gantt -workload cascade:levels=5 -policy RR -speed 1 -width 80
+//	rrtrace tail -workload poisson:n=100 -policy RR        (live JSONL event stream)
 //	rrtrace convert -in jobs.csv -o jobs.json   (CSV/SWF → CSV/JSON by extension)
 package main
 
@@ -17,8 +18,10 @@ import (
 	"strings"
 
 	"rrnorm/internal/core"
+	"rrnorm/internal/fast"
 	"rrnorm/internal/metrics"
 	"rrnorm/internal/polspec"
+	"rrnorm/internal/trace"
 	"rrnorm/internal/workload"
 )
 
@@ -34,6 +37,8 @@ func main() {
 		err = cmdDescribe(os.Args[2:])
 	case "gantt":
 		err = cmdGantt(os.Args[2:])
+	case "tail":
+		err = cmdTail(os.Args[2:])
 	case "machines":
 		err = cmdMachines(os.Args[2:])
 	case "convert":
@@ -48,8 +53,56 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: rrtrace <gen|describe|gantt|machines|convert> [flags]")
+	fmt.Fprintln(os.Stderr, "usage: rrtrace <gen|describe|gantt|tail|machines|convert> [flags]")
 	os.Exit(2)
+}
+
+// cmdTail simulates a policy and streams the run's lifecycle as JSONL —
+// one record per arrival, rate-change epoch and completion, plus a final
+// summary — produced by a trace.Observer attached to the engine's event
+// taps. Nothing is buffered beyond one bufio.Writer: the stream is written
+// as the schedule unfolds, so it works at sizes where a recorded Segment
+// timeline would not fit in memory.
+func cmdTail(args []string) error {
+	fs := flag.NewFlagSet("tail", flag.ExitOnError)
+	spec := fs.String("workload", "poisson:n=100", "workload spec")
+	seed := fs.Uint64("seed", 1, "RNG seed")
+	pol := fs.String("policy", "RR", "policy name")
+	m := fs.Int("m", 1, "machines")
+	speed := fs.Float64("speed", 1, "speed")
+	engine := fs.String("engine", "auto", "simulation engine: auto, reference or fast")
+	noEpochs := fs.Bool("no-epochs", false, "omit epoch records (arrivals, completions and the summary only)")
+	out := fs.String("o", "", "output path (empty = stdout)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	in, err := workload.FromSpec(*spec, *seed)
+	if err != nil {
+		return err
+	}
+	p, err := polspec.New(*pol)
+	if err != nil {
+		return err
+	}
+	eng, err := core.ParseEngineKind(*engine)
+	if err != nil {
+		return err
+	}
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	o := trace.NewObserver(w)
+	o.SkipEpochs = *noEpochs
+	if _, err := fast.Run(in, p, core.Options{Machines: *m, Speed: *speed, Engine: eng, Observer: o}); err != nil {
+		return err
+	}
+	return o.Err()
 }
 
 // cmdMachines simulates a policy and prints the explicit per-machine
@@ -150,11 +203,14 @@ func cmdGantt(args []string) error {
 	if err != nil {
 		return err
 	}
-	res, err := core.Run(in, p, core.Options{Machines: *m, Speed: *speed, RecordSegments: true})
-	if err != nil {
+	// Streaming chart: a GanttObserver folds each epoch into fixed-width
+	// buckets as the run unfolds (O(jobs·width) memory), instead of
+	// recording the full Segment timeline and rendering it afterwards.
+	g := core.NewGanttObserver(*width)
+	if _, err := core.Run(in, p, core.Options{Machines: *m, Speed: *speed, Observer: g}); err != nil {
 		return err
 	}
-	fmt.Print(core.RenderGantt(res, *width))
+	fmt.Print(g.Render())
 	return nil
 }
 

@@ -60,3 +60,21 @@ func ExampleCertify() {
 	// Output:
 	// feasible=true lemma1=true lemma2=true fraction≥ε=true
 }
+
+// A streaming observer computes metrics during the run — here the ℓk
+// norms of flow, with no Result post-processing and no recorded Segment
+// timeline — which is how the experiment suite runs million-job sweeps.
+func ExampleNewStreamNorm() {
+	in := rrnorm.NewInstance([]rrnorm.Job{
+		{ID: 0, Release: 0, Size: 2},
+		{ID: 1, Release: 0, Size: 2},
+	})
+	sn := rrnorm.NewStreamNorm(1, 2)
+	_, err := rrnorm.Simulate(in, "RR", rrnorm.Options{Machines: 1, Speed: 1, Observer: sn})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("l1=%.0f l2=%.3f over %d completions\n", sn.Norm(1), sn.Norm(2), sn.N())
+	// Output:
+	// l1=8 l2=5.657 over 2 completions
+}

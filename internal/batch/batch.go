@@ -19,7 +19,11 @@ import (
 //
 // Policy instances are stateful (rank buffers, MLFQ queues): each Point
 // must own its Policy — sharing one policy value between points of the
-// same batch is a data race under concurrent workers. Instances are
+// same batch is a data race under concurrent workers. The same ownership
+// rule applies to Options.Observer: a streaming observer accumulates
+// per-run state, so each Point must carry its own (the exp sweep grids
+// attach one StreamNorm per point); the engine-owned slices its callbacks
+// see follow core.Observer's copy-or-drop contract. Instances are
 // read-only during a run and may be shared freely across points.
 type Point struct {
 	Instance *core.Instance

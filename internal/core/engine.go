@@ -77,6 +77,14 @@ type Options struct {
 	// deadlines, so a deadline set here bounds simulation wall time even
 	// for adversarially large instances. Nil means never canceled.
 	Context context.Context
+	// Observer, when non-nil, receives the run's event stream (arrivals,
+	// rate-constant epochs, completions, end-of-run) as it is produced —
+	// the single-pass alternative to post-processing Result.Segments. Both
+	// engines emit it; fast paths deliver aggregate-only epochs, and an
+	// observer whose ObserverNeedsJobEpochs answers true routes dispatch to
+	// the reference engine (like RecordSegments). Use Multi to attach
+	// several. See Observer for the callback contract.
+	Observer Observer
 }
 
 // DefaultOptions returns single-machine, speed-1 options with segment
@@ -213,8 +221,12 @@ func RunWS(inst *Instance, policy Policy, opts Options, ws *Workspace) (*Result,
 	if r, ok := policy.(Resetter); ok {
 		r.Reset()
 	}
+	obs := opts.Observer
 
 	if n == 0 {
+		if obs != nil {
+			obs.ObserveDone(res)
+		}
 		return res, nil
 	}
 
@@ -252,9 +264,16 @@ func RunWS(inst *Instance, policy Policy, opts Options, ws *Workspace) (*Result,
 		// depend on unrelated event spacing (the completionTol/minAdvance
 		// edge case the fast engine must agree with).
 		for next < n && in.Jobs[next].Release <= now {
-			if j := in.Jobs[next]; j.Size <= CompletionTol(j.Size) {
+			j := in.Jobs[next]
+			if obs != nil {
+				obs.ObserveArrival(now, next, j)
+			}
+			if j.Size <= CompletionTol(j.Size) {
 				res.Completion[next] = now
 				res.Flow[next] = now - j.Release
+				if obs != nil {
+					obs.ObserveCompletion(now, next, now-j.Release)
+				}
 				next++
 				continue
 			}
@@ -337,6 +356,20 @@ func RunWS(inst *Instance, policy Policy, opts Options, ws *Workspace) (*Result,
 			}
 			res.Segments = append(res.Segments, seg)
 		}
+		if obs != nil {
+			// The epoch lives on the workspace so its address reaching the
+			// interface call allocates nothing; its slices alias the
+			// engine's per-step scratch (copy-or-drop for the observer).
+			ws.obsEpoch = Epoch{
+				Start:   now,
+				End:     end,
+				Alive:   len(alive),
+				RateSum: totalRate,
+				Jobs:    alive,
+				Rates:   rates[:len(alive)],
+			}
+			obs.ObserveEpoch(&ws.obsEpoch)
+		}
 
 		// Advance work and collect completions.
 		keep := alive[:0]
@@ -346,6 +379,9 @@ func RunWS(inst *Instance, policy Policy, opts Options, ws *Workspace) (*Result,
 			if rem <= CompletionTol(in.Jobs[idx].Size) {
 				res.Completion[idx] = end
 				res.Flow[idx] = end - in.Jobs[idx].Release
+				if obs != nil {
+					obs.ObserveCompletion(end, idx, res.Flow[idx])
+				}
 				continue
 			}
 			keep = append(keep, idx)
@@ -354,6 +390,9 @@ func RunWS(inst *Instance, policy Policy, opts Options, ws *Workspace) (*Result,
 		now = end
 	}
 
+	if obs != nil {
+		obs.ObserveDone(res)
+	}
 	return res, nil
 }
 

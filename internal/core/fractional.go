@@ -42,6 +42,60 @@ func FractionalAgeMoment(res *Result, k int) (float64, error) {
 	return total, nil
 }
 
+// AgeMomentObserver accumulates FractionalAgeMoment's integral online
+// from the epoch stream instead of from a recorded Segment timeline: the
+// same per-epoch term, in the same order, so on the reference engine the
+// two agree to the last bit. It needs per-job epochs (rates per job), so
+// dispatchers route runs carrying it to the reference engine — exactly
+// the engine a RecordSegments run would have used.
+type AgeMomentObserver struct {
+	k        int
+	speed    float64
+	kk       float64
+	releases []float64
+	sizes    []float64
+	total    float64
+}
+
+// NewAgeMomentObserver returns an observer for the k-th fractional age
+// moment of a run at the given speed (the engine's Options.Speed; the
+// observer cannot see it before ObserveDone, and the accumulation must
+// multiply it term-by-term to match FractionalAgeMoment bitwise).
+func NewAgeMomentObserver(k int, speed float64) *AgeMomentObserver {
+	return &AgeMomentObserver{k: k, speed: speed, kk: float64(k + 1)}
+}
+
+// NeedsJobEpochs implements JobEpochObserver.
+func (o *AgeMomentObserver) NeedsJobEpochs() bool { return true }
+
+// ObserveArrival implements Observer.
+func (o *AgeMomentObserver) ObserveArrival(t float64, job int, j Job) {
+	for len(o.releases) <= job {
+		o.releases = append(o.releases, 0)
+		o.sizes = append(o.sizes, 0)
+	}
+	o.releases[job] = j.Release
+	o.sizes[job] = j.Size
+}
+
+// ObserveEpoch implements Observer.
+func (o *AgeMomentObserver) ObserveEpoch(e *Epoch) {
+	for i, idx := range e.Jobs {
+		r := o.releases[idx]
+		up := pow1(e.End-r, o.k+1) - pow1(e.Start-r, o.k+1)
+		o.total += e.Rates[i] * o.speed / o.sizes[idx] * up / o.kk
+	}
+}
+
+// ObserveCompletion implements Observer.
+func (o *AgeMomentObserver) ObserveCompletion(t float64, job int, flow float64) {}
+
+// ObserveDone implements Observer.
+func (o *AgeMomentObserver) ObserveDone(res *Result) {}
+
+// Value returns the accumulated moment.
+func (o *AgeMomentObserver) Value() float64 { return o.total }
+
 // pow1 is x^e for small positive integer e.
 func pow1(x float64, e int) float64 {
 	r := x

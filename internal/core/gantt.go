@@ -28,6 +28,15 @@ func RenderGantt(res *Result, width int) string {
 		end = start + 1
 	}
 	bucket := (end - start) / float64(width)
+	// A single-instant schedule can defeat the end = start+1 widening: at
+	// magnitudes where start+1 == start in float64 (all-zero-duration
+	// segments around t ≈ 1e16), bucket underflows to 0 and the bucket
+	// index below becomes int(NaN) — render a header instead of indexing
+	// with it.
+	if !(bucket > 0) {
+		return fmt.Sprintf("t = %.6g (single-instant schedule), %d jobs, policy %s (m=%d, s=%.3g)\n",
+			start, n, res.Policy, res.Machines, res.Speed)
+	}
 
 	// Accumulate rate·time per (job, bucket), then normalize.
 	acc := make([][]float64, n)

@@ -1,0 +1,126 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestRenderGanttSingleInstant is the regression test for the unguarded
+// bucket division: a schedule whose every segment is a single instant (all
+// work at a magnitude where t+1 == t in float64) used to produce a zero
+// bucket width, an int(NaN) bucket index and a slice panic.
+func TestRenderGanttSingleInstant(t *testing.T) {
+	const big = 1e16 // big + 1 == big in float64
+	res := &Result{
+		Policy: "RR", Machines: 1, Speed: 1,
+		Jobs:       []Job{{ID: 7, Release: big, Size: 1e-14}},
+		Completion: []float64{big},
+		Flow:       []float64{0},
+		Segments:   []Segment{{Start: big, End: big, Jobs: []int{0}, Rates: []float64{1}}},
+	}
+	out := RenderGantt(res, 40)
+	if !strings.Contains(out, "single-instant") {
+		t.Fatalf("single-instant schedule not flagged:\n%s", out)
+	}
+	if !strings.HasSuffix(out, "\n") {
+		t.Fatalf("render should end with a newline")
+	}
+}
+
+// TestRenderGanttSingleInstantEngine drives the same degeneracy through a
+// real engine run: sub-resolution job sizes at big releases make every
+// step zero-length in float64, so the recorded timeline spans one instant.
+func TestRenderGanttSingleInstantEngine(t *testing.T) {
+	const big = 1e16
+	in := NewInstance([]Job{
+		{ID: 1, Release: big, Size: 1e-13},
+		{ID: 2, Release: big, Size: 1e-13},
+	})
+	res := mustRun(t, in, eqPolicy{}, Options{Machines: 1, Speed: 1, RecordSegments: true})
+	if mk := res.Makespan(); mk != big {
+		t.Fatalf("expected single-instant schedule, makespan %v", mk)
+	}
+	out := RenderGantt(res, 40) // must not panic
+	if !strings.Contains(out, "single-instant") {
+		t.Fatalf("single-instant schedule not flagged:\n%s", out)
+	}
+}
+
+func TestRenderGanttBasic(t *testing.T) {
+	in := observerInstance()
+	res := mustRun(t, in, eqPolicy{}, Options{Machines: 1, Speed: 1, RecordSegments: true})
+	out := RenderGantt(res, 40)
+	for _, id := range []string{"    1 │", "    2 │", "    3 │", "    4 │"} {
+		if !strings.Contains(out, id) {
+			t.Fatalf("missing row %q in:\n%s", id, out)
+		}
+	}
+}
+
+func TestGanttObserverRendersAllJobs(t *testing.T) {
+	in := observerInstance()
+	g := NewGanttObserver(40)
+	if !ObserverNeedsJobEpochs(g) {
+		t.Fatal("GanttObserver must need job epochs")
+	}
+	mustRun(t, in, eqPolicy{}, Options{Machines: 1, Speed: 1, Observer: g})
+	out := g.Render()
+	for _, id := range []string{"    1 │", "    2 │", "    3 │", "    4 │"} {
+		if !strings.Contains(out, id) {
+			t.Fatalf("missing row %q in:\n%s", id, out)
+		}
+	}
+	// The busy rows must actually be shaded.
+	if !strings.ContainsAny(out, "·░▒▓█") {
+		t.Fatalf("no shading glyphs in:\n%s", out)
+	}
+	// Header covers the horizon.
+	if !strings.Contains(out, "policy eq (m=1, s=1)") {
+		t.Fatalf("header missing run info:\n%s", out)
+	}
+}
+
+func TestGanttObserverSingleInstant(t *testing.T) {
+	const big = 1e16
+	in := NewInstance([]Job{{ID: 1, Release: big, Size: 1e-13}})
+	g := NewGanttObserver(40)
+	mustRun(t, in, eqPolicy{}, Options{Machines: 1, Speed: 1, Observer: g})
+	out := g.Render()
+	if !strings.Contains(out, "single-instant") {
+		t.Fatalf("single-instant schedule not flagged:\n%s", out)
+	}
+}
+
+func TestGanttObserverEmpty(t *testing.T) {
+	g := NewGanttObserver(40)
+	mustRun(t, NewInstance(nil), eqPolicy{}, Options{Machines: 1, Speed: 1, Observer: g})
+	if out := g.Render(); out != "(empty schedule)\n" {
+		t.Fatalf("empty render = %q", out)
+	}
+}
+
+// TestGanttObserverDoubling forces many bucket doublings (a long tail job
+// after a dense prefix) and checks the accumulated area is conserved: the
+// summed shaded area equals the machine time the schedule consumed.
+func TestGanttObserverDoubling(t *testing.T) {
+	jobs := []Job{{ID: 0, Release: 0, Size: 0.001}}
+	jobs = append(jobs, Job{ID: 1, Release: 0, Size: 1000})
+	in := NewInstance(jobs)
+	g := NewGanttObserver(16)
+	res := mustRun(t, in, eqPolicy{}, Options{Machines: 1, Speed: 1, Observer: g})
+	var area float64
+	for i := range g.acc {
+		for _, a := range g.acc[i] {
+			area += a
+		}
+	}
+	var work float64
+	for _, j := range res.Jobs {
+		work += j.Size
+	}
+	approx(t, area, work, 1e-6*work, "conserved rate·time area across doublings")
+	out := g.Render()
+	if !strings.Contains(out, "    1 │") {
+		t.Fatalf("missing tail job row:\n%s", out)
+	}
+}

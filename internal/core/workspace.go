@@ -45,6 +45,13 @@ type Workspace struct {
 	alive   []int
 	views   []JobView
 
+	// obsEpoch is the single Epoch value reused for every ObserveEpoch
+	// callback. Living on the workspace (not the engine's stack) keeps the
+	// observer dispatch allocation-free: a stack Epoch whose address
+	// reaches an interface call would escape and cost one heap allocation
+	// per run even with no observer attached.
+	obsEpoch Epoch
+
 	// engine is opaque scratch owned by an alternative engine
 	// (internal/fast); see EngineScratch.
 	engine any
@@ -69,6 +76,7 @@ func (w *Workspace) Reset() {
 	w.rates = w.rates[:0]
 	w.alive = w.alive[:0]
 	w.views = w.views[:0]
+	w.obsEpoch = Epoch{}
 	if r, ok := w.engine.(interface{ Reset() }); ok {
 		r.Reset()
 	}

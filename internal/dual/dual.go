@@ -104,6 +104,40 @@ var (
 	ErrBadEps       = errors.New("dual: eps must be in (0, 0.1]")
 )
 
+// checkParams validates Build's (and WitnessObserver's) parameter domain.
+func checkParams(k int, eps float64) error {
+	if !(eps > 0 && eps <= 0.1) {
+		return fmt.Errorf("%w: %v", ErrBadEps, eps)
+	}
+	if k < 1 {
+		return fmt.Errorf("dual: k must be ≥ 1, got %d", k)
+	}
+	return nil
+}
+
+// alphaEpoch folds one rate-constant interval [start, end) into alpha —
+// the α accumulation shared by the Segment walk (Build) and the streaming
+// WitnessObserver, so both produce bitwise-identical α vectors. jobs is the
+// interval's alive set in (Release, ID) order, so A(t, r_j) is exactly the
+// prefix ending at j; a running prefix sum of the per-job age integrals
+// gives every job's overloaded contribution in one pass.
+func alphaEpoch(alpha, releases []float64, jobs []int, start, end float64, k int, overloaded bool) {
+	nt := float64(len(jobs))
+	if overloaded {
+		prefix := 0.0
+		for _, idx := range jobs {
+			r := releases[idx]
+			prefix += metrics.PowK(end-r, k) - metrics.PowK(start-r, k)
+			alpha[idx] += prefix / nt
+		}
+	} else {
+		for _, idx := range jobs {
+			r := releases[idx]
+			alpha[idx] += metrics.PowK(end-r, k) - metrics.PowK(start-r, k)
+		}
+	}
+}
+
 // Build constructs and checks the paper's dual solution for a recorded
 // schedule (intended: RR at speed ≥ 2k(1+10ε); the construction itself only
 // needs the segment timeline). k ≥ 1; eps ∈ (0, 0.1].
@@ -111,12 +145,29 @@ func Build(res *core.Result, k int, eps float64) (*Certificate, error) {
 	if len(res.Segments) == 0 && len(res.Jobs) > 0 {
 		return nil, ErrNeedSegments
 	}
-	if !(eps > 0 && eps <= 0.1) {
-		return nil, fmt.Errorf("%w: %v", ErrBadEps, eps)
+	if err := checkParams(k, eps); err != nil {
+		return nil, err
 	}
-	if k < 1 {
-		return nil, fmt.Errorf("dual: k must be ≥ 1, got %d", k)
+	n := len(res.Jobs)
+	alpha := make([]float64, n)
+	releases := make([]float64, n)
+	for i := range res.Jobs {
+		releases[i] = res.Jobs[i].Release
 	}
+	// α: accumulate per-segment closed-form integrals.
+	for si := range res.Segments {
+		seg := &res.Segments[si]
+		alphaEpoch(alpha, releases, seg.Jobs, seg.Start, seg.End, k, seg.OverloadedAt(res.Machines))
+	}
+	return finishCertificate(res, k, eps, alpha), nil
+}
+
+// finishCertificate turns an accumulated α vector into the full checked
+// Certificate: ε·F^k subtraction and clamping, the closed-form β integral
+// and its step function, Lemma 1/2 checks, and the dual-constraint sweep.
+// It is the shared back half of Build and WitnessObserver.ObserveDone; the
+// certificate takes ownership of alpha.
+func finishCertificate(res *core.Result, k int, eps float64, alpha []float64) *Certificate {
 	n := len(res.Jobs)
 	c := &Certificate{
 		K: k, Eps: eps, Delta: eps,
@@ -125,34 +176,11 @@ func Build(res *core.Result, k int, eps float64) (*Certificate, error) {
 		Speed:  res.Speed,
 	}
 	c.RRPower = metrics.KthPowerSum(res.Flow, k)
-	c.Alpha = make([]float64, n)
+	c.Alpha = alpha
 	if n == 0 {
 		c.Feasible = true
 		c.ViolatingJob = -1
-		return c, nil
-	}
-
-	// α: accumulate per-segment closed-form integrals. Segment job lists
-	// are ordered by (Release, ID), so A(t, r_j) is exactly the prefix of
-	// the segment's job list ending at j; a running prefix sum of the
-	// per-job age integrals gives every job's overloaded contribution in
-	// one pass.
-	for si := range res.Segments {
-		seg := &res.Segments[si]
-		nt := float64(len(seg.Jobs))
-		if seg.OverloadedAt(res.Machines) {
-			prefix := 0.0
-			for _, idx := range seg.Jobs {
-				r := res.Jobs[idx].Release
-				prefix += metrics.PowK(seg.End-r, k) - metrics.PowK(seg.Start-r, k)
-				c.Alpha[idx] += prefix / nt
-			}
-		} else {
-			for _, idx := range seg.Jobs {
-				r := res.Jobs[idx].Release
-				c.Alpha[idx] += metrics.PowK(seg.End-r, k) - metrics.PowK(seg.Start-r, k)
-			}
-		}
+		return c
 	}
 	var alphaRaw float64
 	for i := range c.Alpha {
@@ -230,7 +258,7 @@ func Build(res *core.Result, k int, eps float64) (*Certificate, error) {
 		c.ImpliedPowerRatio = math.Inf(1)
 		c.ImpliedNormRatio = math.Inf(1)
 	}
-	return c, nil
+	return c
 }
 
 // betaSteps is the piecewise-constant β_t: value values[i] on

@@ -44,11 +44,14 @@ func E11(cfg Config) ([]*Table, error) {
 		for _, c := range cases {
 			eta := dual.Eta(k, eps)
 			feasibleAt := func(speed float64) (bool, error) {
-				res, err := runPolicy(cfg, c.in, "RR", c.m, speed, true)
+				w, err := dual.NewWitnessObserver(k, eps, c.m)
 				if err != nil {
 					return false, err
 				}
-				cert, err := dual.Build(res, k, eps)
+				if _, err := runObserved(cfg, c.in, "RR", c.m, speed, w); err != nil {
+					return false, err
+				}
+				cert, err := w.Certificate()
 				if err != nil {
 					return false, err
 				}

@@ -35,7 +35,7 @@ func E13(cfg Config) ([]*Table, error) {
 		}
 		row := []any{n}
 		for _, name := range []string{"RR", "PROP", "SRPT", "WSRPT", "SJF", "WSJF"} {
-			res, err := runPolicy(cfg, in, name, 1, 1, false)
+			res, err := runPolicy(cfg, in, name, 1, 1)
 			if err != nil {
 				return nil, err
 			}

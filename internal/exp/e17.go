@@ -26,7 +26,7 @@ func E17(cfg Config) ([]*Table, error) {
 	}
 	n := pick(cfg.Quick, 60, 300)
 	in := workload.PoissonLoad(stats.NewRNG(cfg.Seed+17), n, 1, 0.85, workload.ExpSizes{M: 1})
-	fluid, err := runPolicy(cfg, in, "RR", 1, 1, false)
+	fluid, err := runPolicy(cfg, in, "RR", 1, 1)
 	if err != nil {
 		return nil, err
 	}

@@ -75,11 +75,11 @@ func E19(cfg Config) ([]*Table, error) {
 			return nil, err
 		}
 		for _, f := range factors {
-			speedRes, err := runPolicy(cfg, in, "RR", m, float64(f), false)
+			speedRes, err := runPolicy(cfg, in, "RR", m, float64(f))
 			if err != nil {
 				return nil, err
 			}
-			machRes, err := runPolicy(cfg, in, "RR", m*f, 1, false)
+			machRes, err := runPolicy(cfg, in, "RR", m*f, 1)
 			if err != nil {
 				return nil, err
 			}

@@ -27,7 +27,7 @@ func E22(cfg Config) ([]*Table, error) {
 	in := workload.PoissonLoad(stats.NewRNG(cfg.Seed+22), n, 1, 0.85,
 		workload.ParetoSizes{Alpha: 1.6, Xm: 1, Cap: 100})
 	for _, name := range []string{"RR", "SRPT", "SJF", "SETF", "FCFS", "MLFQ", "LAPS", "WRR"} {
-		res, err := runPolicy(cfg, in, name, 1, 1, false)
+		res, err := runPolicy(cfg, in, name, 1, 1)
 		if err != nil {
 			return nil, err
 		}

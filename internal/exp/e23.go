@@ -45,15 +45,13 @@ func E23(cfg Config) ([]*Table, error) {
 		}
 		row := []any{n}
 		for _, name := range []string{"SETF", "RR"} {
-			res, err := runPolicy(cfg, in, name, m, 1.1, true)
+			am := core.NewAgeMomentObserver(k, 1.1)
+			res, err := runObserved(cfg, in, name, m, 1.1, am)
 			if err != nil {
 				return nil, err
 			}
 			integral := metrics.KthPowerSum(res.Flow, k)
-			frac, err := core.FractionalAgeMoment(res, k)
-			if err != nil {
-				return nil, err
-			}
+			frac := am.Value()
 			row = append(row,
 				normRatio(integral, intLB.Value, k),
 				normRatio(frac, fracLB.Value, k))

@@ -24,7 +24,7 @@ func E24(cfg Config) ([]*Table, error) {
 	n := pick(cfg.Quick, 300, 2000)
 	in := workload.PoissonLoad(stats.NewRNG(cfg.Seed+24), n, 1, 0.85,
 		workload.ParetoSizes{Alpha: 1.6, Xm: 1, Cap: 100})
-	base, err := runPolicy(cfg, in, "FCFS", 1, 1, false)
+	base, err := runPolicy(cfg, in, "FCFS", 1, 1)
 	if err != nil {
 		return nil, err
 	}
@@ -32,7 +32,7 @@ func E24(cfg Config) ([]*Table, error) {
 	for _, s := range pick(cfg.Quick, []float64{1, 2}, []float64{1, 1.5, 2, 4}) {
 		row := []any{s}
 		for _, name := range []string{"FCFS", "RR", "WRR", "SRPT", "SJF", "SETF"} {
-			res, err := runPolicy(cfg, in, name, 1, s, false)
+			res, err := runPolicy(cfg, in, name, 1, s)
 			if err != nil {
 				return nil, err
 			}

@@ -43,7 +43,7 @@ func E5(cfg Config) ([]*Table, error) {
 // fairnessRows adds one row of fairness statistics per policy.
 func fairnessRows(cfg Config, t *Table, in *core.Instance, policies []string) error {
 	for _, name := range policies {
-		res, err := runPolicy(cfg, in, name, 1, 1, false)
+		res, err := runPolicy(cfg, in, name, 1, 1)
 		if err != nil {
 			return err
 		}
@@ -88,21 +88,17 @@ func E6(cfg Config) ([]*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		res, err := runPolicy(cfg, in, "RR", m, 1, true)
+		tl := stats.NewTimelineObserver(m)
+		res, err := runObserved(cfg, in, "RR", m, 1, tl)
 		if err != nil {
 			return nil, err
 		}
-		var busy, over float64
-		for si := range res.Segments {
-			seg := &res.Segments[si]
-			busy += seg.Duration()
-			if seg.OverloadedAt(m) {
-				over += seg.Duration()
-			}
-		}
+		// BusyTime and OverloadedTime accumulate exactly the per-segment
+		// durations the old RecordSegments walk summed, epoch by epoch.
+		st := tl.Stats()
 		frac := 0.0
-		if busy > 0 {
-			frac = over / busy
+		if st.BusyTime > 0 {
+			frac = st.OverloadedTime / st.BusyTime
 		}
 		r1 := normRatio(metrics.KthPowerSum(res.Flow, k), lb.Value, k)
 		p4, err := kPower(cfg, in, "RR", m, k, 4)

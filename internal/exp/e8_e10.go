@@ -45,11 +45,14 @@ func E8(cfg Config) ([]*Table, error) {
 			}
 			for _, c := range cases {
 				for _, speed := range []float64{dual.Eta(k, eps), 1} {
-					res, err := runPolicy(cfg, c.in, "RR", c.m, speed, true)
+					w, err := dual.NewWitnessObserver(k, eps, c.m)
 					if err != nil {
 						return nil, err
 					}
-					cert, err := dual.Build(res, k, eps)
+					if _, err := runObserved(cfg, c.in, "RR", c.m, speed, w); err != nil {
+						return nil, err
+					}
+					cert, err := w.Certificate()
 					if err != nil {
 						return nil, err
 					}

@@ -10,7 +10,13 @@ import (
 	"testing"
 )
 
-func quickCfg() Config { return Config{Seed: 42, Quick: true} }
+// quickCfg is the suite configuration the tests run. The CI matrix sets
+// RRNORM_FORBID_SEGMENTS to run the whole suite with RecordSegments forced
+// off, proving every experiment's data path is the streaming observer
+// pipeline (any segment-recording run then fails loudly).
+func quickCfg() Config {
+	return Config{Seed: 42, Quick: true, ForbidSegments: os.Getenv("RRNORM_FORBID_SEGMENTS") != ""}
+}
 
 // cell parses a table cell as float.
 func cell(t *testing.T, tab *Table, row, col int) float64 {

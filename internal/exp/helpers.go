@@ -2,6 +2,7 @@ package exp
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math"
 
@@ -19,17 +20,34 @@ import (
 // and falls back to the reference engine otherwise, so the whole suite
 // benefits without per-experiment opt-ins.
 func runEngine(cfg Config, in *core.Instance, p core.Policy, opts core.Options) (*core.Result, error) {
+	if cfg.ForbidSegments && opts.RecordSegments {
+		return nil, errSegmentsForbidden
+	}
 	opts.Engine = cfg.Engine
 	return fast.Run(in, p, opts)
 }
 
-// runPolicy simulates the named policy and returns the result.
-func runPolicy(cfg Config, in *core.Instance, name string, m int, speed float64, segments bool) (*core.Result, error) {
+// errSegmentsForbidden surfaces a RecordSegments run attempted while the
+// suite is pinned to the streaming observer data path.
+var errSegmentsForbidden = errors.New("exp: RecordSegments requested but Config.ForbidSegments is set — the suite's data path is the observer pipeline")
+
+// runPolicy simulates the named policy and returns the result. The suite's
+// data paths are segment-free; experiments that need timeline or
+// per-job-epoch data attach a streaming observer via runObserved.
+func runPolicy(cfg Config, in *core.Instance, name string, m int, speed float64) (*core.Result, error) {
+	return runObserved(cfg, in, name, m, speed, nil)
+}
+
+// runObserved simulates the named policy with a streaming observer
+// attached — the suite's replacement for RecordSegments + post-processing.
+// Observers that need per-job epochs (dual witnesses, age moments) route
+// the run to the reference engine, exactly as a recorded run would have.
+func runObserved(cfg Config, in *core.Instance, name string, m int, speed float64, obs core.Observer) (*core.Result, error) {
 	p, err := policy.New(name)
 	if err != nil {
 		return nil, err
 	}
-	res, err := runEngine(cfg, in, p, core.Options{Machines: m, Speed: speed, RecordSegments: segments})
+	res, err := runEngine(cfg, in, p, core.Options{Machines: m, Speed: speed, Observer: obs})
 	if err != nil {
 		return nil, fmt.Errorf("exp: %s at speed %.3g: %w", name, speed, err)
 	}
@@ -37,42 +55,51 @@ func runPolicy(cfg Config, in *core.Instance, name string, m int, speed float64,
 }
 
 // runWith runs a concrete policy instance on one machine at unit speed and
-// returns the ℓk norm of the flows — used by parameter ablations.
+// returns the ℓk norm of the flows, accumulated by a streaming
+// metrics.StreamNorm as completions happen — used by parameter ablations.
 func runWith(cfg Config, in *core.Instance, p core.Policy, k int) (float64, error) {
-	res, err := runEngine(cfg, in, p, core.Options{Machines: 1, Speed: 1})
-	if err != nil {
+	s := metrics.NewStreamNorm(k)
+	if _, err := runEngine(cfg, in, p, core.Options{Machines: 1, Speed: 1, Observer: s}); err != nil {
 		return 0, fmt.Errorf("exp: %s: %w", p.Name(), err)
 	}
-	return metrics.LkNorm(res.Flow, k), nil
+	return s.Norm(k), nil
 }
 
-// kPower runs the policy and returns its Σ F^k.
+// kPower runs the policy and returns its Σ F^k, folded into a streaming
+// power sum at each completion instead of post-processed from res.Flow.
 func kPower(cfg Config, in *core.Instance, name string, m, k int, speed float64) (float64, error) {
-	res, err := runPolicy(cfg, in, name, m, speed, false)
-	if err != nil {
+	s := metrics.NewStreamNorm(k)
+	if _, err := runObserved(cfg, in, name, m, speed, s); err != nil {
 		return 0, err
 	}
-	return metrics.KthPowerSum(res.Flow, k), nil
+	return s.PowerSum(k), nil
 }
 
 // kPowerGrid computes Σ F^k for every (policy, speed) pair on one instance
 // through the memory-bounded batch runner (internal/batch): one flat batch
 // of |names|·|speeds| points over per-worker pooled workspaces — bounded
 // peak memory and zero steady-state allocations — instead of that many
-// independently allocating kPower runs. grid[pi][si] aligns with
-// names × speeds; values are byte-identical to sequential kPower calls.
+// independently allocating kPower runs. Each point carries its own
+// StreamNorm observer (observers are per-run state, like policies: sharing
+// one between concurrent points would race), so the power sums accumulate
+// during the runs and consume never touches res.Flow. grid[pi][si] aligns
+// with names × speeds; values are byte-identical to sequential kPower
+// calls, which use the same streaming accumulation.
 func kPowerGrid(cfg Config, in *core.Instance, names []string, m, k int, speeds []float64) ([][]float64, error) {
 	pts := make([]batch.Point, 0, len(names)*len(speeds))
+	obs := make([]*metrics.StreamNorm, 0, len(names)*len(speeds))
 	for _, name := range names {
 		for _, s := range speeds {
 			p, err := policy.New(name)
 			if err != nil {
 				return nil, err
 			}
+			sn := metrics.NewStreamNorm(k)
+			obs = append(obs, sn)
 			pts = append(pts, batch.Point{
 				Instance: in,
 				Policy:   p,
-				Options:  core.Options{Machines: m, Speed: s, Engine: cfg.Engine},
+				Options:  core.Options{Machines: m, Speed: s, Engine: cfg.Engine, Observer: sn},
 			})
 		}
 	}
@@ -81,7 +108,7 @@ func kPowerGrid(cfg Config, in *core.Instance, names []string, m, k int, speeds 
 		grid[i] = make([]float64, len(speeds))
 	}
 	err := batch.Run(context.Background(), pts, 0, func(i int, res *core.Result) error {
-		grid[i/len(speeds)][i%len(speeds)] = metrics.KthPowerSum(res.Flow, k)
+		grid[i/len(speeds)][i%len(speeds)] = obs[i].PowerSum(k)
 		return nil
 	})
 	if err != nil {

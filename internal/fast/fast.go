@@ -40,9 +40,10 @@ const ctxStride = 256
 
 // Eligible reports whether the policy/options combination has a fast path:
 // one of the structured policies, with segment recording disabled (the rate
-// timeline is only produced by the reference engine).
+// timeline is only produced by the reference engine) and no observer that
+// needs per-job epochs (the fast paths emit aggregate-only epochs).
 func Eligible(p core.Policy, opts core.Options) bool {
-	if opts.RecordSegments {
+	if opts.RecordSegments || core.ObserverNeedsJobEpochs(opts.Observer) {
 		return false
 	}
 	switch p.(type) {
@@ -84,7 +85,8 @@ func RunWS(in *core.Instance, p core.Policy, opts core.Options, ws *core.Workspa
 	}
 	if !Eligible(p, opts) {
 		if opts.Engine == core.EngineFast {
-			return nil, fmt.Errorf("%w: policy %s (RecordSegments=%v)", ErrNoFastPath, p.Name(), opts.RecordSegments)
+			return nil, fmt.Errorf("%w: policy %s (RecordSegments=%v, observer needs job epochs=%v)",
+				ErrNoFastPath, p.Name(), opts.RecordSegments, core.ObserverNeedsJobEpochs(opts.Observer))
 		}
 		return core.RunWS(in, p, opts, ws)
 	}
@@ -107,7 +109,7 @@ func RunWS(in *core.Instance, p core.Policy, opts core.Options, ws *core.Workspa
 	switch pp := p.(type) {
 	case policy.RR, *policy.RR:
 		s.rrTol = growFloats(s.rrTol, len(res.Jobs))
-		err = runRR(res, opts, &s.rrHeap, s.rrTol)
+		err = runRR(res, opts, &s.rrHeap, s.rrTol, &s.epoch)
 	case *policy.SRPT:
 		s.prepareTopM(ordSRPT, res, opts.Speed, false)
 		err = runTopM(res, opts, s)
@@ -133,6 +135,9 @@ func RunWS(in *core.Instance, p core.Policy, opts core.Options, ws *core.Workspa
 	}
 	if err != nil {
 		return nil, err
+	}
+	if opts.Observer != nil {
+		opts.Observer.ObserveDone(res)
 	}
 	return res, nil
 }

@@ -15,6 +15,9 @@ type rrState struct {
 	now  float64
 	V    float64 // cumulative per-job fair share
 	next int     // next arrival index
+
+	obs core.Observer // nil when no observer attached
+	ep  *core.Epoch   // workspace-held epoch for allocation-free dispatch
 }
 
 // admit moves all jobs released by now into the heap; degenerate
@@ -23,9 +26,15 @@ func (r *rrState) admit() {
 	jobs := r.res.Jobs
 	for r.next < len(jobs) && jobs[r.next].Release <= r.now {
 		j := &jobs[r.next]
+		if r.obs != nil {
+			r.obs.ObserveArrival(r.now, r.next, *j)
+		}
 		if j.Size <= r.tol[r.next] {
 			r.res.Completion[r.next] = r.now
 			r.res.Flow[r.next] = r.now - j.Release
+			if r.obs != nil {
+				r.obs.ObserveCompletion(r.now, r.next, r.now-j.Release)
+			}
 		} else {
 			r.h.Push(r.next, r.V+j.Size)
 		}
@@ -46,7 +55,22 @@ func (r *rrState) complete() {
 		r.h.PopMin()
 		r.res.Completion[j] = r.now
 		r.res.Flow[j] = r.now - jobs[j].Release
+		if r.obs != nil {
+			r.obs.ObserveCompletion(r.now, j, r.res.Flow[j])
+		}
 	}
+}
+
+// epoch emits the rate-constant interval [r.now, end) to the observer.
+// Under RR every alive job shares min(1, m/alive) of a machine, so the
+// pre-speed rate sum is min(alive, m).
+func (r *rrState) epoch(end float64, m int) {
+	alive := r.h.Len()
+	rs := float64(alive)
+	if alive > m {
+		rs = float64(m)
+	}
+	emitEpoch(r.obs, r.ep, r.now, end, alive, rs)
 }
 
 // runRR simulates Round Robin in O((n + completions) log n) with
@@ -63,8 +87,8 @@ func (r *rrState) complete() {
 //
 // res comes from Workspace.StartRun (jobs validated and normalized); h
 // and tol are the workspace's reusable completion heap and tolerance
-// buffer.
-func runRR(res *core.Result, opts core.Options, h *queue.PairHeap, tol []float64) error {
+// buffer, ep the workspace's reusable observer epoch.
+func runRR(res *core.Result, opts core.Options, h *queue.PairHeap, tol []float64, ep *core.Epoch) error {
 	n := len(res.Jobs)
 	if n == 0 {
 		return nil
@@ -73,7 +97,7 @@ func runRR(res *core.Result, opts core.Options, h *queue.PairHeap, tol []float64
 	for i := range res.Jobs {
 		tol[i] = core.CompletionTol(res.Jobs[i].Size)
 	}
-	r := rrState{res: res, h: h, tol: tol, now: res.Jobs[0].Release}
+	r := rrState{res: res, h: h, tol: tol, now: res.Jobs[0].Release, obs: opts.Observer, ep: ep}
 
 	r.admit()
 	r.complete()
@@ -107,12 +131,14 @@ func runRR(res *core.Result, opts core.Options, h *queue.PairHeap, tol []float64
 		if r.next < n && res.Jobs[r.next].Release < tC {
 			// Next event is an arrival: advance the fair share to it.
 			t := res.Jobs[r.next].Release
+			r.epoch(t, opts.Machines)
 			r.V += (t - r.now) * rate
 			r.now = t
 			r.admit()
 		} else {
 			// Next event is a completion: land V exactly on the target so
 			// simultaneous completions (identical targets) drain together.
+			r.epoch(tC, opts.Machines)
 			r.V = minKey
 			r.now = tC
 		}

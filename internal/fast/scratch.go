@@ -22,6 +22,11 @@ type scratch struct {
 	byC     indexHeap
 	worst   indexHeap
 	waiting indexHeap
+
+	// epoch is the single core.Epoch value reused for every ObserveEpoch
+	// callback, kept here (not on the run's stack) so its address reaching
+	// the Observer interface call does not escape-allocate per run.
+	epoch core.Epoch
 }
 
 // Reset truncates the float buffers and drops cross-run ordering state.
@@ -35,6 +40,19 @@ func (s *scratch) Reset() {
 	s.rem = s.rem[:0]
 	s.cAt = s.cAt[:0]
 	s.key = s.key[:0]
+	s.epoch = core.Epoch{}
+}
+
+// emitEpoch delivers the aggregate-only epoch [start, end) to obs, reusing
+// ep so the dispatch allocates nothing. Zero-length and idle (alive == 0)
+// epochs are skipped, matching the reference engine's segment stream (its
+// segments only cover time with alive jobs).
+func emitEpoch(obs core.Observer, ep *core.Epoch, start, end float64, alive int, rateSum float64) {
+	if obs == nil || end <= start || alive == 0 {
+		return
+	}
+	*ep = core.Epoch{Start: start, End: end, Alive: alive, RateSum: rateSum}
+	obs.ObserveEpoch(ep)
 }
 
 // scratchOf returns ws's fast-engine scratch, attaching a fresh one on

@@ -126,9 +126,12 @@ func (s *scratch) start(j int, t, speed float64) {
 }
 
 // finish records job j completing at time t.
-func finish(res *core.Result, j int, t float64) {
+func finish(res *core.Result, j int, t float64, obs core.Observer) {
 	res.Completion[j] = t
 	res.Flow[j] = t - res.Jobs[j].Release
+	if obs != nil {
+		obs.ObserveCompletion(t, j, res.Flow[j])
+	}
 }
 
 // runTopM runs the top-m engine over res.Jobs (already validated and
@@ -141,6 +144,7 @@ func runTopM(res *core.Result, opts core.Options, s *scratch) error {
 	}
 	ord := &s.ord
 	byC, worst, waiting := &s.byC, &s.worst, &s.waiting
+	obs := opts.Observer
 	next := 0
 	now := jobs[0].Release
 
@@ -162,24 +166,30 @@ func runTopM(res *core.Result, opts core.Options, s *scratch) error {
 			// Completion: the running job with the least cAt finishes; the
 			// best waiting job takes its machine. (A free machine implies an
 			// empty waiting set, so promoting exactly one is enough.)
-			j := byC.Pop()
-			worst.Remove(j)
 			if tC < now {
 				tC = now // FP guard: time must not run backwards
 			}
+			// Each running job holds one machine (pre-speed rate 1).
+			emitEpoch(obs, &s.epoch, now, tC, byC.Len()+waiting.Len(), float64(byC.Len()))
+			j := byC.Pop()
+			worst.Remove(j)
 			now = tC
-			finish(res, j, now)
+			finish(res, j, now, obs)
 			if waiting.Len() > 0 {
 				s.start(waiting.Pop(), now, sp)
 			}
 			continue
 		}
 		// Arrival.
+		emitEpoch(obs, &s.epoch, now, tA, byC.Len()+waiting.Len(), float64(byC.Len()))
 		now = tA
 		j := next
 		next++
+		if obs != nil {
+			obs.ObserveArrival(now, j, jobs[j])
+		}
 		if jobs[j].Size <= core.CompletionTol(jobs[j].Size) {
-			finish(res, j, now) // degenerate job: completes at admission (as core.Run)
+			finish(res, j, now, obs) // degenerate job: completes at admission (as core.Run)
 			continue
 		}
 		switch {
@@ -194,7 +204,7 @@ func runTopM(res *core.Result, opts core.Options, s *scratch) error {
 				// The victim was within its completion tolerance of
 				// finishing: the reference engine completes it at this
 				// boundary, so record it here rather than re-queueing.
-				finish(res, v, now)
+				finish(res, v, now, obs)
 			} else {
 				s.rem[v] = remV
 				waiting.Push(v)

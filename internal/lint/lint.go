@@ -61,6 +61,7 @@ func Analyzers() []*Analyzer {
 		ctxpollAnalyzer,
 		exportsyncAnalyzer,
 		poolputAnalyzer,
+		obsretainAnalyzer,
 	}
 }
 

@@ -1,0 +1,120 @@
+package metrics
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+)
+
+func TestStreamNormMatchesBatch(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 2))
+	flows := make([]float64, 5000)
+	for i := range flows {
+		flows[i] = rng.ExpFloat64() * 100
+	}
+	// Adversarial orders: random, ascending (max rescales every step),
+	// descending (single max), and with zeros mixed in.
+	orders := map[string][]float64{
+		"random": flows,
+		"asc":    sorted(flows, false),
+		"desc":   sorted(flows, true),
+		"zeros":  append([]float64{0, 0, 0}, flows...),
+	}
+	for name, fs := range orders {
+		s := NewStreamNorm(1, 2, 3, 16, 64)
+		for _, f := range fs {
+			s.Add(f)
+		}
+		if s.N() != len(fs) {
+			t.Fatalf("%s: N=%d, want %d", name, s.N(), len(fs))
+		}
+		for _, k := range []int{1, 2, 3, 16, 64} {
+			got, want := s.Norm(k), LkNorm(fs, k)
+			if rel(got, want) > 1e-9 {
+				t.Errorf("%s: Norm(%d)=%v, batch %v (rel %v)", name, k, got, want, rel(got, want))
+			}
+		}
+		for _, k := range []int{1, 2, 3} {
+			got, want := s.PowerSum(k), KthPowerSum(fs, k)
+			if rel(got, want) > 1e-9 {
+				t.Errorf("%s: PowerSum(%d)=%v, batch %v", name, k, got, want)
+			}
+		}
+		if got, want := s.MaxFlow(), Max(fs); got != want {
+			t.Errorf("%s: MaxFlow=%v, want %v", name, got, want)
+		}
+	}
+}
+
+func TestStreamNormLargeKNoOverflow(t *testing.T) {
+	// Flows around 1e6 overflow (1e6)^64 hopelessly; the normalized sums
+	// must not.
+	s := NewStreamNorm(64)
+	for _, f := range []float64{1e6, 2e6, 3e6, 2.5e6} {
+		s.Add(f)
+	}
+	got := s.Norm(64)
+	if math.IsInf(got, 0) || math.IsNaN(got) {
+		t.Fatalf("Norm(64) overflowed: %v", got)
+	}
+	want := LkNorm([]float64{1e6, 2e6, 3e6, 2.5e6}, 64)
+	if rel(got, want) > 1e-12 {
+		t.Fatalf("Norm(64)=%v, want %v", got, want)
+	}
+}
+
+func TestStreamNormEdgeCases(t *testing.T) {
+	s := NewStreamNorm() // default 1,2,3
+	if s.Norm(2) != 0 || s.PowerSum(1) != 0 {
+		t.Fatal("empty stream norms must be 0")
+	}
+	s.Add(0)
+	if s.Norm(1) != 0 || s.MaxFlow() != 0 {
+		t.Fatal("all-zero stream norms must be 0")
+	}
+	s.Add(5)
+	if got := s.Norm(1); rel(got, 5) > 1e-15 {
+		t.Fatalf("Norm(1)=%v, want 5", got)
+	}
+	s.Reset()
+	if s.N() != 0 || s.Norm(3) != 0 {
+		t.Fatal("Reset did not clear")
+	}
+	if ks := s.Ks(); len(ks) != 3 || ks[0] != 1 || ks[1] != 2 || ks[2] != 3 {
+		t.Fatalf("default ks = %v", ks)
+	}
+}
+
+func TestStreamNormPanics(t *testing.T) {
+	mustPanic(t, func() { NewStreamNorm(0) })
+	mustPanic(t, func() { NewStreamNorm(2).Norm(3) })
+}
+
+func mustPanic(t *testing.T, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	f()
+}
+
+func sorted(xs []float64, desc bool) []float64 {
+	out := append([]float64(nil), xs...)
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && (out[j] < out[j-1]) != desc; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+func rel(a, b float64) float64 {
+	d := math.Abs(a - b)
+	if d == 0 {
+		return 0
+	}
+	m := math.Max(math.Abs(a), math.Abs(b))
+	return d / m
+}

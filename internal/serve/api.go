@@ -32,6 +32,7 @@ import (
 	"rrnorm/internal/fast"
 	"rrnorm/internal/metrics"
 	"rrnorm/internal/polspec"
+	"rrnorm/internal/stats"
 	"rrnorm/internal/workload"
 )
 
@@ -86,6 +87,11 @@ type SimulateRequest struct {
 	Norms []int `json:"norms,omitempty"`
 	// Detail additionally returns per-job completions and flows.
 	Detail bool `json:"detail,omitempty"`
+	// Timeline additionally returns the run's time-averaged schedule
+	// statistics (busy time, overload time, average/peak alive count),
+	// accumulated by a streaming observer during the run — the engine
+	// never materializes a Segment timeline for it.
+	Timeline bool `json:"timeline,omitempty"`
 }
 
 // CompareRequest is the body of POST /v1/compare: one workload fanned out
@@ -119,18 +125,33 @@ type FlowSummary struct {
 	Jain     float64 `json:"jain_index"`
 }
 
+// TimelineInfo is the observer-computed schedule timeline digest returned
+// when SimulateRequest.Timeline is set.
+type TimelineInfo struct {
+	Start            float64 `json:"start"`
+	End              float64 `json:"end"`
+	BusyTime         float64 `json:"busy_time"`
+	BusyPeriods      int     `json:"busy_periods"`
+	AvgAlive         float64 `json:"avg_alive"`
+	MaxAlive         int     `json:"max_alive"`
+	Utilization      float64 `json:"utilization"`
+	OverloadedTime   float64 `json:"overloaded_time"`
+	OverloadFraction float64 `json:"overload_fraction"`
+}
+
 // SimulateResponse is the body of a successful POST /v1/simulate.
 type SimulateResponse struct {
-	Policy      string      `json:"policy"`
-	Machines    int         `json:"machines"`
-	Speed       float64     `json:"speed"`
-	Engine      string      `json:"engine"`
-	N           int         `json:"n"`
-	Events      int         `json:"events"`
-	Norms       []NormValue `json:"norms"`
-	Summary     FlowSummary `json:"summary"`
-	Completions []float64   `json:"completions,omitempty"`
-	Flows       []float64   `json:"flows,omitempty"`
+	Policy      string        `json:"policy"`
+	Machines    int           `json:"machines"`
+	Speed       float64       `json:"speed"`
+	Engine      string        `json:"engine"`
+	N           int           `json:"n"`
+	Events      int           `json:"events"`
+	Norms       []NormValue   `json:"norms"`
+	Summary     FlowSummary   `json:"summary"`
+	Timeline    *TimelineInfo `json:"timeline,omitempty"`
+	Completions []float64     `json:"completions,omitempty"`
+	Flows       []float64     `json:"flows,omitempty"`
 }
 
 // CompareEntry is one policy's row in a compare response, ordered as
@@ -390,6 +411,14 @@ func (s *simSpec) cacheKey() string {
 	} else {
 		u64(0)
 	}
+	// Timeline changes the response shape, so it is part of the key — a
+	// timeline response must never be served from a non-timeline entry or
+	// vice versa (both would violate byte-determinism).
+	if s.req.Timeline {
+		u64(1)
+	} else {
+		u64(0)
+	}
 	return hex.EncodeToString(h.Sum(nil))
 }
 
@@ -404,6 +433,14 @@ func (s *simSpec) run(ctx context.Context) (*SimulateResponse, *apiError) {
 	}
 	opts := s.opts
 	opts.Context = ctx
+	// Timeline statistics come from a streaming observer attached to the
+	// run — aggregate-only epochs, so the fast paths stay eligible and no
+	// Segment timeline is ever recorded server-side.
+	var tl *stats.TimelineObserver
+	if s.req.Timeline {
+		tl = stats.NewTimelineObserver(opts.Machines)
+		opts.Observer = tl
+	}
 	// Pooled workspace: the run's Result is workspace-owned, and
 	// buildResponse fully consumes it (norms, summary, detail copies)
 	// before the deferred release — the ownership rule of DESIGN.md §12.
@@ -413,7 +450,22 @@ func (s *simSpec) run(ctx context.Context) (*SimulateResponse, *apiError) {
 	if err != nil {
 		return nil, mapSimError(err)
 	}
-	return buildResponse(res, s.norms, s.req.Detail, opts.Engine), nil
+	out := buildResponse(res, s.norms, s.req.Detail, opts.Engine)
+	if tl != nil {
+		ts := tl.Stats()
+		out.Timeline = &TimelineInfo{
+			Start:            ts.Start,
+			End:              ts.End,
+			BusyTime:         ts.BusyTime,
+			BusyPeriods:      ts.BusyPeriods,
+			AvgAlive:         ts.AvgAlive,
+			MaxAlive:         ts.MaxAlive,
+			Utilization:      ts.Utilization,
+			OverloadedTime:   ts.OverloadedTime,
+			OverloadFraction: tl.OverloadFraction(),
+		}
+	}
+	return out, nil
 }
 
 func buildResponse(res *core.Result, norms []int, detail bool, eng core.EngineKind) *SimulateResponse {

@@ -6,15 +6,20 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"net/http"
 	"net/http/httptest"
 	"os"
 	"path/filepath"
+	"reflect"
 	"strings"
 	"testing"
 	"time"
 
 	"rrnorm"
+	"rrnorm/internal/core"
+	"rrnorm/internal/polspec"
+	"rrnorm/internal/workload"
 )
 
 var update = flag.Bool("update", false, "rewrite golden files under testdata/")
@@ -396,5 +401,80 @@ func TestMethodNotAllowed(t *testing.T) {
 	resp, _ := get(t, ts.URL, "/v1/simulate")
 	if resp.StatusCode != http.StatusMethodNotAllowed {
 		t.Fatalf("GET /v1/simulate: %d, want 405", resp.StatusCode)
+	}
+}
+
+// TestSimulateTimeline: the timeline block is computed by a streaming
+// observer attached to the run — no server-side Segment recording — and
+// must agree with the Segment-derived ComputeTimeStats of the same
+// deterministic schedule. Requesting it must not perturb any other
+// response field, and timeline/non-timeline twins must be distinct cache
+// entries.
+func TestSimulateTimeline(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	base := `{"spec":"poisson:n=60,load=0.9","seed":7,"policy":"RR","machines":2}`
+	withTL := `{"spec":"poisson:n=60,load=0.9","seed":7,"policy":"RR","machines":2,"timeline":true}`
+	respA, bodyA := post(t, ts.URL, "/v1/simulate", base)
+	respB, bodyB := post(t, ts.URL, "/v1/simulate", withTL)
+	if respA.StatusCode != 200 || respB.StatusCode != 200 {
+		t.Fatalf("status %d / %d: %s %s", respA.StatusCode, respB.StatusCode, bodyA, bodyB)
+	}
+	if bytes.Contains(bodyA, []byte(`"timeline"`)) {
+		t.Fatalf("timeline leaked into a non-timeline response: %s", bodyA)
+	}
+	var a, b SimulateResponse
+	if err := json.Unmarshal(bodyA, &a); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(bodyB, &b); err != nil {
+		t.Fatal(err)
+	}
+	if b.Timeline == nil {
+		t.Fatalf("no timeline block in %s", bodyB)
+	}
+	tl := *b.Timeline
+	b.Timeline = nil
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("timeline request perturbed the response:\n%+v\n%+v", a, b)
+	}
+
+	// Cross-check against the Segment-derived stats of a recorded
+	// reference run of the same request.
+	in, err := workload.FromSpec("poisson:n=60,load=0.9", 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := polspec.New("RR")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.Run(in, p, core.Options{Machines: 2, Speed: 1, RecordSegments: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := core.ComputeTimeStats(res)
+	close := func(got, w float64, what string) {
+		t.Helper()
+		if d := math.Abs(got - w); d > 1e-6*(1+math.Max(math.Abs(got), math.Abs(w))) {
+			t.Errorf("%s: served %v vs segment-derived %v", what, got, w)
+		}
+	}
+	close(tl.Start, want.Start, "start")
+	close(tl.End, want.End, "end")
+	close(tl.BusyTime, want.BusyTime, "busy_time")
+	close(tl.AvgAlive, want.AvgAlive, "avg_alive")
+	close(tl.Utilization, want.Utilization, "utilization")
+	close(tl.OverloadedTime, want.OverloadedTime, "overloaded_time")
+	if tl.MaxAlive != want.MaxAlive {
+		t.Errorf("max_alive %d vs %d", tl.MaxAlive, want.MaxAlive)
+	}
+	if tl.BusyPeriods != want.BusyPeriods {
+		t.Errorf("busy_periods %d vs %d", tl.BusyPeriods, want.BusyPeriods)
+	}
+
+	// Determinism across the cache: a repeat must be byte-identical.
+	_, bodyB2 := post(t, ts.URL, "/v1/simulate", withTL)
+	if !bytes.Equal(bodyB, bodyB2) {
+		t.Fatal("timeline response not byte-identical on cache hit")
 	}
 }

@@ -1,0 +1,97 @@
+package trace_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"rrnorm/internal/core"
+	"rrnorm/internal/fast"
+	"rrnorm/internal/policy"
+	"rrnorm/internal/stats"
+	"rrnorm/internal/trace"
+	"rrnorm/internal/workload"
+)
+
+func runTraced(t *testing.T, engine core.EngineKind, skipEpochs bool) (string, *core.Result) {
+	t.Helper()
+	in := workload.PoissonLoad(stats.NewRNG(3), 60, 1, 0.9, workload.ExpSizes{M: 1})
+	var buf bytes.Buffer
+	o := trace.NewObserver(&buf)
+	o.SkipEpochs = skipEpochs
+	res, err := fast.Run(in, policy.NewRR(), core.Options{
+		Machines: 1, Speed: 1, Engine: engine, Observer: o,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := o.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String(), res
+}
+
+func TestTraceObserverJSONL(t *testing.T) {
+	for _, engine := range []core.EngineKind{core.EngineReference, core.EngineFast} {
+		out, res := runTraced(t, engine, false)
+		lines := strings.Split(strings.TrimSuffix(out, "\n"), "\n")
+		counts := map[string]int{}
+		var last trace.Event
+		for i, ln := range lines {
+			var ev trace.Event
+			if err := json.Unmarshal([]byte(ln), &ev); err != nil {
+				t.Fatalf("%v line %d: %v in %q", engine, i, err, ln)
+			}
+			counts[ev.Type]++
+			last = ev
+		}
+		n := len(res.Jobs)
+		if counts["arrival"] != n || counts["completion"] != n {
+			t.Fatalf("%v: %d arrivals, %d completions, want %d each", engine, counts["arrival"], counts["completion"], n)
+		}
+		if counts["done"] != 1 || counts["epoch"] == 0 {
+			t.Fatalf("%v: done=%d epochs=%d", engine, counts["done"], counts["epoch"])
+		}
+		if last.Type != "done" || last.N != n || last.Policy != "RR" {
+			t.Fatalf("%v: final record %+v", engine, last)
+		}
+	}
+}
+
+func TestTraceObserverSkipEpochs(t *testing.T) {
+	out, _ := runTraced(t, core.EngineFast, true)
+	if strings.Contains(out, `"event":"epoch"`) {
+		t.Fatal("SkipEpochs leaked epoch records")
+	}
+	if !strings.Contains(out, `"event":"arrival"`) || !strings.Contains(out, `"event":"done"`) {
+		t.Fatal("lifecycle records missing")
+	}
+}
+
+// errWriter fails after a few bytes to exercise the sticky-error path.
+type errWriter struct{ n int }
+
+func (w *errWriter) Write(p []byte) (int, error) {
+	w.n += len(p)
+	if w.n > 64 {
+		return 0, errShort
+	}
+	return len(p), nil
+}
+
+var errShort = &json.UnsupportedValueError{Str: "short write"}
+
+func TestTraceObserverStickyError(t *testing.T) {
+	in := workload.PoissonLoad(stats.NewRNG(3), 50, 1, 0.9, workload.ExpSizes{M: 1})
+	o := trace.NewObserver(&errWriter{})
+	if _, err := core.Run(in, policy.NewRR(), core.Options{Machines: 1, Speed: 1, Observer: o}); err != nil {
+		t.Fatal(err)
+	}
+	if o.Err() == nil {
+		t.Fatal("write error not surfaced")
+	}
+	if err := o.Flush(); err == nil {
+		t.Fatal("Flush should return the sticky error")
+	}
+}

@@ -142,6 +142,32 @@ func LkNorm(flows []float64, k int) float64 { return metrics.LkNorm(flows, k) }
 // KthPowerSum returns Σ flows^k — the quantity the paper's analysis bounds.
 func KthPowerSum(flows []float64, k int) float64 { return metrics.KthPowerSum(flows, k) }
 
+// Observer receives a run's event stream (arrivals, rate-constant epochs,
+// completions, the finished result) as the engine produces it, so metrics
+// can be reduced in a single pass instead of post-processing a recorded
+// Segment timeline. Set it via Options.Observer; DESIGN.md §13 has the
+// exact callback contract, including the copy-or-drop ownership rule for
+// engine-owned slices.
+type Observer = core.Observer
+
+// Epoch is one rate-constant interval of a running simulation, as seen by
+// an Observer — the streaming counterpart of a recorded Segment.
+type Epoch = core.Epoch
+
+// StreamNorm is an Observer that accumulates ℓk norms and k-th power sums
+// of flow time online, in O(#ks) state: attach one via Options.Observer
+// and a million-job run needs neither Result.Flow post-processing nor a
+// Segment timeline.
+type StreamNorm = metrics.StreamNorm
+
+// NewStreamNorm returns a StreamNorm tracking the given norm orders.
+func NewStreamNorm(ks ...int) *StreamNorm { return metrics.NewStreamNorm(ks...) }
+
+// MultiObserver fans a run's event stream out to several observers: it
+// returns nil when none are given and the observer itself when exactly
+// one is.
+func MultiObserver(obs ...Observer) Observer { return core.Multi(obs...) }
+
 // LowerBound returns a certified lower bound on the optimal Σ F^k on m
 // unit-speed machines (max of the LP/2 relaxation bound and Σ p^k).
 func LowerBound(in *Instance, m, k int) (float64, error) {
@@ -156,11 +182,19 @@ func LowerBound(in *Instance, m, k int) (float64, error) {
 // machines and returns the dual-fitting certificate for the resulting
 // schedule.
 func Certify(in *Instance, m, k int, eps float64) (*Certificate, error) {
-	res, err := Simulate(in, "RR", Options{Machines: m, Speed: dual.Eta(k, eps), RecordSegments: true})
+	// The witness observer builds the certificate during the run — no
+	// Segment timeline — and produces certificates identical to recording
+	// + dual.Build (pinned by the differential tests in internal/check).
+	// It needs per-job epochs, so the dispatcher routes it to the
+	// reference engine, exactly as RecordSegments was.
+	w, err := dual.NewWitnessObserver(k, eps, m)
 	if err != nil {
 		return nil, err
 	}
-	return dual.Build(res, k, eps)
+	if _, err := Simulate(in, "RR", Options{Machines: m, Speed: dual.Eta(k, eps), Observer: w}); err != nil {
+		return nil, err
+	}
+	return w.Certificate()
 }
 
 // FractionalFlows computes per-job fractional flow times
