@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test verify lint lint-fix-check bench bench-engine bench-smoke fuzz suite serve serve-test serve-bench clean
+.PHONY: build test verify lint lint-fix-check bench bench-engine bench-smoke fuzz hunt hunt-smoke suite serve serve-test serve-bench clean
 
 build:
 	$(GO) build ./...
@@ -44,12 +44,33 @@ serve-bench:
 	WRITE_BENCH=1 $(GO) test ./internal/serve -run TestWriteServeBenchBaseline -v
 
 # Differential fuzzing of the fast engine against the reference engine,
-# plus fuzzing of the rrserve request surface (decoder + spec parser).
+# fuzzing of the rrserve request surface (decoder + spec parser), and
+# fuzzing of the hunt shrinker's contract (validity + ratio window).
 # FUZZTIME=5m make fuzz for longer campaigns.
 FUZZTIME ?= 30s
 fuzz:
 	$(GO) test -fuzz=FuzzEngineAgreement -fuzztime=$(FUZZTIME) ./internal/check
 	$(GO) test -fuzz=FuzzSimulateRequest -fuzztime=$(FUZZTIME) ./internal/serve
+	$(GO) test -fuzz=FuzzShrinker -fuzztime=$(FUZZTIME) ./internal/hunt
+
+# Adversarial ratio hunt (see DESIGN.md §14). `make hunt` runs the default
+# championship cell; results are written to testdata/corpus only when you
+# pass OUT/NAME explicitly via rrhunt flags.
+hunt:
+	$(GO) run ./cmd/rrhunt -k 2 -seed 1 -budget 2000 -v
+
+# CI determinism gate: a fixed-seed, small-budget hunt must produce a
+# byte-identical report across two runs, find an improvement over the
+# analytic seeds, and keep the anomaly monitors silent (rrhunt exits 1 on
+# any anomaly).
+hunt-smoke:
+	$(GO) build -o /tmp/rrhunt-smoke ./cmd/rrhunt
+	/tmp/rrhunt-smoke -k 2 -seed 1 -budget 300 -maxjobs 36 -shrink-budget 120 > /tmp/rrhunt-smoke-1.txt
+	/tmp/rrhunt-smoke -k 2 -seed 1 -budget 300 -maxjobs 36 -shrink-budget 120 > /tmp/rrhunt-smoke-2.txt
+	cmp /tmp/rrhunt-smoke-1.txt /tmp/rrhunt-smoke-2.txt
+	grep -q '^improved-over-seeds: true$$' /tmp/rrhunt-smoke-1.txt
+	grep -q '^anomalies: 0$$' /tmp/rrhunt-smoke-1.txt
+	rm -f /tmp/rrhunt-smoke /tmp/rrhunt-smoke-1.txt /tmp/rrhunt-smoke-2.txt
 
 bench:
 	$(GO) test -run xxx -bench . -benchmem .

@@ -1,0 +1,104 @@
+// Command rrhunt runs the adversarial ratio hunter: a seeded, guided
+// search for instances maximizing RR's empirical competitive ratio
+// Σ F^k / LB against the certified LP lower bound, with the champion
+// delta-debugged to a minimal witness and optionally committed to a
+// regression corpus. The report on stdout is byte-deterministic for fixed
+// flags — two runs with the same seed produce identical bytes, which CI's
+// hunt-smoke job pins.
+//
+// Examples:
+//
+//	rrhunt -k 2 -seed 1 -budget 2000
+//	rrhunt -k 3 -m 2 -speed 1.5 -budget 500 -out testdata/corpus -name k3m2-champion
+//	rrhunt -k 2 -budget 400 -cert -v
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"rrnorm/internal/hunt"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "rrhunt:", err)
+		os.Exit(1)
+	}
+}
+
+// run is main, parameterized for tests: flags in, deterministic report out.
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("rrhunt", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		k       = fs.Int("k", 2, "ℓk-norm exponent of the objective")
+		m       = fs.Int("m", 1, "machines")
+		speed   = fs.Float64("speed", 1, "RR resource-augmentation speed (lower bound stays at unit speed)")
+		seed    = fs.Uint64("seed", 1, "search seed; equal seeds give byte-identical reports")
+		budget  = fs.Int("budget", 400, "candidate evaluation budget, seeds included")
+		pop     = fs.Int("pop", 16, "evolutionary population size")
+		maxJobs = fs.Int("maxjobs", 40, "candidate instance size cap")
+		shrinkB = fs.Int("shrink-budget", 400, "shrinker evaluation budget (negative disables shrinking)")
+		tol     = fs.Float64("tol", 1e-3, "shrinker relative ratio tolerance")
+		out     = fs.String("out", "", "corpus directory to write the shrunk witness to (empty: don't write)")
+		name    = fs.String("name", "", "corpus entry name (default hunt-k<k>-m<m>-s<seed>)")
+		cert    = fs.Bool("cert", true, "verify the dual-fitting certificate on the champion (anomaly monitors)")
+		verbose = fs.Bool("v", false, "log search progress to stderr")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	o := hunt.Options{
+		Params: hunt.Params{
+			K:        *k,
+			Machines: *m,
+			Speed:    *speed,
+			MaxJobs:  *maxJobs,
+		},
+		Seed:         *seed,
+		Budget:       *budget,
+		Population:   *pop,
+		ShrinkBudget: *shrinkB,
+		ShrinkTol:    *tol,
+	}
+	if *cert {
+		o.Monitor = hunt.NewMonitor(o.Params)
+	}
+	if *verbose {
+		o.Log = stderr
+	}
+
+	rep, err := hunt.Run(context.Background(), o)
+	if err != nil {
+		return err
+	}
+	if err := rep.WriteText(stdout); err != nil {
+		return err
+	}
+
+	if *out != "" {
+		entryName := *name
+		if entryName == "" {
+			entryName = fmt.Sprintf("hunt-k%d-m%d-s%d", *k, *m, *seed)
+		}
+		e, err := hunt.FromReport(rep, entryName)
+		if err != nil {
+			return err
+		}
+		path, err := hunt.WriteEntry(*out, e)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "corpus: wrote %s\n", path)
+	}
+
+	if len(rep.Anomalies) > 0 {
+		return fmt.Errorf("%d anomalies detected — see report", len(rep.Anomalies))
+	}
+	return nil
+}

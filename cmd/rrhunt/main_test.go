@@ -1,0 +1,59 @@
+package main
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"rrnorm/internal/hunt"
+)
+
+// TestRunDeterministicReport: the CLI's stdout is byte-identical across two
+// runs with the same flags — the property `make hunt-smoke` checks in CI.
+func TestRunDeterministicReport(t *testing.T) {
+	args := []string{"-k", "2", "-seed", "7", "-budget", "120", "-pop", "12", "-maxjobs", "36", "-shrink-budget", "60"}
+	var a, b, discard bytes.Buffer
+	if err := run(args, &a, &discard); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(args, &b, &discard); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatalf("reports differ:\n--- first\n%s\n--- second\n%s", a.String(), b.String())
+	}
+	for _, want := range []string{"hunt: k=2", "seed-best:", "champion:", "shrunk:", "anomalies: 0", "witness jobs"} {
+		if !strings.Contains(a.String(), want) {
+			t.Errorf("report missing %q:\n%s", want, a.String())
+		}
+	}
+}
+
+// TestRunWritesCorpusEntry: -out commits a loadable, replayable entry.
+func TestRunWritesCorpusEntry(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "corpus")
+	var out, discard bytes.Buffer
+	args := []string{"-k", "2", "-seed", "3", "-budget", "60", "-maxjobs", "30", "-shrink-budget", "40", "-out", dir, "-name", "smoke"}
+	if err := run(args, &out, &discard); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := hunt.LoadCorpus(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 || entries[0].Name != "smoke" || entries[0].K != 2 || entries[0].Seed != 3 {
+		t.Fatalf("unexpected corpus: %+v", entries)
+	}
+	if !strings.Contains(out.String(), "corpus: wrote") {
+		t.Errorf("stdout does not mention the corpus write:\n%s", out.String())
+	}
+}
+
+// TestRunBadFlags: flag errors surface as errors, not panics or exits.
+func TestRunBadFlags(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	if err := run([]string{"-budget", "not-a-number"}, &out, &errBuf); err == nil {
+		t.Fatal("bad flag accepted")
+	}
+}

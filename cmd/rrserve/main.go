@@ -39,16 +39,18 @@ func main() {
 		timeout = flag.Duration("timeout", 30*time.Second, "per-request simulation deadline (504 past it)")
 		cache   = flag.Int("cache", 1024, "result-cache capacity in entries")
 		pprofOn = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
+		monitor = flag.Bool("monitor", false, "attach a streaming invariant monitor to every run; findings count in /metrics as \"anomalies\"")
 		drain   = flag.Duration("drain", 15*time.Second, "graceful-shutdown budget on SIGTERM/SIGINT")
 	)
 	flag.Parse()
 
 	s := serve.NewServer(serve.Config{
-		Workers:        *workers,
-		QueueDepth:     *queue,
-		RequestTimeout: *timeout,
-		CacheEntries:   *cache,
-		EnablePprof:    *pprofOn,
+		Workers:          *workers,
+		QueueDepth:       *queue,
+		RequestTimeout:   *timeout,
+		CacheEntries:     *cache,
+		EnablePprof:      *pprofOn,
+		MonitorAnomalies: *monitor,
 	})
 	// One server per process, so the global expvar page may carry its vars.
 	expvar.Publish("rrserve", s.Vars())

@@ -1,0 +1,73 @@
+package check
+
+import (
+	"math"
+	"testing"
+
+	"rrnorm/internal/core"
+	"rrnorm/internal/hunt"
+	"rrnorm/internal/policy"
+)
+
+// TestCorpusReplay replays the committed adversarial corpus
+// (testdata/corpus at the repo root): every shrunk hard instance the
+// hunter has ever found runs through the differential harness — both
+// engines must agree — and its recorded competitive ratio must reproduce
+// to 1e-6 with the anomaly monitors silent. This is the regression test
+// the corpus exists for: an engine or LP change that moves a champion's
+// ratio is either a bug or a deliberate recalibration, and either way it
+// must not land silently.
+func TestCorpusReplay(t *testing.T) {
+	entries, err := hunt.LoadCorpus("../../testdata/corpus")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) == 0 {
+		t.Fatal("committed corpus is empty — testdata/corpus should hold the hunted witnesses")
+	}
+	tol := DefaultTolerances()
+	for _, e := range entries {
+		e := e
+		t.Run(e.Name, func(t *testing.T) {
+			in := e.Instance()
+			p := e.Params()
+
+			// Both engines byte-agree on the witness, at the hunt cell's
+			// options and at unit speed (the ratio's two sides).
+			for _, opts := range []core.Options{
+				{Machines: e.Machines, Speed: e.Speed},
+				{Machines: e.Machines, Speed: 1},
+			} {
+				rep, err := Compare(in, policy.NewRR(), opts, tol)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !rep.OK() {
+					t.Fatalf("engines disagree at m=%d s=%g:\n%s", opts.Machines, opts.Speed, rep)
+				}
+			}
+
+			// The recorded ratio reproduces.
+			ev, err := e.Reevaluate()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if d := math.Abs(ev.Ratio - e.Ratio); d > 1e-6*(1+e.Ratio) {
+				t.Errorf("ratio drifted: recorded %.9g, replayed %.9g (Δ %g)", e.Ratio, ev.Ratio, d)
+			}
+			if d := math.Abs(ev.RRPower - e.RRPower); d > 1e-6*(1+e.RRPower) {
+				t.Errorf("RR power drifted: recorded %.9g, replayed %.9g", e.RRPower, ev.RRPower)
+			}
+			if d := math.Abs(ev.LB.Value - e.LowerBound); d > 1e-6*(1+e.LowerBound) {
+				t.Errorf("lower bound drifted: recorded %.9g, replayed %.9g", e.LowerBound, ev.LB.Value)
+			}
+
+			// Monitors stay silent on the replay.
+			m := hunt.NewMonitor(p)
+			m.CheckEvaluation(e.Name, in, ev)
+			if as := m.Anomalies(); len(as) != 0 {
+				t.Errorf("monitors fired on corpus replay: %v", as)
+			}
+		})
+	}
+}

@@ -258,3 +258,28 @@ func TestE24Shapes(t *testing.T) {
 	}
 	_ = srpt
 }
+
+// TestE25Shapes: the hunt experiment must report an improvement over the
+// analytic seeds (gain > 1) and a clean anomaly column — the table is
+// meaningless if the monitors fired.
+func TestE25Shapes(t *testing.T) {
+	tab := runExp(t, "E25")[0]
+	sb := colIndex(t, tab, "seed-best")
+	ch := colIndex(t, tab, "champion")
+	gain := colIndex(t, tab, "gain")
+	anom := colIndex(t, tab, "anomalies")
+	for i := range tab.Rows {
+		if v := cell(t, tab, i, sb); v <= 1 {
+			t.Errorf("row %d: seed-best ratio %v not above 1", i, v)
+		}
+		if cell(t, tab, i, ch) < cell(t, tab, i, sb) {
+			t.Errorf("row %d: champion below seed best", i)
+		}
+		if v := cell(t, tab, i, gain); v <= 1 {
+			t.Errorf("row %d: hunt found no gain over seeds (gain %v)", i, v)
+		}
+		if v := cell(t, tab, i, anom); v != 0 {
+			t.Errorf("row %d: %v anomalies during the hunt", i, v)
+		}
+	}
+}

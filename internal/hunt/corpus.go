@@ -1,0 +1,208 @@
+package hunt
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"rrnorm/internal/core"
+)
+
+// CorpusVersion is the on-disk corpus format version. Readers reject
+// versions they do not know; bump it on any incompatible change.
+const CorpusVersion = 1
+
+// corpusExt is the file extension corpus entries use.
+const corpusExt = ".json"
+
+// EntryJob is one job of a corpus entry (Weight omitted while the hunt
+// objective is unweighted).
+type EntryJob struct {
+	ID      int     `json:"id"`
+	Release float64 `json:"release"`
+	Size    float64 `json:"size"`
+	Weight  float64 `json:"weight,omitempty"`
+}
+
+// Entry is one committed regression witness: a shrunk hard instance
+// together with everything needed to reproduce its recorded ratio —
+// the hunt cell (k, machines, speed), the LP discretization, and the
+// provenance (seed, budget, origin) of the run that found it. Entries
+// contain no timestamps or host details, so regenerating one with the
+// same options is byte-stable.
+type Entry struct {
+	Version int    `json:"version"`
+	Name    string `json:"name"`
+
+	// The hunt cell and LP discretization the recorded ratio was measured
+	// under; Reevaluate replays with exactly these.
+	K          int     `json:"k"`
+	Machines   int     `json:"machines"`
+	Speed      float64 `json:"speed"`
+	LBSlots    int     `json:"lbSlots"`
+	LBMaxUnits int64   `json:"lbMaxUnits"`
+
+	// Provenance: the search run that produced the witness.
+	Seed   uint64 `json:"seed"`
+	Budget int    `json:"budget"`
+	Origin string `json:"origin"`
+
+	// The recorded measurements (the replay test reproduces Ratio to 1e-6).
+	Ratio      float64 `json:"ratio"`
+	NormRatio  float64 `json:"normRatio"`
+	RRPower    float64 `json:"rrPower"`
+	LowerBound float64 `json:"lowerBound"`
+
+	Jobs []EntryJob `json:"jobs"`
+}
+
+// FromReport packages a hunt report's shrunk witness (or, if shrinking was
+// disabled, its champion) as a corpus entry named name.
+func FromReport(rep *Report, name string) (*Entry, error) {
+	c := rep.Shrunk
+	if c == nil {
+		c = rep.Champion
+	}
+	if c == nil || c.Eval == nil {
+		return nil, fmt.Errorf("hunt: report has no witness to commit")
+	}
+	p := rep.Options.Params
+	e := &Entry{
+		Version:    CorpusVersion,
+		Name:       name,
+		K:          p.K,
+		Machines:   p.Machines,
+		Speed:      p.Speed,
+		LBSlots:    p.LBSlots,
+		LBMaxUnits: p.LBMaxUnits,
+		Seed:       rep.Options.Seed,
+		Budget:     rep.Options.Budget,
+		Origin:     c.Origin,
+		Ratio:      c.Eval.Ratio,
+		NormRatio:  c.Eval.NormRatio,
+		RRPower:    c.Eval.RRPower,
+		LowerBound: c.Eval.LB.Value,
+	}
+	for _, j := range c.Instance.Jobs {
+		e.Jobs = append(e.Jobs, EntryJob{ID: j.ID, Release: j.Release, Size: j.Size, Weight: j.Weight})
+	}
+	return e, e.Validate()
+}
+
+// Validate checks structural sanity: known version, a populated hunt cell,
+// finite recorded quantities, and a valid instance.
+func (e *Entry) Validate() error {
+	if e.Version != CorpusVersion {
+		return fmt.Errorf("corpus entry %q: unknown version %d (want %d)", e.Name, e.Version, CorpusVersion)
+	}
+	if e.Name == "" {
+		return fmt.Errorf("corpus entry: empty name")
+	}
+	if e.K < 1 || e.Machines < 1 || e.Speed <= 0 {
+		return fmt.Errorf("corpus entry %q: bad cell k=%d m=%d s=%g", e.Name, e.K, e.Machines, e.Speed)
+	}
+	if len(e.Jobs) == 0 {
+		return fmt.Errorf("corpus entry %q: no jobs", e.Name)
+	}
+	for _, v := range []float64{e.Ratio, e.NormRatio, e.RRPower, e.LowerBound} {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("corpus entry %q: non-finite recorded quantity", e.Name)
+		}
+	}
+	return e.Instance().Validate()
+}
+
+// Instance materializes the entry's jobs.
+func (e *Entry) Instance() *core.Instance {
+	jobs := make([]core.Job, len(e.Jobs))
+	for i, j := range e.Jobs {
+		jobs[i] = core.Job{ID: j.ID, Release: j.Release, Size: j.Size, Weight: j.Weight}
+	}
+	return core.NewInstance(jobs)
+}
+
+// Params returns the evaluation parameters the entry's ratio was recorded
+// under (MaxJobs sized to fit the entry itself).
+func (e *Entry) Params() Params {
+	return Params{
+		K:          e.K,
+		Machines:   e.Machines,
+		Speed:      e.Speed,
+		MaxJobs:    len(e.Jobs),
+		LBSlots:    e.LBSlots,
+		LBMaxUnits: e.LBMaxUnits,
+	}.withDefaults()
+}
+
+// Reevaluate replays the entry under its recorded parameters; the replay
+// tests assert the result matches the recorded ratio to 1e-6.
+func (e *Entry) Reevaluate() (*Evaluation, error) {
+	return Evaluate(e.Instance(), e.Params())
+}
+
+// WriteEntry writes the entry as <dir>/<name>.json (dir is created if
+// needed). The encoding is canonical — struct field order, indented — so
+// regenerated entries diff cleanly.
+func WriteEntry(dir string, e *Entry) (string, error) {
+	if err := e.Validate(); err != nil {
+		return "", err
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", err
+	}
+	data, err := json.MarshalIndent(e, "", "  ")
+	if err != nil {
+		return "", err
+	}
+	path := filepath.Join(dir, e.Name+corpusExt)
+	return path, os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// ReadEntry reads and validates one corpus entry.
+func ReadEntry(path string) (*Entry, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var e Entry
+	if err := json.Unmarshal(data, &e); err != nil {
+		return nil, fmt.Errorf("corpus %s: %w", path, err)
+	}
+	if err := e.Validate(); err != nil {
+		return nil, fmt.Errorf("corpus %s: %w", path, err)
+	}
+	return &e, nil
+}
+
+// LoadCorpus reads every *.json entry under dir, sorted by filename (a
+// deterministic replay order). A missing directory is an empty corpus, not
+// an error — callers decide whether emptiness is suspicious.
+func LoadCorpus(dir string) ([]*Entry, error) {
+	des, err := os.ReadDir(dir)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, de := range des {
+		if !de.IsDir() && strings.HasSuffix(de.Name(), corpusExt) {
+			names = append(names, de.Name())
+		}
+	}
+	sort.Strings(names)
+	entries := make([]*Entry, 0, len(names))
+	for _, name := range names {
+		e, err := ReadEntry(filepath.Join(dir, name))
+		if err != nil {
+			return nil, err
+		}
+		entries = append(entries, e)
+	}
+	return entries, nil
+}

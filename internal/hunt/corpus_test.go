@@ -1,0 +1,141 @@
+package hunt
+
+import (
+	"context"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestCorpusRoundtrip: a hunt's witness survives FromReport → WriteEntry →
+// ReadEntry → LoadCorpus with its recorded ratio reproducing under
+// Reevaluate — the exact loop the committed corpus and its replay test
+// rely on.
+func TestCorpusRoundtrip(t *testing.T) {
+	o := smallOpts()
+	rep := runHunt(t, o)
+	e, err := FromReport(rep, "roundtrip-k2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := filepath.Join(t.TempDir(), "corpus")
+	path, err := WriteEntry(dir, e)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	got, err := ReadEntry(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != e.Name || got.K != e.K || got.Machines != e.Machines ||
+		got.Speed != e.Speed || got.Seed != e.Seed || got.Ratio != e.Ratio ||
+		len(got.Jobs) != len(e.Jobs) {
+		t.Fatalf("roundtrip mangled entry:\nwrote %+v\nread  %+v", e, got)
+	}
+
+	ev, err := got.Reevaluate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := math.Abs(ev.Ratio - got.Ratio); d > 1e-6*(1+got.Ratio) {
+		t.Errorf("replayed ratio %.9g differs from recorded %.9g by %g", ev.Ratio, got.Ratio, d)
+	}
+
+	entries, err := LoadCorpus(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 || entries[0].Name != e.Name {
+		t.Fatalf("LoadCorpus got %d entries", len(entries))
+	}
+	// Writing is byte-stable: a second write of the same entry is a no-op
+	// diff-wise.
+	before, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := WriteEntry(dir, e); err != nil {
+		t.Fatal(err)
+	}
+	after, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(before) != string(after) {
+		t.Error("rewriting an unchanged entry changed its bytes")
+	}
+}
+
+// TestLoadCorpusMissingDir: a missing directory is an empty corpus.
+func TestLoadCorpusMissingDir(t *testing.T) {
+	entries, err := LoadCorpus(filepath.Join(t.TempDir(), "nope"))
+	if err != nil || len(entries) != 0 {
+		t.Fatalf("missing dir: entries=%d err=%v", len(entries), err)
+	}
+}
+
+// TestEntryValidateRejects: structurally broken entries are refused before
+// anything replays them.
+func TestEntryValidateRejects(t *testing.T) {
+	good := func() *Entry {
+		return &Entry{
+			Version: CorpusVersion, Name: "x", K: 2, Machines: 1, Speed: 1,
+			LBSlots: 64, LBMaxUnits: 4000, Ratio: 2, NormRatio: math.Sqrt2,
+			RRPower: 4, LowerBound: 2,
+			Jobs: []EntryJob{{ID: 0, Release: 0, Size: 1}},
+		}
+	}
+	cases := []struct {
+		name   string
+		break_ func(*Entry)
+		want   string
+	}{
+		{"bad-version", func(e *Entry) { e.Version = 99 }, "version"},
+		{"empty-name", func(e *Entry) { e.Name = "" }, "name"},
+		{"bad-k", func(e *Entry) { e.K = 0 }, "cell"},
+		{"bad-speed", func(e *Entry) { e.Speed = -1 }, "cell"},
+		{"no-jobs", func(e *Entry) { e.Jobs = nil }, "jobs"},
+		{"nan-ratio", func(e *Entry) { e.Ratio = math.NaN() }, "non-finite"},
+		{"invalid-instance", func(e *Entry) { e.Jobs[0].Size = math.Inf(1) }, ""},
+	}
+	if err := good().Validate(); err != nil {
+		t.Fatalf("baseline entry invalid: %v", err)
+	}
+	for _, c := range cases {
+		e := good()
+		c.break_(e)
+		err := e.Validate()
+		if err == nil {
+			t.Errorf("%s: accepted", c.name)
+			continue
+		}
+		if c.want != "" && !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: error %q does not mention %q", c.name, err, c.want)
+		}
+	}
+}
+
+// TestFromReportChampionFallback: with shrinking disabled the champion is
+// committed instead.
+func TestFromReportChampionFallback(t *testing.T) {
+	o := smallOpts()
+	o.Budget = 40
+	o.ShrinkBudget = -1
+	rep, err := Run(context.Background(), o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Shrunk != nil {
+		t.Fatal("shrinking ran despite negative budget")
+	}
+	e, err := FromReport(rep, "champ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Origin == "shrunk" || len(e.Jobs) != rep.Champion.Instance.N() {
+		t.Fatalf("entry not built from champion: %+v", e)
+	}
+}

@@ -1,0 +1,214 @@
+// Package hunt is the adversarial ratio hunter: a guided search over
+// scheduling instances that maximizes the empirical competitive ratio
+//
+//	RR^k / LB  :=  Σ_j F_j^k under Round Robin at (machines, speed)
+//	              ─────────────────────────────────────────────────
+//	              certified LP lower bound on OPT's Σ_j F_j^k (unit speed)
+//
+// per (k, speed s, machines m). The paper's ℓk bounds (Theorem 1 upper
+// bound at speed 2k(1+10ε), Bansal–Pruhs-style Ω(n^ε) lower bounds below
+// it) are only as credible as the worst instances the simulator has been
+// confronted with; hand-built hard instances are scarce for general k, so
+// the hunter automates the construction: it seeds from the analytic
+// lower-bound streams in internal/workload, perturbs them with local and
+// structural mutations, evaluates candidates on the fast engine through
+// the pooled-workspace batch runner, delta-debugs every champion down to a
+// minimal witness, and commits the result as a replayable regression
+// corpus (testdata/corpus). An anomaly layer (Monitor, StreamMonitor)
+// cross-checks every evaluation against the theory — LP bound vs achieved
+// schedules, dual-fitting certificate feasibility — so a ratio that could
+// only come from a simulator or bound bug is flagged instead of celebrated.
+package hunt
+
+import (
+	"context"
+	"fmt"
+
+	"rrnorm/internal/batch"
+	"rrnorm/internal/core"
+	"rrnorm/internal/lp"
+	"rrnorm/internal/metrics"
+	"rrnorm/internal/par"
+	"rrnorm/internal/policy"
+)
+
+// Params fixes the objective of a hunt: which (k, speed, machines) cell is
+// being attacked and how candidates are evaluated. The zero value is not
+// ready; call withDefaults (Run and the CLI do).
+type Params struct {
+	// K is the ℓk-norm order of the objective (k ≥ 1).
+	K int
+	// Machines is m ≥ 1.
+	Machines int
+	// Speed is RR's resource-augmentation speed s > 0; the lower bound
+	// side always runs at unit speed, exactly as in the paper.
+	Speed float64
+	// MaxJobs caps candidate instance sizes, bounding both the LP solve
+	// cost per evaluation and the search space (default 40).
+	MaxJobs int
+	// LBSlots and LBMaxUnits fix the LP discretization for every
+	// evaluation (lp.Options.Slots/MaxUnits; defaults 64 and 4000). The
+	// ratio is only comparable between candidates evaluated with the same
+	// discretization, so corpus entries record these.
+	LBSlots    int
+	LBMaxUnits int64
+	// Workers bounds evaluation parallelism (≤ 0 means GOMAXPROCS).
+	// Parallelism never changes results: evaluations are pure and are
+	// collected by candidate index.
+	Workers int
+}
+
+func (p Params) withDefaults() Params {
+	if p.K < 1 {
+		p.K = 2
+	}
+	if p.Machines < 1 {
+		p.Machines = 1
+	}
+	if p.Speed <= 0 {
+		p.Speed = 1
+	}
+	if p.MaxJobs <= 0 {
+		p.MaxJobs = 40
+	}
+	if p.LBSlots <= 0 {
+		p.LBSlots = 64
+	}
+	if p.LBMaxUnits <= 0 {
+		p.LBMaxUnits = 4000
+	}
+	return p
+}
+
+// lbOptions is the lp discretization every evaluation of this hunt uses.
+func (p Params) lbOptions() lp.Options {
+	return lp.Options{Slots: p.LBSlots, MaxUnits: p.LBMaxUnits}
+}
+
+// Evaluation is one candidate's measured objective plus the cross-check
+// quantities the anomaly monitors compare it against.
+type Evaluation struct {
+	// RRPower is Σ_j F_j^k under RR at (Machines, Speed).
+	RRPower float64
+	// UnitRRPower and UnitSRPTPower are Σ_j F_j^k of RR and SRPT at unit
+	// speed — achieved schedules, so each upper-bounds OPT^k. Their min
+	// (UnitBest) is the tightest achieved upper bound the monitors check
+	// the LP lower bound against.
+	UnitRRPower   float64
+	UnitSRPTPower float64
+	// LB is the certified LP lower bound on OPT's Σ_j F_j^k at unit speed.
+	LB lp.Bound
+	// Ratio is RRPower / LB.Value — the hunt objective — or -1 when the
+	// bound is degenerate (zero: instances with no work). NormRatio is its
+	// k-th root, the ℓk-norm competitive ratio estimate.
+	Ratio     float64
+	NormRatio float64
+}
+
+// UnitBest returns the smaller of the two achieved unit-speed powers — an
+// upper bound on OPT^k.
+func (e *Evaluation) UnitBest() float64 {
+	if e.UnitSRPTPower < e.UnitRRPower {
+		return e.UnitSRPTPower
+	}
+	return e.UnitRRPower
+}
+
+// Evaluate measures one instance. It validates the instance first; the
+// mutators only produce valid instances, but Evaluate is also the entry
+// point for corpus replay and fuzzing, which must reject garbage loudly.
+func Evaluate(in *core.Instance, p Params) (*Evaluation, error) {
+	evs, err := EvaluateAll(context.Background(), []*core.Instance{in}, p)
+	if err != nil {
+		return nil, err
+	}
+	return evs[0], nil
+}
+
+// EvaluateAll measures many candidates: the three simulations per
+// candidate (RR at the hunt speed, RR and SRPT at unit speed) fan out over
+// the pooled-workspace batch runner, and the LP solves — the expensive
+// part — over a bounded worker pool. Results are in candidate order and
+// independent of Workers.
+//
+// Observers, when attached via attachMonitors, see only the RR-at-hunt-
+// speed run (the schedule the ratio's numerator measures).
+func EvaluateAll(ctx context.Context, ins []*core.Instance, p Params) ([]*Evaluation, error) {
+	return evaluateAll(ctx, ins, p, nil)
+}
+
+// evaluateAll is EvaluateAll with an optional per-candidate observer
+// factory for the RR-at-hunt-speed run (the monitors' streaming hook).
+func evaluateAll(ctx context.Context, ins []*core.Instance, p Params, observe func(i int) core.Observer) ([]*Evaluation, error) {
+	p = p.withDefaults()
+	n := len(ins)
+	if n == 0 {
+		return nil, nil
+	}
+	for i, in := range ins {
+		if err := in.Validate(); err != nil {
+			return nil, fmt.Errorf("hunt: candidate %d: %w", i, err)
+		}
+		if in.N() > p.MaxJobs {
+			return nil, fmt.Errorf("hunt: candidate %d has %d jobs, cap is %d", i, in.N(), p.MaxJobs)
+		}
+	}
+	evs := make([]*Evaluation, n)
+	for i := range evs {
+		evs[i] = &Evaluation{}
+	}
+	// Simulations: 3 points per candidate, reduced in consume (results are
+	// workspace-owned; only scalars leave the callback).
+	points := make([]batch.Point, 0, 3*n)
+	for i, in := range ins {
+		huntOpts := core.Options{Machines: p.Machines, Speed: p.Speed}
+		if observe != nil {
+			huntOpts.Observer = observe(i)
+		}
+		points = append(points,
+			batch.Point{Instance: in, Policy: policy.NewRR(), Options: huntOpts},
+			batch.Point{Instance: in, Policy: policy.NewRR(), Options: core.Options{Machines: p.Machines, Speed: 1}},
+			batch.Point{Instance: in, Policy: policy.NewSRPT(), Options: core.Options{Machines: p.Machines, Speed: 1}},
+		)
+	}
+	err := batch.Run(ctx, points, p.Workers, func(i int, res *core.Result) error {
+		pow := metrics.KthPowerSum(res.Flow, p.K)
+		ev := evs[i/3]
+		switch i % 3 {
+		case 0:
+			ev.RRPower = pow
+		case 1:
+			ev.UnitRRPower = pow
+		default:
+			ev.UnitSRPTPower = pow
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("hunt: simulate: %w", err)
+	}
+	// Lower bounds: one LP solve per candidate.
+	err = par.ForEachCtx(ctx, n, p.Workers, func(ctx context.Context, i int) error {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		b, err := lp.KPowerLowerBound(ins[i], p.Machines, p.K, p.lbOptions())
+		if err != nil {
+			return fmt.Errorf("hunt: candidate %d lower bound: %w", i, err)
+		}
+		evs[i].LB = b
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, ev := range evs {
+		if ev.LB.Value > 0 {
+			ev.Ratio = ev.RRPower / ev.LB.Value
+			ev.NormRatio = metrics.RootK(ev.Ratio, p.K)
+		} else {
+			ev.Ratio, ev.NormRatio = -1, -1
+		}
+	}
+	return evs, nil
+}

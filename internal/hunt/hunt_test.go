@@ -1,0 +1,237 @@
+package hunt
+
+import (
+	"bytes"
+	"context"
+	"math"
+	"testing"
+
+	"rrnorm/internal/core"
+	"rrnorm/internal/stats"
+	"rrnorm/internal/workload"
+)
+
+// smallOpts is the cheap hunt configuration the tests share: enough budget
+// to clear the seed pool and evolve a few generations, small enough to
+// keep tier-1 fast.
+func smallOpts() Options {
+	return Options{
+		Params:       Params{K: 2, MaxJobs: 36},
+		Seed:         1,
+		Budget:       120,
+		Population:   12,
+		ShrinkBudget: 80,
+	}
+}
+
+func runHunt(t *testing.T, o Options) *Report {
+	t.Helper()
+	rep, err := Run(context.Background(), o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep
+}
+
+// TestRunDeterminism pins the hunt's central operational property: equal
+// options give byte-identical reports, including across the parallel
+// evaluation pipeline (results are collected by index, randomness is
+// seeded, and no timing enters the report).
+func TestRunDeterminism(t *testing.T) {
+	o := smallOpts()
+	o.Monitor = NewMonitor(o.Params)
+	var a, b bytes.Buffer
+	if err := runHunt(t, o).WriteText(&a); err != nil {
+		t.Fatal(err)
+	}
+	o.Monitor = NewMonitor(o.Params)
+	if err := runHunt(t, o).WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatalf("two identical hunts produced different reports:\n--- first\n%s\n--- second\n%s", a.String(), b.String())
+	}
+	// Different Workers settings must not change the report either.
+	o.Monitor = nil
+	o.Workers = 1
+	var c bytes.Buffer
+	if err := runHunt(t, o).WriteText(&c); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), c.Bytes()) {
+		t.Fatalf("Workers=1 changed the report:\n--- parallel\n%s\n--- serial\n%s", a.String(), c.String())
+	}
+}
+
+// TestRunImprovesAndStaysClean: with a modest budget the search must beat
+// the best analytic seed, shrink its champion, and keep every monitor
+// silent — the in-tree version of the PR's acceptance criterion.
+func TestRunImprovesAndStaysClean(t *testing.T) {
+	o := smallOpts()
+	o.Budget = 220
+	o.Monitor = NewMonitor(o.Params)
+	rep := runHunt(t, o)
+	if rep.SeedBest == nil || rep.Champion == nil || rep.Shrunk == nil {
+		t.Fatalf("report missing candidates: %+v", rep)
+	}
+	if !rep.Improved {
+		t.Errorf("search did not improve on seed best %.4f (champion %.4f)",
+			rep.SeedBest.Eval.Ratio, rep.Champion.Eval.Ratio)
+	}
+	if rep.Shrunk.Instance.N() > rep.Champion.Instance.N() {
+		t.Errorf("shrinker grew the witness: %d -> %d jobs", rep.Champion.Instance.N(), rep.Shrunk.Instance.N())
+	}
+	window := o.ShrinkTol
+	if window <= 0 {
+		window = 1e-3
+	}
+	if d := math.Abs(rep.Shrunk.Eval.Ratio - rep.Champion.Eval.Ratio); d > window*(1+rep.Champion.Eval.Ratio) {
+		t.Errorf("shrunk ratio %.6f drifted %g from champion %.6f", rep.Shrunk.Eval.Ratio, d, rep.Champion.Eval.Ratio)
+	}
+	if len(rep.Anomalies) != 0 {
+		t.Errorf("monitors fired on a healthy tree: %v", rep.Anomalies)
+	}
+	if rep.Evaluations > o.Budget {
+		t.Errorf("search overspent: %d evaluations, budget %d", rep.Evaluations, o.Budget)
+	}
+	if got := o.Monitor.Checked(); got < rep.Evaluations {
+		t.Errorf("monitor checked %d of %d evaluations", got, rep.Evaluations)
+	}
+}
+
+// TestRunRespectsContext: a cancelled context aborts the hunt with the
+// context's error.
+func TestRunRespectsContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := Run(ctx, smallOpts()); err == nil {
+		t.Fatal("cancelled hunt returned nil error")
+	}
+}
+
+// TestEvaluate checks the evaluator against hand-computable ground truth:
+// the RR stream completes all jobs simultaneously, and the ratio is
+// invariant under time scaling (both numerator and denominator scale by
+// the same power of the scale factor).
+func TestEvaluate(t *testing.T) {
+	p := Params{K: 2}
+	in := workload.RRStream(8, 1)
+	ev, err := Evaluate(in, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.Ratio <= 1 {
+		t.Fatalf("RR stream ratio %.4f not above 1", ev.Ratio)
+	}
+	if ev.LB.Value <= 0 || ev.UnitBest() < ev.LB.Value {
+		t.Fatalf("bound ordering broken: LB %.6g, achieved %.6g", ev.LB.Value, ev.UnitBest())
+	}
+	if got, want := ev.NormRatio, math.Sqrt(ev.Ratio); math.Abs(got-want) > 1e-12*(1+want) {
+		t.Fatalf("NormRatio %.9g != sqrt(Ratio) %.9g", got, want)
+	}
+
+	// Time-scaled copy: releases and sizes both ×3.
+	jobs := append([]core.Job(nil), in.Jobs...)
+	for i := range jobs {
+		jobs[i].Release *= 3
+		jobs[i].Size *= 3
+	}
+	ev3, err := Evaluate(core.NewInstance(jobs), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := math.Abs(ev3.Ratio - ev.Ratio); d > 0.05*ev.Ratio {
+		t.Fatalf("ratio not scale-invariant: %.4f vs %.4f", ev.Ratio, ev3.Ratio)
+	}
+}
+
+// TestEvaluateAllMatchesEvaluate: the batch path and the single path are
+// the same computation.
+func TestEvaluateAllMatchesEvaluate(t *testing.T) {
+	p := Params{K: 3, Machines: 2, Speed: 1.5}
+	ins := []*core.Instance{
+		workload.RRStreamS(6, 2, 1.5),
+		workload.Cascade(4, 0.8),
+		workload.Staircase(9),
+	}
+	all, err := EvaluateAll(context.Background(), ins, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, in := range ins {
+		one, err := Evaluate(in, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		same := one.RRPower == all[i].RRPower &&
+			one.UnitRRPower == all[i].UnitRRPower &&
+			one.UnitSRPTPower == all[i].UnitSRPTPower &&
+			one.LB.Value == all[i].LB.Value &&
+			one.Ratio == all[i].Ratio &&
+			one.NormRatio == all[i].NormRatio
+		if !same {
+			t.Errorf("instance %d: EvaluateAll %+v != Evaluate %+v", i, all[i], one)
+		}
+	}
+}
+
+// TestEvaluateRejectsGarbage: invalid instances and cap violations error
+// instead of producing silent nonsense.
+func TestEvaluateRejectsGarbage(t *testing.T) {
+	p := Params{K: 2, MaxJobs: 4}
+	if _, err := Evaluate(workload.RRStream(8, 1), p); err == nil {
+		t.Error("over-cap instance accepted")
+	}
+	bad := core.NewInstance([]core.Job{{ID: 0, Release: 0, Size: math.NaN()}})
+	if _, err := Evaluate(bad, Params{K: 2}); err == nil {
+		t.Error("NaN-size instance accepted")
+	}
+}
+
+// TestSeedInstances: every seed respects the job cap and validates, and the
+// pool covers at least the stream + cascade families.
+func TestSeedInstances(t *testing.T) {
+	for _, p := range []Params{{K: 2}, {K: 1, Machines: 3, Speed: 2}, {K: 2, MaxJobs: 7}} {
+		p = p.withDefaults()
+		seeds := seedInstances(p)
+		if len(seeds) == 0 {
+			t.Fatalf("no seeds for %+v", p)
+		}
+		for _, c := range seeds {
+			if err := c.Instance.Validate(); err != nil {
+				t.Errorf("seed %s invalid: %v", c.Origin, err)
+			}
+			if n := c.Instance.N(); n < 1 || n > p.MaxJobs {
+				t.Errorf("seed %s has %d jobs, cap %d", c.Origin, n, p.MaxJobs)
+			}
+		}
+	}
+}
+
+// TestMutatorProducesValidCandidates: whatever sequence of operators fires,
+// the result validates, respects the cap, and leaves the parent untouched.
+func TestMutatorProducesValidCandidates(t *testing.T) {
+	p := Params{K: 2, MaxJobs: 20}.withDefaults()
+	m := &mutator{rng: stats.NewRNG(1), p: p}
+	parent := workload.RRStream(6, 1)
+	orig := append([]core.Job(nil), parent.Jobs...)
+	for i := 0; i < 500; i++ {
+		child := m.mutate(parent)
+		if err := child.Validate(); err != nil {
+			t.Fatalf("mutation %d invalid: %v", i, err)
+		}
+		if n := child.N(); n < 1 || n > p.MaxJobs {
+			t.Fatalf("mutation %d has %d jobs, cap %d", i, n, p.MaxJobs)
+		}
+		for j, job := range child.Jobs {
+			if job.ID != j {
+				t.Fatalf("mutation %d: job %d has ID %d (want dense)", i, j, job.ID)
+			}
+		}
+	}
+	for i := range orig {
+		if parent.Jobs[i] != orig[i] {
+			t.Fatal("mutate modified its input")
+		}
+	}
+}

@@ -1,0 +1,236 @@
+package hunt
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"rrnorm/internal/core"
+	"rrnorm/internal/fast"
+	"rrnorm/internal/policy"
+	"rrnorm/internal/workload"
+)
+
+func kinds(as []Anomaly) []string {
+	out := make([]string, len(as))
+	for i, a := range as {
+		out[i] = a.Kind
+	}
+	return out
+}
+
+func wantKind(t *testing.T, as []Anomaly, kind string) {
+	t.Helper()
+	for _, a := range as {
+		if a.Kind == kind {
+			return
+		}
+	}
+	t.Errorf("no %s anomaly in %v", kind, kinds(as))
+}
+
+// TestMonitorSilentOnHealthyEvaluations: real evaluations of the analytic
+// families never trip a monitor.
+func TestMonitorSilentOnHealthyEvaluations(t *testing.T) {
+	for _, p := range []Params{{K: 1}, {K: 2}, {K: 2, Machines: 2, Speed: 2}, {K: 3, Speed: 0.5}} {
+		p = p.withDefaults()
+		m := NewMonitor(p)
+		for _, in := range []*core.Instance{
+			workload.RRStreamS(8, p.Machines, p.Speed),
+			workload.Cascade(4, 0.8),
+			workload.Staircase(10),
+		} {
+			ev, err := Evaluate(in, p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			m.CheckEvaluation("healthy", in, ev)
+		}
+		if as := m.Anomalies(); len(as) != 0 {
+			t.Errorf("params %+v: monitor fired on healthy evaluations: %v", p, as)
+		}
+		if m.Checked() != 3 {
+			t.Errorf("checked %d, want 3", m.Checked())
+		}
+	}
+}
+
+// TestMonitorCertificateSilentOnHealthyInstances: the dual certificate at
+// Theorem 1's speed verifies on real instances (and the implied bound
+// holds), so CheckCertificate stays silent.
+func TestMonitorCertificateSilentOnHealthyInstances(t *testing.T) {
+	for _, k := range []int{1, 2} {
+		m := NewMonitor(Params{K: k})
+		m.CheckCertificate("healthy", workload.RRStream(6, 1))
+		m.CheckCertificate("empty", core.NewInstance(nil))
+		if as := m.Anomalies(); len(as) != 0 {
+			t.Errorf("k=%d: certificate check fired on healthy instance: %v", k, as)
+		}
+	}
+}
+
+// TestMonitorFlagsSyntheticAnomalies: each evaluation-level anomaly kind is
+// triggerable by a doctored Evaluation — the test that the net has no
+// holes where it claims to have mesh.
+func TestMonitorFlagsSyntheticAnomalies(t *testing.T) {
+	in := workload.RRStream(4, 1)
+	p := Params{K: 2}.withDefaults()
+	ev, err := Evaluate(in, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	t.Run("lb-above-achieved", func(t *testing.T) {
+		m := NewMonitor(p)
+		bad := *ev
+		bad.LB.Value = bad.UnitBest() * 1.5
+		m.CheckEvaluation("doctored", in, &bad)
+		wantKind(t, m.Anomalies(), AnomLBAboveAchieved)
+	})
+	t.Run("rr-below-lb", func(t *testing.T) {
+		m := NewMonitor(p) // Speed defaults to 1, so the check is armed
+		bad := *ev
+		bad.RRPower = bad.LB.Value / 2
+		m.CheckEvaluation("doctored", in, &bad)
+		wantKind(t, m.Anomalies(), AnomRRBelowLB)
+	})
+	t.Run("rr-below-lb-disarmed-at-speed", func(t *testing.T) {
+		fastP := Params{K: 2, Speed: 4}.withDefaults()
+		m := NewMonitor(fastP)
+		bad := *ev
+		bad.RRPower = bad.LB.Value / 2 // legitimate at speed 4
+		m.CheckEvaluation("doctored", in, &bad)
+		for _, a := range m.Anomalies() {
+			if a.Kind == AnomRRBelowLB {
+				t.Errorf("rr-below-lb fired at speed > 1: %v", a)
+			}
+		}
+	})
+	t.Run("non-finite", func(t *testing.T) {
+		m := NewMonitor(p)
+		bad := *ev
+		bad.RRPower = math.NaN()
+		m.CheckEvaluation("doctored", in, &bad)
+		wantKind(t, m.Anomalies(), AnomNonFinite)
+	})
+	t.Run("bad-eps-certificate", func(t *testing.T) {
+		m := NewMonitor(p)
+		m.Eps = 0.5 // outside (0, 0.1]: witness construction must fail loudly
+		m.CheckCertificate("doctored", in)
+		wantKind(t, m.Anomalies(), AnomCertInfeasible)
+	})
+	t.Run("truncation", func(t *testing.T) {
+		m := NewMonitor(p)
+		bad := *ev
+		bad.RRPower = math.NaN()
+		for i := 0; i < maxAnomalies+10; i++ {
+			m.CheckEvaluation("doctored", in, &bad)
+		}
+		as := m.Anomalies()
+		if len(as) != maxAnomalies+1 {
+			t.Fatalf("got %d anomalies, want %d + truncation marker", len(as), maxAnomalies)
+		}
+		if last := as[len(as)-1]; last.Kind != "truncated" || !strings.Contains(last.Msg, "dropped") {
+			t.Errorf("missing truncation marker, got %v", last)
+		}
+	})
+}
+
+// TestStreamMonitorSilentOnRealRuns: attached to real engine runs across
+// policies, speeds and machine counts, the streaming invariants all hold.
+func TestStreamMonitorSilentOnRealRuns(t *testing.T) {
+	cases := []struct {
+		in       *core.Instance
+		pol      core.Policy
+		machines int
+		speed    float64
+	}{
+		{workload.RRStream(8, 1), policy.NewRR(), 1, 1},
+		{workload.RRStreamS(6, 2, 2), policy.NewRR(), 2, 2},
+		{workload.Cascade(4, 0.8), policy.NewSRPT(), 1, 0.5},
+		{workload.Staircase(12), policy.NewRR(), 3, 1},
+	}
+	for _, c := range cases {
+		sm := NewStreamMonitor(c.machines, c.speed)
+		_, err := fast.Run(c.in, c.pol, core.Options{Machines: c.machines, Speed: c.speed, Observer: sm})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if as := sm.Anomalies(); len(as) != 0 {
+			t.Errorf("%s m=%d s=%g: stream monitor fired on a real run: %v", c.pol.Name(), c.machines, c.speed, as)
+		}
+	}
+}
+
+// TestStreamMonitorFlagsBrokenStreams: synthetic observer call sequences
+// that violate each invariant are caught.
+func TestStreamMonitorFlagsBrokenStreams(t *testing.T) {
+	job := core.Job{ID: 0, Release: 1, Size: 2}
+
+	t.Run("epoch-reversed", func(t *testing.T) {
+		sm := NewStreamMonitor(1, 1)
+		sm.ObserveEpoch(&core.Epoch{Start: 5, End: 3, RateSum: 1, Alive: 1})
+		wantKind(t, sm.Anomalies(), AnomStream)
+	})
+	t.Run("epoch-overlap", func(t *testing.T) {
+		sm := NewStreamMonitor(1, 1)
+		sm.ObserveEpoch(&core.Epoch{Start: 0, End: 2, RateSum: 1, Alive: 1})
+		sm.ObserveEpoch(&core.Epoch{Start: 1, End: 3, RateSum: 1, Alive: 1})
+		wantKind(t, sm.Anomalies(), AnomStream)
+	})
+	t.Run("rate-over-capacity", func(t *testing.T) {
+		sm := NewStreamMonitor(2, 1)
+		sm.ObserveEpoch(&core.Epoch{Start: 0, End: 1, RateSum: 2.5, Alive: 3})
+		wantKind(t, sm.Anomalies(), AnomStream)
+	})
+	t.Run("completion-before-release", func(t *testing.T) {
+		sm := NewStreamMonitor(1, 1)
+		sm.ObserveArrival(1, 0, job)
+		sm.ObserveCompletion(0.5, 0, 2)
+		wantKind(t, sm.Anomalies(), AnomStream)
+	})
+	t.Run("impossibly-fast-completion", func(t *testing.T) {
+		sm := NewStreamMonitor(1, 1)
+		sm.ObserveArrival(1, 0, job)
+		sm.ObserveCompletion(2, 0, 1) // flow 1 < size/speed = 2
+		wantKind(t, sm.Anomalies(), AnomStream)
+	})
+	t.Run("negative-flow", func(t *testing.T) {
+		sm := NewStreamMonitor(1, 1)
+		sm.ObserveArrival(1, 0, job)
+		sm.ObserveCompletion(3, 0, -1)
+		wantKind(t, sm.Anomalies(), AnomStream)
+	})
+	t.Run("double-completion", func(t *testing.T) {
+		sm := NewStreamMonitor(1, 1)
+		sm.ObserveArrival(1, 0, job)
+		sm.ObserveCompletion(3, 0, 2)
+		sm.ObserveCompletion(4, 0, 3)
+		wantKind(t, sm.Anomalies(), AnomStream)
+	})
+	t.Run("unknown-job", func(t *testing.T) {
+		sm := NewStreamMonitor(1, 1)
+		sm.ObserveCompletion(3, 7, 2)
+		wantKind(t, sm.Anomalies(), AnomStream)
+	})
+	t.Run("lost-completion", func(t *testing.T) {
+		sm := NewStreamMonitor(1, 1)
+		sm.ObserveArrival(1, 0, job)
+		sm.ObserveDone(&core.Result{Flow: []float64{2}})
+		wantKind(t, sm.Anomalies(), AnomStream)
+	})
+}
+
+// TestMonitorAbsorb: stream findings surface in the monitor with their
+// origin label.
+func TestMonitorAbsorb(t *testing.T) {
+	m := NewMonitor(Params{K: 2})
+	sm := NewStreamMonitor(1, 1)
+	sm.ObserveEpoch(&core.Epoch{Start: 5, End: 3, RateSum: 1, Alive: 1})
+	m.absorb("mutant", sm)
+	m.absorb("mutant", nil) // nil stream monitors are ignored
+	as := m.Anomalies()
+	if len(as) != 1 || as[0].Kind != AnomStream || !strings.Contains(as[0].Msg, "mutant") {
+		t.Fatalf("absorb mangled findings: %v", as)
+	}
+}

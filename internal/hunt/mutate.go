@@ -1,0 +1,228 @@
+package hunt
+
+import (
+	"math"
+	"math/rand/v2"
+
+	"rrnorm/internal/core"
+)
+
+// Mutation magnitude and safety bounds. Mutated instances must stay inside
+// the region the LP discretization handles well: releases and sizes are
+// clamped to [0, maxMagnitude] and candidate job counts to [1, MaxJobs].
+const (
+	maxMagnitude = 1e6
+	sizeSigma    = 0.25 // log-normal σ of a size jitter step
+)
+
+// mutator applies the hunt's local perturbations and structural moves to
+// candidate instances. All randomness comes from the injected rng, so a
+// seeded hunt is fully deterministic. Every returned instance is
+// normalized, densely re-numbered and valid.
+type mutator struct {
+	rng *rand.Rand
+	p   Params
+}
+
+// mutate returns a perturbed copy of in: 1–3 randomly chosen operators
+// applied in sequence. The input is never modified.
+func (m *mutator) mutate(in *core.Instance) *core.Instance {
+	jobs := append([]core.Job(nil), in.Jobs...)
+	steps := 1 + m.rng.IntN(3)
+	for s := 0; s < steps; s++ {
+		switch m.rng.IntN(8) {
+		case 0:
+			jobs = m.jitterSizes(jobs)
+		case 1:
+			jobs = m.jitterReleases(jobs)
+		case 2:
+			jobs = m.splitJob(jobs)
+		case 3:
+			jobs = m.mergeJobs(jobs)
+		case 4:
+			jobs = m.stretchPhase(jobs)
+		case 5:
+			jobs = m.extendStream(jobs)
+		case 6:
+			jobs = m.cloneJob(jobs)
+		default:
+			jobs = m.dropJob(jobs)
+		}
+	}
+	return m.finish(jobs)
+}
+
+// finish clamps, renumbers and normalizes a mutated job slice into a valid
+// candidate within the size cap.
+func (m *mutator) finish(jobs []core.Job) *core.Instance {
+	if len(jobs) == 0 {
+		jobs = []core.Job{{Release: 0, Size: 1}}
+	}
+	if len(jobs) > m.p.MaxJobs {
+		jobs = jobs[:m.p.MaxJobs]
+	}
+	for i := range jobs {
+		jobs[i].Release = clamp(jobs[i].Release)
+		jobs[i].Size = clamp(jobs[i].Size)
+		jobs[i].Weight = 0 // the hunt objective is unweighted
+		jobs[i].ID = i     // temporary: unique pre-normalization
+	}
+	out := core.NewInstance(jobs)
+	// Dense IDs in (Release, ID) order keep fingerprints canonical and the
+	// corpus format tidy.
+	for i := range out.Jobs {
+		out.Jobs[i].ID = i
+	}
+	return out
+}
+
+func clamp(x float64) float64 {
+	if math.IsNaN(x) || x < 0 {
+		return 0
+	}
+	if x > maxMagnitude {
+		return maxMagnitude
+	}
+	return x
+}
+
+// jitterSizes multiplies a random subset of sizes by a log-normal factor —
+// the smallest-grain local move.
+func (m *mutator) jitterSizes(jobs []core.Job) []core.Job {
+	for i := range jobs {
+		if m.rng.IntN(4) == 0 {
+			jobs[i].Size *= math.Exp(m.rng.NormFloat64() * sizeSigma)
+		}
+	}
+	return jobs
+}
+
+// jitterReleases shifts a random subset of releases by a fraction of the
+// instance's typical inter-arrival spacing.
+func (m *mutator) jitterReleases(jobs []core.Job) []core.Job {
+	span := releaseSpan(jobs)
+	step := span / float64(len(jobs)+1)
+	if step <= 0 {
+		step = 0.5
+	}
+	for i := range jobs {
+		if m.rng.IntN(4) == 0 {
+			jobs[i].Release += step * (m.rng.Float64()*2 - 1)
+		}
+	}
+	return jobs
+}
+
+// splitJob replaces one job by two half-size jobs at the same release —
+// burst splitting.
+func (m *mutator) splitJob(jobs []core.Job) []core.Job {
+	if len(jobs) >= m.p.MaxJobs {
+		return jobs
+	}
+	i := m.rng.IntN(len(jobs))
+	half := jobs[i].Size / 2
+	jobs[i].Size = half
+	return append(jobs, core.Job{Release: jobs[i].Release, Size: half})
+}
+
+// mergeJobs merges two jobs into one carrying their summed size at the
+// earlier release — burst merging.
+func (m *mutator) mergeJobs(jobs []core.Job) []core.Job {
+	if len(jobs) < 2 {
+		return jobs
+	}
+	i := m.rng.IntN(len(jobs) - 1)
+	j := i + 1 // neighbors after normalization: similar releases
+	jobs[i].Size += jobs[j].Size
+	if jobs[j].Release < jobs[i].Release {
+		jobs[i].Release = jobs[j].Release
+	}
+	return append(jobs[:j], jobs[j+1:]...)
+}
+
+// stretchPhase scales all releases at or after a random cut time by a
+// factor around 1 — stream-phase stretching (the sizes are left alone, so
+// the stretch changes the load profile, not just the clock).
+func (m *mutator) stretchPhase(jobs []core.Job) []core.Job {
+	span := releaseSpan(jobs)
+	cut := m.rng.Float64() * span
+	factor := 0.7 + 0.6*m.rng.Float64() // [0.7, 1.3)
+	for i := range jobs {
+		if jobs[i].Release >= cut {
+			jobs[i].Release = cut + (jobs[i].Release-cut)*factor
+		}
+	}
+	return jobs
+}
+
+// extendStream appends a job after the last release, sized near the median
+// job — the move that lets the hunt continue an adversarial stream past
+// its engineered end (the probes show this is where RR's empirical ratio
+// keeps growing).
+func (m *mutator) extendStream(jobs []core.Job) []core.Job {
+	if len(jobs) >= m.p.MaxJobs {
+		return jobs
+	}
+	last, step := 0.0, 1.0
+	if n := len(jobs); n > 0 {
+		last = jobs[n-1].Release
+		if span := releaseSpan(jobs); span > 0 {
+			step = span / float64(n)
+		}
+	}
+	size := medianSize(jobs) * math.Exp(m.rng.NormFloat64()*sizeSigma)
+	return append(jobs, core.Job{Release: last + step*(0.5+m.rng.Float64()), Size: size})
+}
+
+// cloneJob duplicates a random job (exact release tie, exercising the
+// engines' simultaneous-release paths).
+func (m *mutator) cloneJob(jobs []core.Job) []core.Job {
+	if len(jobs) >= m.p.MaxJobs {
+		return jobs
+	}
+	i := m.rng.IntN(len(jobs))
+	return append(jobs, core.Job{Release: jobs[i].Release, Size: jobs[i].Size})
+}
+
+// dropJob removes a random job.
+func (m *mutator) dropJob(jobs []core.Job) []core.Job {
+	if len(jobs) < 2 {
+		return jobs
+	}
+	i := m.rng.IntN(len(jobs))
+	return append(jobs[:i], jobs[i+1:]...)
+}
+
+func releaseSpan(jobs []core.Job) float64 {
+	var lo, hi float64
+	for i, j := range jobs {
+		if i == 0 || j.Release < lo {
+			lo = j.Release
+		}
+		if j.Release > hi {
+			hi = j.Release
+		}
+	}
+	return hi - lo
+}
+
+func medianSize(jobs []core.Job) float64 {
+	if len(jobs) == 0 {
+		return 1
+	}
+	sizes := make([]float64, len(jobs))
+	for i, j := range jobs {
+		sizes[i] = j.Size
+	}
+	// Insertion sort: n ≤ MaxJobs, and this runs once per mutation step.
+	for i := 1; i < len(sizes); i++ {
+		for j := i; j > 0 && sizes[j] < sizes[j-1]; j-- {
+			sizes[j], sizes[j-1] = sizes[j-1], sizes[j]
+		}
+	}
+	med := sizes[len(sizes)/2]
+	if med <= 0 {
+		return 1
+	}
+	return med
+}

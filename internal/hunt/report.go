@@ -1,0 +1,62 @@
+package hunt
+
+import (
+	"fmt"
+	"io"
+)
+
+// WriteText renders the report in a fixed, byte-deterministic layout: no
+// timings, no host details, floats at full precision. Two runs with equal
+// Options produce identical bytes — the property `make hunt-smoke` and the
+// CLI tests pin.
+func (r *Report) WriteText(w io.Writer) error {
+	o := r.Options
+	if _, err := fmt.Fprintf(w, "hunt: k=%d m=%d speed=%g seed=%d budget=%d pop=%d maxjobs=%d lp=%d/%d\n",
+		o.K, o.Machines, o.Speed, o.Seed, o.Budget, o.Population, o.MaxJobs, o.LBSlots, o.LBMaxUnits); err != nil {
+		return err
+	}
+	writeCand := func(role string, c *Candidate) error {
+		if c == nil {
+			_, err := fmt.Fprintf(w, "%s: none\n", role)
+			return err
+		}
+		_, err := fmt.Fprintf(w, "%s: %s n=%d ratio=%.9g norm-ratio=%.9g rr-power=%.9g lb=%.9g (%s)\n",
+			role, c.Origin, c.Instance.N(), c.Eval.Ratio, c.Eval.NormRatio, c.Eval.RRPower, c.Eval.LB.Value, c.Eval.LB.Method)
+		return err
+	}
+	if err := writeCand("seed-best", r.SeedBest); err != nil {
+		return err
+	}
+	if err := writeCand("champion", r.Champion); err != nil {
+		return err
+	}
+	if err := writeCand("shrunk", r.Shrunk); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "spend: evaluations=%d generations=%d shrink-evals=%d shrink-steps=%d\n",
+		r.Evaluations, r.Generations, r.ShrinkEvals, r.ShrinkSteps); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "improved-over-seeds: %v\n", r.Improved); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "anomalies: %d\n", len(r.Anomalies)); err != nil {
+		return err
+	}
+	for _, a := range r.Anomalies {
+		if _, err := fmt.Fprintf(w, "  %s\n", a); err != nil {
+			return err
+		}
+	}
+	if c := r.Shrunk; c != nil {
+		if _, err := fmt.Fprintf(w, "witness jobs (id release size):\n"); err != nil {
+			return err
+		}
+		for _, j := range c.Instance.Jobs {
+			if _, err := fmt.Fprintf(w, "  %d %.9g %.9g\n", j.ID, j.Release, j.Size); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

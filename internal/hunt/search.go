@@ -1,0 +1,282 @@
+package hunt
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"sort"
+
+	"rrnorm/internal/core"
+	"rrnorm/internal/stats"
+	"rrnorm/internal/workload"
+)
+
+// Options configures a hunt run.
+type Options struct {
+	Params
+	// Seed drives all search randomness; equal seeds (and Params/budgets)
+	// give byte-identical reports.
+	Seed uint64
+	// Budget is the total number of candidate evaluations the search may
+	// spend, seeds included (default 400).
+	Budget int
+	// Population is the evolutionary population size μ (default 16); each
+	// generation breeds the same number of offspring.
+	Population int
+	// ShrinkBudget bounds the extra evaluations the champion shrinker may
+	// spend (default 400). 0 uses the default; negative disables
+	// shrinking.
+	ShrinkBudget int
+	// ShrinkTol is the shrinker's relative ratio tolerance (default 1e-3):
+	// a shrink step is accepted only while the recomputed ratio stays
+	// within ±ShrinkTol·(1+ratio) of the champion's.
+	ShrinkTol float64
+	// Monitor, when non-nil, cross-checks every evaluation (and the
+	// champion's dual certificate) and collects anomalies into the report.
+	Monitor *Monitor
+	// Log, when non-nil, receives progress lines (generation bests). The
+	// report itself is deterministic; Log output is too, but is meant for
+	// humans mid-run.
+	Log io.Writer
+}
+
+func (o Options) withDefaults() Options {
+	o.Params = o.Params.withDefaults()
+	if o.Budget <= 0 {
+		o.Budget = 400
+	}
+	if o.Population <= 0 {
+		o.Population = 16
+	}
+	if o.ShrinkBudget == 0 {
+		o.ShrinkBudget = 400
+	}
+	if o.ShrinkTol <= 0 {
+		o.ShrinkTol = 1e-3
+	}
+	return o
+}
+
+// Candidate is one evaluated instance in the search.
+type Candidate struct {
+	Instance *core.Instance
+	Eval     *Evaluation
+	// Origin describes where the candidate came from: "seed:<spec>" for
+	// the analytic seed streams, "mutant" for search offspring, "shrunk"
+	// for the delta-debugged champion.
+	Origin string
+	// fingerprint canonically identifies the (instance, policy, options)
+	// triple — the dedupe key and deterministic tie-break.
+	fingerprint string
+}
+
+// Report is the outcome of a hunt.
+type Report struct {
+	Options Options
+	// SeedBest is the best candidate among the analytic seed streams — the
+	// bar the acceptance criterion measures champions against.
+	SeedBest *Candidate
+	// Champion is the best candidate found by the search (pre-shrink).
+	Champion *Candidate
+	// Shrunk is the delta-debugged champion: the minimal witness whose
+	// ratio stays within ShrinkTol of the champion's. Nil only when
+	// shrinking was disabled.
+	Shrunk *Candidate
+	// Evaluations and Generations count the search's actual spend;
+	// ShrinkEvals the shrinker's.
+	Evaluations int
+	Generations int
+	ShrinkEvals int
+	ShrinkSteps int
+	// Improved reports Champion.Eval.Ratio > SeedBest.Eval.Ratio — whether
+	// the search beat the best analytic seed stream.
+	Improved bool
+	// Anomalies are the monitor findings across every evaluation (empty on
+	// a healthy tree).
+	Anomalies []Anomaly
+}
+
+// seedInstances builds the deterministic seed pool: the Bansal–Pruhs-style
+// RR streams at several lengths (speed-scaled via RRStreamS so the stream
+// stays RR-hostile at the hunt speed), the multi-scale cascades, and a
+// descending batch — every analytic family in internal/workload that fits
+// the job cap.
+func seedInstances(p Params) []*Candidate {
+	var seeds []*Candidate
+	add := func(spec string, in *core.Instance) {
+		if in.N() >= 1 && in.N() <= p.MaxJobs {
+			seeds = append(seeds, &Candidate{Instance: in, Origin: "seed:" + spec})
+		}
+	}
+	for _, g := range []int{4, 6, 8, 12, 16, 24, 32} {
+		if g*p.Machines <= p.MaxJobs {
+			add(fmt.Sprintf("rrstream:groups=%d,m=%d,s=%g", g, p.Machines, p.Speed),
+				workload.RRStreamS(g, p.Machines, p.Speed))
+		}
+	}
+	for levels := 2; (1<<levels)-1 <= p.MaxJobs; levels++ {
+		add(fmt.Sprintf("cascade:levels=%d,theta=0.8", levels), workload.Cascade(levels, 0.8))
+		add(fmt.Sprintf("cascade:levels=%d,theta=0.4", levels), workload.Cascade(levels, 0.4))
+	}
+	n := 16
+	if n > p.MaxJobs {
+		n = p.MaxJobs
+	}
+	add(fmt.Sprintf("staircase:n=%d", n), workload.Staircase(n))
+	return seeds
+}
+
+// Run executes the hunt: evaluate the seed pool, evolve a population of
+// mutated candidates under the evaluation budget, then delta-debug the
+// champion. The returned report is deterministic for fixed Options
+// (randomness is seeded; parallel evaluation collects by index).
+func Run(ctx context.Context, o Options) (*Report, error) {
+	o = o.withDefaults()
+	rep := &Report{Options: o}
+	mut := &mutator{rng: stats.NewRNG(o.Seed), p: o.Params}
+
+	seeds := seedInstances(o.Params)
+	if len(seeds) > o.Budget {
+		seeds = seeds[:o.Budget]
+	}
+	if err := evaluateCandidates(ctx, seeds, o, rep); err != nil {
+		return nil, err
+	}
+	pop := rankCandidates(seeds, o.Population)
+	if len(pop) == 0 {
+		return nil, fmt.Errorf("hunt: no viable seed candidate (budget %d, max jobs %d)", o.Budget, o.MaxJobs)
+	}
+	rep.SeedBest = pop[0]
+	rep.Champion = pop[0]
+	logf(o.Log, "seeds: %d evaluated, best %s ratio %.4f\n", len(seeds), pop[0].Origin, pop[0].Eval.Ratio)
+
+	for rep.Evaluations < o.Budget {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		births := o.Population
+		if remaining := o.Budget - rep.Evaluations; births > remaining {
+			births = remaining
+		}
+		offspring := make([]*Candidate, 0, births)
+		for len(offspring) < births {
+			parent := tournament(mut.rng, pop)
+			child := mut.mutate(parent.Instance)
+			offspring = append(offspring, &Candidate{Instance: child, Origin: "mutant"})
+		}
+		if err := evaluateCandidates(ctx, offspring, o, rep); err != nil {
+			return nil, err
+		}
+		pop = rankCandidates(append(pop, offspring...), o.Population)
+		rep.Generations++
+		if pop[0].Eval.Ratio > rep.Champion.Eval.Ratio {
+			rep.Champion = pop[0]
+			logf(o.Log, "gen %d: champion ratio %.4f (n=%d, evals %d)\n",
+				rep.Generations, pop[0].Eval.Ratio, pop[0].Instance.N(), rep.Evaluations)
+		}
+	}
+	rep.Improved = rep.Champion.Eval.Ratio > rep.SeedBest.Eval.Ratio
+
+	if o.ShrinkBudget > 0 {
+		sr, err := Shrink(ctx, rep.Champion.Instance, rep.Champion.Eval, o.Params, o.ShrinkTol, o.ShrinkBudget)
+		if err != nil {
+			return nil, err
+		}
+		rep.Shrunk = &Candidate{Instance: sr.Instance, Eval: sr.Eval, Origin: "shrunk"}
+		rep.ShrinkEvals, rep.ShrinkSteps = sr.Evals, sr.Steps
+		if o.Monitor != nil {
+			o.Monitor.CheckEvaluation("shrunk", sr.Instance, sr.Eval)
+		}
+		logf(o.Log, "shrunk: n %d → %d, ratio %.4f (%d steps, %d evals)\n",
+			rep.Champion.Instance.N(), sr.Instance.N(), sr.Eval.Ratio, sr.Steps, sr.Evals)
+	}
+	if o.Monitor != nil {
+		if rep.Shrunk != nil {
+			o.Monitor.CheckCertificate("shrunk-champion", rep.Shrunk.Instance)
+		} else {
+			o.Monitor.CheckCertificate("champion", rep.Champion.Instance)
+		}
+		rep.Anomalies = o.Monitor.Anomalies()
+	}
+	return rep, nil
+}
+
+// evaluateCandidates evaluates cands (attaching streaming monitors when
+// configured), fills in Eval and fingerprint, counts against the report's
+// budget, and routes every evaluation through the monitor.
+func evaluateCandidates(ctx context.Context, cands []*Candidate, o Options, rep *Report) error {
+	ins := make([]*core.Instance, len(cands))
+	for i, c := range cands {
+		ins[i] = c.Instance
+	}
+	var observe func(i int) core.Observer
+	var streams []*StreamMonitor
+	if o.Monitor != nil {
+		streams = make([]*StreamMonitor, len(cands))
+		observe = func(i int) core.Observer {
+			streams[i] = NewStreamMonitor(o.Machines, o.Speed)
+			return streams[i]
+		}
+	}
+	evs, err := evaluateAll(ctx, ins, o.Params, observe)
+	if err != nil {
+		return err
+	}
+	for i, c := range cands {
+		c.Eval = evs[i]
+		c.fingerprint = core.Fingerprint(c.Instance, "RR", core.Options{Machines: o.Machines, Speed: o.Speed})
+		rep.Evaluations++
+		if o.Monitor != nil {
+			o.Monitor.CheckEvaluation(c.Origin, c.Instance, c.Eval)
+			o.Monitor.absorb(c.Origin, streams[i])
+		}
+	}
+	return nil
+}
+
+// rankCandidates sorts by ratio (descending), breaking exact ties toward
+// smaller instances and then by fingerprint so the order — and therefore
+// the whole search trajectory — is deterministic. Duplicate instances
+// (identical fingerprints) and unviable candidates (degenerate bound) are
+// dropped; the top `keep` survive.
+func rankCandidates(cands []*Candidate, keep int) []*Candidate {
+	seen := make(map[string]bool, len(cands))
+	kept := cands[:0]
+	for _, c := range cands {
+		if c.Eval.Ratio < 0 || seen[c.fingerprint] {
+			continue
+		}
+		seen[c.fingerprint] = true
+		kept = append(kept, c)
+	}
+	sort.Slice(kept, func(a, b int) bool {
+		ca, cb := kept[a], kept[b]
+		if ca.Eval.Ratio != cb.Eval.Ratio {
+			return ca.Eval.Ratio > cb.Eval.Ratio
+		}
+		if na, nb := ca.Instance.N(), cb.Instance.N(); na != nb {
+			return na < nb
+		}
+		return ca.fingerprint < cb.fingerprint
+	})
+	if len(kept) > keep {
+		kept = kept[:keep]
+	}
+	return kept
+}
+
+// tournament picks the better of two uniformly chosen population members —
+// mild selection pressure toward high ratios without collapsing diversity.
+func tournament(rng interface{ IntN(int) int }, pop []*Candidate) *Candidate {
+	a, b := pop[rng.IntN(len(pop))], pop[rng.IntN(len(pop))]
+	if b.Eval.Ratio > a.Eval.Ratio {
+		return b
+	}
+	return a
+}
+
+func logf(w io.Writer, format string, args ...any) {
+	if w != nil {
+		fmt.Fprintf(w, format, args...)
+	}
+}

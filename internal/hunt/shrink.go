@@ -1,0 +1,209 @@
+package hunt
+
+import (
+	"context"
+	"math"
+
+	"rrnorm/internal/core"
+)
+
+// ShrinkResult is the outcome of delta-debugging one champion.
+type ShrinkResult struct {
+	// Instance is the minimized witness and Eval its (re-)evaluation.
+	Instance *core.Instance
+	Eval     *Evaluation
+	// Evals counts evaluations spent; Steps counts accepted shrink steps.
+	Evals int
+	Steps int
+}
+
+// Shrink delta-debugs an instance while (approximately) preserving its
+// ratio: it greedily tries removing job chunks (ddmin-style halving),
+// rounding sizes to few significant digits, and merging nearby releases
+// onto a common instant, accepting a step only while the recomputed ratio
+// stays within ±tol·(1+ratio) of the ORIGINAL ratio — two-sided, so a
+// shrunk witness documents the champion's ratio, it does not hunt further.
+// The contract FuzzShrinker pins:
+//
+//   - the result always satisfies Instance.Validate();
+//   - the result never has more jobs than the input;
+//   - the result's recomputed ratio never exceeds the pre-shrink ratio
+//     plus the tolerance window (nor undercuts it by more).
+//
+// ev must be in's evaluation under p (pass the one the search computed;
+// Shrink trusts its Ratio as the reference). budget bounds the extra
+// evaluations spent. Degenerate inputs (ratio < 0) are returned unchanged.
+func Shrink(ctx context.Context, in *core.Instance, ev *Evaluation, p Params, tol float64, budget int) (*ShrinkResult, error) {
+	p = p.withDefaults()
+	res := &ShrinkResult{Instance: in, Eval: ev}
+	if ev.Ratio < 0 || in.N() <= 1 {
+		return res, nil
+	}
+	orig := ev.Ratio
+	window := tol * (1 + orig)
+
+	// accept evaluates a candidate and reports whether its ratio stays
+	// inside the two-sided window. Out of budget → stop accepting.
+	accept := func(cand *core.Instance) (*Evaluation, bool, error) {
+		if err := ctx.Err(); err != nil {
+			return nil, false, err
+		}
+		if res.Evals >= budget {
+			return nil, false, nil
+		}
+		res.Evals++
+		cev, err := Evaluate(cand, p)
+		if err != nil {
+			// A shrink step that produces an unevaluable instance is simply
+			// rejected; the input was evaluable, so the step is at fault.
+			return nil, false, nil
+		}
+		if math.Abs(cev.Ratio-orig) > window {
+			return nil, false, nil
+		}
+		return cev, true, nil
+	}
+
+	for pass := 0; pass < 8; pass++ {
+		changed := false
+
+		// 1. ddmin job removal: chunks of n/2, n/4, …, 1.
+		for chunk := res.Instance.N() / 2; chunk >= 1; chunk /= 2 {
+			for start := 0; start+chunk <= res.Instance.N() && res.Instance.N() > 1; {
+				cand := removeRange(res.Instance, start, chunk)
+				cev, ok, err := accept(cand)
+				if err != nil {
+					return nil, err
+				}
+				if ok {
+					res.Instance, res.Eval = cand, cev
+					res.Steps++
+					changed = true
+					// Same start now names the next chunk; don't advance.
+					continue
+				}
+				start += chunk
+			}
+		}
+
+		// 2. Size rounding, coarse to fine: the first precision whose
+		// global rounding stays in the window wins.
+		for _, digits := range []int{2, 3, 4, 6} {
+			cand := roundSizes(res.Instance, digits)
+			if sameJobs(cand, res.Instance) {
+				break
+			}
+			cev, ok, err := accept(cand)
+			if err != nil {
+				return nil, err
+			}
+			if ok {
+				res.Instance, res.Eval = cand, cev
+				res.Steps++
+				changed = true
+				break
+			}
+		}
+
+		// 3. Release merging: snap releases within a fraction of the mean
+		// spacing onto their cluster's first release (exact ties simplify
+		// the witness and exercise simultaneous-release engine paths).
+		for _, frac := range []float64{0.5, 0.25, 0.1} {
+			cand := mergeReleases(res.Instance, frac)
+			if sameJobs(cand, res.Instance) {
+				continue
+			}
+			cev, ok, err := accept(cand)
+			if err != nil {
+				return nil, err
+			}
+			if ok {
+				res.Instance, res.Eval = cand, cev
+				res.Steps++
+				changed = true
+				break
+			}
+		}
+
+		if !changed || res.Evals >= budget {
+			break
+		}
+	}
+	return res, nil
+}
+
+// removeRange returns a copy of in without jobs [start, start+chunk),
+// densely renumbered.
+func removeRange(in *core.Instance, start, chunk int) *core.Instance {
+	jobs := make([]core.Job, 0, in.N()-chunk)
+	jobs = append(jobs, in.Jobs[:start]...)
+	jobs = append(jobs, in.Jobs[start+chunk:]...)
+	return renumber(jobs)
+}
+
+// roundSizes rounds every size to the given significant decimal digits.
+func roundSizes(in *core.Instance, digits int) *core.Instance {
+	jobs := append([]core.Job(nil), in.Jobs...)
+	for i := range jobs {
+		jobs[i].Size = roundSig(jobs[i].Size, digits)
+	}
+	return renumber(jobs)
+}
+
+// mergeReleases snaps each release to the previous one when they differ by
+// less than frac × the mean inter-release spacing.
+func mergeReleases(in *core.Instance, frac float64) *core.Instance {
+	n := in.N()
+	if n < 2 {
+		return in
+	}
+	span := in.MaxRelease() - in.Jobs[0].Release
+	eps := frac * span / float64(n)
+	if eps <= 0 {
+		return in
+	}
+	jobs := append([]core.Job(nil), in.Jobs...)
+	for i := 1; i < n; i++ {
+		if jobs[i].Release-jobs[i-1].Release < eps {
+			jobs[i].Release = jobs[i-1].Release
+		}
+	}
+	return renumber(jobs)
+}
+
+// renumber normalizes and densely re-IDs a job slice (the same canonical
+// form the mutator produces).
+func renumber(jobs []core.Job) *core.Instance {
+	for i := range jobs {
+		jobs[i].ID = i
+	}
+	out := core.NewInstance(jobs)
+	for i := range out.Jobs {
+		out.Jobs[i].ID = i
+	}
+	return out
+}
+
+// roundSig rounds x to d significant decimal digits (0 and non-finite pass
+// through).
+func roundSig(x float64, d int) float64 {
+	if x == 0 || math.IsInf(x, 0) || math.IsNaN(x) {
+		return x
+	}
+	mag := math.Ceil(math.Log10(math.Abs(x)))
+	scale := math.Pow(10, float64(d)-mag)
+	return math.Round(x*scale) / scale
+}
+
+// sameJobs reports whether two normalized instances hold identical jobs.
+func sameJobs(a, b *core.Instance) bool {
+	if a.N() != b.N() {
+		return false
+	}
+	for i := range a.Jobs {
+		if a.Jobs[i] != b.Jobs[i] {
+			return false
+		}
+	}
+	return true
+}

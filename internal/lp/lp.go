@@ -100,6 +100,12 @@ func SizeBound(in *core.Instance, k int) float64 {
 // ErrBadParams reports invalid lower-bound parameters.
 var ErrBadParams = errors.New("lp: invalid parameters")
 
+// minTotalWork is the smallest total work the discretization handles: below
+// it the automatic unit scale maxUnits/4/total overflows float64 range and
+// the supplies degenerate, so KPowerLowerBound falls back to the (exact)
+// size bound instead. Any physically meaningful instance is far above it.
+const minTotalWork = 1e-200
+
 // KPowerLowerBound computes a certified lower bound on the optimal
 // Σ_j F_j^k on m unit-speed machines.
 func KPowerLowerBound(in *core.Instance, m, k int, opts Options) (Bound, error) {
@@ -115,6 +121,16 @@ func KPowerLowerBound(in *core.Instance, m, k int, opts Options) (Bound, error) 
 	size := SizeBound(inst, k)
 	if n == 0 {
 		return Bound{Value: 0, Method: "empty"}, nil
+	}
+	// Degenerate instances an adversarial search mutates into: zero (or
+	// denormal-tiny) total work makes the automatic scale non-finite and
+	// an all-at-one-instant release set makes the automatic horizon
+	// collapse to the release itself. Both have a defined answer — every
+	// job can be scheduled instantly, so the size bound Σ w·p^k (= 0 for
+	// all-zero sizes) IS the optimum's certified lower bound — and must
+	// never reach the flow network as NaN widths or ±Inf supplies.
+	if total := inst.TotalWork(); !(total > minTotalWork) {
+		return Bound{Value: size, Method: "size-bound (Σp^k); degenerate zero-work instance"}, nil
 	}
 
 	// minFeasible is a horizon by which all work certainly fits on m

@@ -34,6 +34,22 @@ func PowK(x float64, k int) float64 {
 	return r
 }
 
+// RootK returns x^{1/k} for integer k ≥ 1 — the k-th root that turns a
+// power-sum ratio into an ℓk-norm ratio. Negative x (used as a "no value"
+// sentinel by ratio code) is passed through unchanged.
+func RootK(x float64, k int) float64 {
+	if x < 0 || k == 1 {
+		return x
+	}
+	switch k {
+	case 2:
+		return math.Sqrt(x)
+	case 3:
+		return math.Cbrt(x)
+	}
+	return math.Pow(x, 1/float64(k))
+}
+
 // KthPowerSum returns Σ_j F_j^k, the objective the paper's analysis bounds
 // directly before taking k-th roots.
 func KthPowerSum(flows []float64, k int) float64 {

@@ -22,6 +22,7 @@ import (
 	"encoding/hex"
 	"encoding/json"
 	"errors"
+	"expvar"
 	"fmt"
 	"io"
 	"math"
@@ -30,6 +31,7 @@ import (
 
 	"rrnorm/internal/core"
 	"rrnorm/internal/fast"
+	"rrnorm/internal/hunt"
 	"rrnorm/internal/metrics"
 	"rrnorm/internal/polspec"
 	"rrnorm/internal/stats"
@@ -216,6 +218,10 @@ type simSpec struct {
 	opts     core.Options // Context is filled in per attempt, never hashed
 	norms    []int
 	instance *core.Instance // nil for spec workloads until materialize
+	// anomalies, when non-nil, makes run attach a streaming invariant
+	// monitor and add its finding count here (Config.MonitorAnomalies;
+	// set by Server.execute, never hashed into the cache key).
+	anomalies *expvar.Int
 }
 
 // materialize generates and validates the instance for a spec workload
@@ -437,10 +443,20 @@ func (s *simSpec) run(ctx context.Context) (*SimulateResponse, *apiError) {
 	// run — aggregate-only epochs, so the fast paths stay eligible and no
 	// Segment timeline is ever recorded server-side.
 	var tl *stats.TimelineObserver
+	var obs []core.Observer
 	if s.req.Timeline {
 		tl = stats.NewTimelineObserver(opts.Machines)
-		opts.Observer = tl
+		obs = append(obs, tl)
 	}
+	// Anomaly net: a per-run streaming monitor whose findings feed the
+	// server's "anomalies" counter. Appended (never typed-nil) so Multi
+	// elides the fan-out wrapper when only one observer is active.
+	var sm *hunt.StreamMonitor
+	if s.anomalies != nil {
+		sm = hunt.NewStreamMonitor(opts.Machines, opts.Speed)
+		obs = append(obs, sm)
+	}
+	opts.Observer = core.Multi(obs...)
 	// Pooled workspace: the run's Result is workspace-owned, and
 	// buildResponse fully consumes it (norms, summary, detail copies)
 	// before the deferred release — the ownership rule of DESIGN.md §12.
@@ -451,6 +467,11 @@ func (s *simSpec) run(ctx context.Context) (*SimulateResponse, *apiError) {
 		return nil, mapSimError(err)
 	}
 	out := buildResponse(res, s.norms, s.req.Detail, opts.Engine)
+	if sm != nil {
+		if n := len(sm.Anomalies()); n > 0 {
+			s.anomalies.Add(int64(n))
+		}
+	}
 	if tl != nil {
 		ts := tl.Stats()
 		out.Timeline = &TimelineInfo{

@@ -478,3 +478,42 @@ func TestSimulateTimeline(t *testing.T) {
 		t.Fatal("timeline response not byte-identical on cache hit")
 	}
 }
+
+// TestMonitorAnomalies: with Config.MonitorAnomalies on, every run carries
+// a streaming invariant monitor; healthy traffic (with and without the
+// timeline observer sharing the event stream) keeps the /metrics
+// "anomalies" counter at zero while responses stay byte-identical to an
+// unmonitored server's.
+func TestMonitorAnomalies(t *testing.T) {
+	_, plain := newTestServer(t, Config{})
+	s, ts := newTestServer(t, Config{MonitorAnomalies: true})
+
+	bodies := []string{
+		pinnedSimulate,
+		`{"spec":"rrstream:groups=8,m=1","policy":"RR","norms":[2]}`,
+		`{"spec":"poisson:n=50,load=0.8,dist=exp","seed":7,"policy":"SRPT","machines":2,"speed":1.5,"timeline":true}`,
+	}
+	for _, b := range bodies {
+		respM, bodyM := post(t, ts.URL, "/v1/simulate", b)
+		respP, bodyP := post(t, plain.URL, "/v1/simulate", b)
+		if respM.StatusCode != 200 || respP.StatusCode != 200 {
+			t.Fatalf("status %d/%d for %s: %s", respM.StatusCode, respP.StatusCode, b, bodyM)
+		}
+		if !bytes.Equal(bodyM, bodyP) {
+			t.Errorf("monitored response differs from unmonitored for %s:\n%s\nvs\n%s", b, bodyM, bodyP)
+		}
+	}
+	if got := s.anomalies.Value(); got != 0 {
+		t.Errorf("anomalies = %d on healthy traffic", got)
+	}
+	_, body := get(t, ts.URL, "/metrics")
+	var m struct {
+		RRServe map[string]any `json:"rrserve"`
+	}
+	if err := json.Unmarshal(body, &m); err != nil {
+		t.Fatalf("metrics: %v", err)
+	}
+	if v, ok := m.RRServe["anomalies"]; !ok || v.(float64) != 0 {
+		t.Errorf("metrics anomalies = %v, want 0", v)
+	}
+}

@@ -35,6 +35,13 @@ type Config struct {
 	CacheEntries int
 	// EnablePprof mounts net/http/pprof under /debug/pprof/.
 	EnablePprof bool
+	// MonitorAnomalies attaches a streaming invariant monitor
+	// (hunt.StreamMonitor) to every simulation run and counts its findings
+	// in /metrics as "anomalies". The invariants are theorems about a
+	// correct engine — a nonzero counter means an engine bug surfaced in
+	// production traffic, not an interesting workload. Costs one extra
+	// observer per run; off by default.
+	MonitorAnomalies bool
 
 	// testHookBeforeRun runs on a pool worker before each task; tests use
 	// it to hold workers busy deterministically. Always nil in production.
@@ -67,9 +74,10 @@ type Server struct {
 	cache *Cache
 	mux   *http.ServeMux
 
-	vars     *expvar.Map // unpublished: multiple Servers may coexist (tests)
-	requests expvar.Int
-	rejected expvar.Int // 4xx/5xx responses, by final status
+	vars      *expvar.Map // unpublished: multiple Servers may coexist (tests)
+	requests  expvar.Int
+	rejected  expvar.Int // 4xx/5xx responses, by final status
+	anomalies expvar.Int // stream-invariant findings (MonitorAnomalies)
 
 	histMu sync.Mutex
 	hist   *stats.StreamHist // service-time seconds, p50/p99 in /metrics
@@ -91,6 +99,7 @@ func NewServer(cfg Config) *Server {
 	}
 	s.vars.Set("requests", &s.requests)
 	s.vars.Set("errors", &s.rejected)
+	s.vars.Set("anomalies", &s.anomalies)
 	s.vars.Set("cache_hits", expvar.Func(func() any { return s.cache.Hits() }))
 	s.vars.Set("cache_misses", expvar.Func(func() any { return s.cache.Misses() }))
 	s.vars.Set("cache_dedups", expvar.Func(func() any { return s.cache.Dedups() }))
@@ -145,6 +154,9 @@ func (s *Server) observe(d time.Duration) {
 // pool, returning the response body bytes. The returned error is either an
 // *apiError or a context error.
 func (s *Server) execute(ctx context.Context, spec *simSpec) ([]byte, Outcome, error) {
+	if s.cfg.MonitorAnomalies {
+		spec.anomalies = &s.anomalies
+	}
 	return s.cache.Do(ctx, spec.cacheKey(), func() ([]byte, error) {
 		type result struct {
 			b   []byte

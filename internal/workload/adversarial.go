@@ -19,14 +19,25 @@ import (
 // ratio grows with n (speed too small) or stays bounded (speed large
 // enough) — exactly the Theorem 1 vs lower-bound dichotomy.
 func RRStream(groups, m int) *core.Instance {
+	return RRStreamS(groups, m, 1)
+}
+
+// RRStreamS is RRStream parameterized by the RR speed s > 0: job sizes are
+// scaled by s so that under RR running at speed s on m machines the whole
+// stream again completes simultaneously at T = 2G. It is the seed family
+// the adversarial ratio hunter (internal/hunt) perturbs per (k, s, m): at
+// higher speeds the unscaled stream collapses early and stops being
+// RR-hostile, while the s-scaled stream keeps every job alive to the end.
+func RRStreamS(groups, m int, s float64) *core.Instance {
 	// Work received under RR by a group-g job by time T = 2G:
 	//   Σ_{u=g}^{G−1} m/(m(u+1)) + (T−G)·m/(mG) = H_G − H_g + 1,
-	// where H_i = Σ_{u=1}^i 1/u.
+	// where H_i = Σ_{u=1}^i 1/u. At speed s every rate is multiplied by s,
+	// so sizes scale by s for the same simultaneous finish.
 	h := harmonic(groups)
 	jobs := make([]core.Job, 0, groups*m)
 	id := 0
 	for g := 0; g < groups; g++ {
-		size := h[groups] - h[g] + 1
+		size := s * (h[groups] - h[g] + 1)
 		for j := 0; j < m; j++ {
 			jobs = append(jobs, core.Job{ID: id, Release: float64(g), Size: size})
 			id++

@@ -1,0 +1,177 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"rrnorm/internal/core"
+	"rrnorm/internal/policy"
+)
+
+// TestRRStreamParameterization pins the construction across its (groups, m)
+// grid, including the degenerate ends: job count, per-phase group structure
+// and the engineered harmonic sizes.
+func TestRRStreamParameterization(t *testing.T) {
+	cases := []struct {
+		name      string
+		groups, m int
+	}{
+		{"empty", 0, 1},
+		{"single-phase-m1", 1, 1},
+		{"single-phase-m4", 1, 4},
+		{"m1", 12, 1},
+		{"m2", 12, 2},
+		{"wide-burst", 3, 16},
+		{"long-stream", 48, 1},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			in := RRStream(tc.groups, tc.m)
+			if err := in.Validate(); err != nil {
+				t.Fatal(err)
+			}
+			if got, want := in.N(), tc.groups*tc.m; got != want {
+				t.Fatalf("N=%d, want groups·m=%d", got, want)
+			}
+			// Phase g holds exactly m jobs released at t=g, all of size
+			// H_G − H_g + 1 (equal within a phase, decreasing across phases).
+			h := harmonic(tc.groups)
+			for i, j := range in.Jobs {
+				g := i / tc.m
+				if math.Abs(j.Release-float64(g)) > 0 {
+					t.Fatalf("job %d released at %v, want phase time %d", i, j.Release, g)
+				}
+				want := h[tc.groups] - h[g] + 1
+				if math.Abs(j.Size-want) > 1e-12 {
+					t.Fatalf("job %d size %v, want %v", i, j.Size, want)
+				}
+			}
+			if tc.groups > 0 {
+				// First phase carries the whole harmonic sum, last ≈ 1.
+				if first, want := in.Jobs[0].Size, h[tc.groups]+1-h[0]; math.Abs(first-want) > 1e-12 {
+					t.Fatalf("first size %v, want %v", first, want)
+				}
+				last := in.Jobs[in.N()-1].Size
+				if want := 1/float64(tc.groups) + 1; math.Abs(last-want) > 1e-12 {
+					t.Fatalf("last size %v, want %v", last, want)
+				}
+			}
+		})
+	}
+}
+
+// TestRRStreamSDependence pins the speed parameterization: sizes scale
+// linearly with s, and under RR at speed s the whole stream still completes
+// simultaneously at T = 2G — the property that makes RRStreamS the right
+// hunt seed per speed.
+func TestRRStreamSDependence(t *testing.T) {
+	const G = 12
+	base := RRStream(G, 1)
+	for _, s := range []float64{0.5, 1, 1.5, 2, 4} {
+		in := RRStreamS(G, 1, s)
+		if err := in.Validate(); err != nil {
+			t.Fatalf("s=%g: %v", s, err)
+		}
+		for i := range in.Jobs {
+			if want := s * base.Jobs[i].Size; math.Abs(in.Jobs[i].Size-want) > 1e-12 {
+				t.Fatalf("s=%g: job %d size %v, want %v", s, i, in.Jobs[i].Size, want)
+			}
+		}
+		res, err := core.Run(in, policy.NewRR(), core.Options{Machines: 1, Speed: s})
+		if err != nil {
+			t.Fatalf("s=%g: %v", s, err)
+		}
+		for i, c := range res.Completion {
+			if math.Abs(c-2*G) > 1e-6 {
+				t.Fatalf("s=%g: job %d completes at %v, want %v", s, i, c, 2*G)
+			}
+		}
+	}
+}
+
+// TestCascadeParameterization covers phase counts, the per-level burst
+// sizes 2^ℓ and the θ degenerate cases — θ = −1 yields all-zero sizes,
+// which PR 1 made legal (instantaneous jobs) and which the ratio hunter's
+// mutations can therefore produce.
+func TestCascadeParameterization(t *testing.T) {
+	cases := []struct {
+		name   string
+		levels int
+		theta  float64
+	}{
+		{"empty", 0, 0.8},
+		{"single-level", 1, 0.8},
+		{"underloaded", 4, -0.5},
+		{"critical", 4, 0},
+		{"overloaded", 6, 0.8},
+		{"zero-size", 4, -1},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			in := Cascade(tc.levels, tc.theta)
+			if err := in.Validate(); err != nil {
+				t.Fatal(err)
+			}
+			if got, want := in.N(), (1<<tc.levels)-1; tc.levels > 0 && got != want {
+				t.Fatalf("N=%d, want 2^levels−1=%d", got, want)
+			}
+			i := 0
+			for l := 0; l < tc.levels; l++ {
+				burst := 1 << l
+				wantSize := (1 + tc.theta) / float64(burst)
+				for b := 0; b < burst; b++ {
+					j := in.Jobs[i]
+					if math.Abs(j.Release-float64(l)) > 0 {
+						t.Fatalf("job %d released at %v, want level time %d", i, j.Release, l)
+					}
+					if math.Abs(j.Size-wantSize) > 1e-15 {
+						t.Fatalf("job %d size %v, want %v", i, j.Size, wantSize)
+					}
+					i++
+				}
+				// Each level carries exactly 1+θ units of work.
+				if work := wantSize * float64(burst); math.Abs(work-(1+tc.theta)) > 1e-12 {
+					t.Fatalf("level %d carries %v work, want %v", l, work, 1+tc.theta)
+				}
+			}
+		})
+	}
+}
+
+// TestStaircaseDegenerate covers the n ≤ 1 ends of the fixture generator.
+func TestStaircaseDegenerate(t *testing.T) {
+	for _, n := range []int{0, 1, 2} {
+		in := Staircase(n)
+		if err := in.Validate(); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if in.N() != n {
+			t.Fatalf("n=%d: N=%d", n, in.N())
+		}
+		for i, j := range in.Jobs {
+			if j.Release != 0 || math.Abs(j.Size-float64(n-i)) > 0 {
+				t.Fatalf("n=%d: job %d = %+v", n, i, j)
+			}
+		}
+	}
+}
+
+// TestRRStreamSpecKey pins the spec-grammar surface of the s parameter.
+func TestRRStreamSpecKey(t *testing.T) {
+	in, err := FromSpec("rrstream:groups=8,m=2,s=2", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := RRStreamS(8, 2, 2)
+	if in.N() != want.N() {
+		t.Fatalf("N=%d, want %d", in.N(), want.N())
+	}
+	for i := range in.Jobs {
+		if in.Jobs[i] != want.Jobs[i] {
+			t.Fatalf("job %d: %+v != %+v", i, in.Jobs[i], want.Jobs[i])
+		}
+	}
+	if _, err := FromSpec("rrstream:groups=8,bogus=1", 1); err == nil {
+		t.Fatal("unknown key accepted")
+	}
+}

@@ -21,7 +21,7 @@ import (
 //	batch      n, dist, mean, ...                         (all jobs at t=0)
 //	bursts     bursts, size, period, dist, ...            (periodic bursts)
 //	diurnal    n, rate, amp, period, dist, ...            (sinusoidal-rate Poisson)
-//	rrstream   groups, m                                  (simultaneous-completion stream)
+//	rrstream   groups, m, s                               (simultaneous-completion stream at RR speed s)
 //	cascade    levels, theta                              (multi-scale lower-bound instance)
 //	starvation big, n, small                              (one big job + unit stream)
 //	staircase  n                                          (descending batch)
@@ -87,10 +87,11 @@ func FromSpec(spec string, seed uint64) (*core.Instance, error) {
 	case "rrstream":
 		g := args.intOr("groups", 32)
 		m := args.intOr("m", 1)
+		s := args.floatOr("s", 1)
 		if err := args.unused(); err != nil {
 			return nil, err
 		}
-		return RRStream(g, m), nil
+		return RRStreamS(g, m, s), nil
 	case "cascade":
 		l := args.intOr("levels", 8)
 		theta := args.floatOr("theta", 0.8)
