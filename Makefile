@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test verify lint lint-fix-check bench bench-engine bench-smoke fuzz hunt hunt-smoke suite serve serve-test serve-bench clean
+.PHONY: build test verify lint lint-fix-check bench bench-engine bench-smoke fuzz hunt hunt-smoke replay-smoke suite serve serve-test serve-bench clean
 
 build:
 	$(GO) build ./...
@@ -52,6 +52,7 @@ fuzz:
 	$(GO) test -fuzz=FuzzEngineAgreement -fuzztime=$(FUZZTIME) ./internal/check
 	$(GO) test -fuzz=FuzzSimulateRequest -fuzztime=$(FUZZTIME) ./internal/serve
 	$(GO) test -fuzz=FuzzShrinker -fuzztime=$(FUZZTIME) ./internal/hunt
+	$(GO) test -fuzz=FuzzTraceDecode -fuzztime=$(FUZZTIME) ./internal/trace
 
 # Adversarial ratio hunt (see DESIGN.md §14). `make hunt` runs the default
 # championship cell; results are written to testdata/corpus only when you
@@ -72,18 +73,33 @@ hunt-smoke:
 	grep -q '^anomalies: 0$$' /tmp/rrhunt-smoke-1.txt
 	rm -f /tmp/rrhunt-smoke /tmp/rrhunt-smoke-1.txt /tmp/rrhunt-smoke-2.txt
 
+# Streaming replay determinism: replay the committed fixture twice through
+# the JobSource path (every policy, file and stdin) and require
+# byte-identical reports.
+replay-smoke:
+	$(GO) build -o /tmp/rrsim-smoke ./cmd/rrsim
+	/tmp/rrsim-smoke -replay testdata/replay/fixture.ndjson -policy all -m 2 > /tmp/rrsim-replay-1.txt
+	/tmp/rrsim-smoke -replay testdata/replay/fixture.ndjson -policy all -m 2 > /tmp/rrsim-replay-2.txt
+	cmp /tmp/rrsim-replay-1.txt /tmp/rrsim-replay-2.txt
+	/tmp/rrsim-smoke -replay - -policy SRPT -m 2 < testdata/replay/fixture.ndjson > /tmp/rrsim-replay-stdin.txt
+	grep -q '^SRPT' /tmp/rrsim-replay-stdin.txt
+	rm -f /tmp/rrsim-smoke /tmp/rrsim-replay-1.txt /tmp/rrsim-replay-2.txt /tmp/rrsim-replay-stdin.txt
+
 bench:
 	$(GO) test -run xxx -bench . -benchmem .
 
 # Regenerate the committed engine baselines: BENCH_engine.json (ns/op,
 # allocs/op and B/op for RR and SRPT at n ∈ {1e3, 1e4, 1e5}, m ∈ {1, 8},
-# plus the workspace-vs-fresh comparison) and BENCH_observe.json (the
+# plus the workspace-vs-fresh comparison), BENCH_observe.json (the
 # n=1e6 streaming-observer vs RecordSegments comparison: ns/op, heap
-# churn, peak RSS). The writers fail if any grid cell or observer path
-# allocates, the n=1e4 workspace speedup drops below 25%, or Segment
-# recording stops being ≥10x the observer path's heap churn.
+# churn, peak RSS) and BENCH_stream.json (a 1e7-job streaming JobSource
+# replay in a child process whose Maxrss must stay under the
+# bounded-memory gate). The writers fail if any grid cell or observer
+# path allocates, the n=1e4 workspace speedup drops below 25%, Segment
+# recording stops being ≥10x the observer path's heap churn, or the
+# streaming replay's peak RSS exceeds its gate.
 bench-engine:
-	WRITE_BENCH=1 $(GO) test -run 'TestWriteEngineBenchBaseline|TestWriteObserveBenchBaseline' -v -timeout 30m .
+	WRITE_BENCH=1 $(GO) test -run 'TestWriteEngineBenchBaseline|TestWriteObserveBenchBaseline|TestWriteStreamBenchBaseline' -v -timeout 30m .
 
 # CI allocation gate: the hot-path alloc budget tests (0 allocs/run with a
 # reused workspace, with and without observers attached) plus a

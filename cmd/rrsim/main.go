@@ -7,12 +7,20 @@
 //	rrsim -workload poisson:n=200,load=0.9,dist=exp -policy RR -speed 2
 //	rrsim -workload cascade:levels=8 -policy all -k 2 -lb
 //	rrsim -workload trace:path=jobs.csv -policy SRPT -m 4
+//	rrsim -replay jobs.ndjson -policy RR -m 4
+//	gzip -dc huge.ndjson.gz | rrsim -replay - -policy SRPT
+//
+// -replay streams the trace through the engines' JobSource path: jobs are
+// decoded lazily and never materialized, so memory is bounded by the
+// schedule's alive set no matter how long the trace is. Flow statistics
+// come from the streaming ℓk-norm observer instead of per-job arrays.
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"math"
 	"os"
 	"text/tabwriter"
@@ -23,6 +31,7 @@ import (
 	"rrnorm/internal/metrics"
 	"rrnorm/internal/policy"
 	"rrnorm/internal/polspec"
+	"rrnorm/internal/trace"
 	"rrnorm/internal/workload"
 )
 
@@ -38,12 +47,23 @@ func main() {
 		withLB  = flag.Bool("lb", false, "also compute the LP/2 lower bound and ratio")
 		dump    = flag.String("dump", "", "write the generated workload as CSV to this path")
 		resOut  = flag.String("resultout", "", "write the last policy's full result as JSON to this path")
+		replay  = flag.String("replay", "", "replay a job trace file through the streaming path ('-' for stdin) instead of -workload")
+		format  = flag.String("format", "ndjson", "trace format for -replay: ndjson or csv")
+		sortRel = flag.Bool("sort", false, "buffer and sort an out-of-order -replay trace by release (costs O(n) memory)")
 	)
 	flag.Parse()
 
 	eng, err := core.ParseEngineKind(*engine)
 	if err != nil {
 		fatal(err)
+	}
+
+	if *replay != "" {
+		if *withLB || *dump != "" || *resOut != "" {
+			fatal(fmt.Errorf("-lb, -dump and -resultout need materialized results; they are incompatible with -replay"))
+		}
+		runReplay(*replay, *format, *sortRel, *polName, *m, *speed, eng)
+		return
 	}
 
 	in, err := workload.FromSpec(*spec, *seed)
@@ -116,6 +136,52 @@ func main() {
 		f.Close()
 		fmt.Printf("result JSON written to %s\n", *resOut)
 	}
+}
+
+// runReplay streams the trace at path (or stdin for "-") through the
+// engines' JobSource path, once per requested policy. The trace is decoded
+// lazily and per-job flows fold into streaming ℓk-norms, so memory stays
+// bounded by the alive set. "all" reopens the file per policy and is
+// therefore rejected for stdin, which can only be read once.
+func runReplay(path, formatName string, sortRel bool, polName string, m int, speed float64, eng core.EngineKind) {
+	f, err := trace.ParseFormat(formatName)
+	if err != nil {
+		fatal(err)
+	}
+	names := []string{polName}
+	if polName == "all" {
+		if path == "-" {
+			fatal(fmt.Errorf("-policy all replays the trace once per policy; it cannot be combined with stdin"))
+		}
+		names = policy.Names()
+	}
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "policy\tn\tevents\tmakespan\tL1\tL2\tL3\tmax")
+	ws := core.NewWorkspace()
+	for _, name := range names {
+		p, err := polspec.New(name)
+		if err != nil {
+			fatal(err)
+		}
+		var r io.Reader = os.Stdin
+		if path != "-" {
+			file, err := os.Open(path)
+			if err != nil {
+				fatal(err)
+			}
+			defer file.Close()
+			r = file
+		}
+		dec := trace.NewDecoder(r, trace.DecodeOptions{Format: f, Sort: sortRel})
+		sn := metrics.NewStreamNorm(1, 2, 3)
+		sum, err := fast.RunStream(dec, p, core.Options{Machines: m, Speed: speed, Engine: eng, Observer: sn}, ws)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(tw, "%s\t%d\t%d\t%.6g\t%.6g\t%.6g\t%.6g\t%.6g\n",
+			name, sum.N, sum.Events, sum.Makespan, sn.Norm(1), sn.Norm(2), sn.Norm(3), sum.MaxFlow)
+	}
+	tw.Flush()
 }
 
 func fatal(err error) {

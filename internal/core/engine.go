@@ -196,6 +196,11 @@ func Run(inst *Instance, policy Policy, opts Options) (*Result, error) {
 // consumed or Cloned before ws's next run or release. ws == nil behaves
 // exactly like Run: a private workspace is allocated and the caller owns
 // the result. Outputs are byte-identical either way.
+//
+// Internally a materialized run is a streaming run over the normalized job
+// slice: RunWS and RunStream share one event loop (runReference), differing
+// only in how arrivals are pulled and completions recorded — which is what
+// makes the two paths byte-identical by construction.
 func RunWS(inst *Instance, policy Policy, opts Options, ws *Workspace) (*Result, error) {
 	if opts.Machines < 1 {
 		return nil, fmt.Errorf("%w: Machines=%d", ErrBadOptions, opts.Machines)
@@ -210,137 +215,191 @@ func RunWS(inst *Instance, policy Policy, opts Options, ws *Workspace) (*Result,
 	if err != nil {
 		return nil, err
 	}
-	in := Instance{Jobs: res.Jobs}
-	n := len(res.Jobs)
-
-	maxEvents := opts.MaxEvents
-	if maxEvents == 0 {
-		maxEvents = 1_000_000 + 4000*n
-	}
-
 	if r, ok := policy.(Resetter); ok {
 		r.Reset()
 	}
 	obs := opts.Observer
-
-	if n == 0 {
+	if len(res.Jobs) == 0 {
 		if obs != nil {
 			obs.ObserveDone(res)
 		}
 		return res, nil
 	}
+	cur := CursorOver(res.Jobs)
+	if err := runReference(&cur, policy, opts, ws, res, nil); err != nil {
+		return nil, err
+	}
+	if obs != nil {
+		obs.ObserveDone(res)
+	}
+	return res, nil
+}
 
-	ws.elapsed = grow(ws.elapsed, n)
-	ws.alive = grow(ws.alive, n)
-	ws.views = grow(ws.views, n)
-	ws.rates = grow(ws.rates, n)
+// RunStream simulates policy over a JobSource without materializing it: the
+// engine holds only the alive set plus a one-job lookahead, per-job outputs
+// flow through opts.Observer, and the aggregate outcome comes back as a
+// StreamResult. RecordSegments is rejected (a full rate timeline is a
+// materialization); observers needing per-job epochs are fine — this is the
+// reference engine. ws follows the same reuse rules as RunWS; ws == nil
+// allocates a private workspace.
+func RunStream(src JobSource, policy Policy, opts Options, ws *Workspace) (StreamResult, error) {
+	if opts.Machines < 1 {
+		return StreamResult{}, fmt.Errorf("%w: Machines=%d", ErrBadOptions, opts.Machines)
+	}
+	if !(opts.Speed > 0) || math.IsInf(opts.Speed, 0) {
+		return StreamResult{}, fmt.Errorf("%w: Speed=%v", ErrBadOptions, opts.Speed)
+	}
+	if opts.RecordSegments {
+		return StreamResult{}, fmt.Errorf("%w: RecordSegments requires a materialized run (core.Run)", ErrBadOptions)
+	}
+	if ws == nil {
+		ws = NewWorkspace()
+	}
+	if r, ok := policy.(Resetter); ok {
+		r.Reset()
+	}
+	sum := StreamResult{Policy: policy.Name(), Machines: opts.Machines, Speed: opts.Speed}
+	cur := CursorFrom(src)
+	if err := runReference(&cur, policy, opts, ws, nil, &sum); err != nil {
+		return StreamResult{}, err
+	}
+	sum.N = cur.Pulled()
+	ws.ObserveStreamDone(opts.Observer, &sum)
+	return sum, nil
+}
+
+// runReference is the reference engine's event loop, shared between the
+// materialized (res != nil) and streaming (sum != nil) modes — exactly one
+// sink is active. The alive set is compacted per-alive state (sequence
+// number, job value, elapsed work) rather than full-instance arrays, so
+// memory is O(peak alive), and the arithmetic, event counting, observer
+// emission and error semantics are identical in both modes.
+func runReference(cur *Cursor, policy Policy, opts Options, ws *Workspace, res *Result, sum *StreamResult) error {
+	if !cur.More() {
+		return cur.Err()
+	}
+	obs := opts.Observer
+	// The event budget: fixed upfront when the job count is known
+	// (materialized runs, Sized sources — the historical semantics),
+	// growing with the pull count for unbounded streams.
+	fixedBudget := opts.MaxEvents
+	if fixedBudget == 0 && cur.Sized() >= 0 {
+		fixedBudget = 1_000_000 + 4000*cur.Sized()
+	}
+
+	st := &ws.ref
+	st.aliveSeq = st.aliveSeq[:0]
+	st.aliveJob = st.aliveJob[:0]
+	st.aliveEl = st.aliveEl[:0]
 	var (
-		alive   = ws.alive[:0] // instance indices, kept in (Release, ID) order
-		elapsed = ws.elapsed
-		views   = ws.views
-		rates   = ws.rates
-		next    = 0 // next arrival index
-		now     = in.Jobs[0].Release
+		events = 0
+		now    = cur.Head().Release
 	)
 
-	for len(alive) > 0 || next < n {
-		if res.Events >= maxEvents {
-			return nil, fmt.Errorf("%w: %d events at t=%v (policy %s)", ErrEventOverrun, res.Events, now, policy.Name())
+	for len(st.aliveSeq) > 0 || cur.More() {
+		if err := cur.Err(); err != nil {
+			return err
 		}
-		if res.Events&(ctxStride-1) == 0 {
-			if err := Canceled(opts.Context, now, res.Events); err != nil {
-				return nil, err
+		budget := fixedBudget
+		if budget == 0 {
+			budget = 1_000_000 + 4000*cur.Pulled()
+		}
+		if events >= budget {
+			return fmt.Errorf("%w: %d events at t=%v (policy %s)", ErrEventOverrun, events, now, policy.Name())
+		}
+		if events&(ctxStride-1) == 0 {
+			if err := Canceled(opts.Context, now, events); err != nil {
+				return err
 			}
 		}
-		res.Events++
+		events++
 
-		// Admit all arrivals at the current time. Jobs are sorted, and
-		// alive jobs always arrived no later than pending ones, so
-		// appending preserves (Release, ID) order. Degenerate jobs — zero
-		// size, or size below the completion tolerance — complete the
-		// instant they are admitted: letting them join the alive set would
-		// hand them a rate share until the next event boundary, skewing
-		// every other job's schedule and making their completion time
-		// depend on unrelated event spacing (the completionTol/minAdvance
-		// edge case the fast engine must agree with).
-		for next < n && in.Jobs[next].Release <= now {
-			j := in.Jobs[next]
+		// Admit all arrivals at the current time. The source is
+		// release-ordered, and alive jobs always arrived no later than
+		// pending ones, so appending preserves (Release, ID) order.
+		// Degenerate jobs — zero size, or size below the completion
+		// tolerance — complete the instant they are admitted: letting them
+		// join the alive set would hand them a rate share until the next
+		// event boundary, skewing every other job's schedule and making
+		// their completion time depend on unrelated event spacing (the
+		// completionTol/minAdvance edge case the fast engine must agree
+		// with).
+		for cur.More() && cur.Head().Release <= now {
+			j, seq := cur.Advance()
 			if obs != nil {
-				obs.ObserveArrival(now, next, j)
+				obs.ObserveArrival(now, seq, j)
 			}
 			if j.Size <= CompletionTol(j.Size) {
-				res.Completion[next] = now
-				res.Flow[next] = now - j.Release
-				if obs != nil {
-					obs.ObserveCompletion(now, next, now-j.Release)
-				}
-				next++
+				recordCompletion(res, sum, obs, seq, j.Release, now)
 				continue
 			}
-			alive = append(alive, next)
-			next++
+			st.aliveSeq = append(st.aliveSeq, seq)
+			st.aliveJob = append(st.aliveJob, j)
+			st.aliveEl = append(st.aliveEl, 0)
 		}
-		if len(alive) == 0 {
-			if next >= n {
+		if len(st.aliveSeq) == 0 {
+			if !cur.More() {
 				break // the last admitted jobs were degenerate; all done
 			}
-			now = in.Jobs[next].Release
+			now = cur.Head().Release
 			continue
 		}
 
 		// Build views and query the policy.
-		views = views[:0]
-		for _, idx := range alive {
-			j := in.Jobs[idx]
+		views := st.views[:0]
+		for i, j := range st.aliveJob {
 			views = append(views, JobView{
 				ID:        j.ID,
 				Release:   j.Release,
 				Weight:    j.W(),
 				Age:       now - j.Release,
-				Elapsed:   elapsed[idx],
+				Elapsed:   st.aliveEl[i],
 				Size:      j.Size,
-				Remaining: j.Size - elapsed[idx],
+				Remaining: j.Size - st.aliveEl[i],
 			})
 		}
-		if cap(rates) < len(alive) {
-			rates = make([]float64, len(alive))
+		st.views = views[:0]
+		rates := st.rates
+		if cap(rates) < len(st.aliveSeq) {
+			rates = make([]float64, len(st.aliveSeq))
+			st.rates = rates
 		}
-		rates = rates[:len(alive)]
+		rates = rates[:len(st.aliveSeq)]
 		for i := range rates {
 			rates[i] = 0
 		}
 		horizon := policy.Rates(now, views, opts.Machines, opts.Speed, rates)
 		if err := checkRates(rates, opts.Machines); err != nil {
-			return nil, fmt.Errorf("%w at t=%v (policy %s): %v", ErrBadRates, now, policy.Name(), err)
+			return fmt.Errorf("%w at t=%v (policy %s): %v", ErrBadRates, now, policy.Name(), err)
 		}
 
 		// Determine the time to the next event.
 		dt := math.Inf(1)
-		if next < n {
-			dt = in.Jobs[next].Release - now
+		if cur.More() {
+			dt = cur.Head().Release - now
 		}
 		if horizon > 0 && horizon < dt {
 			dt = horizon
 		}
 		totalRate := 0.0
-		for i, idx := range alive {
+		for i := range st.aliveSeq {
 			ρ := rates[i]
 			totalRate += ρ
 			if ρ <= 0 {
 				continue
 			}
-			rem := in.Jobs[idx].Size - elapsed[idx]
+			rem := st.aliveJob[i].Size - st.aliveEl[i]
 			if d := rem / (ρ * opts.Speed); d < dt {
 				dt = d
 			}
 		}
 		if math.IsInf(dt, 1) {
 			if totalRate <= 0 {
-				return nil, fmt.Errorf("%w at t=%v: %d alive, no arrivals pending (policy %s)", ErrStarvation, now, len(alive), policy.Name())
+				return fmt.Errorf("%w at t=%v: %d alive, no arrivals pending (policy %s)", ErrStarvation, now, len(st.aliveSeq), policy.Name())
 			}
 			// Unreachable: positive total rate implies a finite
 			// completion bound above; guard anyway.
-			return nil, fmt.Errorf("core: internal error: infinite step at t=%v", now)
+			return fmt.Errorf("core: internal error: infinite step at t=%v", now)
 		}
 		if dt < minAdvance {
 			dt = minAdvance
@@ -351,8 +410,8 @@ func RunWS(inst *Instance, policy Policy, opts Options, ws *Workspace) (*Result,
 			seg := Segment{
 				Start: now,
 				End:   end,
-				Jobs:  append([]int(nil), alive...),
-				Rates: append([]float64(nil), rates[:len(alive)]...),
+				Jobs:  append([]int(nil), st.aliveSeq...),
+				Rates: append([]float64(nil), rates[:len(st.aliveSeq)]...),
 			}
 			res.Segments = append(res.Segments, seg)
 		}
@@ -363,37 +422,62 @@ func RunWS(inst *Instance, policy Policy, opts Options, ws *Workspace) (*Result,
 			ws.obsEpoch = Epoch{
 				Start:   now,
 				End:     end,
-				Alive:   len(alive),
+				Alive:   len(st.aliveSeq),
 				RateSum: totalRate,
-				Jobs:    alive,
-				Rates:   rates[:len(alive)],
+				Jobs:    st.aliveSeq,
+				Rates:   rates[:len(st.aliveSeq)],
 			}
 			obs.ObserveEpoch(&ws.obsEpoch)
 		}
 
-		// Advance work and collect completions.
-		keep := alive[:0]
-		for i, idx := range alive {
-			elapsed[idx] += rates[i] * opts.Speed * dt
-			rem := in.Jobs[idx].Size - elapsed[idx]
-			if rem <= CompletionTol(in.Jobs[idx].Size) {
-				res.Completion[idx] = end
-				res.Flow[idx] = end - in.Jobs[idx].Release
-				if obs != nil {
-					obs.ObserveCompletion(end, idx, res.Flow[idx])
-				}
+		// Advance work and collect completions, compacting survivors in
+		// place (order-preserving, like the old keep/append idiom).
+		w := 0
+		for i := range st.aliveSeq {
+			st.aliveEl[i] += rates[i] * opts.Speed * dt
+			rem := st.aliveJob[i].Size - st.aliveEl[i]
+			if rem <= CompletionTol(st.aliveJob[i].Size) {
+				recordCompletion(res, sum, obs, st.aliveSeq[i], st.aliveJob[i].Release, end)
 				continue
 			}
-			keep = append(keep, idx)
+			st.aliveSeq[w] = st.aliveSeq[i]
+			st.aliveJob[w] = st.aliveJob[i]
+			st.aliveEl[w] = st.aliveEl[i]
+			w++
 		}
-		alive = keep
+		st.aliveSeq = st.aliveSeq[:w]
+		st.aliveJob = st.aliveJob[:w]
+		st.aliveEl = st.aliveEl[:w]
 		now = end
 	}
 
-	if obs != nil {
-		obs.ObserveDone(res)
+	if res != nil {
+		res.Events = events
+	} else {
+		sum.Events = events
 	}
-	return res, nil
+	return cur.Err()
+}
+
+// recordCompletion delivers one job completion to the active sink —
+// materialized per-job arrays or streaming aggregates — and the observer.
+func recordCompletion(res *Result, sum *StreamResult, obs Observer, seq int, release, t float64) {
+	flow := t - release
+	if res != nil {
+		res.Completion[seq] = t
+		res.Flow[seq] = flow
+	} else {
+		sum.Completed++
+		if t > sum.Makespan {
+			sum.Makespan = t
+		}
+		if flow > sum.MaxFlow {
+			sum.MaxFlow = flow
+		}
+	}
+	if obs != nil {
+		obs.ObserveCompletion(t, seq, flow)
+	}
 }
 
 // FlowByID returns a map from job ID to flow time.

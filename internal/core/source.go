@@ -1,0 +1,230 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"slices"
+)
+
+// JobSource is an incremental, release-ordered iterator of jobs — the
+// streaming counterpart of Instance. Both engines consume one natively
+// (core.RunStream, fast.RunStream): arrival events are pulled lazily, so a
+// run never buffers more than the alive set plus a one-job lookahead and a
+// 1e8-job trace simulates in bounded memory.
+//
+// Contract:
+//
+//   - Next returns the next job and true, or a zero Job and false when the
+//     source is exhausted, or a non-nil error. After false or an error the
+//     source is never called again.
+//   - Jobs must be yielded in non-decreasing Release order — the engines'
+//     event loops depend on it and reject violations with a structured
+//     ErrBadSource error (trace decoders offer an explicit sort opt-in
+//     instead; see internal/trace.DecodeOptions.Sort).
+//   - Job IDs should be unique. The engines cannot check this without
+//     unbounded memory, so the check belongs to the producer (the trace
+//     decoder enforces it; generators number jobs sequentially). Scalar
+//     fields are validated per job as they are pulled, with the same rules
+//     as Instance.Validate.
+//
+// A source that also implements Sized lets the engines size their event
+// budget upfront; otherwise the budget grows with the pull count.
+type JobSource interface {
+	Next() (Job, bool, error)
+}
+
+// Sized is optionally implemented by a JobSource whose total job count is
+// known in advance (a materialized instance, a counted generator).
+type Sized interface {
+	Len() int
+}
+
+// ErrBadSource wraps all streaming-validation failures: a job pulled from a
+// JobSource with invalid scalar fields, or a release earlier than its
+// predecessor's.
+var ErrBadSource = errors.New("core: invalid job source")
+
+// InstanceSource adapts an Instance to the JobSource interface: jobs are
+// yielded in normalized (Release, ID) order. It is the "Instance is just
+// one implementation" witness the differential wall replays through, and
+// Reset makes one reusable across runs without reallocating.
+type InstanceSource struct {
+	jobs []Job
+	i    int
+}
+
+// NewInstanceSource copies in's jobs into a normalized source. The instance
+// is not validated here — the consuming engine validates each job as it is
+// pulled (duplicate IDs excepted; see JobSource).
+func NewInstanceSource(in *Instance) *InstanceSource {
+	s := &InstanceSource{jobs: append([]Job(nil), in.Jobs...)}
+	if !slices.IsSortedFunc(s.jobs, compareJobs) {
+		slices.SortFunc(s.jobs, compareJobs)
+	}
+	return s
+}
+
+// Next implements JobSource.
+func (s *InstanceSource) Next() (Job, bool, error) {
+	if s.i >= len(s.jobs) {
+		return Job{}, false, nil
+	}
+	j := s.jobs[s.i]
+	s.i++
+	return j, true, nil
+}
+
+// Len implements Sized.
+func (s *InstanceSource) Len() int { return len(s.jobs) }
+
+// Reset rewinds the source to the first job.
+func (s *InstanceSource) Reset() { s.i = 0 }
+
+// StreamResult is the aggregate outcome of a streaming run (RunStream):
+// everything a Result carries except the per-job and per-segment slices,
+// whose materialization is exactly what stream mode exists to avoid.
+// Per-job outputs are delivered through Options.Observer instead
+// (ObserveCompletion carries every flow; metrics.StreamNorm folds them into
+// ℓk-norms online).
+type StreamResult struct {
+	Policy   string
+	Machines int
+	Speed    float64
+	// N is the number of jobs pulled from the source.
+	N int
+	// Completed counts jobs that finished. For a source that ends, every
+	// pulled job completes, so Completed == N on success.
+	Completed int
+	// Events counts engine steps, as Result.Events.
+	Events int
+	// Makespan is the latest completion time (0 when no job completed).
+	Makespan float64
+	// MaxFlow is the maximum flow time over all completions.
+	MaxFlow float64
+}
+
+// Cursor is the engines' view of a job stream: a one-job lookahead over
+// either a pre-validated normalized slice (the materialized fast path —
+// no interface calls, no re-validation) or a JobSource with per-job
+// streaming validation. Both engines' event loops are written against it,
+// which is what makes the materialized and streaming paths byte-identical
+// by construction.
+//
+// Errors (source failures, invalid jobs, release-order violations) are
+// latched: More reports false once one occurs, and the engine surfaces
+// Err() when its loop drains.
+type Cursor struct {
+	jobs []Job     // materialized mode: pre-validated, normalized
+	src  JobSource // stream mode (nil in materialized mode)
+
+	head    Job
+	hasHead bool
+	done    bool
+	err     error
+
+	seq         int // jobs consumed so far == next sequence number
+	lastRelease float64
+	sized       int // total job count when known upfront, else -1
+}
+
+// CursorOver returns a materialized-mode cursor over jobs, which must
+// already be validated and sorted by (Release, ID) — the slice a
+// Workspace.StartRun result carries. Jobs are read in place; the slice is
+// not copied or modified.
+func CursorOver(jobs []Job) Cursor {
+	return Cursor{jobs: jobs, sized: len(jobs)}
+}
+
+// CursorFrom returns a streaming cursor pulling from src, validating each
+// job's scalar fields and the non-decreasing-release contract as it goes.
+func CursorFrom(src JobSource) Cursor {
+	c := Cursor{src: src, sized: -1}
+	if s, ok := src.(Sized); ok {
+		c.sized = s.Len()
+	}
+	return c
+}
+
+// fill ensures the lookahead slot holds the next job, pulling from the
+// source (with validation) when empty. After fill exactly one of hasHead,
+// done, or err != nil holds.
+func (c *Cursor) fill() {
+	if c.hasHead || c.done || c.err != nil {
+		return
+	}
+	if c.src == nil {
+		if c.seq >= len(c.jobs) {
+			c.done = true
+			return
+		}
+		c.head = c.jobs[c.seq]
+		c.hasHead = true
+		return
+	}
+	j, ok, err := c.src.Next()
+	if err != nil {
+		c.err = fmt.Errorf("%w: reading job %d: %w", ErrBadSource, c.seq, err)
+		return
+	}
+	if !ok {
+		c.done = true
+		return
+	}
+	if err := c.check(j); err != nil {
+		c.err = err
+		return
+	}
+	c.head = j
+	c.hasHead = true
+}
+
+// check applies Instance.Validate's scalar rules to one streamed job plus
+// the release-order contract. Duplicate-ID detection is the producer's job
+// (see JobSource).
+func (c *Cursor) check(j Job) error {
+	switch {
+	case !(j.Size >= 0) || math.IsInf(j.Size, 0):
+		return fmt.Errorf("%w: job %d (seq %d) has negative or non-finite size %v", ErrBadSource, j.ID, c.seq, j.Size)
+	case j.Release < 0 || math.IsInf(j.Release, 0) || math.IsNaN(j.Release):
+		return fmt.Errorf("%w: job %d (seq %d) has invalid release %v", ErrBadSource, j.ID, c.seq, j.Release)
+	case j.Weight < 0 || math.IsInf(j.Weight, 0) || math.IsNaN(j.Weight):
+		return fmt.Errorf("%w: job %d (seq %d) has invalid weight %v", ErrBadSource, j.ID, c.seq, j.Weight)
+	case c.seq > 0 && j.Release < c.lastRelease:
+		return fmt.Errorf("%w: job %d (seq %d) released at %v after a job released at %v (source must be release-ordered)",
+			ErrBadSource, j.ID, c.seq, j.Release, c.lastRelease)
+	}
+	return nil
+}
+
+// More reports whether a job is pending, filling the lookahead first. It
+// reports false on exhaustion and on error — callers distinguish the two
+// via Err.
+func (c *Cursor) More() bool {
+	c.fill()
+	return c.hasHead
+}
+
+// Err returns the latched error, if any.
+func (c *Cursor) Err() error { return c.err }
+
+// Head returns the pending job. Valid only after More reported true.
+func (c *Cursor) Head() Job { return c.head }
+
+// Advance consumes the pending job, returning it with its sequence number
+// (0-based arrival order — the "normalized index" observers and results
+// are keyed by). Valid only after More reported true.
+func (c *Cursor) Advance() (Job, int) {
+	j, seq := c.head, c.seq
+	c.hasHead = false
+	c.seq++
+	c.lastRelease = j.Release
+	return j, seq
+}
+
+// Pulled returns the number of jobs consumed so far.
+func (c *Cursor) Pulled() int { return c.seq }
+
+// Sized returns the total job count when known upfront (materialized
+// slices, Sized sources), else -1.
+func (c *Cursor) Sized() int { return c.sized }

@@ -39,11 +39,8 @@ type Workspace struct {
 	stamp   []int
 	epoch   int
 
-	// Reference-engine per-step scratch.
-	elapsed []float64
-	rates   []float64
-	alive   []int
-	views   []JobView
+	// Reference-engine per-step scratch (see refScratch).
+	ref refScratch
 
 	// obsEpoch is the single Epoch value reused for every ObserveEpoch
 	// callback. Living on the workspace (not the engine's stack) keeps the
@@ -59,6 +56,27 @@ type Workspace struct {
 
 type idPair struct{ id, idx int }
 
+// refScratch is the reference engine's per-step state: the compacted alive
+// set (parallel arrays of sequence number, job value and elapsed work —
+// O(peak alive) memory, which is what lets runReference consume an
+// unbounded JobSource) plus the per-step view/rate buffers. Capacity grows
+// by append on first use and is reused run after run.
+type refScratch struct {
+	aliveSeq []int     // arrival sequence numbers, in (Release, ID) order
+	aliveJob []Job     // job values aligned with aliveSeq
+	aliveEl  []float64 // elapsed work aligned with aliveSeq
+	views    []JobView
+	rates    []float64
+}
+
+func (r *refScratch) reset() {
+	r.aliveSeq = r.aliveSeq[:0]
+	r.aliveJob = r.aliveJob[:0]
+	r.aliveEl = r.aliveEl[:0]
+	r.views = r.views[:0]
+	r.rates = r.rates[:0]
+}
+
 // NewWorkspace returns an empty workspace; buffers are grown on first use.
 func NewWorkspace() *Workspace { return &Workspace{} }
 
@@ -72,14 +90,32 @@ func (w *Workspace) Reset() {
 	w.completion = w.completion[:0]
 	w.flow = w.flow[:0]
 	w.idpairs = w.idpairs[:0]
-	w.elapsed = w.elapsed[:0]
-	w.rates = w.rates[:0]
-	w.alive = w.alive[:0]
-	w.views = w.views[:0]
+	w.ref.reset()
 	w.obsEpoch = Epoch{}
 	if r, ok := w.engine.(interface{ Reset() }); ok {
 		r.Reset()
 	}
+}
+
+// ObserveStreamDone emits the end-of-run callback for a streaming run:
+// obs.ObserveDone receives the workspace's reusable Result carrying the
+// run's scalar fields (Policy, Machines, Speed, Events) with nil per-job
+// slices — stream mode exists to avoid materializing those, and stream-safe
+// observers (StreamNorm, the trace writer) track per-job state themselves
+// from the event stream. Using the workspace's Result keeps the dispatch
+// allocation-free. Both engines' stream paths call it; a nil obs is a
+// no-op.
+func (w *Workspace) ObserveStreamDone(obs Observer, sum *StreamResult) {
+	if obs == nil {
+		return
+	}
+	w.res = Result{
+		Policy:   sum.Policy,
+		Machines: sum.Machines,
+		Speed:    sum.Speed,
+		Events:   sum.Events,
+	}
+	obs.ObserveDone(&w.res)
 }
 
 // EngineScratch returns the scratch value a non-reference engine attached

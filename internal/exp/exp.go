@@ -156,6 +156,7 @@ func All() []Experiment {
 		{"E23", "Fractional vs integral SETF on multiple machines (Related Work [5])", E23},
 		{"E24", "ℓ∞ endpoint: max-flow ratios vs FCFS (the exact ℓ∞ optimum)", E24},
 		{"E25", "Adversarial hunt: ratio frontier vs analytic seed instances", E25},
+		{"E26", "Trace replay vs fitted model: ℓk flow norms by policy", E26},
 	}
 }
 

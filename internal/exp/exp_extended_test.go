@@ -283,3 +283,39 @@ func TestE25Shapes(t *testing.T) {
 		}
 	}
 }
+
+// TestE26Shapes: the replay-vs-fitted experiment must produce one row per
+// (policy, k) with positive norms on both legs, and the replay leg must
+// respect SRPT's ℓ1-optimality — on the same trace, no policy's total flow
+// beats SRPT's. The fitted/replayed ratio only gets a loose sanity band:
+// it measures model error, which is the point of the table, but a ratio
+// orders of magnitude off means a leg ran the wrong workload.
+func TestE26Shapes(t *testing.T) {
+	tab := runExp(t, "E26")[0]
+	if len(tab.Rows) != 9 {
+		t.Fatalf("rows = %d, want 9 (RR/SRPT/FCFS × k=1,2,3)", len(tab.Rows))
+	}
+	rep := colIndex(t, tab, "replayed")
+	fit := colIndex(t, tab, "fitted")
+	ratio := colIndex(t, tab, "fitted/replayed")
+	l1 := map[string]float64{}
+	for i, row := range tab.Rows {
+		if v := cell(t, tab, i, rep); !(v > 0) {
+			t.Errorf("row %d: replayed norm %v not positive", i, v)
+		}
+		if v := cell(t, tab, i, fit); !(v > 0) {
+			t.Errorf("row %d: fitted norm %v not positive", i, v)
+		}
+		if v := cell(t, tab, i, ratio); !(v > 0.05 && v < 20) {
+			t.Errorf("row %d: fitted/replayed %v outside sanity band", i, v)
+		}
+		if row[1] == "1" {
+			l1[row[0]] = cell(t, tab, i, rep)
+		}
+	}
+	for _, name := range []string{"RR", "FCFS"} {
+		if l1[name] < l1["SRPT"] {
+			t.Errorf("replayed ℓ1: %s (%v) beats SRPT (%v) — SRPT is ℓ1-optimal", name, l1[name], l1["SRPT"])
+		}
+	}
+}

@@ -104,35 +104,15 @@ func RunWS(in *core.Instance, p core.Policy, opts core.Options, ws *core.Workspa
 	if err != nil {
 		return nil, err
 	}
+	// A materialized run is a streaming run over the normalized job slice:
+	// the fast paths consume a core.Cursor either way, so RunWS and
+	// RunStream share every event loop byte for byte. The cursor lives on
+	// the scratch, not the stack — run-struct contents leak through the
+	// Observer interface, which would force a stack cursor to the heap.
 	s := scratchOf(ws)
-
-	switch pp := p.(type) {
-	case policy.RR, *policy.RR:
-		s.rrTol = growFloats(s.rrTol, len(res.Jobs))
-		err = runRR(res, opts, &s.rrHeap, s.rrTol, &s.epoch)
-	case *policy.SRPT:
-		s.prepareTopM(ordSRPT, res, opts.Speed, false)
-		err = runTopM(res, opts, s)
-	case *policy.SJF:
-		s.prepareTopM(ordStatic, res, opts.Speed, true)
-		for i := range res.Jobs {
-			s.key[i] = res.Jobs[i].Size
-		}
-		err = runTopM(res, opts, s)
-	case *policy.FCFS:
-		// Normalized index order is (Release, ID) order — FCFS itself.
-		s.prepareTopM(ordStatic, res, opts.Speed, false)
-		err = runTopM(res, opts, s)
-	case *policy.StaticPriority:
-		s.prepareTopM(ordStatic, res, opts.Speed, true)
-		for i := range res.Jobs {
-			s.key[i] = pp.PriorityOf(res.Jobs[i].ID)
-		}
-		err = runTopM(res, opts, s)
-	default:
-		// Unreachable: Eligible covered the type switch.
-		return nil, fmt.Errorf("%w: policy %s", ErrNoFastPath, p.Name())
-	}
+	s.cur = core.CursorOver(res.Jobs)
+	err = dispatch(p, &s.cur, res, nil, opts, s)
+	s.cur = core.Cursor{}
 	if err != nil {
 		return nil, err
 	}
@@ -140,4 +120,85 @@ func RunWS(in *core.Instance, p core.Policy, opts core.Options, ws *core.Workspa
 		opts.Observer.ObserveDone(res)
 	}
 	return res, nil
+}
+
+// RunStream simulates a policy over a core.JobSource without materializing
+// it, honoring opts.Engine exactly like RunWS: fast path when Eligible,
+// the reference engine's core.RunStream otherwise (EngineFast demands the
+// fast path). The engine buffers only the alive set plus a one-job
+// lookahead; per-job outputs flow through opts.Observer and the aggregate
+// outcome returns as a StreamResult. ws follows the same reuse rules as
+// RunWS; ws == nil allocates a private workspace.
+func RunStream(src core.JobSource, p core.Policy, opts core.Options, ws *core.Workspace) (core.StreamResult, error) {
+	switch opts.Engine {
+	case core.EngineReference:
+		return core.RunStream(src, p, opts, ws)
+	case core.EngineAuto, core.EngineFast:
+	default:
+		return core.StreamResult{}, fmt.Errorf("%w: unknown Engine %d", core.ErrBadOptions, opts.Engine)
+	}
+	if !Eligible(p, opts) {
+		if opts.Engine == core.EngineFast {
+			return core.StreamResult{}, fmt.Errorf("%w: policy %s (RecordSegments=%v, observer needs job epochs=%v)",
+				ErrNoFastPath, p.Name(), opts.RecordSegments, core.ObserverNeedsJobEpochs(opts.Observer))
+		}
+		return core.RunStream(src, p, opts, ws)
+	}
+	// Same input contract as core.RunStream.
+	if opts.Machines < 1 {
+		return core.StreamResult{}, fmt.Errorf("%w: Machines=%d", core.ErrBadOptions, opts.Machines)
+	}
+	if !(opts.Speed > 0) || math.IsInf(opts.Speed, 0) {
+		return core.StreamResult{}, fmt.Errorf("%w: Speed=%v", core.ErrBadOptions, opts.Speed)
+	}
+	if ws == nil {
+		ws = core.NewWorkspace()
+	}
+	// Cursor and summary live on the scratch for the same escape reason as
+	// in RunWS; both are cleared before returning so the source interface
+	// does not outlive the run.
+	s := scratchOf(ws)
+	s.sum = core.StreamResult{Policy: p.Name(), Machines: opts.Machines, Speed: opts.Speed}
+	s.cur = core.CursorFrom(src)
+	err := dispatch(p, &s.cur, nil, &s.sum, opts, s)
+	if err == nil {
+		s.sum.N = s.cur.Pulled()
+	}
+	sum := s.sum
+	s.cur = core.Cursor{}
+	s.sum = core.StreamResult{}
+	if err != nil {
+		return core.StreamResult{}, err
+	}
+	ws.ObserveStreamDone(opts.Observer, &sum)
+	return sum, nil
+}
+
+// dispatch routes one run — arrivals from cur, completions into exactly one
+// of res/sum — to the policy's fast path. Eligibility was already checked.
+func dispatch(p core.Policy, cur *core.Cursor, res *core.Result, sum *core.StreamResult, opts core.Options, s *scratch) error {
+	switch pp := p.(type) {
+	case policy.RR, *policy.RR:
+		r := rrRun{cur: cur, res: res, sum: sum, h: &s.rrHeap, m: opts.Machines, speed: opts.Speed, obs: opts.Observer, ep: &s.epoch}
+		return runRR(&r, opts)
+	case *policy.SRPT:
+		s.prepareTopM(ordSRPT, false, opts.Speed)
+		r := topmRun{cur: cur, res: res, sum: sum, s: s, obs: opts.Observer, km: keyNone}
+		return r.run(opts)
+	case *policy.SJF:
+		s.prepareTopM(ordStatic, true, opts.Speed)
+		r := topmRun{cur: cur, res: res, sum: sum, s: s, obs: opts.Observer, km: keySize}
+		return r.run(opts)
+	case *policy.FCFS:
+		// Arrival-sequence order is (Release, ID) order — FCFS itself.
+		s.prepareTopM(ordStatic, false, opts.Speed)
+		r := topmRun{cur: cur, res: res, sum: sum, s: s, obs: opts.Observer, km: keyNone}
+		return r.run(opts)
+	case *policy.StaticPriority:
+		s.prepareTopM(ordStatic, true, opts.Speed)
+		r := topmRun{cur: cur, res: res, sum: sum, s: s, obs: opts.Observer, km: keyPriority, prio: pp}
+		return r.run(opts)
+	}
+	// Unreachable: Eligible covered the type switch.
+	return fmt.Errorf("%w: policy %s", ErrNoFastPath, p.Name())
 }

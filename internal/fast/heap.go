@@ -13,32 +13,37 @@ const (
 	roleWait                  // promotion candidate: best waiting job first
 )
 
-// indexHeap is a binary heap over job indices 0..n−1 ordered by one role of
+// indexHeap is a binary heap over scratch slot ids ordered by one role of
 // a shared ordering, with position tracking so arbitrary members can be
 // removed in O(log n) — needed when a preemption pulls a job out of the
 // middle of the running set. Composite tie-breaks (key, release, ID) live
 // in the ordering, which is why the fast engine uses this instead of the
-// float-keyed queue.IndexedMinHeap.
+// float-keyed queue.IndexedMinHeap. Slots appear dynamically (allocSlot
+// calls grow), so capacity tracks the peak alive set, not the stream
+// length.
 type indexHeap struct {
 	items []int
-	pos   []int // pos[job] = index in items, or -1 when absent
+	pos   []int // pos[slot] = index in items, or -1 when absent
 	ord   *ordering
 	role  heapRole
 }
 
-// reuse re-targets the heap at jobs 0..n−1 with the given ordering role and
-// empties it, reusing the backing arrays whenever capacity allows.
-func (h *indexHeap) reuse(n int, ord *ordering, role heapRole) {
-	if cap(h.pos) < n {
-		h.items = make([]int, 0, n)
-		h.pos = make([]int, n)
-	}
+// reuse empties the heap and re-points it at the ordering role; grow
+// extends coverage as slots are allocated. Backing arrays are reused
+// whenever capacity allows.
+func (h *indexHeap) reuse(ord *ordering, role heapRole) {
 	h.items = h.items[:0]
-	h.pos = h.pos[:n]
-	for i := range h.pos {
-		h.pos[i] = -1
-	}
+	h.pos = h.pos[:0]
 	h.ord, h.role = ord, role
+}
+
+// grow extends position tracking to cover slots 0..n−1; new slots start
+// absent. Within retained capacity this is an append of -1s, so
+// steady-state runs allocate nothing.
+func (h *indexHeap) grow(n int) {
+	for len(h.pos) < n {
+		h.pos = append(h.pos, -1)
+	}
 }
 
 func (h *indexHeap) less(a, b int) bool {

@@ -5,16 +5,21 @@ import (
 	"rrnorm/internal/queue"
 )
 
-// rrState is the Round Robin sweep state. admit/complete are methods on a
+// rrRun is the Round Robin sweep state. admit/complete are methods on a
 // stack-local value rather than closures so that workspace-reuse runs stay
-// allocation-free (captured-variable closures escape to the heap).
-type rrState struct {
-	res  *core.Result
-	h    *queue.PairHeap
-	tol  []float64 // tol[i] = CompletionTol(Jobs[i].Size), precomputed
-	now  float64
-	V    float64 // cumulative per-job fair share
-	next int     // next arrival index
+// allocation-free (captured-variable closures escape to the heap). Exactly
+// one of res (materialized sink) and sum (streaming sink) is non-nil;
+// arrivals come from the cursor either way, so both paths execute the same
+// loop.
+type rrRun struct {
+	cur   *core.Cursor
+	res   *core.Result
+	sum   *core.StreamResult
+	h     *queue.JobHeap
+	now   float64
+	V     float64 // cumulative per-job fair share
+	m     int
+	speed float64
 
 	obs core.Observer // nil when no observer attached
 	ep  *core.Epoch   // workspace-held epoch for allocation-free dispatch
@@ -22,58 +27,51 @@ type rrState struct {
 
 // admit moves all jobs released by now into the heap; degenerate
 // (sub-tolerance size) jobs complete at admission, mirroring core.Run.
-func (r *rrState) admit() {
-	jobs := r.res.Jobs
-	for r.next < len(jobs) && jobs[r.next].Release <= r.now {
-		j := &jobs[r.next]
+// Each heap entry carries the job's completion target, sequence number,
+// release and tolerance — everything its completion needs, so no
+// full-instance side arrays exist and memory stays O(alive).
+func (r *rrRun) admit() {
+	for r.cur.More() && r.cur.Head().Release <= r.now {
+		j, seq := r.cur.Advance()
 		if r.obs != nil {
-			r.obs.ObserveArrival(r.now, r.next, *j)
+			r.obs.ObserveArrival(r.now, seq, j)
 		}
-		if j.Size <= r.tol[r.next] {
-			r.res.Completion[r.next] = r.now
-			r.res.Flow[r.next] = r.now - j.Release
-			if r.obs != nil {
-				r.obs.ObserveCompletion(r.now, r.next, r.now-j.Release)
-			}
-		} else {
-			r.h.Push(r.next, r.V+j.Size)
+		tol := core.CompletionTol(j.Size)
+		if j.Size <= tol {
+			recordFinish(r.res, r.sum, r.obs, seq, j.Release, r.now)
+			continue
 		}
-		r.next++
+		r.h.Push(queue.JobItem{Key: r.V + j.Size, Seq: seq, Release: j.Release, Tol: tol})
 	}
 }
 
 // complete pops every job whose remaining work target−V is within its
 // completion tolerance — the same boundary-check semantics as the
 // reference engine applies at the end of each step.
-func (r *rrState) complete() {
-	jobs := r.res.Jobs
+func (r *rrRun) complete() {
 	for r.h.Len() > 0 {
-		j, key := r.h.Min()
-		if key-r.V > r.tol[j] {
+		it := r.h.Min()
+		if it.Key-r.V > it.Tol {
 			return
 		}
 		r.h.PopMin()
-		r.res.Completion[j] = r.now
-		r.res.Flow[j] = r.now - jobs[j].Release
-		if r.obs != nil {
-			r.obs.ObserveCompletion(r.now, j, r.res.Flow[j])
-		}
+		recordFinish(r.res, r.sum, r.obs, it.Seq, it.Release, r.now)
 	}
 }
 
 // epoch emits the rate-constant interval [r.now, end) to the observer.
 // Under RR every alive job shares min(1, m/alive) of a machine, so the
 // pre-speed rate sum is min(alive, m).
-func (r *rrState) epoch(end float64, m int) {
+func (r *rrRun) epoch(end float64) {
 	alive := r.h.Len()
 	rs := float64(alive)
-	if alive > m {
-		rs = float64(m)
+	if alive > r.m {
+		rs = float64(r.m)
 	}
 	emitEpoch(r.obs, r.ep, r.now, end, alive, rs)
 }
 
-// runRR simulates Round Robin in O((n + completions) log n) with
+// runRR simulates Round Robin in O((n + completions) log alive) with
 // incremental virtual-time ("fair share") accounting.
 //
 // Under RR every alive job accrues work at the identical rate
@@ -81,37 +79,37 @@ func (r *rrState) epoch(end float64, m int) {
 // share) a job admitted at time t₀ with size p completes exactly when V
 // reaches V(t₀) + p. Arrivals and completions are therefore the only
 // events: the next completion is the smallest completion target in a
-// min-heap of (target, job) pairs, and between consecutive events ρ is
-// constant, so each event costs O(log n) instead of the reference
-// engine's O(n_t) rate recomputation.
+// min-heap of JobItems, and between consecutive events ρ is constant, so
+// each event costs O(log alive) instead of the reference engine's O(n_t)
+// rate recomputation.
 //
-// res comes from Workspace.StartRun (jobs validated and normalized); h
-// and tol are the workspace's reusable completion heap and tolerance
-// buffer, ep the workspace's reusable observer epoch.
-func runRR(res *core.Result, opts core.Options, h *queue.PairHeap, tol []float64, ep *core.Epoch) error {
-	n := len(res.Jobs)
-	if n == 0 {
-		return nil
+// The heap orders by (target, sequence number); on the materialized path
+// sequence numbers equal normalized indices, so simultaneous completions
+// drain in exactly the order the old index-keyed heap produced.
+func runRR(r *rrRun, opts core.Options) error {
+	cur := r.cur
+	if !cur.More() {
+		return cur.Err()
 	}
-	h.Reuse(n)
-	for i := range res.Jobs {
-		tol[i] = core.CompletionTol(res.Jobs[i].Size)
-	}
-	r := rrState{res: res, h: h, tol: tol, now: res.Jobs[0].Release, obs: opts.Observer, ep: ep}
+	r.h.Reuse(0) // capacity tracks the peak alive set, not the stream length
+	r.now = cur.Head().Release
 
 	r.admit()
 	r.complete()
-	res.Events++
-	for h.Len() > 0 || r.next < n {
-		res.Events++
-		if res.Events&(ctxStride-1) == 0 {
-			if err := core.Canceled(opts.Context, r.now, res.Events); err != nil {
+	events := 1
+	for r.h.Len() > 0 || cur.More() {
+		if err := cur.Err(); err != nil {
+			return err
+		}
+		events++
+		if events&(ctxStride-1) == 0 {
+			if err := core.Canceled(opts.Context, r.now, events); err != nil {
 				return err
 			}
 		}
-		if h.Len() == 0 {
+		if r.h.Len() == 0 {
 			// Idle gap: jump to the next arrival; V does not advance.
-			r.now = res.Jobs[r.next].Release
+			r.now = cur.Head().Release
 			r.admit()
 			r.complete()
 			continue
@@ -119,30 +117,35 @@ func runRR(res *core.Result, opts core.Options, h *queue.PairHeap, tol []float64
 		// rate = speed · min(1, m/alive), spelled as a branch: m and alive
 		// are small ints, so m/alive is exact when it matters (alive ≤ m ⇒
 		// factor 1) and math.Min's NaN handling is dead weight here.
-		rate := opts.Speed
-		if alive := h.Len(); alive > opts.Machines {
-			rate *= float64(opts.Machines) / float64(alive)
+		rate := r.speed
+		if alive := r.h.Len(); alive > r.m {
+			rate *= float64(r.m) / float64(alive)
 		}
-		_, minKey := h.Min()
+		minKey := r.h.Min().Key
 		tC := r.now + (minKey-r.V)/rate
 		if tC < r.now {
 			tC = r.now // guard against cancellation in minKey−V
 		}
-		if r.next < n && res.Jobs[r.next].Release < tC {
+		if cur.More() && cur.Head().Release < tC {
 			// Next event is an arrival: advance the fair share to it.
-			t := res.Jobs[r.next].Release
-			r.epoch(t, opts.Machines)
+			t := cur.Head().Release
+			r.epoch(t)
 			r.V += (t - r.now) * rate
 			r.now = t
 			r.admit()
 		} else {
 			// Next event is a completion: land V exactly on the target so
 			// simultaneous completions (identical targets) drain together.
-			r.epoch(tC, opts.Machines)
+			r.epoch(tC)
 			r.V = minKey
 			r.now = tC
 		}
 		r.complete()
 	}
-	return nil
+	if r.res != nil {
+		r.res.Events = events
+	} else {
+		r.sum.Events = events
+	}
+	return cur.Err()
 }

@@ -6,41 +6,61 @@ import (
 )
 
 // scratch is the fast engine's per-workspace state: the RR virtual-time
-// completion heap, and the top-m engine's three indexed heaps plus the
-// key/rem/cAt arrays their shared ordering reads. It rides on
+// completion heap, and the top-m engine's slot arrays plus the three
+// indexed heaps ranging over them. It rides on
 // core.Workspace.EngineScratch, so one pooled workspace serves both
 // engines; after the first run on a workspace every buffer here is reused
 // and the fast paths allocate nothing.
+//
+// Slots replace the old full-instance arrays: per-job state (remaining
+// work, completion-if-unpreempted time, static key, tolerance, release,
+// arrival sequence) is allocated at admission and freed at completion, so
+// capacity is bounded by the peak alive set — the property that lets the
+// same engine consume an unbounded JobSource with O(alive) memory.
 type scratch struct {
-	rrHeap queue.PairHeap
-	rrTol  []float64
+	rrHeap queue.JobHeap
 
 	ord     ordering
-	rem     []float64
-	cAt     []float64
-	key     []float64
+	rem     []float64 // remaining work (frozen while waiting)
+	cAt     []float64 // completion-if-unpreempted time (while running)
+	key     []float64 // static policy key (SJF size, StaticPriority rank)
+	tol     []float64 // core.CompletionTol(size), precomputed at admission
+	release []float64 // release time, for flow at completion
+	seq     []int     // arrival sequence number: the tie-break and result index
+	free    []int     // freed slot ids, reused before growing
 	byC     indexHeap
 	worst   indexHeap
 	waiting indexHeap
 
 	// epoch is the single core.Epoch value reused for every ObserveEpoch
 	// callback, kept here (not on the run's stack) so its address reaching
-	// the Observer interface call does not escape-allocate per run.
+	// the Observer interface call does not escape-allocate per run. cur and
+	// sum live here for the same reason: the run structs' contents leak
+	// through Observer interface calls, so a stack-local cursor or stream
+	// summary would be forced to the heap on every run. Both are cleared at
+	// the end of each run so no job slice or source outlives it.
 	epoch core.Epoch
+	cur   core.Cursor
+	sum   core.StreamResult
 }
 
-// Reset truncates the float buffers and drops cross-run ordering state.
+// Reset truncates the slot buffers and drops cross-run ordering state.
 // core.Workspace.Reset calls it (via the Reset interface) before the
 // workspace returns to its pool; heap backing arrays are kept — reuse
 // re-initializes them per run, and they hold no references.
 func (s *scratch) Reset() {
 	s.rrHeap.Reset()
-	s.rrTol = s.rrTol[:0]
 	s.ord = ordering{}
 	s.rem = s.rem[:0]
 	s.cAt = s.cAt[:0]
 	s.key = s.key[:0]
+	s.tol = s.tol[:0]
+	s.release = s.release[:0]
+	s.seq = s.seq[:0]
+	s.free = s.free[:0]
 	s.epoch = core.Epoch{}
+	s.cur = core.Cursor{}
+	s.sum = core.StreamResult{}
 }
 
 // emitEpoch delivers the aggregate-only epoch [start, end) to obs, reusing
@@ -55,6 +75,28 @@ func emitEpoch(obs core.Observer, ep *core.Epoch, start, end float64, alive int,
 	obs.ObserveEpoch(ep)
 }
 
+// recordFinish delivers one job completion to the active sink — the
+// materialized per-job arrays (res != nil) or the streaming aggregates —
+// and the observer; the fast-path mirror of the reference engine's sink.
+func recordFinish(res *core.Result, sum *core.StreamResult, obs core.Observer, seq int, release, t float64) {
+	flow := t - release
+	if res != nil {
+		res.Completion[seq] = t
+		res.Flow[seq] = flow
+	} else {
+		sum.Completed++
+		if t > sum.Makespan {
+			sum.Makespan = t
+		}
+		if flow > sum.MaxFlow {
+			sum.MaxFlow = flow
+		}
+	}
+	if obs != nil {
+		obs.ObserveCompletion(t, seq, flow)
+	}
+}
+
 // scratchOf returns ws's fast-engine scratch, attaching a fresh one on
 // first use — the only allocation a reused workspace ever sees.
 func scratchOf(ws *core.Workspace) *scratch {
@@ -66,36 +108,51 @@ func scratchOf(ws *core.Workspace) *scratch {
 	return s
 }
 
-// prepareTopM sizes the top-m state for a run over res.Jobs: rem seeded
-// with the job sizes, cAt zeroed, the heaps emptied and re-pointed at the
-// ordering. With withKey the static key array is zeroed to length n for
-// the caller to fill (SJF sizes, StaticPriority ranks); without it the
-// ordering ranks by index alone (FCFS) or by remaining work (SRPT).
-func (s *scratch) prepareTopM(kind ordKind, res *core.Result, speed float64, withKey bool) {
-	n := len(res.Jobs)
-	s.rem = growFloats(s.rem, n)
-	s.cAt = growFloats(s.cAt, n)
-	for i := range res.Jobs {
-		s.rem[i] = res.Jobs[i].Size
-	}
-	var key []float64
-	if withKey {
-		s.key = growFloats(s.key, n)
-		key = s.key
-	}
-	s.ord = ordering{kind: kind, key: key, rem: s.rem, cAt: s.cAt, speed: speed}
-	s.byC.reuse(n, &s.ord, roleByC)
-	s.worst.reuse(n, &s.ord, roleWorst)
-	s.waiting.reuse(n, &s.ord, roleWait)
+// prepareTopM readies the slot state for a run: all slots released, the
+// heaps emptied and re-pointed at the ordering. Slot capacity from earlier
+// runs is kept, so steady-state runs allocate nothing.
+func (s *scratch) prepareTopM(kind ordKind, useKey bool, speed float64) {
+	s.rem = s.rem[:0]
+	s.cAt = s.cAt[:0]
+	s.key = s.key[:0]
+	s.tol = s.tol[:0]
+	s.release = s.release[:0]
+	s.seq = s.seq[:0]
+	s.free = s.free[:0]
+	s.ord = ordering{kind: kind, useKey: useKey, s: s, speed: speed}
+	s.byC.reuse(&s.ord, roleByC)
+	s.worst.reuse(&s.ord, roleWorst)
+	s.waiting.reuse(&s.ord, roleWait)
 }
 
-// growFloats returns s resized to length n and zeroed, reallocating only
-// when capacity is insufficient.
-func growFloats(s []float64, n int) []float64 {
-	if cap(s) < n {
-		return make([]float64, n)
+// allocSlot claims a slot for an admitted job, reusing a freed one when
+// available. rem is seeded with the job's full size (it only changes when a
+// preemption freezes progress); cAt is set by start.
+func (s *scratch) allocSlot(j core.Job, seq int, key, tol float64) int {
+	if k := len(s.free) - 1; k >= 0 {
+		sl := s.free[k]
+		s.free = s.free[:k]
+		s.seq[sl] = seq
+		s.rem[sl] = j.Size
+		s.cAt[sl] = 0
+		s.key[sl] = key
+		s.tol[sl] = tol
+		s.release[sl] = j.Release
+		return sl
 	}
-	s = s[:n]
-	clear(s)
-	return s
+	sl := len(s.seq)
+	s.seq = append(s.seq, seq)
+	s.rem = append(s.rem, j.Size)
+	s.cAt = append(s.cAt, 0)
+	s.key = append(s.key, key)
+	s.tol = append(s.tol, tol)
+	s.release = append(s.release, j.Release)
+	s.byC.grow(sl + 1)
+	s.worst.grow(sl + 1)
+	s.waiting.grow(sl + 1)
+	return sl
 }
+
+// freeSlot releases a completed job's slot for reuse. The slot must
+// already be out of all three heaps.
+func (s *scratch) freeSlot(sl int) { s.free = append(s.free, sl) }

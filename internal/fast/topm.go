@@ -4,40 +4,46 @@ import (
 	"math"
 
 	"rrnorm/internal/core"
+	"rrnorm/internal/policy"
 )
 
 // runTopM simulates the rank-based policies — the ones whose reference
 // implementation assigns a full machine to each of the m best alive jobs
 // under a strict order (SRPT, SJF, FCFS, StaticPriority) — in
-// O((n + completions) log n).
+// O((n + completions) log alive).
 //
 // State: at any moment at most m jobs are "running" (each on a dedicated
 // speed-s machine) and the rest wait. Because every running job drains at
 // the same rate s, the order of running jobs by remaining work never
-// changes while they run; each running job j is represented by cAt[j], its
-// absolute completion time if never preempted, and a waiting job by rem[j],
+// changes while they run; each running job is represented by cAt, its
+// absolute completion time if never preempted, and a waiting job by rem,
 // its (frozen) remaining work. The only events are arrivals — which start
 // on a free machine, preempt the worst running job, or queue — and
 // completions — which promote the best waiting job. Three indexed heaps
 // (next completion, preemption victim, promotion candidate) make every
-// event O(log n).
+// event O(log alive).
+//
+// Alive jobs live in scratch slots allocated at admission and freed at
+// completion (see scratch), pulled incrementally from a core.Cursor, so
+// the same loop serves materialized instances and unbounded job streams;
+// the policy order's tie-break is the arrival sequence number, which on
+// the materialized path equals the normalized index — the reference
+// engine's (key, Release, ID) tie-break exactly.
 //
 // Correctness relies on the invariant that every running job precedes every
 // waiting job in the policy order. It holds because keys are static (or,
 // for SRPT, only ever improve while running): a preemption victim was the
 // worst running job and by induction precedes all waiting jobs, and an
 // arrival beats the victim only if it precedes it. The running set is
-// therefore always exactly the reference engine's top-m selection,
-// including its (key, release, ID) tie-breaks, which the comparators
-// reproduce via the normalized job index.
+// therefore always exactly the reference engine's top-m selection.
 
 // ordKind selects how an ordering ranks jobs.
 type ordKind uint8
 
 const (
-	// ordStatic ranks by a fixed per-job key with the normalized-index
-	// tie-break (index order is (Release, ID) order, the reference
-	// tie-break). A nil key slice means pure index order — FCFS.
+	// ordStatic ranks by a fixed per-slot key with the arrival-sequence
+	// tie-break (sequence order is (Release, ID) order, the reference
+	// tie-break). With useKey false the order is pure sequence — FCFS.
 	ordStatic ordKind = iota
 	// ordSRPT ranks by remaining work: frozen rem for waiting jobs,
 	// cAt-implied for running ones (equal drain rate ⇒ cAt order is
@@ -45,119 +51,143 @@ const (
 	ordSRPT
 )
 
-// ordering ranks jobs for the top-m engine. It is a concrete struct with
-// methods rather than a set of closures so workspace reuse stays
-// allocation-free: the three heaps reach it through one shared pointer and
-// dispatch on kind, instead of each capturing a freshly allocated closure
-// per run.
+// ordering ranks slots for the top-m engine. It reads the slot arrays
+// through the scratch pointer — not captured slices — so slot growth never
+// leaves it stale, and it is a concrete struct with methods rather than a
+// set of closures so workspace reuse stays allocation-free.
 type ordering struct {
-	kind  ordKind
-	key   []float64 // static per-job keys (ordStatic); nil = index order
-	rem   []float64 // frozen remaining work of waiting jobs
-	cAt   []float64 // completion-if-unpreempted time of running jobs
-	speed float64
+	kind   ordKind
+	useKey bool // rank by s.key (SJF, StaticPriority) before the tie-break
+	s      *scratch
+	speed  float64
 }
 
-func (o *ordering) keyOf(j int) float64 {
-	if o.key == nil {
+func (o *ordering) keyOf(sl int) float64 {
+	if !o.useKey {
 		return 0
 	}
-	return o.key[j]
+	return o.s.key[sl]
 }
 
-// waitLess orders waiting jobs: the least is promoted first.
+// waitLess orders waiting slots: the least is promoted first.
 func (o *ordering) waitLess(a, b int) bool {
 	if o.kind == ordSRPT {
-		if o.rem[a] != o.rem[b] {
-			return o.rem[a] < o.rem[b]
+		if o.s.rem[a] != o.s.rem[b] {
+			return o.s.rem[a] < o.s.rem[b]
 		}
-		return a < b
+		return o.s.seq[a] < o.s.seq[b]
 	}
 	if ka, kb := o.keyOf(a), o.keyOf(b); ka != kb {
 		return ka < kb
 	}
-	return a < b
+	return o.s.seq[a] < o.s.seq[b]
 }
 
-// worstLess orders running jobs so the heap minimum is the preemption
+// worstLess orders running slots so the heap minimum is the preemption
 // victim (i.e. it sorts "worse" jobs first).
 func (o *ordering) worstLess(a, b int) bool {
 	if o.kind == ordSRPT {
-		if o.cAt[a] != o.cAt[b] {
-			return o.cAt[a] > o.cAt[b]
+		if o.s.cAt[a] != o.s.cAt[b] {
+			return o.s.cAt[a] > o.s.cAt[b]
 		}
-		return a > b
+		return o.s.seq[a] > o.s.seq[b]
 	}
 	if ka, kb := o.keyOf(a), o.keyOf(b); ka != kb {
 		return ka > kb
 	}
-	return a > b
+	return o.s.seq[a] > o.s.seq[b]
 }
 
-// byCLess orders running jobs by next completion.
+// byCLess orders running slots by next completion.
 func (o *ordering) byCLess(a, b int) bool {
-	if o.cAt[a] != o.cAt[b] {
-		return o.cAt[a] < o.cAt[b]
+	if o.s.cAt[a] != o.s.cAt[b] {
+		return o.s.cAt[a] < o.s.cAt[b]
 	}
-	return a < b
+	return o.s.seq[a] < o.s.seq[b]
 }
 
-// preempts reports whether newly arrived job j displaces victim v at time
-// now.
-func (o *ordering) preempts(j, v int, now float64) bool {
+// preempts reports whether a newly arrived job — static key jKey, remaining
+// work jRem (its full size at arrival) and sequence number jSeq, not yet
+// slotted — displaces the running victim slot v at time now.
+func (o *ordering) preempts(jKey, jRem float64, jSeq, v int, now float64) bool {
 	if o.kind == ordSRPT {
-		remV := (o.cAt[v] - now) * o.speed
-		if o.rem[j] != remV {
-			return o.rem[j] < remV
+		remV := (o.s.cAt[v] - now) * o.speed
+		if jRem != remV {
+			return jRem < remV
 		}
-		return j < v
+		return jSeq < o.s.seq[v]
 	}
-	if kj, kv := o.keyOf(j), o.keyOf(v); kj != kv {
-		return kj < kv
+	if kv := o.keyOf(v); jKey != kv {
+		return jKey < kv
 	}
-	return j < v
+	return jSeq < o.s.seq[v]
 }
 
-// start puts job j on a machine at time t.
-func (s *scratch) start(j int, t, speed float64) {
-	s.cAt[j] = t + s.rem[j]/speed
-	s.byC.Push(j)
-	s.worst.Push(j)
+// start puts slot sl on a machine at time t.
+func (s *scratch) start(sl int, t, speed float64) {
+	s.cAt[sl] = t + s.rem[sl]/speed
+	s.byC.Push(sl)
+	s.worst.Push(sl)
 }
 
-// finish records job j completing at time t.
-func finish(res *core.Result, j int, t float64, obs core.Observer) {
-	res.Completion[j] = t
-	res.Flow[j] = t - res.Jobs[j].Release
-	if obs != nil {
-		obs.ObserveCompletion(t, j, res.Flow[j])
+// keyMode selects how topmRun computes a job's static key at admission —
+// an enum rather than a closure so runs stay allocation-free.
+type keyMode uint8
+
+const (
+	keyNone     keyMode = iota // SRPT (rank by rem), FCFS (rank by seq)
+	keySize                    // SJF
+	keyPriority                // StaticPriority
+)
+
+// topmRun binds one top-m run's inputs and sink: the cursor supplying
+// arrivals and exactly one of res (materialized) / sum (streaming).
+type topmRun struct {
+	cur  *core.Cursor
+	res  *core.Result
+	sum  *core.StreamResult
+	s    *scratch
+	obs  core.Observer
+	km   keyMode
+	prio *policy.StaticPriority
+}
+
+func (r *topmRun) keyFor(j core.Job) float64 {
+	switch r.km {
+	case keySize:
+		return j.Size
+	case keyPriority:
+		return r.prio.PriorityOf(j.ID)
 	}
+	return 0
 }
 
-// runTopM runs the top-m engine over res.Jobs (already validated and
-// normalized by StartRun) using s, which prepareTopM sized for this run.
-func runTopM(res *core.Result, opts core.Options, s *scratch) error {
-	jobs := res.Jobs
-	n, m, sp := len(jobs), opts.Machines, opts.Speed
-	if n == 0 {
-		return nil
+// run executes the top-m event loop; prepareTopM must have been called.
+func (r *topmRun) run(opts core.Options) error {
+	cur, s := r.cur, r.s
+	m, sp := opts.Machines, opts.Speed
+	if !cur.More() {
+		return cur.Err()
 	}
 	ord := &s.ord
 	byC, worst, waiting := &s.byC, &s.worst, &s.waiting
-	obs := opts.Observer
-	next := 0
-	now := jobs[0].Release
+	obs := r.obs
+	now := cur.Head().Release
+	events := 0
 
-	for byC.Len() > 0 || waiting.Len() > 0 || next < n {
-		res.Events++
-		if res.Events&(ctxStride-1) == 0 {
-			if err := core.Canceled(opts.Context, now, res.Events); err != nil {
+	for byC.Len() > 0 || waiting.Len() > 0 || cur.More() {
+		if err := cur.Err(); err != nil {
+			return err
+		}
+		events++
+		if events&(ctxStride-1) == 0 {
+			if err := core.Canceled(opts.Context, now, events); err != nil {
 				return err
 			}
 		}
 		tA, tC := math.Inf(1), math.Inf(1)
-		if next < n {
-			tA = jobs[next].Release
+		if cur.More() {
+			tA = cur.Head().Release
 		}
 		if byC.Len() > 0 {
 			tC = s.cAt[byC.Min()]
@@ -171,10 +201,11 @@ func runTopM(res *core.Result, opts core.Options, s *scratch) error {
 			}
 			// Each running job holds one machine (pre-speed rate 1).
 			emitEpoch(obs, &s.epoch, now, tC, byC.Len()+waiting.Len(), float64(byC.Len()))
-			j := byC.Pop()
-			worst.Remove(j)
+			sl := byC.Pop()
+			worst.Remove(sl)
 			now = tC
-			finish(res, j, now, obs)
+			recordFinish(r.res, r.sum, obs, s.seq[sl], s.release[sl], now)
+			s.freeSlot(sl)
 			if waiting.Len() > 0 {
 				s.start(waiting.Pop(), now, sp)
 			}
@@ -183,36 +214,43 @@ func runTopM(res *core.Result, opts core.Options, s *scratch) error {
 		// Arrival.
 		emitEpoch(obs, &s.epoch, now, tA, byC.Len()+waiting.Len(), float64(byC.Len()))
 		now = tA
-		j := next
-		next++
+		j, seq := cur.Advance()
 		if obs != nil {
-			obs.ObserveArrival(now, j, jobs[j])
+			obs.ObserveArrival(now, seq, j)
 		}
-		if jobs[j].Size <= core.CompletionTol(jobs[j].Size) {
-			finish(res, j, now, obs) // degenerate job: completes at admission (as core.Run)
+		tolJ := core.CompletionTol(j.Size)
+		if j.Size <= tolJ {
+			recordFinish(r.res, r.sum, obs, seq, j.Release, now) // degenerate job: completes at admission (as core.Run)
 			continue
 		}
+		kJ := r.keyFor(j)
 		switch {
 		case byC.Len() < m:
-			s.start(j, now, sp) // free machine (waiting is empty by the invariant)
-		case ord.preempts(j, worst.Min(), now):
+			s.start(s.allocSlot(j, seq, kJ, tolJ), now, sp) // free machine (waiting is empty by the invariant)
+		case ord.preempts(kJ, j.Size, seq, worst.Min(), now):
 			v := worst.Min()
 			remV := (s.cAt[v] - now) * sp // freeze the victim's progress
 			byC.Remove(v)
 			worst.Remove(v)
-			if remV <= core.CompletionTol(jobs[v].Size) {
+			if remV <= s.tol[v] {
 				// The victim was within its completion tolerance of
 				// finishing: the reference engine completes it at this
 				// boundary, so record it here rather than re-queueing.
-				finish(res, v, now, obs)
+				recordFinish(r.res, r.sum, obs, s.seq[v], s.release[v], now)
+				s.freeSlot(v)
 			} else {
 				s.rem[v] = remV
 				waiting.Push(v)
 			}
-			s.start(j, now, sp)
+			s.start(s.allocSlot(j, seq, kJ, tolJ), now, sp)
 		default:
-			waiting.Push(j)
+			waiting.Push(s.allocSlot(j, seq, kJ, tolJ))
 		}
 	}
-	return nil
+	if r.res != nil {
+		r.res.Events = events
+	} else {
+		r.sum.Events = events
+	}
+	return cur.Err()
 }

@@ -1,0 +1,122 @@
+package queue
+
+// JobItem is one entry of a JobHeap: a scheduling key with the per-job
+// payload the fast engine's streaming RR path needs at completion time.
+// Carrying the payload inside the heap node — instead of indexing into
+// full-instance side arrays as PairHeap users do — is what lets the heap
+// serve unbounded job streams with O(alive) memory.
+type JobItem struct {
+	// Key is the heap order's primary component (the RR path stores the
+	// virtual-time completion target).
+	Key float64
+	// Seq is the job's arrival sequence number and the order's tie-break,
+	// making the pop sequence a strict total order exactly like PairHeap's
+	// (key, id) — sequence numbers equal normalized indices on the
+	// materialized path, so both paths drain ties identically.
+	Seq int
+	// Release and Tol ride along so a completion needs no side lookups:
+	// flow = t − Release, and Tol is the job's precomputed
+	// core.CompletionTol.
+	Release float64
+	Tol     float64
+}
+
+// JobHeap is a binary min-heap of JobItems ordered by (Key, Seq), stored
+// contiguously with PairHeap's hole-sifting moves. Push/Min/PopMin only —
+// the RR completion queue never reorders items after insertion.
+//
+// The zero value is an empty heap; call Reuse to pre-size it without
+// allocating when capacity already suffices.
+type JobHeap struct {
+	items []JobItem
+}
+
+// Reuse empties the heap, reallocating only when capacity is below n —
+// the workspace-pooling hook, mirroring PairHeap.Reuse.
+func (h *JobHeap) Reuse(n int) {
+	if cap(h.items) < n {
+		h.items = make([]JobItem, 0, n)
+	}
+	h.items = h.items[:0]
+}
+
+// Reset empties the heap without reallocating.
+func (h *JobHeap) Reset() { h.items = h.items[:0] }
+
+// Len returns the number of items currently in the heap.
+func (h *JobHeap) Len() int { return len(h.items) }
+
+// Push inserts it.
+func (h *JobHeap) Push(it JobItem) {
+	h.items = append(h.items, it)
+	h.up(len(h.items) - 1)
+}
+
+// Min returns the item with the smallest (Key, Seq) without removing it.
+// It panics on an empty heap.
+func (h *JobHeap) Min() JobItem {
+	if len(h.items) == 0 {
+		panic("queue: Min of empty heap")
+	}
+	return h.items[0]
+}
+
+// PopMin removes and returns the item with the smallest (Key, Seq). It
+// panics on an empty heap.
+func (h *JobHeap) PopMin() JobItem {
+	if len(h.items) == 0 {
+		panic("queue: PopMin of empty heap")
+	}
+	top := h.items[0]
+	last := len(h.items) - 1
+	h.items[0] = h.items[last]
+	h.items = h.items[:last]
+	if last > 0 {
+		h.down(0)
+	}
+	return top
+}
+
+func jobLess(a, b JobItem) bool {
+	if a.Key != b.Key {
+		return a.Key < b.Key
+	}
+	return a.Seq < b.Seq
+}
+
+// up and down sift with a hole instead of pairwise swaps: the moving
+// element is held in a register and written once at its final slot.
+func (h *JobHeap) up(i int) {
+	items := h.items
+	cur := items[i]
+	for i > 0 {
+		p := (i - 1) / 2
+		if !jobLess(cur, items[p]) {
+			break
+		}
+		items[i] = items[p]
+		i = p
+	}
+	items[i] = cur
+}
+
+func (h *JobHeap) down(i int) {
+	items := h.items
+	n := len(items)
+	cur := items[i]
+	for {
+		c := 2*i + 1
+		if c >= n {
+			break
+		}
+		if r := c + 1; r < n && jobLess(items[r], items[c]) {
+			c = r
+		}
+		if !jobLess(items[c], cur) {
+			break
+		}
+		items[i] = items[c]
+		i = c
+	}
+	items[i] = cur
+}

@@ -1,0 +1,98 @@
+package queue
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// TestJobHeapCanonicalOrder pins the property the streaming RR path rests
+// on: PopMin drains in strict (Key, Seq) order — ties included — with each
+// item's payload intact, regardless of insertion order.
+func TestJobHeapCanonicalOrder(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(200)
+		items := make([]JobItem, n)
+		for i := range items {
+			// Keys drawn from a small set so exact ties are common.
+			items[i] = JobItem{
+				Key:     float64(rng.Intn(8)),
+				Seq:     i,
+				Release: float64(i) * 0.5,
+				Tol:     1e-15 * float64(i+1),
+			}
+		}
+		var h JobHeap
+		h.Reuse(n)
+		for _, p := range rng.Perm(n) {
+			h.Push(items[p])
+		}
+		want := append([]JobItem(nil), items...)
+		sort.Slice(want, func(a, b int) bool {
+			if want[a].Key != want[b].Key {
+				return want[a].Key < want[b].Key
+			}
+			return want[a].Seq < want[b].Seq
+		})
+		for i, w := range want {
+			if got := h.Min(); got != w {
+				t.Fatalf("trial %d pop %d: Min = %+v, want %+v", trial, i, got, w)
+			}
+			if got := h.PopMin(); got != w {
+				t.Fatalf("trial %d pop %d: PopMin = %+v, want %+v", trial, i, got, w)
+			}
+		}
+		if h.Len() != 0 {
+			t.Fatalf("trial %d: %d items left after draining", trial, h.Len())
+		}
+	}
+}
+
+// TestJobHeapMatchesPairHeap cross-checks the two RR heap implementations:
+// with Seq as the PairHeap id, the pop sequences must be identical.
+func TestJobHeapMatchesPairHeap(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 30; trial++ {
+		n := 1 + rng.Intn(150)
+		var jh JobHeap
+		var ph PairHeap
+		jh.Reuse(n)
+		ph.Reuse(n)
+		for i := 0; i < n; i++ {
+			key := float64(rng.Intn(6)) + rng.Float64()*1e-9
+			jh.Push(JobItem{Key: key, Seq: i})
+			ph.Push(i, key)
+		}
+		for jh.Len() > 0 {
+			ji := jh.PopMin()
+			id, key := ph.PopMin()
+			if ji.Seq != id || ji.Key != key {
+				t.Fatalf("trial %d: JobHeap (%d, %v) vs PairHeap (%d, %v)", trial, ji.Seq, ji.Key, id, key)
+			}
+		}
+		if ph.Len() != 0 {
+			t.Fatalf("trial %d: PairHeap has %d leftovers", trial, ph.Len())
+		}
+	}
+}
+
+// TestJobHeapReuseEmpties verifies Reuse clears state without losing
+// capacity and the zero value is usable.
+func TestJobHeapReuseEmpties(t *testing.T) {
+	var h JobHeap
+	h.Push(JobItem{Key: 1, Seq: 0})
+	h.Push(JobItem{Key: 2, Seq: 1})
+	h.Reuse(1)
+	if h.Len() != 0 {
+		t.Fatalf("Len=%d after Reuse", h.Len())
+	}
+	h.Push(JobItem{Key: 3, Seq: 2})
+	if got := h.Min(); got.Seq != 2 {
+		t.Fatalf("Min=%+v after Reuse+Push", got)
+	}
+	h.Reset()
+	if h.Len() != 0 {
+		t.Fatalf("Len=%d after Reset", h.Len())
+	}
+}

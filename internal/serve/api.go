@@ -291,7 +291,7 @@ func validateWorkload(spec string, seed uint64, jobs []JobSpec, machines int, sp
 		// simSpec.materialize so a cache hit never builds the instance.
 		kind, _, _ := strings.Cut(spec, ":")
 		switch strings.TrimSpace(strings.ToLower(kind)) {
-		case "trace", "swf":
+		case "trace", "swf", "fitted":
 			return nil, opts, nil, badRequest("file-backed workload kind %q is not served; inline the jobs", kind)
 		}
 		if aerr := guardSpecSize(spec); aerr != nil {

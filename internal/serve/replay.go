@@ -1,0 +1,354 @@
+package serve
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"rrnorm/internal/core"
+	"rrnorm/internal/fast"
+	"rrnorm/internal/hunt"
+	"rrnorm/internal/metrics"
+	"rrnorm/internal/polspec"
+	"rrnorm/internal/trace"
+)
+
+// POST /v1/replay streams a job trace — the request body, NDJSON or CSV —
+// through the engines' JobSource path: jobs are decoded lazily on a pool
+// worker and folded into streaming ℓk-norms, so the server's memory is
+// bounded by the schedule's alive set however long the trace is. Run
+// parameters travel as query parameters (the body is the trace):
+//
+//	policy   policy spec (required)
+//	machines, speed, engine, norms      as in /v1/simulate
+//	format   ndjson (default) or csv
+//	sort     1/true buffers and sorts an out-of-order trace (costs O(n))
+//
+// Caching: a body stream cannot be hashed before it is consumed, so replay
+// responses are cached only when the client asserts the body's identity
+// upfront with an X-Replay-Digest header (hex SHA-256 of the exact body
+// bytes). The digest is verified — the server hashes the body as it
+// decodes and a mismatch is a 400, which is never cached (the cache stores
+// no errors) — so a wrong digest cannot poison the cache. Concurrent
+// identical requests dedup through the same singleflight as /v1/simulate.
+const (
+	// MaxReplayJobs bounds the jobs decoded from one replay body.
+	MaxReplayJobs = 5_000_000
+	// MaxReplayBodyBytes bounds a replay body. Replays stream, so this is
+	// far above MaxBodyBytes without a memory cost.
+	MaxReplayBodyBytes = 256 << 20
+)
+
+// ReplayResponse is the body of a successful POST /v1/replay — the
+// streaming aggregates plus the requested ℓk-norms; per-job arrays never
+// exist server-side.
+type ReplayResponse struct {
+	Policy   string      `json:"policy"`
+	Machines int         `json:"machines"`
+	Speed    float64     `json:"speed"`
+	Engine   string      `json:"engine"`
+	N        int         `json:"n"`
+	Events   int         `json:"events"`
+	Makespan float64     `json:"makespan"`
+	MaxFlow  float64     `json:"max_flow"`
+	Norms    []NormValue `json:"norms"`
+}
+
+// replayParams is a validated replay request minus its body.
+type replayParams struct {
+	policy string
+	opts   core.Options
+	norms  []int
+	format trace.Format
+	sort   bool
+	digest string // lowercase hex SHA-256 of the body; "" disables caching
+}
+
+func parseReplayParams(r *http.Request) (*replayParams, *apiError) {
+	q := r.URL.Query()
+	rp := &replayParams{policy: q.Get("policy")}
+	if rp.policy == "" {
+		return nil, badRequest("policy query parameter is required")
+	}
+	if _, err := polspec.New(rp.policy); err != nil {
+		return nil, badRequest("%v", err)
+	}
+	machines := 1
+	if v := q.Get("machines"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 1 {
+			return nil, badRequest("machines must be a positive integer, got %q", v)
+		}
+		machines = n
+	}
+	speed := 1.0
+	if v := q.Get("speed"); v != "" {
+		f, err := strconv.ParseFloat(v, 64)
+		if err != nil || !(f > 0) || math.IsInf(f, 0) {
+			return nil, badRequest("speed must be a positive finite number, got %q", v)
+		}
+		speed = f
+	}
+	eng, err := core.ParseEngineKind(q.Get("engine"))
+	if err != nil {
+		return nil, badRequest("%v", err)
+	}
+	rp.opts = core.Options{Machines: machines, Speed: speed, Engine: eng}
+	rp.norms = []int{1, 2, 3}
+	if v := q.Get("norms"); v != "" {
+		rp.norms = rp.norms[:0]
+		for _, part := range strings.Split(v, ",") {
+			k, err := strconv.Atoi(strings.TrimSpace(part))
+			if err != nil {
+				return nil, badRequest("norms must be a comma-separated list of integers, got %q", v)
+			}
+			if k < 1 || k > MaxNormK {
+				return nil, badRequest("norm k must be in [1, %d], got %d", MaxNormK, k)
+			}
+			rp.norms = append(rp.norms, k)
+		}
+		if len(rp.norms) > MaxNorms {
+			return nil, badRequest("at most %d norms per request, got %d", MaxNorms, len(rp.norms))
+		}
+	}
+	if v := q.Get("format"); v != "" {
+		f, err := trace.ParseFormat(v)
+		if err != nil {
+			return nil, badRequest("%v", err)
+		}
+		rp.format = f
+	}
+	switch v := q.Get("sort"); v {
+	case "", "0", "false":
+	case "1", "true":
+		rp.sort = true
+	default:
+		return nil, badRequest("sort must be 0/1/true/false, got %q", v)
+	}
+	if d := r.Header.Get("X-Replay-Digest"); d != "" {
+		d = strings.ToLower(strings.TrimSpace(d))
+		if len(d) != sha256.Size*2 {
+			return nil, badRequest("X-Replay-Digest must be a hex SHA-256 (64 chars), got %d", len(d))
+		}
+		if _, err := hex.DecodeString(d); err != nil {
+			return nil, badRequest("X-Replay-Digest is not valid hex")
+		}
+		rp.digest = d
+	}
+	return rp, nil
+}
+
+// cacheKey is only meaningful when a digest was asserted: it binds the
+// body's identity to every run parameter that shapes the response.
+func (rp *replayParams) cacheKey() string {
+	h := sha256.New()
+	var buf [8]byte
+	u64 := func(v uint64) {
+		binary.LittleEndian.PutUint64(buf[:], v)
+		h.Write(buf[:])
+	}
+	h.Write([]byte("rrserve/replay/v1\x00"))
+	h.Write([]byte(rp.digest))
+	h.Write([]byte{0})
+	h.Write([]byte(rp.policy))
+	h.Write([]byte{0})
+	u64(uint64(int64(rp.opts.Machines)))
+	u64(math.Float64bits(rp.opts.Speed))
+	u64(uint64(int64(rp.opts.Engine)))
+	u64(uint64(int64(rp.format)))
+	if rp.sort {
+		u64(1)
+	} else {
+		u64(0)
+	}
+	u64(uint64(len(rp.norms)))
+	for _, k := range rp.norms {
+		u64(uint64(int64(k)))
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+func (s *Server) handleReplay(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	s.requests.Add(1)
+	rp, aerr := parseReplayParams(r)
+	if aerr != nil {
+		s.writeError(w, aerr)
+		return
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+	defer cancel()
+	type result struct {
+		b   []byte
+		err error
+	}
+	compute := func() ([]byte, error) {
+		ch := make(chan result, 1) // buffered: the task must never block if the waiter gave up
+		if !s.pool.TrySubmit(func() {
+			b, err := s.runReplay(ctx, rp, r.Body)
+			ch <- result{b, err}
+		}) {
+			return nil, errOverloaded
+		}
+		select {
+		case res := <-ch:
+			return res.b, res.err
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	var body []byte
+	var outcome Outcome
+	var err error
+	if rp.digest != "" {
+		// Deduped + cached under the asserted body identity. A deduped
+		// follower's body is never read — its digest already named the
+		// bytes the leader is computing on.
+		body, outcome, err = s.cache.Do(ctx, rp.cacheKey(), compute)
+	} else {
+		body, err = compute()
+		outcome = OutcomeMiss
+	}
+	s.observe(time.Since(start))
+	if err != nil {
+		s.writeError(w, toReplayError(err))
+		return
+	}
+	writeBody(w, body, outcome)
+}
+
+// runReplay decodes and simulates one replay body on a pool worker.
+func (s *Server) runReplay(ctx context.Context, rp *replayParams, body io.Reader) ([]byte, error) {
+	p, err := polspec.New(rp.policy) // fresh instance: policies are stateful
+	if err != nil {
+		return nil, badRequest("%v", err)
+	}
+	// The body is hashed as it is decoded; an asserted digest is verified
+	// after the run. The limit reader rejects (not truncates) oversized
+	// bodies — silent truncation would simulate a prefix of the trace.
+	h := sha256.New()
+	lr := &limitReader{r: io.TeeReader(body, h), left: MaxReplayBodyBytes}
+	var src core.JobSource = trace.NewDecoder(lr, trace.DecodeOptions{Format: rp.format, Sort: rp.sort})
+	src = &limitSource{src: src, max: MaxReplayJobs}
+
+	opts := rp.opts
+	opts.Context = ctx
+	sn := metrics.NewStreamNorm(rp.norms...)
+	obs := []core.Observer{sn}
+	var sm *hunt.StreamMonitor
+	if s.cfg.MonitorAnomalies {
+		sm = hunt.NewStreamMonitor(opts.Machines, opts.Speed)
+		obs = append(obs, sm)
+	}
+	opts.Observer = core.Multi(obs...)
+	ws := core.GetWorkspace()
+	defer core.PutWorkspace(ws)
+	sum, err := fast.RunStream(src, p, opts, ws)
+	if err != nil {
+		return nil, err
+	}
+	if sum.N == 0 {
+		return nil, badRequest("trace contains no jobs")
+	}
+	if sm != nil {
+		if n := len(sm.Anomalies()); n > 0 {
+			s.anomalies.Add(int64(n))
+		}
+	}
+	if rp.digest != "" {
+		// Drain whatever the scanner did not consume (it reads to EOF on
+		// success, so this is usually a no-op) and verify the assertion.
+		if _, err := io.Copy(io.Discard, lr); err != nil {
+			return nil, err
+		}
+		if got := hex.EncodeToString(h.Sum(nil)); got != rp.digest {
+			return nil, badRequest("X-Replay-Digest mismatch: body hashes to %s", got)
+		}
+	}
+	out := &ReplayResponse{
+		Policy:   sum.Policy,
+		Machines: sum.Machines,
+		Speed:    sum.Speed,
+		Engine:   opts.Engine.String(),
+		N:        sum.N,
+		Events:   sum.Events,
+		Makespan: sum.Makespan,
+		MaxFlow:  sum.MaxFlow,
+		Norms:    make([]NormValue, 0, len(rp.norms)),
+	}
+	for _, k := range rp.norms {
+		out.Norms = append(out.Norms, NormValue{K: k, Value: sn.Norm(k)})
+	}
+	return json.Marshal(out)
+}
+
+// toReplayError extends toAPIError with the replay-specific 400s: decode
+// failures (malformed lines, out-of-order releases) and source-contract
+// violations are the client's trace's fault, never a 500.
+func toReplayError(err error) *apiError {
+	var aerr *apiError
+	if errors.As(err, &aerr) {
+		return aerr
+	}
+	var derr *trace.DecodeError
+	if errors.As(err, &derr) {
+		return badRequest("%v", derr) // already "trace: line N: ..."
+	}
+	if errors.Is(err, core.ErrBadSource) {
+		return badRequest("%v", err)
+	}
+	return mapSimError(err)
+}
+
+// errBodyTooLarge surfaces through the decoder as a read failure.
+var errBodyTooLarge = fmt.Errorf("body exceeds the %d-byte replay limit", MaxReplayBodyBytes)
+
+// limitReader is io.LimitReader that fails instead of truncating.
+type limitReader struct {
+	r    io.Reader
+	left int64
+}
+
+func (l *limitReader) Read(p []byte) (int, error) {
+	if l.left <= 0 {
+		return 0, errBodyTooLarge
+	}
+	if int64(len(p)) > l.left {
+		p = p[:l.left]
+	}
+	n, err := l.r.Read(p)
+	l.left -= int64(n)
+	return n, err
+}
+
+// errTooManyReplayJobs maps to 400 through toReplayError's apiError branch
+// (the engine wraps source errors, errors.As unwraps them).
+var errTooManyReplayJobs = badRequest("trace exceeds the %d-job replay limit", MaxReplayJobs)
+
+// limitSource caps how many jobs a replay may pull.
+type limitSource struct {
+	src core.JobSource
+	n   int
+	max int
+}
+
+func (l *limitSource) Next() (core.Job, bool, error) {
+	j, ok, err := l.src.Next()
+	if ok {
+		l.n++
+		if l.n > l.max {
+			return core.Job{}, false, errTooManyReplayJobs
+		}
+	}
+	return j, ok, err
+}

@@ -112,6 +112,7 @@ func NewServer(cfg Config) *Server {
 
 	s.mux.HandleFunc("POST /v1/simulate", s.handleSimulate)
 	s.mux.HandleFunc("POST /v1/compare", s.handleCompare)
+	s.mux.HandleFunc("POST /v1/replay", s.handleReplay)
 	s.mux.HandleFunc("GET /v1/policies", s.handlePolicies)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)

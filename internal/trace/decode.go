@@ -1,0 +1,418 @@
+package trace
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+
+	"rrnorm/internal/core"
+)
+
+// This file is the input half of the package: where Observer serializes a
+// simulation's event stream, Decoder deserializes a job trace — one job per
+// line, NDJSON or CSV — into a core.JobSource both engines consume
+// natively. Decoding is strictly incremental (one line of lookahead), so a
+// 1e8-job trace replays in memory bounded by the schedule's alive set, and
+// strictly validated: every malformed line is rejected with a DecodeError
+// naming the line, the field and the reason rather than a best-effort skip.
+
+// Format selects a job-trace wire format.
+type Format uint8
+
+const (
+	// FormatNDJSON is newline-delimited JSON: one object per line with
+	// fields "id" (int, required), "release" (float, required), "size"
+	// (float, required) and "weight" (float, optional; 0 or absent means
+	// the default weight 1). Unknown fields are rejected.
+	FormatNDJSON Format = iota
+	// FormatCSV is comma-separated with a mandatory header row naming a
+	// permutation of id,release,size[,weight]; fields are trimmed of
+	// surrounding spaces.
+	FormatCSV
+)
+
+// String returns the canonical format name ("ndjson", "csv").
+func (f Format) String() string {
+	if f == FormatCSV {
+		return "csv"
+	}
+	return "ndjson"
+}
+
+// ParseFormat resolves a format name as accepted by rrsim -format:
+// "ndjson" (alias "jsonl") or "csv".
+func ParseFormat(name string) (Format, error) {
+	switch strings.ToLower(strings.TrimSpace(name)) {
+	case "ndjson", "jsonl":
+		return FormatNDJSON, nil
+	case "csv":
+		return FormatCSV, nil
+	}
+	return 0, fmt.Errorf("trace: unknown format %q (want ndjson or csv)", name)
+}
+
+// DecodeError is a structured trace-decoding failure: the 1-based line it
+// occurred on, the offending field ("" when the whole line is at fault) and
+// a human-readable reason. It unwraps to core.ErrBadSource, so engine
+// callers can classify decode failures with a single errors.Is.
+type DecodeError struct {
+	Line   int
+	Field  string
+	Reason string
+}
+
+func (e *DecodeError) Error() string {
+	if e.Field == "" {
+		return fmt.Sprintf("trace: line %d: %s", e.Line, e.Reason)
+	}
+	return fmt.Sprintf("trace: line %d: field %q: %s", e.Line, e.Field, e.Reason)
+}
+
+// Unwrap makes errors.Is(err, core.ErrBadSource) true for every DecodeError.
+func (e *DecodeError) Unwrap() error { return core.ErrBadSource }
+
+// DecodeOptions configures a Decoder.
+type DecodeOptions struct {
+	// Format selects the wire format; the zero value is NDJSON.
+	Format Format
+	// Sort opts into buffering the entire trace and sorting it by
+	// (Release, ID) before serving, making out-of-order releases legal at
+	// the cost of streaming: memory becomes O(n) instead of O(1). Without
+	// it a non-monotone release is a DecodeError naming the offending
+	// line, because silently reordering would change which schedule the
+	// engines simulate.
+	Sort bool
+}
+
+// maxBitsetID bounds the dense duplicate-ID bitset: ids in [0, maxBitsetID)
+// cost one bit each (2 MiB at the cap — sequential ids, the common case,
+// stay cheap at any scale), ids outside it fall back to a sparse map whose
+// size tracks how many such ids the trace actually uses.
+const maxBitsetID = 1 << 24
+
+// Decoder reads a job trace line by line, implementing core.JobSource. It
+// enforces the full JobSource contract at the source: scalar validity
+// (Instance.Validate's rules), unique ids, and release monotonicity (or
+// Sort). Errors are latched — after the first failure Next returns it
+// forever.
+type Decoder struct {
+	opts DecodeOptions
+	sc   *bufio.Scanner
+	line int // 1-based number of the last line read
+
+	cols   []string // CSV: column names in header order
+	seen   []uint64 // dense id bitset for ids in [0, maxBitsetID)
+	sparse map[int]bool
+
+	prevRelease float64
+	prevLine    int
+	any         bool
+
+	sorted   []core.Job // Sort mode: the buffered, sorted trace
+	sortedAt int
+	buffered bool
+
+	err  error
+	done bool
+}
+
+// NewDecoder returns a Decoder reading a job trace from r. The returned
+// decoder is a core.JobSource; hand it to core.RunStream / fast.RunStream
+// (or SimulateStream) to replay the trace.
+func NewDecoder(r io.Reader, opts DecodeOptions) *Decoder {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), 4*1024*1024)
+	return &Decoder{opts: opts, sc: sc}
+}
+
+// Next implements core.JobSource.
+func (d *Decoder) Next() (core.Job, bool, error) {
+	if d.err != nil || d.done {
+		return core.Job{}, false, d.err
+	}
+	if d.opts.Sort {
+		if !d.buffered {
+			if err := d.bufferAll(); err != nil {
+				d.err = err
+				return core.Job{}, false, err
+			}
+		}
+		if d.sortedAt >= len(d.sorted) {
+			d.done = true
+			return core.Job{}, false, nil
+		}
+		j := d.sorted[d.sortedAt]
+		d.sortedAt++
+		return j, true, nil
+	}
+	j, ok, err := d.next()
+	if err != nil {
+		d.err = err
+		return core.Job{}, false, err
+	}
+	if !ok {
+		d.done = true
+		return core.Job{}, false, nil
+	}
+	if d.any && j.Release < d.prevRelease {
+		d.err = &DecodeError{Line: d.line, Field: "release", Reason: fmt.Sprintf(
+			"release %v is earlier than release %v on line %d (trace must be release-ordered; opt into buffering with Sort / rrsim -sort)",
+			j.Release, d.prevRelease, d.prevLine)}
+		return core.Job{}, false, d.err
+	}
+	d.any, d.prevRelease, d.prevLine = true, j.Release, d.line
+	return j, true, nil
+}
+
+// bufferAll reads and validates the whole trace, then sorts it by
+// (Release, ID) — the Sort opt-in path.
+func (d *Decoder) bufferAll() error {
+	for {
+		j, ok, err := d.next()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			break
+		}
+		d.sorted = append(d.sorted, j)
+	}
+	sort.Slice(d.sorted, func(a, b int) bool {
+		ja, jb := d.sorted[a], d.sorted[b]
+		if ja.Release != jb.Release {
+			return ja.Release < jb.Release
+		}
+		return ja.ID < jb.ID
+	})
+	d.buffered = true
+	return nil
+}
+
+// next reads the next non-blank, non-comment line and decodes one job,
+// checking everything except release order (the caller's concern, because
+// Sort legitimizes disorder).
+func (d *Decoder) next() (core.Job, bool, error) {
+	for {
+		if !d.sc.Scan() {
+			if err := d.sc.Err(); err != nil {
+				return core.Job{}, false, &DecodeError{Line: d.line + 1, Reason: "read failed: " + err.Error()}
+			}
+			return core.Job{}, false, nil
+		}
+		d.line++
+		raw := bytes.TrimSpace(d.sc.Bytes())
+		if len(raw) == 0 || raw[0] == '#' {
+			continue
+		}
+		if d.opts.Format == FormatCSV && d.cols == nil {
+			if err := d.parseHeader(string(raw)); err != nil {
+				return core.Job{}, false, err
+			}
+			continue
+		}
+		var j core.Job
+		var err error
+		if d.opts.Format == FormatCSV {
+			j, err = d.parseCSV(string(raw))
+		} else {
+			j, err = d.parseNDJSON(raw)
+		}
+		if err != nil {
+			return core.Job{}, false, err
+		}
+		if derr := d.checkJob(j); derr != nil {
+			return core.Job{}, false, derr
+		}
+		return j, true, nil
+	}
+}
+
+// checkJob applies Instance.Validate's scalar rules plus the unique-id
+// rule, pinned to the current line.
+func (d *Decoder) checkJob(j core.Job) *DecodeError {
+	if !(j.Size >= 0) || math.IsInf(j.Size, 0) {
+		return &DecodeError{Line: d.line, Field: "size", Reason: fmt.Sprintf("negative or non-finite size %v", j.Size)}
+	}
+	if j.Release < 0 || math.IsInf(j.Release, 0) || math.IsNaN(j.Release) {
+		return &DecodeError{Line: d.line, Field: "release", Reason: fmt.Sprintf("invalid release %v", j.Release)}
+	}
+	if j.Weight < 0 || math.IsInf(j.Weight, 0) || math.IsNaN(j.Weight) {
+		return &DecodeError{Line: d.line, Field: "weight", Reason: fmt.Sprintf("invalid weight %v", j.Weight)}
+	}
+	if d.markID(j.ID) {
+		return &DecodeError{Line: d.line, Field: "id", Reason: fmt.Sprintf("duplicate job id %d", j.ID)}
+	}
+	return nil
+}
+
+// markID records id as seen and reports whether it already was. Dense
+// non-negative ids use the bitset; outliers use the sparse map.
+func (d *Decoder) markID(id int) bool {
+	if id >= 0 && id < maxBitsetID {
+		w, b := id/64, uint(id%64)
+		for len(d.seen) <= w {
+			d.seen = append(d.seen, 0)
+		}
+		if d.seen[w]&(1<<b) != 0 {
+			return true
+		}
+		d.seen[w] |= 1 << b
+		return false
+	}
+	if d.sparse == nil {
+		d.sparse = make(map[int]bool)
+	}
+	if d.sparse[id] {
+		return true
+	}
+	d.sparse[id] = true
+	return false
+}
+
+// ndRecord mirrors one NDJSON line; pointer fields distinguish absent from
+// zero so required fields can be enforced.
+type ndRecord struct {
+	ID      *int     `json:"id"`
+	Release *float64 `json:"release"`
+	Size    *float64 `json:"size"`
+	Weight  *float64 `json:"weight"`
+}
+
+func (d *Decoder) parseNDJSON(raw []byte) (core.Job, error) {
+	dec := json.NewDecoder(bytes.NewReader(raw))
+	dec.DisallowUnknownFields()
+	var rec ndRecord
+	if err := dec.Decode(&rec); err != nil {
+		return core.Job{}, &DecodeError{Line: d.line, Reason: "invalid JSON: " + err.Error()}
+	}
+	// Trailing tokens after the object ("{...} {...}" on one line) would
+	// silently drop jobs if ignored.
+	if dec.More() {
+		return core.Job{}, &DecodeError{Line: d.line, Reason: "trailing data after JSON object"}
+	}
+	if rec.ID == nil {
+		return core.Job{}, &DecodeError{Line: d.line, Field: "id", Reason: "missing required field"}
+	}
+	if rec.Release == nil {
+		return core.Job{}, &DecodeError{Line: d.line, Field: "release", Reason: "missing required field"}
+	}
+	if rec.Size == nil {
+		return core.Job{}, &DecodeError{Line: d.line, Field: "size", Reason: "missing required field"}
+	}
+	j := core.Job{ID: *rec.ID, Release: *rec.Release, Size: *rec.Size}
+	if rec.Weight != nil {
+		j.Weight = *rec.Weight
+	}
+	return j, nil
+}
+
+// parseHeader validates the CSV header: a permutation of id,release,size
+// with weight optional, no duplicates, no unknown columns.
+func (d *Decoder) parseHeader(line string) error {
+	cols := strings.Split(line, ",")
+	need := map[string]bool{"id": false, "release": false, "size": false}
+	for i := range cols {
+		c := strings.ToLower(strings.TrimSpace(cols[i]))
+		cols[i] = c
+		switch c {
+		case "id", "release", "size", "weight":
+		default:
+			return &DecodeError{Line: d.line, Field: c, Reason: "unknown column (want id,release,size[,weight])"}
+		}
+		for k := 0; k < i; k++ {
+			if cols[k] == c {
+				return &DecodeError{Line: d.line, Field: c, Reason: "duplicate column"}
+			}
+		}
+		if _, req := need[c]; req {
+			need[c] = true
+		}
+	}
+	for _, c := range []string{"id", "release", "size"} {
+		if !need[c] {
+			return &DecodeError{Line: d.line, Field: c, Reason: "missing required column"}
+		}
+	}
+	d.cols = cols
+	return nil
+}
+
+func (d *Decoder) parseCSV(line string) (core.Job, error) {
+	fields := strings.Split(line, ",")
+	if len(fields) != len(d.cols) {
+		return core.Job{}, &DecodeError{Line: d.line, Reason: fmt.Sprintf("%d fields, header has %d columns", len(fields), len(d.cols))}
+	}
+	var j core.Job
+	for i, col := range d.cols {
+		v := strings.TrimSpace(fields[i])
+		switch col {
+		case "id":
+			id, err := strconv.Atoi(v)
+			if err != nil {
+				return core.Job{}, &DecodeError{Line: d.line, Field: "id", Reason: fmt.Sprintf("invalid integer %q", v)}
+			}
+			j.ID = id
+		default:
+			f, err := strconv.ParseFloat(v, 64)
+			if err != nil {
+				return core.Job{}, &DecodeError{Line: d.line, Field: col, Reason: fmt.Sprintf("invalid number %q", v)}
+			}
+			switch col {
+			case "release":
+				j.Release = f
+			case "size":
+				j.Size = f
+			case "weight":
+				j.Weight = f
+			}
+		}
+	}
+	return j, nil
+}
+
+// Encode writes jobs as a job trace in the given format — the inverse of
+// Decoder, used to export instances as replayable fixtures. Floats are
+// written in shortest round-trip form, so decode(encode(jobs)) yields jobs
+// bit for bit (the round-trip identity FuzzTraceDecode pins). Jobs are
+// written in the order given; encode a normalized instance to produce a
+// release-ordered trace.
+func Encode(w io.Writer, jobs []core.Job, f Format) error {
+	bw := bufio.NewWriter(w)
+	if f == FormatCSV {
+		if _, err := bw.WriteString("id,release,size,weight\n"); err != nil {
+			return err
+		}
+		for _, j := range jobs {
+			bw.WriteString(strconv.Itoa(j.ID))
+			bw.WriteByte(',')
+			bw.WriteString(strconv.FormatFloat(j.Release, 'g', -1, 64))
+			bw.WriteByte(',')
+			bw.WriteString(strconv.FormatFloat(j.Size, 'g', -1, 64))
+			bw.WriteByte(',')
+			bw.WriteString(strconv.FormatFloat(j.Weight, 'g', -1, 64))
+			if err := bw.WriteByte('\n'); err != nil {
+				return err
+			}
+		}
+		return bw.Flush()
+	}
+	enc := json.NewEncoder(bw)
+	for _, j := range jobs {
+		rec := struct {
+			ID      int     `json:"id"`
+			Release float64 `json:"release"`
+			Size    float64 `json:"size"`
+			Weight  float64 `json:"weight,omitempty"`
+		}{j.ID, j.Release, j.Size, j.Weight}
+		if err := enc.Encode(&rec); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}

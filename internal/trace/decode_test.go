@@ -1,0 +1,280 @@
+package trace_test
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+
+	"rrnorm/internal/core"
+	"rrnorm/internal/trace"
+)
+
+func drain(t *testing.T, d *trace.Decoder) ([]core.Job, error) {
+	t.Helper()
+	var jobs []core.Job
+	for {
+		j, ok, err := d.Next()
+		if err != nil {
+			return jobs, err
+		}
+		if !ok {
+			return jobs, nil
+		}
+		jobs = append(jobs, j)
+	}
+}
+
+func TestDecodeNDJSON(t *testing.T) {
+	in := `
+# a comment and the blank line above are skipped
+{"id":0,"release":0,"size":2}
+{"id":1,"release":0.5,"size":1.25,"weight":3}
+
+{"id":2,"release":0.5,"size":0}
+`
+	jobs, err := drain(t, trace.NewDecoder(strings.NewReader(in), trace.DecodeOptions{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []core.Job{
+		{ID: 0, Release: 0, Size: 2},
+		{ID: 1, Release: 0.5, Size: 1.25, Weight: 3},
+		{ID: 2, Release: 0.5, Size: 0},
+	}
+	if len(jobs) != len(want) {
+		t.Fatalf("decoded %d jobs, want %d", len(jobs), len(want))
+	}
+	for i := range want {
+		if jobs[i] != want[i] {
+			t.Fatalf("job %d: %+v, want %+v", i, jobs[i], want[i])
+		}
+	}
+}
+
+func TestDecodeCSV(t *testing.T) {
+	in := "size, id ,release\n" + // permuted header with spaces
+		"2,0,0\n" +
+		"# mid-trace comment\n" +
+		"1.25, 1, 0.5\n"
+	jobs, err := drain(t, trace.NewDecoder(strings.NewReader(in), trace.DecodeOptions{Format: trace.FormatCSV}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []core.Job{{ID: 0, Release: 0, Size: 2}, {ID: 1, Release: 0.5, Size: 1.25}}
+	if len(jobs) != 2 || jobs[0] != want[0] || jobs[1] != want[1] {
+		t.Fatalf("decoded %+v, want %+v", jobs, want)
+	}
+}
+
+// TestDecodeMalformed is the malformed-trace table: every structural and
+// semantic violation must surface as a DecodeError naming the offending
+// line and field — never a silent skip, never a panic — and must unwrap to
+// core.ErrBadSource.
+func TestDecodeMalformed(t *testing.T) {
+	cases := []struct {
+		name  string
+		opts  trace.DecodeOptions
+		in    string
+		line  int
+		field string
+		frag  string
+	}{
+		{
+			name: "negative size",
+			in:   `{"id":0,"release":0,"size":-1}`,
+			line: 1, field: "size", frag: "negative or non-finite size",
+		},
+		{
+			name: "infinite size csv",
+			opts: trace.DecodeOptions{Format: trace.FormatCSV},
+			in:   "id,release,size\n0,0,Inf\n",
+			line: 2, field: "size", frag: "non-finite",
+		},
+		{
+			name: "NaN release csv",
+			opts: trace.DecodeOptions{Format: trace.FormatCSV},
+			in:   "id,release,size\n0,NaN,1\n",
+			line: 2, field: "release", frag: "invalid release",
+		},
+		{
+			name: "negative release",
+			in:   `{"id":0,"release":-2,"size":1}`,
+			line: 1, field: "release", frag: "invalid release",
+		},
+		{
+			name: "negative weight",
+			in:   `{"id":0,"release":0,"size":1,"weight":-1}`,
+			line: 1, field: "weight", frag: "invalid weight",
+		},
+		{
+			name: "duplicate id",
+			in: `{"id":7,"release":0,"size":1}
+{"id":7,"release":1,"size":1}`,
+			line: 2, field: "id", frag: "duplicate job id 7",
+		},
+		{
+			name: "duplicate sparse id",
+			in: `{"id":-3,"release":0,"size":1}
+{"id":-3,"release":1,"size":1}`,
+			line: 2, field: "id", frag: "duplicate job id -3",
+		},
+		{
+			name: "non-monotone release",
+			in: `{"id":0,"release":5,"size":1}
+{"id":1,"release":2,"size":1}`,
+			line: 2, field: "release", frag: "earlier than release 5 on line 1",
+		},
+		{
+			name: "missing field",
+			in:   `{"id":0,"size":1}`,
+			line: 1, field: "release", frag: "missing required field",
+		},
+		{
+			name: "unknown field",
+			in:   `{"id":0,"release":0,"size":1,"deadline":9}`,
+			line: 1, frag: "invalid JSON",
+		},
+		{
+			name: "trailing garbage",
+			in:   `{"id":0,"release":0,"size":1} {"id":1}`,
+			line: 1, frag: "trailing data",
+		},
+		{
+			name: "not json",
+			in:   "hello world",
+			line: 1, frag: "invalid JSON",
+		},
+		{
+			name: "csv unknown column",
+			opts: trace.DecodeOptions{Format: trace.FormatCSV},
+			in:   "id,release,size,deadline\n",
+			line: 1, field: "deadline", frag: "unknown column",
+		},
+		{
+			name: "csv missing column",
+			opts: trace.DecodeOptions{Format: trace.FormatCSV},
+			in:   "id,release\n",
+			line: 1, field: "size", frag: "missing required column",
+		},
+		{
+			name: "csv field count",
+			opts: trace.DecodeOptions{Format: trace.FormatCSV},
+			in:   "id,release,size\n1,2\n",
+			line: 2, frag: "2 fields, header has 3",
+		},
+		{
+			name: "csv bad number",
+			opts: trace.DecodeOptions{Format: trace.FormatCSV},
+			in:   "id,release,size\n0,zero,1\n",
+			line: 2, field: "release", frag: "invalid number",
+		},
+		{
+			name: "sorted still rejects dup ids",
+			opts: trace.DecodeOptions{Sort: true},
+			in: `{"id":4,"release":3,"size":1}
+{"id":4,"release":0,"size":1}`,
+			line: 2, field: "id", frag: "duplicate job id 4",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := drain(t, trace.NewDecoder(strings.NewReader(tc.in), tc.opts))
+			if err == nil {
+				t.Fatal("decode succeeded, want DecodeError")
+			}
+			var de *trace.DecodeError
+			if !errors.As(err, &de) {
+				t.Fatalf("error %T %q is not a DecodeError", err, err)
+			}
+			if !errors.Is(err, core.ErrBadSource) {
+				t.Fatalf("DecodeError does not unwrap to core.ErrBadSource: %v", err)
+			}
+			if de.Line != tc.line {
+				t.Fatalf("error on line %d, want %d: %v", de.Line, tc.line, err)
+			}
+			if de.Field != tc.field {
+				t.Fatalf("error names field %q, want %q: %v", de.Field, tc.field, err)
+			}
+			if !strings.Contains(de.Reason, tc.frag) {
+				t.Fatalf("error reason %q does not mention %q", de.Reason, tc.frag)
+			}
+		})
+	}
+}
+
+// TestDecodeSortOptIn: with Sort the same out-of-order trace decodes,
+// served in (Release, ID) order.
+func TestDecodeSortOptIn(t *testing.T) {
+	in := `{"id":0,"release":5,"size":1}
+{"id":1,"release":2,"size":1}
+{"id":2,"release":2,"size":1}`
+	jobs, err := drain(t, trace.NewDecoder(strings.NewReader(in), trace.DecodeOptions{Sort: true}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantIDs := []int{1, 2, 0}
+	if len(jobs) != 3 {
+		t.Fatalf("decoded %d jobs, want 3", len(jobs))
+	}
+	for i, id := range wantIDs {
+		if jobs[i].ID != id {
+			t.Fatalf("sorted job %d has id %d, want %d", i, jobs[i].ID, id)
+		}
+	}
+}
+
+// TestDecodeErrorLatches: after the first error the decoder keeps
+// returning it, per the JobSource contract.
+func TestDecodeErrorLatches(t *testing.T) {
+	d := trace.NewDecoder(strings.NewReader(`{"id":0,"release":0,"size":-1}`), trace.DecodeOptions{})
+	_, _, err1 := d.Next()
+	_, _, err2 := d.Next()
+	if err1 == nil || err2 == nil || err1 != err2 {
+		t.Fatalf("errors not latched: first %v, second %v", err1, err2)
+	}
+}
+
+// TestEncodeDecodeRoundTrip: decode(encode(jobs)) is the identity, bit for
+// bit, in both formats — the property FuzzTraceDecode hammers on random
+// instances.
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	jobs := []core.Job{
+		{ID: 0, Release: 0, Size: 1.0 / 3.0},
+		{ID: 1, Release: 0.1 + 0.2, Size: 1e-16, Weight: 2.5},
+		{ID: 2, Release: 0.30000000000000004, Size: 7},
+	}
+	for _, f := range []trace.Format{trace.FormatNDJSON, trace.FormatCSV} {
+		var buf bytes.Buffer
+		if err := trace.Encode(&buf, jobs, f); err != nil {
+			t.Fatalf("%v: encode: %v", f, err)
+		}
+		got, err := drain(t, trace.NewDecoder(&buf, trace.DecodeOptions{Format: f}))
+		if err != nil {
+			t.Fatalf("%v: decode: %v", f, err)
+		}
+		if len(got) != len(jobs) {
+			t.Fatalf("%v: round-tripped %d jobs, want %d", f, len(got), len(jobs))
+		}
+		for i := range jobs {
+			if got[i] != jobs[i] {
+				t.Fatalf("%v: job %d: %+v, want %+v", f, i, got[i], jobs[i])
+			}
+		}
+	}
+}
+
+func TestParseFormat(t *testing.T) {
+	for name, want := range map[string]trace.Format{
+		"ndjson": trace.FormatNDJSON, "jsonl": trace.FormatNDJSON,
+		"csv": trace.FormatCSV, " CSV ": trace.FormatCSV,
+	} {
+		got, err := trace.ParseFormat(name)
+		if err != nil || got != want {
+			t.Fatalf("ParseFormat(%q) = %v, %v; want %v", name, got, err, want)
+		}
+	}
+	if _, err := trace.ParseFormat("xml"); err == nil {
+		t.Fatal("ParseFormat(xml) succeeded")
+	}
+}

@@ -1,0 +1,208 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"sort"
+
+	"rrnorm/internal/core"
+)
+
+// Fitted is an empirical workload model estimated from a job trace in one
+// streaming pass: reservoir samples of the trace's inter-arrival gaps and
+// job sizes (and weights, when any job carries one), plus their exact
+// means. Fit never materializes the trace, so a 1e8-job replay fits in
+// O(sample capacity) memory; the model then generates synthetic instances
+// or unbounded job streams that bootstrap-resample the empirical
+// distributions — "replayed vs fitted" is experiment E26's comparison.
+type Fitted struct {
+	// N is the number of jobs observed; MeanGap and MeanSize are the exact
+	// streaming means of the inter-arrival gaps (N−1 of them) and sizes.
+	N        int
+	MeanGap  float64
+	MeanSize float64
+	// Gaps and Sizes are sorted reservoir samples (uniform without
+	// replacement over the stream) of the empirical distributions.
+	Gaps  []float64
+	Sizes []float64
+	// Weights is a reservoir sample of job weights, nil when every job
+	// used the default weight (generated jobs then omit weights too).
+	Weights []float64
+}
+
+// DefaultFitSample is the reservoir capacity Fit uses when cap ≤ 0: large
+// enough that bootstrap quantiles are stable, small enough to be free.
+const DefaultFitSample = 4096
+
+// Fit estimates a Fitted model from src in one pass. src must be
+// release-ordered (any core.JobSource honoring its contract; a
+// trace.Decoder enforces this with line-level errors). sampleCap bounds
+// each reservoir (DefaultFitSample when ≤ 0); seed makes the reservoir's
+// subsampling deterministic.
+func Fit(src core.JobSource, sampleCap int, seed uint64) (*Fitted, error) {
+	if sampleCap <= 0 {
+		sampleCap = DefaultFitSample
+	}
+	rng := rand.New(rand.NewPCG(seed, seed^0xa24baed4963ee407))
+	f := &Fitted{}
+	gaps := reservoir{cap: sampleCap}
+	sizes := reservoir{cap: sampleCap}
+	weights := reservoir{cap: sampleCap}
+	prev, weighted := 0.0, false
+	for {
+		j, ok, err := src.Next()
+		if err != nil {
+			return nil, fmt.Errorf("workload: fit: %w", err)
+		}
+		if !ok {
+			break
+		}
+		if f.N > 0 {
+			gap := j.Release - prev
+			if gap < 0 {
+				return nil, fmt.Errorf("workload: fit: job %d released at %v after a job at %v (source must be release-ordered)", j.ID, j.Release, prev)
+			}
+			f.MeanGap += (gap - f.MeanGap) / float64(f.N)
+			gaps.offer(rng, gap)
+		}
+		prev = j.Release
+		f.N++
+		f.MeanSize += (j.Size - f.MeanSize) / float64(f.N)
+		sizes.offer(rng, j.Size)
+		if j.Weight != 0 {
+			weighted = true
+		}
+		weights.offer(rng, j.W())
+	}
+	if f.N == 0 {
+		return nil, fmt.Errorf("workload: fit: empty trace")
+	}
+	f.Gaps, f.Sizes = gaps.vals, sizes.vals
+	if weighted {
+		f.Weights = weights.vals
+	}
+	sort.Float64s(f.Gaps)
+	sort.Float64s(f.Sizes)
+	sort.Float64s(f.Weights)
+	if len(f.Gaps) == 0 {
+		// Single-job trace: no observed gaps. Degenerate but usable — all
+		// generated jobs release together.
+		f.Gaps = []float64{0}
+	}
+	return f, nil
+}
+
+// reservoir is Vitter's algorithm R: after the stream ends, vals is a
+// uniform sample (without replacement) of capacity cap.
+type reservoir struct {
+	cap  int
+	n    int
+	vals []float64
+}
+
+func (r *reservoir) offer(rng *rand.Rand, v float64) {
+	r.n++
+	if len(r.vals) < r.cap {
+		r.vals = append(r.vals, v)
+		return
+	}
+	if k := rng.IntN(r.n); k < r.cap {
+		r.vals[k] = v
+	}
+}
+
+// Instance generates n jobs by bootstrap-resampling the fitted gap and
+// size samples — the materialized counterpart of Source.
+func (f *Fitted) Instance(rng *rand.Rand, n int) *core.Instance {
+	jobs := make([]core.Job, n)
+	t := 0.0
+	for i := range jobs {
+		if i > 0 {
+			t += f.Gaps[rng.IntN(len(f.Gaps))]
+		}
+		jobs[i] = core.Job{ID: i, Release: t, Size: f.Sizes[rng.IntN(len(f.Sizes))]}
+		if f.Weights != nil {
+			jobs[i].Weight = f.Weights[rng.IntN(len(f.Weights))]
+		}
+	}
+	return core.NewInstance(jobs)
+}
+
+// Source returns a Sized core.JobSource yielding n bootstrap-resampled
+// jobs in release order without materializing them — the streaming
+// counterpart of Instance (same jobs for the same rng state).
+func (f *Fitted) Source(rng *rand.Rand, n int) *FittedSource {
+	return &FittedSource{f: f, rng: rng, n: n}
+}
+
+// FittedSource streams bootstrap-resampled jobs from a Fitted model. It
+// allocates nothing per job, so it also serves as the synthetic source for
+// the bounded-memory benchmarks.
+type FittedSource struct {
+	f   *Fitted
+	rng *rand.Rand
+	n   int
+	i   int
+	t   float64
+}
+
+// Next implements core.JobSource.
+func (s *FittedSource) Next() (core.Job, bool, error) {
+	if s.i >= s.n {
+		return core.Job{}, false, nil
+	}
+	f, rng := s.f, s.rng
+	if s.i > 0 {
+		s.t += f.Gaps[rng.IntN(len(f.Gaps))]
+	}
+	j := core.Job{ID: s.i, Release: s.t, Size: f.Sizes[rng.IntN(len(f.Sizes))]}
+	if f.Weights != nil {
+		j.Weight = f.Weights[rng.IntN(len(f.Weights))]
+	}
+	s.i++
+	return j, true, nil
+}
+
+// Len implements core.Sized.
+func (s *FittedSource) Len() int { return s.n }
+
+// StreamSource yields n jobs with exponential(meanGap) inter-arrivals and
+// sizes drawn from dist, in release order, without materializing anything —
+// the streaming counterpart of Poisson. It is Sized (the engines size
+// their event budget upfront) and allocates nothing per job, which is what
+// the 1e7-job bounded-memory regression test leans on.
+type StreamSource struct {
+	rng     *rand.Rand
+	dist    SizeDist
+	meanGap float64
+	n       int
+	i       int
+	t       float64
+}
+
+// Stream returns a StreamSource of n jobs with mean inter-arrival meanGap
+// and sizes from dist.
+func Stream(rng *rand.Rand, n int, meanGap float64, dist SizeDist) *StreamSource {
+	return &StreamSource{rng: rng, dist: dist, meanGap: meanGap, n: n}
+}
+
+// StreamLoad is Stream with the arrival rate chosen to target machine load
+// ρ = λ·E[size]/m on m unit-speed machines, mirroring PoissonLoad.
+func StreamLoad(rng *rand.Rand, n, m int, load float64, dist SizeDist) *StreamSource {
+	lambda := load * float64(m) / dist.Mean()
+	return Stream(rng, n, 1/lambda, dist)
+}
+
+// Next implements core.JobSource.
+func (s *StreamSource) Next() (core.Job, bool, error) {
+	if s.i >= s.n {
+		return core.Job{}, false, nil
+	}
+	s.t += s.rng.ExpFloat64() * s.meanGap
+	j := core.Job{ID: s.i, Release: s.t, Size: s.dist.Sample(s.rng)}
+	s.i++
+	return j, true, nil
+}
+
+// Len implements core.Sized.
+func (s *StreamSource) Len() int { return s.n }

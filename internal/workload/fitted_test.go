@@ -1,0 +1,202 @@
+package workload_test
+
+import (
+	"bytes"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"rrnorm/internal/core"
+	"rrnorm/internal/stats"
+	"rrnorm/internal/trace"
+	"rrnorm/internal/workload"
+)
+
+func TestFitFromTrace(t *testing.T) {
+	// A trace with known structure: gaps alternate 1 and 3 (mean 2), sizes
+	// alternate 2 and 4 (mean 3).
+	var sb strings.Builder
+	jobs := make([]core.Job, 0, 200)
+	tm := 0.0
+	for i := 0; i < 200; i++ {
+		if i > 0 {
+			if i%2 == 0 {
+				tm += 3
+			} else {
+				tm += 1
+			}
+		}
+		jobs = append(jobs, core.Job{ID: i, Release: tm, Size: float64(2 + 2*(i%2))})
+	}
+	if err := trace.Encode(&sb, jobs, trace.FormatNDJSON); err != nil {
+		t.Fatal(err)
+	}
+	dec := trace.NewDecoder(strings.NewReader(sb.String()), trace.DecodeOptions{})
+	f, err := workload.Fit(dec, 0, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.N != 200 {
+		t.Fatalf("fit saw %d jobs, want 200", f.N)
+	}
+	// 199 gaps: 100 ones and 99 threes.
+	if want := 397.0 / 199.0; math.Abs(f.MeanGap-want) > 1e-9 {
+		t.Fatalf("MeanGap = %v, want %v", f.MeanGap, want)
+	}
+	if math.Abs(f.MeanSize-3) > 1e-9 {
+		t.Fatalf("MeanSize = %v, want 3", f.MeanSize)
+	}
+	if len(f.Gaps) != 199 || len(f.Sizes) != 200 {
+		t.Fatalf("reservoirs hold %d gaps / %d sizes, want 199 / 200 (below cap)", len(f.Gaps), len(f.Sizes))
+	}
+	if f.Weights != nil {
+		t.Fatalf("unweighted trace produced a weight sample: %v", f.Weights)
+	}
+	for _, g := range f.Gaps {
+		if g != 1 && g != 3 {
+			t.Fatalf("sampled gap %v not in the trace", g)
+		}
+	}
+
+	// Generated instances draw only observed values and are valid.
+	in := f.Instance(stats.NewRNG(11), 500)
+	if err := in.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if in.N() != 500 {
+		t.Fatalf("generated %d jobs, want 500", in.N())
+	}
+	for i, j := range in.Jobs {
+		if j.Size != 2 && j.Size != 4 {
+			t.Fatalf("job %d has size %v, not a bootstrap of {2,4}", i, j.Size)
+		}
+	}
+}
+
+func TestFitReservoirCap(t *testing.T) {
+	src := workload.Stream(stats.NewRNG(3), 10_000, 0.5, workload.ExpSizes{M: 1})
+	f, err := workload.Fit(src, 256, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.N != 10_000 {
+		t.Fatalf("N = %d, want 10000", f.N)
+	}
+	if len(f.Gaps) != 256 || len(f.Sizes) != 256 {
+		t.Fatalf("reservoirs hold %d/%d, want capped 256/256", len(f.Gaps), len(f.Sizes))
+	}
+	if math.Abs(f.MeanGap-0.5) > 0.05 {
+		t.Fatalf("MeanGap = %v, want ≈0.5", f.MeanGap)
+	}
+}
+
+func TestFitRejectsDisorderAndEmpty(t *testing.T) {
+	bad := core.NewInstanceSource(&core.Instance{})
+	if _, err := workload.Fit(bad, 0, 1); err == nil {
+		t.Fatal("empty trace fitted without error")
+	}
+	disordered := &fakeSource{jobs: []core.Job{
+		{ID: 0, Release: 5, Size: 1}, {ID: 1, Release: 2, Size: 1},
+	}}
+	if _, err := workload.Fit(disordered, 0, 1); err == nil || !strings.Contains(err.Error(), "release-ordered") {
+		t.Fatalf("disordered source fitted: %v", err)
+	}
+}
+
+type fakeSource struct {
+	jobs []core.Job
+	i    int
+}
+
+func (s *fakeSource) Next() (core.Job, bool, error) {
+	if s.i >= len(s.jobs) {
+		return core.Job{}, false, nil
+	}
+	j := s.jobs[s.i]
+	s.i++
+	return j, true, nil
+}
+
+// TestFittedSourceMatchesInstance: Source and Instance draw identically for
+// the same rng seed, and the source is Sized.
+func TestFittedSourceMatchesInstance(t *testing.T) {
+	f, err := workload.Fit(workload.Stream(stats.NewRNG(5), 300, 1, workload.ExpSizes{M: 2}), 0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := f.Instance(stats.NewRNG(21), 100)
+	src := f.Source(stats.NewRNG(21), 100)
+	if n := src.Len(); n != 100 {
+		t.Fatalf("Len() = %d, want 100", n)
+	}
+	var got []core.Job
+	for {
+		j, ok, err := src.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+		got = append(got, j)
+	}
+	if len(got) != want.N() {
+		t.Fatalf("source yielded %d jobs, instance has %d", len(got), want.N())
+	}
+	for i := range got {
+		if got[i] != want.Jobs[i] {
+			t.Fatalf("job %d: source %+v vs instance %+v", i, got[i], want.Jobs[i])
+		}
+	}
+}
+
+// TestStreamSourceMatchesPoisson: the streaming generator yields exactly
+// Poisson's jobs for the same seed — same RNG consumption order.
+func TestStreamSourceMatchesPoisson(t *testing.T) {
+	want := workload.Poisson(stats.NewRNG(13), 200, 0.7, workload.ExpSizes{M: 1.5})
+	src := workload.Stream(stats.NewRNG(13), 200, 0.7, workload.ExpSizes{M: 1.5})
+	for i := 0; ; i++ {
+		j, ok, err := src.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			if i != want.N() {
+				t.Fatalf("stream ended after %d jobs, want %d", i, want.N())
+			}
+			break
+		}
+		if j != want.Jobs[i] {
+			t.Fatalf("job %d: stream %+v vs Poisson %+v", i, j, want.Jobs[i])
+		}
+	}
+}
+
+func TestFittedSpecKind(t *testing.T) {
+	// Write a small NDJSON trace to disk and build an instance from the
+	// fitted spec.
+	var buf bytes.Buffer
+	in := workload.Poisson(stats.NewRNG(1), 50, 1, workload.ExpSizes{M: 1})
+	if err := trace.Encode(&buf, in.Jobs, trace.FormatNDJSON); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "trace.ndjson")
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := workload.FromSpec("fitted:path="+path+",n=80", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.N() != 80 {
+		t.Fatalf("fitted spec generated %d jobs, want 80", got.N())
+	}
+	if err := got.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := workload.FromSpec("fitted:n=10", 3); err == nil {
+		t.Fatal("fitted spec without path succeeded")
+	}
+}

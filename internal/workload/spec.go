@@ -8,6 +8,7 @@ import (
 
 	"rrnorm/internal/core"
 	"rrnorm/internal/stats"
+	"rrnorm/internal/trace"
 )
 
 // FromSpec builds an instance from a compact textual description, used by
@@ -27,6 +28,7 @@ import (
 //	staircase  n                                          (descending batch)
 //	trace      path                                       (CSV written by WriteCSV)
 //	swf        path, max, scale                           (Standard Workload Format)
+//	fitted     path, format, sort, n, cap                 (bootstrap from a fitted job trace)
 //
 // dist is one of exp (mean), pareto (alpha, xm), uniform (lo, hi), bimodal
 // (small, large, plarge), fixed (mean). Unknown keys are rejected.
@@ -143,8 +145,35 @@ func FromSpec(spec string, seed uint64) (*core.Instance, error) {
 		}
 		defer f.Close()
 		return ReadSWF(f, SWFOptions{MaxJobs: maxJobs, ScaleProcessors: scale != 0})
+	case "fitted":
+		path := args.strOr("path", "")
+		formatName := args.strOr("format", "ndjson")
+		sortOpt := args.intOr("sort", 0)
+		n := args.intOr("n", 1000)
+		sampleCap := args.intOr("cap", 0)
+		if err := args.unused(); err != nil {
+			return nil, err
+		}
+		if path == "" {
+			return nil, fmt.Errorf("workload: fitted spec needs path=")
+		}
+		format, err := trace.ParseFormat(formatName)
+		if err != nil {
+			return nil, err
+		}
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		dec := trace.NewDecoder(f, trace.DecodeOptions{Format: format, Sort: sortOpt != 0})
+		model, err := Fit(dec, sampleCap, seed)
+		if err != nil {
+			return nil, err
+		}
+		return model.Instance(rng, n), nil
 	default:
-		return nil, fmt.Errorf("workload: unknown kind %q (poisson|batch|bursts|diurnal|rrstream|cascade|starvation|staircase|trace|swf)", kind)
+		return nil, fmt.Errorf("workload: unknown kind %q (poisson|batch|bursts|diurnal|rrstream|cascade|starvation|staircase|trace|swf|fitted)", kind)
 	}
 }
 

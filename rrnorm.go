@@ -168,6 +168,42 @@ func NewStreamNorm(ks ...int) *StreamNorm { return metrics.NewStreamNorm(ks...) 
 // one is.
 func MultiObserver(obs ...Observer) Observer { return core.Multi(obs...) }
 
+// JobSource is a release-ordered pull iterator of jobs — the streaming
+// input both engines accept in place of a materialized Instance. Next
+// returns the next job and true, or a zero Job and false at the end of the
+// stream (or an error, which ends the run). Jobs must arrive in
+// nondecreasing Release order; violations surface as ErrBadSource-wrapped
+// errors. internal/trace decodes NDJSON/CSV traces as a JobSource, and
+// workload's Stream/Fitted sources generate synthetic ones.
+type JobSource = core.JobSource
+
+// StreamResult is the scalar summary of a streaming run: job and event
+// counts, makespan and max flow. Per-job data never materializes — attach
+// Observers (StreamNorm, timeline, ...) for anything per-completion.
+type StreamResult = core.StreamResult
+
+// ErrBadSource wraps every job-validation or source failure surfaced
+// during a streaming run (errors.Is-matchable).
+var ErrBadSource = core.ErrBadSource
+
+// NewInstanceSource adapts a materialized Instance into a JobSource. A
+// streaming run over it is bit-identical to the materialized run of the
+// same instance (enforced by the differential wall in internal/check).
+func NewInstanceSource(in *Instance) JobSource { return core.NewInstanceSource(in) }
+
+// SimulateStream runs the named policy over a streaming job source,
+// honoring opts.Engine. Memory stays bounded by the schedule's alive set
+// regardless of how many jobs the source yields: at n=10⁷ the whole run
+// fits in a few MB of RSS (BENCH_stream.json) where the materialized
+// instance alone would need hundreds.
+func SimulateStream(src JobSource, policyName string, opts Options) (StreamResult, error) {
+	p, err := policy.New(policyName)
+	if err != nil {
+		return StreamResult{}, err
+	}
+	return fast.RunStream(src, p, opts, core.NewWorkspace())
+}
+
 // LowerBound returns a certified lower bound on the optimal Σ F^k on m
 // unit-speed machines (max of the LP/2 relaxation bound and Σ p^k).
 func LowerBound(in *Instance, m, k int) (float64, error) {
@@ -216,7 +252,7 @@ func WeightedLkNorm(flows, weights []float64, k int) float64 {
 
 // FromSpec builds a workload from a compact textual spec; see
 // internal/workload.FromSpec for the grammar (poisson, batch, bursts,
-// rrstream, cascade, starvation, staircase, trace).
+// rrstream, cascade, starvation, staircase, trace, swf, fitted).
 func FromSpec(spec string, seed uint64) (*Instance, error) {
 	return workload.FromSpec(spec, seed)
 }
