@@ -1,6 +1,11 @@
 GO ?= go
 
-.PHONY: build test verify lint lint-fix-check bench bench-engine bench-smoke fuzz hunt hunt-smoke replay-smoke suite serve serve-test serve-bench clean
+.PHONY: build test verify lint lint-baseline lint-fix-check bench bench-engine bench-smoke fuzz hunt hunt-smoke replay-smoke suite serve serve-test serve-bench clean
+
+# The rrlint baseline: accepted pre-existing findings (currently hotalloc
+# debt in the comparison policies), subtracted from lint runs so only new
+# findings fail. Regenerate with `make lint-baseline` after fixing entries.
+LINT_BASELINE = internal/lint/testdata/lint.baseline
 
 build:
 	$(GO) build ./...
@@ -16,19 +21,26 @@ test:
 # `go test ./...` already; listing it keeps the race-mode service wall
 # explicit in the verify contract.
 verify: serve-test
-	$(GO) vet ./... && $(GO) run ./cmd/rrlint && $(GO) test -race ./...
+	$(GO) vet ./... && $(GO) run ./cmd/rrlint -baseline $(LINT_BASELINE) && $(GO) test -race ./...
 
 # Project-specific static analysis (DESIGN.md "Static analysis layer"):
-# determinism, cancellation and float-safety invariants. Exit 0 means a
-# clean tree; exit 1 lists file:line diagnostics; exit 2 is a load error.
+# determinism, cancellation, float-safety, ownership and zero-alloc
+# invariants. Exit 0 means a clean tree; exit 1 lists file:line
+# diagnostics; exit 2 is a load error.
 lint:
-	$(GO) run ./cmd/rrlint
+	$(GO) run ./cmd/rrlint -baseline $(LINT_BASELINE)
+
+# Regenerate the baseline from the current tree's post-suppression
+# findings. Run after fixing a baselined finding (to prune it) — never to
+# absorb a new one; new findings should be fixed or //rrlint:ignore'd.
+lint-baseline:
+	$(GO) run ./cmd/rrlint -write-baseline $(LINT_BASELINE)
 
 # Machine-readable lint pass for CI artifacts: same exit semantics as
-# `lint`, but the findings (and the suppressed-directive count) land in
+# `lint`, but the findings (and the suppressed/baselined counts) land in
 # rrlint.json instead of the terminal.
 lint-fix-check:
-	$(GO) run ./cmd/rrlint -json > rrlint.json
+	$(GO) run ./cmd/rrlint -baseline $(LINT_BASELINE) -json > rrlint.json
 
 # The rrserve test wall on its own: e2e endpoints, cache/pool semantics,
 # and the 64-client byte-identical stress test, all under -race.
@@ -44,15 +56,17 @@ serve-bench:
 	WRITE_BENCH=1 $(GO) test ./internal/serve -run TestWriteServeBenchBaseline -v
 
 # Differential fuzzing of the fast engine against the reference engine,
-# fuzzing of the rrserve request surface (decoder + spec parser), and
-# fuzzing of the hunt shrinker's contract (validity + ratio window).
-# FUZZTIME=5m make fuzz for longer campaigns.
+# fuzzing of the rrserve request surface (decoder + spec parser), fuzzing
+# of the hunt shrinker's contract (validity + ratio window), and fuzzing of
+# the lint IR builder (CFG/def-use construction must be total over
+# arbitrary syntax). FUZZTIME=5m make fuzz for longer campaigns.
 FUZZTIME ?= 30s
 fuzz:
 	$(GO) test -fuzz=FuzzEngineAgreement -fuzztime=$(FUZZTIME) ./internal/check
 	$(GO) test -fuzz=FuzzSimulateRequest -fuzztime=$(FUZZTIME) ./internal/serve
 	$(GO) test -fuzz=FuzzShrinker -fuzztime=$(FUZZTIME) ./internal/hunt
 	$(GO) test -fuzz=FuzzTraceDecode -fuzztime=$(FUZZTIME) ./internal/trace
+	$(GO) test -fuzz=FuzzLintIR -fuzztime=$(FUZZTIME) ./internal/lint
 
 # Adversarial ratio hunt (see DESIGN.md §14). `make hunt` runs the default
 # championship cell; results are written to testdata/corpus only when you

@@ -3,23 +3,37 @@
 //
 // Usage:
 //
-//	rrlint [-C dir] [-json] [-check name,...] [packages]
+//	rrlint [-C dir] [-json] [-check name,...] [-baseline file] [-write-baseline file] [packages]
 //
 // The module is located by walking up from -C (default ".") to the nearest
 // go.mod; the whole module is always analyzed, so the optional package
 // argument is accepted only for `go`-tool muscle memory ("./...").
 //
-// Exit status: 0 when the tree is clean (suppressed diagnostics do not
-// count), 1 when any diagnostic is reported, 2 when the module fails to
-// load or type-check, or on usage errors.
+// Exit status: 0 when the tree is clean (suppressed and baselined
+// diagnostics do not count), 1 when any diagnostic is reported, 2 when the
+// module fails to load or type-check, or on usage errors.
+//
+// Baselines: -baseline subtracts the exact findings recorded in the given
+// file (see `make lint-baseline`), so only new findings fail the build.
+// Stale entries — recorded findings that no longer occur — are reported on
+// stderr but do not change the exit status; the lint-baseline-check CI step
+// is the hard gate that keeps the file current. -write-baseline regenerates
+// the file from the current (post-suppression) findings and exits 0.
 //
 // Suppressions: //rrlint:ignore <check> <reason> on the offending line or
-// the line above. The check name must match and the reason is mandatory;
-// malformed directives are themselves diagnostics.
+// the line above, or in a function's doc comment to cover the whole body.
+// The check name must match and the reason is mandatory; malformed
+// directives are themselves diagnostics.
+//
+// When GITHUB_ACTIONS=true (and -json is not set, so redirected JSON stays
+// parseable), each diagnostic is additionally emitted as a
+// GitHub workflow error annotation (::error file=...,line=...::...) so
+// findings surface inline on the pull-request diff.
 package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -34,10 +48,12 @@ func main() {
 
 func run() int {
 	var (
-		dir      = flag.String("C", ".", "directory inside the module to lint")
-		jsonOut  = flag.Bool("json", false, "emit the result as JSON on stdout")
-		checks   = flag.String("check", "", "comma-separated subset of checks to run (default: all)")
-		listOnly = flag.Bool("list", false, "list the available checks and exit")
+		dir           = flag.String("C", ".", "directory inside the module to lint")
+		jsonOut       = flag.Bool("json", false, "emit the result as JSON on stdout")
+		checks        = flag.String("check", "", "comma-separated subset of checks to run (default: all)")
+		listOnly      = flag.Bool("list", false, "list the available checks and exit")
+		baselinePath  = flag.String("baseline", "", "subtract the findings recorded in this baseline file")
+		writeBaseline = flag.String("write-baseline", "", "write current findings to this baseline file and exit")
 	)
 	flag.Parse()
 	for _, arg := range flag.Args() {
@@ -70,11 +86,38 @@ func run() int {
 			cfg.Analyzers = append(cfg.Analyzers, a)
 		}
 	}
+	if *baselinePath != "" && *writeBaseline == "" {
+		b, err := lint.LoadBaseline(*baselinePath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rrlint: %v\n", err)
+			return 2
+		}
+		cfg.Baseline = b
+	}
 
 	res, err := lint.Run(*dir, cfg)
 	if err != nil {
+		var le *lint.LoadError
+		if errors.As(err, &le) {
+			// A structured load failure points at the broken line the same
+			// way a diagnostic would, instead of an opaque exit-2 string.
+			fmt.Fprintf(os.Stderr, "rrlint: %v\n", le)
+			if le.Pos != "" && !*jsonOut {
+				githubAnnotate(os.Stdout, le.Pos, "load", le.Msg)
+			}
+			return 2
+		}
 		fmt.Fprintf(os.Stderr, "rrlint: %v\n", err)
 		return 2
+	}
+
+	if *writeBaseline != "" {
+		if err := os.WriteFile(*writeBaseline, lint.FormatBaseline(res), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "rrlint: %v\n", err)
+			return 2
+		}
+		fmt.Fprintf(os.Stderr, "rrlint: wrote %d finding(s) to %s\n", len(res.Diagnostics), *writeBaseline)
+		return 0
 	}
 
 	if *jsonOut {
@@ -88,11 +131,36 @@ func run() int {
 		for _, d := range res.Diagnostics {
 			fmt.Println(d)
 		}
-		fmt.Fprintf(os.Stderr, "rrlint: %d diagnostic(s), %d suppressed, %d package(s)\n",
-			len(res.Diagnostics), res.Suppressed, res.Packages)
+		fmt.Fprintf(os.Stderr, "rrlint: %d diagnostic(s), %d suppressed, %d baselined, %d package(s)\n",
+			len(res.Diagnostics), res.Suppressed, res.Baselined, res.Packages)
+	}
+	for _, stale := range res.BaselineStale {
+		fmt.Fprintf(os.Stderr, "rrlint: stale baseline entry (already fixed — run `make lint-baseline` to prune): %s\n", stale)
+	}
+	if !*jsonOut {
+		for _, d := range res.Diagnostics {
+			githubAnnotate(os.Stdout, fmt.Sprintf("%s:%d:%d", d.File, d.Line, d.Col), d.Check, d.Message)
+		}
 	}
 	if len(res.Diagnostics) > 0 {
 		return 1
 	}
 	return 0
+}
+
+// githubAnnotate emits a GitHub workflow error annotation for a finding at
+// a file:line[:col] position when running under GitHub Actions, so findings
+// surface inline on the pull-request diff. Messages have %, \r and \n
+// escaped per the workflow-command encoding rules.
+func githubAnnotate(w *os.File, pos, check, msg string) {
+	if os.Getenv("GITHUB_ACTIONS") != "true" {
+		return
+	}
+	parts := strings.SplitN(pos, ":", 3)
+	if len(parts) < 2 {
+		return
+	}
+	file, line := parts[0], parts[1]
+	esc := strings.NewReplacer("%", "%25", "\r", "%0D", "\n", "%0A")
+	fmt.Fprintf(w, "::error file=%s,line=%s::%s: %s\n", file, line, check, esc.Replace(msg))
 }

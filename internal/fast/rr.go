@@ -86,6 +86,8 @@ func (r *rrRun) epoch(end float64) {
 // The heap orders by (target, sequence number); on the materialized path
 // sequence numbers equal normalized indices, so simultaneous completions
 // drain in exactly the order the old index-keyed heap produced.
+//
+//rrlint:hotpath
 func runRR(r *rrRun, opts core.Options) error {
 	cur := r.cur
 	if !cur.More() {

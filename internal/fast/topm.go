@@ -163,6 +163,8 @@ func (r *topmRun) keyFor(j core.Job) float64 {
 }
 
 // run executes the top-m event loop; prepareTopM must have been called.
+//
+//rrlint:hotpath
 func (r *topmRun) run(opts core.Options) error {
 	cur, s := r.cur, r.s
 	m, sp := opts.Machines, opts.Speed

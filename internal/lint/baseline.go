@@ -1,0 +1,97 @@
+package lint
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+)
+
+// A Baseline is a position-keyed suppression snapshot: one
+// Diagnostic.String() line per accepted pre-existing finding, sorted. It
+// is the flag-day escape hatch for landing a new analyzer on a tree with
+// known debt — current findings are captured once (rrlint
+// -write-baseline, `make lint-baseline`) and later runs subtract exact
+// matches, so only NEW findings fail the build while the recorded ones
+// are burned down at leisure.
+//
+// Entries are matched by their full rendered form (file:line:col: check:
+// message), which makes the snapshot self-describing and diffable but
+// also means unrelated edits that shift line numbers invalidate entries;
+// the `lint-baseline-check` CI step (regenerate and diff) keeps the file
+// honest in both directions.
+type Baseline struct {
+	entries map[string]bool
+}
+
+// baselineHeader introduces regenerated baseline files.
+const baselineHeader = `# rrlint baseline — accepted pre-existing findings, one per line.
+# Regenerate with: make lint-baseline
+# Matching diagnostics are subtracted from rrlint runs (counted as
+# "baselined"); anything not listed here still fails. Burn entries down
+# by fixing the finding and regenerating.
+`
+
+// LoadBaseline reads a baseline file. Blank lines and '#' comments are
+// ignored; everything else is an entry.
+func LoadBaseline(path string) (*Baseline, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	b := &Baseline{entries: make(map[string]bool)}
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		b.entries[line] = true
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("lint: reading baseline %s: %w", path, err)
+	}
+	return b, nil
+}
+
+// FormatBaseline renders a result's diagnostics as baseline file
+// contents: the header plus one sorted entry per diagnostic. Diagnostics
+// are already sorted by RunPackages, so the output is deterministic.
+func FormatBaseline(res *Result) []byte {
+	var sb strings.Builder
+	sb.WriteString(baselineHeader)
+	for _, d := range res.Diagnostics {
+		sb.WriteString(d.String())
+		sb.WriteByte('\n')
+	}
+	return []byte(sb.String())
+}
+
+// apply subtracts baselined diagnostics from res: exact matches move into
+// the Baselined count, and entries matching nothing are recorded as
+// BaselineStale so fixed findings can be pruned from the file.
+func (b *Baseline) apply(res *Result) {
+	if b == nil {
+		return
+	}
+	matched := make(map[string]bool, len(b.entries))
+	kept := res.Diagnostics[:0]
+	for _, d := range res.Diagnostics {
+		key := d.String()
+		if b.entries[key] {
+			matched[key] = true
+			res.Baselined++
+			continue
+		}
+		kept = append(kept, d)
+	}
+	res.Diagnostics = kept
+	for e := range b.entries {
+		if !matched[e] {
+			res.BaselineStale = append(res.BaselineStale, e)
+		}
+	}
+	sort.Strings(res.BaselineStale)
+}

@@ -1,0 +1,75 @@
+package lint
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestBaselineRoundTrip pins the ratchet mechanics: FormatBaseline's
+// output loads back into a Baseline that subtracts exactly the recorded
+// findings (counted as Baselined), leaves new findings standing, and
+// reports entries matching nothing as BaselineStale.
+func TestBaselineRoundTrip(t *testing.T) {
+	old := Diagnostic{Check: "hotalloc", File: "a/a.go", Line: 3, Col: 7, Message: "make of a slice"}
+	fixed := Diagnostic{Check: "hotalloc", File: "a/a.go", Line: 9, Col: 2, Message: "func literal captures variables"}
+	recorded := &Result{Diagnostics: []Diagnostic{old, fixed}}
+
+	path := filepath.Join(t.TempDir(), "lint.baseline")
+	if err := os.WriteFile(path, FormatBaseline(recorded), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	data, _ := os.ReadFile(path)
+	if !strings.HasPrefix(string(data), "# rrlint baseline") {
+		t.Errorf("baseline file lacks the self-describing header:\n%s", data)
+	}
+
+	b, err := LoadBaseline(path)
+	if err != nil {
+		t.Fatalf("LoadBaseline: %v", err)
+	}
+
+	// The next run still has `old`, no longer has `fixed`, and found a
+	// brand-new diagnostic.
+	fresh := Diagnostic{Check: "wsescape", File: "b/b.go", Line: 1, Col: 1, Message: "stored before Clone"}
+	res := &Result{Diagnostics: []Diagnostic{old, fresh}}
+	b.apply(res)
+
+	if res.Baselined != 1 {
+		t.Errorf("Baselined = %d, want 1", res.Baselined)
+	}
+	if len(res.Diagnostics) != 1 || res.Diagnostics[0] != fresh {
+		t.Errorf("surviving diagnostics = %s, want only the new finding", diagList(res.Diagnostics))
+	}
+	if len(res.BaselineStale) != 1 || res.BaselineStale[0] != fixed.String() {
+		t.Errorf("BaselineStale = %v, want the fixed entry %q", res.BaselineStale, fixed.String())
+	}
+}
+
+// TestBaselineNilAndComments: a nil Baseline is a no-op, and comment and
+// blank lines in the file are not entries.
+func TestBaselineNilAndComments(t *testing.T) {
+	d := Diagnostic{Check: "floateq", File: "x.go", Line: 1, Col: 1, Message: "=="}
+	res := &Result{Diagnostics: []Diagnostic{d}}
+	var nilB *Baseline
+	nilB.apply(res)
+	if res.Baselined != 0 || len(res.Diagnostics) != 1 {
+		t.Errorf("nil baseline changed the result: %+v", res)
+	}
+
+	path := filepath.Join(t.TempDir(), "lint.baseline")
+	content := "# comment\n\n" + d.String() + "\n   \n"
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	b, err := LoadBaseline(path)
+	if err != nil {
+		t.Fatalf("LoadBaseline: %v", err)
+	}
+	b.apply(res)
+	if res.Baselined != 1 || len(res.Diagnostics) != 0 || len(res.BaselineStale) != 0 {
+		t.Errorf("after apply: baselined=%d diags=%d stale=%v, want 1/0/none",
+			res.Baselined, len(res.Diagnostics), res.BaselineStale)
+	}
+}

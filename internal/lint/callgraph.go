@@ -1,0 +1,295 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Index is the cross-package analysis state shared by every Pass of one
+// RunPackages call: function declarations by type-checker object,
+// memoized per-function IRs, a CHA-style callgraph, and the
+// //rrlint:hotpath / //rrlint:coldpath annotation sets. Everything
+// expensive (IRs, callgraph edges, the named-type universe) is built
+// lazily on first use and memoized, which is what keeps a whole-module
+// rrlint run inside its time budget: analyzers that never ask for the
+// callgraph never pay for it.
+type Index struct {
+	m    *Module
+	pkgs []*Package
+
+	funcs  map[*types.Func]*FuncInfo
+	declPk map[*ast.FuncDecl]*Package
+	irs    map[*ast.FuncDecl]*FuncIR
+	edges  map[*types.Func][]*types.Func
+
+	namedOnce  bool
+	namedTypes []types.Type
+
+	hotRoots []*FuncInfo          // functions annotated //rrlint:hotpath
+	coldSkip map[*types.Func]bool // functions annotated //rrlint:coldpath
+
+	hotOnce  bool
+	hotReach map[*types.Func]string // reachable func → root function name
+}
+
+// FuncInfo pairs a declared function's object with its syntax and the
+// package it was declared in.
+type FuncInfo struct {
+	Obj  *types.Func
+	Decl *ast.FuncDecl
+	Pkg  *Package
+}
+
+// directive names recognized on function doc comments.
+const (
+	hotpathDirective  = "rrlint:hotpath"
+	coldpathDirective = "rrlint:coldpath"
+)
+
+// newIndex scans the packages once for function declarations and hot/cold
+// annotations; IRs and callgraph edges are deferred until an analyzer asks.
+func newIndex(m *Module, pkgs []*Package) *Index {
+	ix := &Index{
+		m:        m,
+		pkgs:     pkgs,
+		funcs:    make(map[*types.Func]*FuncInfo),
+		declPk:   make(map[*ast.FuncDecl]*Package),
+		irs:      make(map[*ast.FuncDecl]*FuncIR),
+		edges:    make(map[*types.Func][]*types.Func),
+		coldSkip: make(map[*types.Func]bool),
+	}
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				obj, _ := pkg.Info.Defs[fd.Name].(*types.Func)
+				if obj == nil {
+					continue
+				}
+				fi := &FuncInfo{Obj: obj, Decl: fd, Pkg: pkg}
+				ix.funcs[obj] = fi
+				ix.declPk[fd] = pkg
+				if hasDirective(fd.Doc, hotpathDirective) {
+					ix.hotRoots = append(ix.hotRoots, fi)
+				}
+				if hasDirective(fd.Doc, coldpathDirective) {
+					ix.coldSkip[obj] = true
+				}
+			}
+		}
+	}
+	// Deterministic root order → deterministic diagnostic attribution.
+	sort.Slice(ix.hotRoots, func(a, b int) bool {
+		return ix.hotRoots[a].Decl.Pos() < ix.hotRoots[b].Decl.Pos()
+	})
+	return ix
+}
+
+// hasDirective reports whether a doc comment group contains the given
+// //rrlint:<name> directive line (optionally followed by a reason).
+func hasDirective(doc *ast.CommentGroup, name string) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+		if text == name || strings.HasPrefix(text, name+" ") {
+			return true
+		}
+	}
+	return false
+}
+
+// IR returns the (memoized) dataflow IR for a function declared in one of
+// the run's packages; functions from elsewhere build an untyped IR.
+func (ix *Index) IR(fd *ast.FuncDecl) *FuncIR {
+	if ir, ok := ix.irs[fd]; ok {
+		return ir
+	}
+	var info *types.Info
+	if pkg, ok := ix.declPk[fd]; ok {
+		info = pkg.Info
+	}
+	ir := BuildFuncIR(fd, info)
+	ix.irs[fd] = ir
+	return ir
+}
+
+// FuncOf returns the FuncInfo for a declared function object, or nil.
+func (ix *Index) FuncOf(obj *types.Func) *FuncInfo { return ix.funcs[obj] }
+
+// named returns the universe of named (and aliased-to-named) types
+// declared across the run's packages — the CHA candidate set.
+func (ix *Index) named() []types.Type {
+	if ix.namedOnce {
+		return ix.namedTypes
+	}
+	ix.namedOnce = true
+	for _, pkg := range ix.pkgs {
+		scope := pkg.Types.Scope()
+		for _, name := range scope.Names() {
+			tn, ok := scope.Lookup(name).(*types.TypeName)
+			if !ok {
+				continue
+			}
+			t := tn.Type()
+			if _, isIface := t.Underlying().(*types.Interface); isIface {
+				continue
+			}
+			ix.namedTypes = append(ix.namedTypes, t)
+		}
+	}
+	return ix.namedTypes
+}
+
+// Callees resolves the possible targets of one call expression to
+// declared functions of the run's packages:
+//
+//   - direct calls (package functions, methods on concrete receivers and
+//     method expressions/values) resolve statically through go/types;
+//   - calls through an interface method resolve CHA-style to that method
+//     on every named type in the run that implements the interface;
+//   - builtins, calls of function-typed values (closures, func fields)
+//     and calls into packages outside the run resolve to nothing.
+//
+// Results are deterministic (sorted by position).
+func (ix *Index) Callees(pkg *Package, call *ast.CallExpr) []*FuncInfo {
+	var objs []*types.Func
+	switch fun := ast.Unparen(stripIndex(call.Fun)).(type) {
+	case *ast.Ident:
+		if f, ok := pkg.Info.Uses[fun].(*types.Func); ok {
+			objs = append(objs, f)
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := pkg.Info.Selections[fun]; ok && sel.Kind() == types.MethodVal {
+			m, _ := sel.Obj().(*types.Func)
+			if m == nil {
+				break
+			}
+			recv := sel.Recv()
+			if iface, ok := recv.Underlying().(*types.Interface); ok {
+				objs = append(objs, ix.implementations(iface, m)...)
+			} else {
+				objs = append(objs, m)
+			}
+		} else if f, ok := pkg.Info.Uses[fun.Sel].(*types.Func); ok {
+			// Qualified call (otherpkg.Fn) or method expression.
+			objs = append(objs, f)
+		}
+	}
+	var out []*FuncInfo
+	for _, o := range objs {
+		if fi := ix.funcs[o]; fi != nil {
+			out = append(out, fi)
+		}
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].Decl.Pos() < out[b].Decl.Pos() })
+	return out
+}
+
+// implementations finds, for an interface method m, the corresponding
+// concrete methods on every named type of the run implementing the
+// interface — class-hierarchy analysis over the loaded packages.
+func (ix *Index) implementations(iface *types.Interface, m *types.Func) []*types.Func {
+	var out []*types.Func
+	for _, t := range ix.named() {
+		var impl types.Type
+		switch {
+		case types.Implements(t, iface):
+			impl = t
+		case types.Implements(types.NewPointer(t), iface):
+			impl = types.NewPointer(t)
+		default:
+			continue
+		}
+		obj, _, _ := types.LookupFieldOrMethod(impl, true, m.Pkg(), m.Name())
+		if f, ok := obj.(*types.Func); ok {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// stripIndex unwraps generic instantiations (f[T](...)).
+func stripIndex(e ast.Expr) ast.Expr {
+	switch ix := e.(type) {
+	case *ast.IndexExpr:
+		return ix.X
+	case *ast.IndexListExpr:
+		return ix.X
+	}
+	return e
+}
+
+// CalleesOf returns the (memoized) outgoing callgraph edges of a declared
+// function: every declared function any call expression in its body —
+// including bodies of its closures — can reach.
+func (ix *Index) CalleesOf(fi *FuncInfo) []*types.Func {
+	if es, ok := ix.edges[fi.Obj]; ok {
+		return es
+	}
+	seen := make(map[*types.Func]bool)
+	var es []*types.Func
+	ast.Inspect(fi.Decl.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		for _, callee := range ix.Callees(fi.Pkg, call) {
+			if !seen[callee.Obj] {
+				seen[callee.Obj] = true
+				es = append(es, callee.Obj)
+			}
+		}
+		return true
+	})
+	ix.edges[fi.Obj] = es
+	return es
+}
+
+// HotReachable returns the functions reachable from the //rrlint:hotpath
+// roots over the callgraph, mapped to the name of the first root (in
+// source order) that reaches them. //rrlint:coldpath functions stop the
+// walk: they are neither analyzed nor descended into.
+func (ix *Index) HotReachable() map[*types.Func]string {
+	if ix.hotOnce {
+		return ix.hotReach
+	}
+	ix.hotOnce = true
+	ix.hotReach = make(map[*types.Func]string)
+	type qent struct {
+		fi   *FuncInfo
+		root string
+	}
+	var queue []qent
+	for _, r := range ix.hotRoots {
+		if ix.coldSkip[r.Obj] {
+			continue
+		}
+		queue = append(queue, qent{fi: r, root: r.Decl.Name.Name})
+	}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		if _, ok := ix.hotReach[cur.fi.Obj]; ok {
+			continue
+		}
+		ix.hotReach[cur.fi.Obj] = cur.root
+		for _, callee := range ix.CalleesOf(cur.fi) {
+			if ix.coldSkip[callee] {
+				continue
+			}
+			if fi := ix.funcs[callee]; fi != nil {
+				if _, ok := ix.hotReach[callee]; !ok {
+					queue = append(queue, qent{fi: fi, root: cur.root})
+				}
+			}
+		}
+	}
+	return ix.hotReach
+}

@@ -1,0 +1,105 @@
+package lint
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// FuzzLintIR pins the "construction is total" contract of the dataflow
+// layer (ir.go): any function the parser accepts must yield a FuncIR —
+// CFG, def placement, reaching-definitions fixpoint — without panicking,
+// even with incomplete type information (the fuzzer's mutations rarely
+// type-check, which is exactly the hostile input an editor-saved broken
+// tree hands the analyzers). The seeds are the golden fixture files, so
+// mutation starts from syntax that exercises every analyzer's patterns:
+// goroutines, closures, range loops, labeled breaks, type switches.
+func FuzzLintIR(f *testing.F) {
+	fixtures, err := filepath.Glob(filepath.Join("testdata", "src", "*", "*.go"))
+	if err != nil {
+		f.Fatal(err)
+	}
+	for _, fx := range fixtures {
+		data, err := os.ReadFile(fx)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(string(data))
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		if len(src) > 1<<16 {
+			return // keep the corpus on syntax diversity, not size
+		}
+		fset := token.NewFileSet()
+		file, err := parser.ParseFile(fset, "fuzz.go", src, parser.ParseComments)
+		if err != nil {
+			return // not Go syntax; the IR only promises totality past the parser
+		}
+		info := &types.Info{
+			Types:      make(map[ast.Expr]types.TypeAndValue),
+			Defs:       make(map[*ast.Ident]types.Object),
+			Uses:       make(map[*ast.Ident]types.Object),
+			Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		}
+		// Error-tolerant check: imports fail (no importer) and most mutants
+		// are ill-typed, but the collected partial Info is exactly what the
+		// IR must survive.
+		conf := types.Config{Error: func(error) {}}
+		_, _ = conf.Check("fuzz", fset, []*ast.File{file}, info)
+
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			ir := BuildFuncIR(fd, info)
+			if ir == nil {
+				t.Fatalf("BuildFuncIR returned nil for %s", fd.Name.Name)
+			}
+			if ir.Entry == nil || len(ir.Blocks) == 0 {
+				t.Fatalf("IR for %s has no entry block", fd.Name.Name)
+			}
+			// Exercise the query surface over every statement: the lookups
+			// must be total too. StmtReaches(s, s) is a semantic probe
+			// (true only through a cycle), so only totality is asserted.
+			for _, blk := range ir.Blocks {
+				for _, s := range blk.Stmts {
+					_ = ir.StmtReaches(s, s)
+					_ = ir.EnclosingStmt(s.Pos())
+				}
+			}
+			for _, d := range ir.Defs {
+				_ = ir.ReachingAt(d.Obj, d.Stmt)
+				if !ir.IsLocal(d.Obj) {
+					t.Fatalf("%s: Def recorded for non-local object %v", fd.Name.Name, d.Obj)
+				}
+			}
+			// A constant-true transfer function must reach a fixpoint where
+			// every def is in the solution (monotone lattice sanity).
+			val := ir.SolveDefs(func(d *Def, lookup func(id *ast.Ident) bool) bool { return true })
+			for _, d := range ir.Defs {
+				if !val[d] {
+					t.Fatalf("%s: constant-true SolveDefs left def %d unset", fd.Name.Name, d.Index)
+				}
+			}
+			lookup := ir.SolveDefs(func(d *Def, lookup func(id *ast.Ident) bool) bool {
+				if d.Rhs == nil {
+					return false
+				}
+				if id, ok := d.Rhs.(*ast.Ident); ok {
+					return lookup(id) // propagate through aliasing chains
+				}
+				return false
+			})
+			for _, blk := range ir.Blocks {
+				for _, s := range blk.Stmts {
+					_ = ir.LookupAt(lookup, s)
+				}
+			}
+		}
+	})
+}

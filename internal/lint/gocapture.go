@@ -1,0 +1,291 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// gocapture guards the determinism contract of rrnorm's concurrency: the
+// only sanctioned parallelism is internal/par's deterministic fan-out
+// (index-disjoint result slots, mutex-guarded shared counters), and ad-hoc
+// goroutines must not race on captured state. A "concurrent closure" is a
+// func literal launched by a go statement or passed to an internal/par
+// helper; for each one the analyzer flags, using the function's dataflow
+// IR:
+//
+//   - a captured variable that is also written by the enclosing function
+//     after the goroutine launches (or on a later iteration of a loop the
+//     launch sits in, when the variable is declared outside that loop —
+//     the pre-Go-1.22 shared-loop-variable bug, which per-iteration loop
+//     variables fixed for range bindings but not for manually hoisted
+//     ones);
+//   - an unsynchronized write inside the closure to a captured variable:
+//     plain-identifier stores race across workers unless the closure
+//     takes a mutex first. Index-disjoint writes (errs[i] = ...) and
+//     writes under a Lock() are the sanctioned patterns and stay silent;
+//   - a captured *rand.Rand: rand.Rand is not safe for concurrent use,
+//     and even when externally serialized the interleaving order is
+//     scheduler-dependent, so sharing one across workers breaks
+//     bit-determinism. Each worker must derive its own seeded Source.
+var gocaptureAnalyzer = &Analyzer{
+	Name:  "gocapture",
+	Doc:   "racy or determinism-breaking captures in goroutine/par-worker closures",
+	Scope: func(modPath, pkgPath string) bool { return true },
+	Run:   runGocapture,
+}
+
+func runGocapture(p *Pass) {
+	for _, f := range p.Pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkGocaptureFunc(p, fd)
+		}
+	}
+}
+
+func checkGocaptureFunc(p *Pass, fd *ast.FuncDecl) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.GoStmt:
+			if fl, ok := ast.Unparen(n.Call.Fun).(*ast.FuncLit); ok {
+				checkConcurrentClosure(p, fd, fl, n, true)
+			}
+		case *ast.CallExpr:
+			if !isParHelperCall(p, n) {
+				return true
+			}
+			for _, arg := range n.Args {
+				if fl, ok := ast.Unparen(arg).(*ast.FuncLit); ok {
+					checkConcurrentClosure(p, fd, fl, n, false)
+				}
+			}
+		}
+		return true
+	})
+}
+
+// isParHelperCall reports whether the call targets the module's
+// internal/par package, whose helpers run their closure argument on
+// multiple goroutines.
+func isParHelperCall(p *Pass, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(stripIndex(call.Fun)).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	qual, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	return p.pkgNameOf(qual) == p.Module.Path+"/internal/par"
+}
+
+// checkConcurrentClosure applies the capture rules to one closure that
+// will run concurrently with launch (the go statement or par call).
+// async is true for go statements: the enclosing function keeps running
+// alongside the closure, so post-launch writes race; par helpers block
+// until every worker returns, so only intra-closure races apply.
+func checkConcurrentClosure(p *Pass, fd *ast.FuncDecl, fl *ast.FuncLit, launch ast.Node, async bool) {
+	captured := capturedVars(p, fl)
+	if len(captured) == 0 {
+		return
+	}
+
+	if async {
+		for _, cv := range captured {
+			if wr := writeOutsideAfterLaunch(p, fd, fl, cv.obj, launch); wr != nil {
+				p.Reportf(cv.pos, "goroutine captures %q, which the enclosing function writes at line %d after the launch: the goroutine races with that write",
+					cv.obj.Name(), p.Module.Fset.Position(wr.Pos()).Line)
+			}
+		}
+	}
+
+	// Unsynchronized plain-identifier writes to captured variables inside
+	// the closure body.
+	ast.Inspect(fl.Body, func(n ast.Node) bool {
+		if inner, ok := n.(*ast.FuncLit); ok && inner != fl {
+			return false // nested closures get their own launch-site check
+		}
+		var targets []ast.Expr
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			targets = n.Lhs
+		case *ast.IncDecStmt:
+			targets = []ast.Expr{n.X}
+		default:
+			return true
+		}
+		for _, lhs := range targets {
+			id, ok := ast.Unparen(lhs).(*ast.Ident)
+			if !ok {
+				continue // index/field/deref stores: the par index-disjoint idiom
+			}
+			obj := p.ObjectOf(id)
+			if obj == nil || !isCapturedBy(fl, obj) {
+				continue
+			}
+			if lockHeldBefore(p, fl, id.Pos()) {
+				continue
+			}
+			p.Reportf(id.Pos(), "unsynchronized write to captured variable %q inside a concurrent closure: workers race on it; write to an index-disjoint slot or guard it with a mutex", obj.Name())
+		}
+		return true
+	})
+
+	// Shared *rand.Rand captures.
+	for _, cv := range captured {
+		if isRandRandPtr(cv.obj.Type()) {
+			p.Reportf(cv.pos, "concurrent closure captures *rand.Rand %q: sharing one generator across workers is racy and breaks bit-determinism; derive a per-worker seeded source instead", cv.obj.Name())
+		}
+	}
+}
+
+type capturedVar struct {
+	obj *types.Var
+	pos token.Pos
+}
+
+// capturedVars lists the function-local variables a closure references
+// that are declared outside it (its free variables), each at its first
+// referencing position. Package-level variables are excluded: sharing
+// those is exportsync's domain.
+func capturedVars(p *Pass, fl *ast.FuncLit) []capturedVar {
+	seen := make(map[*types.Var]bool)
+	var out []capturedVar
+	ast.Inspect(fl.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj, ok := p.ObjectOf(id).(*types.Var)
+		if !ok || obj.IsField() || seen[obj] {
+			return true
+		}
+		if !isCapturedBy(fl, obj) {
+			return true
+		}
+		if obj.Pkg() != nil && obj.Parent() == obj.Pkg().Scope() {
+			return true
+		}
+		seen[obj] = true
+		out = append(out, capturedVar{obj: obj, pos: id.Pos()})
+		return true
+	})
+	return out
+}
+
+// isCapturedBy reports whether obj is declared outside the closure (and is
+// therefore captured by reference when referenced inside it).
+func isCapturedBy(fl *ast.FuncLit, obj types.Object) bool {
+	return obj.Pos() != token.NoPos && (obj.Pos() < fl.Pos() || obj.Pos() > fl.End())
+}
+
+// writeOutsideAfterLaunch finds a write to obj in fd's body, outside the
+// closure, that can execute after the launch statement: either it sits
+// later in the source than the launch, or both sit inside a loop that obj
+// is declared outside of — the next iteration's write races with the
+// goroutine from the previous one.
+func writeOutsideAfterLaunch(p *Pass, fd *ast.FuncDecl, fl *ast.FuncLit, obj *types.Var, launch ast.Node) ast.Node {
+	var found ast.Node
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if found != nil {
+			return false
+		}
+		if n == nil || (n.Pos() >= fl.Pos() && n.End() <= fl.End()) {
+			return n == nil
+		}
+		var targets []ast.Expr
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			targets = n.Lhs
+		case *ast.IncDecStmt:
+			targets = []ast.Expr{n.X}
+		default:
+			return true
+		}
+		for _, lhs := range targets {
+			id, ok := ast.Unparen(lhs).(*ast.Ident)
+			if !ok || p.ObjectOf(id) != obj {
+				continue
+			}
+			if id.Pos() > launch.End() {
+				found = id
+				return false
+			}
+			if loop := commonLoop(fd, launch, id); loop != nil && obj.Pos() < loop.Pos() {
+				found = id
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// commonLoop returns the innermost for/range statement enclosing both
+// nodes, or nil.
+func commonLoop(fd *ast.FuncDecl, a, b ast.Node) ast.Stmt {
+	var loop ast.Stmt
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		var body *ast.BlockStmt
+		switch n := n.(type) {
+		case *ast.ForStmt:
+			body = n.Body
+		case *ast.RangeStmt:
+			body = n.Body
+		default:
+			return true
+		}
+		if a.Pos() >= body.Pos() && a.End() <= body.End() &&
+			b.Pos() >= body.Pos() && b.End() <= body.End() {
+			loop = n.(ast.Stmt) // keep descending: innermost wins
+		}
+		return true
+	})
+	return loop
+}
+
+// lockHeldBefore reports whether the closure body contains a
+// mutex-acquire call (x.Lock()) at a position before pos — the heuristic
+// for "this write happens under a lock". It deliberately over-accepts
+// (a Lock in one branch satisfies a write in another); rrlint favors
+// false negatives over noise on synchronization it cannot prove.
+func lockHeldBefore(p *Pass, fl *ast.FuncLit, pos token.Pos) bool {
+	held := false
+	ast.Inspect(fl.Body, func(n ast.Node) bool {
+		if held {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() >= pos {
+			return true
+		}
+		if sel, ok := call.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Lock" {
+			held = true
+			return false
+		}
+		return true
+	})
+	return held
+}
+
+// isRandRandPtr reports whether t is *math/rand.Rand (v1 or v2).
+func isRandRandPtr(t types.Type) bool {
+	ptr, ok := t.Underlying().(*types.Pointer)
+	if !ok {
+		return false
+	}
+	named, ok := ptr.Elem().(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil {
+		return false
+	}
+	path := obj.Pkg().Path()
+	return obj.Name() == "Rand" && (path == "math/rand" || path == "math/rand/v2")
+}

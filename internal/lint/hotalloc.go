@@ -1,0 +1,388 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// hotalloc makes the repo's zero-allocation budgets (DESIGN.md §12, the
+// BENCH_engine/observe/stream gates) a compile-time invariant instead of a
+// bench-time one. Engine event loops are annotated with a
+// //rrlint:hotpath directive on their doc comment; hotalloc walks the
+// CHA callgraph (internal/lint IR) from those roots — through direct
+// calls, and through interface calls like Policy.Rates or
+// Observer.ObserveEpoch to every module implementation — and flags
+// statically-visible allocation sites in any reached function:
+//
+//   - a growing append: one whose destination's reaching definitions
+//     (the provenance lattice) never trace back to caller-provided
+//     scratch — a parameter, receiver, or a truncating reslice of one.
+//     Appends into workspace/receiver-rooted buffers are amortized (grow
+//     once, reuse forever) and allowed;
+//   - make of a map or channel, map/slice composite literals, and make
+//     of a slice outside a `cap(...)`-guarded grow branch (the grow-once
+//     warm-up idiom stays legal);
+//   - a func literal that captures variables (captured-closure
+//     allocation) and `go` statements (per-event goroutine launch);
+//   - any fmt/log call — formatting allocates;
+//   - interface boxing at a call site: a non-pointer concrete argument
+//     passed to an interface parameter heap-allocates the box.
+//
+// Allocation sites on cold exits — blocks whose enclosing if/case arm
+// terminates in return (error paths) — are exempt: the budget is about
+// the steady-state loop, not its failure exits. A materializing callee
+// (an opt-in recording observer, say) can be pruned from the walk
+// entirely with //rrlint:coldpath <reason> on its doc comment.
+var hotallocAnalyzer = &Analyzer{
+	Name:  "hotalloc",
+	Doc:   "statically-visible allocation on a //rrlint:hotpath-rooted call path",
+	Scope: func(modPath, pkgPath string) bool { return true },
+	Run:   runHotalloc,
+}
+
+func runHotalloc(p *Pass) {
+	reach := p.Index.HotReachable()
+	if len(reach) == 0 {
+		return
+	}
+	for _, f := range p.Pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			obj, _ := p.Pkg.Info.Defs[fd.Name].(*types.Func)
+			if obj == nil {
+				continue
+			}
+			root, hot := reach[obj]
+			if !hot {
+				continue
+			}
+			checkHotFunc(p, fd, root)
+		}
+	}
+}
+
+func checkHotFunc(p *Pass, fd *ast.FuncDecl, root string) {
+	ir := p.IR(fd)
+	prov := scratchProvenance(p, ir)
+
+	report := func(pos ast.Node, format string, args ...any) {
+		args = append(args, root)
+		p.Reportf(pos.Pos(), format+" (on the hot path rooted at //rrlint:hotpath %s)", args...)
+	}
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.GoStmt:
+			if !onColdExit(fd, n) {
+				report(n, "go statement launches a goroutine per event")
+			}
+		case *ast.FuncLit:
+			if capturesVars(p, n) && !onColdExit(fd, n) {
+				report(n, "func literal captures variables: the closure is heap-allocated each time")
+			}
+		case *ast.CompositeLit:
+			if onColdExit(fd, n) {
+				return true
+			}
+			t := p.TypeOf(n)
+			if t == nil {
+				return true
+			}
+			switch t.Underlying().(type) {
+			case *types.Slice:
+				report(n, "slice literal allocates its backing array")
+			case *types.Map:
+				report(n, "map literal allocates")
+			}
+		case *ast.CallExpr:
+			checkHotCall(p, fd, ir, prov, n, report)
+		}
+		return true
+	})
+}
+
+func checkHotCall(p *Pass, fd *ast.FuncDecl, ir *FuncIR, prov map[*Def]bool, call *ast.CallExpr, report func(ast.Node, string, ...any)) {
+	fun := ast.Unparen(stripIndex(call.Fun))
+	if id, ok := fun.(*ast.Ident); ok && isBuiltinObj(p.ObjectOf(id)) {
+		switch id.Name {
+		case "append":
+			if onColdExit(fd, call) || len(call.Args) == 0 {
+				return
+			}
+			stmt := ir.EnclosingStmt(call.Pos())
+			lookup := ir.LookupAt(prov, stmt)
+			if !scratchRooted(p, call.Args[0], lookup) {
+				report(call, "growing append: %s has no caller-provided backing (not a parameter, receiver, or truncated reslice of one) — every growth allocates; append into reused workspace scratch instead", p.ExprString(call.Args[0]))
+			}
+		case "make":
+			if onColdExit(fd, call) || len(call.Args) == 0 {
+				return
+			}
+			t := p.TypeOf(call)
+			if t == nil {
+				return
+			}
+			switch t.Underlying().(type) {
+			case *types.Map:
+				report(call, "make(map) allocates; hoist the map into reused scratch")
+			case *types.Chan:
+				report(call, "make(chan) allocates per call")
+			case *types.Slice:
+				if !inCapGuard(fd, call) {
+					report(call, "make of a slice outside a cap-guarded grow branch allocates every pass; use the grow-once idiom (if cap(buf) < n { buf = make(...) })")
+				}
+			}
+		case "new":
+			if !onColdExit(fd, call) {
+				report(call, "new(...) allocates; reuse scratch instead")
+			}
+		}
+		return
+	}
+
+	// fmt/log calls: formatting allocates. Error exits are exempt via the
+	// cold-path rule.
+	if sel, ok := fun.(*ast.SelectorExpr); ok {
+		if qual, ok := sel.X.(*ast.Ident); ok {
+			switch p.pkgNameOf(qual) {
+			case "fmt", "log":
+				if !onColdExit(fd, call) {
+					report(call, "%s.%s allocates (formatting) in the steady-state loop", p.pkgNameOf(qual), sel.Sel.Name)
+				}
+				return
+			}
+		}
+	}
+
+	// Interface boxing at the call site: a non-pointer concrete argument
+	// passed to an interface parameter is heap-boxed.
+	if onColdExit(fd, call) {
+		return
+	}
+	sig := callSignature(p, call)
+	if sig == nil {
+		return
+	}
+	for i, arg := range call.Args {
+		var paramType types.Type
+		if i < sig.Params().Len() {
+			paramType = sig.Params().At(i).Type()
+		} else if sig.Variadic() && sig.Params().Len() > 0 {
+			if call.Ellipsis.IsValid() {
+				continue // s... passes the slice through, no boxing
+			}
+			st, ok := sig.Params().At(sig.Params().Len() - 1).Type().(*types.Slice)
+			if !ok {
+				continue
+			}
+			paramType = st.Elem()
+		}
+		if paramType == nil {
+			continue
+		}
+		if _, isIface := paramType.Underlying().(*types.Interface); !isIface {
+			continue
+		}
+		at := p.TypeOf(arg)
+		if at == nil || isNilExpr(arg) {
+			continue
+		}
+		switch ut := at.Underlying().(type) {
+		case *types.Pointer, *types.Interface:
+			continue // pointer fits the iface word; iface-to-iface copies
+		case *types.Basic:
+			if ut.Info()&types.IsUntyped != 0 {
+				// Untyped constant sentinels: small values are interned by
+				// the runtime, and flagging literal arguments would make
+				// every error-message string a finding.
+				continue
+			}
+		}
+		report(arg, "argument %s is boxed into interface parameter %q: a non-pointer value converted to an interface heap-allocates", p.ExprString(arg), sig.Params().At(min(i, sig.Params().Len()-1)).Name())
+	}
+}
+
+// callSignature resolves the signature of the called function/method.
+func callSignature(p *Pass, call *ast.CallExpr) *types.Signature {
+	t := p.TypeOf(call.Fun)
+	if t == nil {
+		return nil
+	}
+	sig, _ := t.Underlying().(*types.Signature)
+	return sig
+}
+
+// scratchProvenance solves the provenance lattice: a definition is
+// scratch-rooted when its value derives from a parameter or receiver
+// (caller-provided, amortized across calls) or from a truncating reslice
+// of a scratch-rooted value — the append(buf[:0], ...) reuse idiom.
+func scratchProvenance(p *Pass, ir *FuncIR) map[*Def]bool {
+	return ir.SolveDefs(func(d *Def, lookup func(*ast.Ident) bool) bool {
+		if d.Kind == DefParam {
+			return true
+		}
+		if d.Rhs == nil {
+			return false
+		}
+		// The grow-once warm-up (buf = make(...) under a cap guard) produces
+		// the long-lived scratch itself; appends into it are amortized.
+		if call, ok := ast.Unparen(d.Rhs).(*ast.CallExpr); ok {
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "make" &&
+				isBuiltinObj(p.ObjectOf(id)) && inCapGuard(ir.Decl, call) {
+				return true
+			}
+		}
+		return scratchRooted(p, d.Rhs, lookup)
+	})
+}
+
+// scratchRooted reports whether e evaluates to memory provided by the
+// caller: rooted in a parameter/receiver (possibly through fields,
+// indexing, reslicing, or dereference) or in a scratch-rooted local.
+func scratchRooted(p *Pass, e ast.Expr, lookup func(*ast.Ident) bool) bool {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return lookup(e)
+	case *ast.ParenExpr:
+		return scratchRooted(p, e.X, lookup)
+	case *ast.SelectorExpr:
+		// A field of caller-provided state (ws.ref.views, h.items) is
+		// caller-provided; a qualified package identifier is not.
+		if qual, ok := e.X.(*ast.Ident); ok && p.pkgNameOf(qual) != "" {
+			return false
+		}
+		return scratchRooted(p, e.X, lookup)
+	case *ast.IndexExpr:
+		return scratchRooted(p, e.X, lookup)
+	case *ast.SliceExpr:
+		return scratchRooted(p, e.X, lookup)
+	case *ast.StarExpr:
+		return scratchRooted(p, e.X, lookup)
+	case *ast.UnaryExpr:
+		return scratchRooted(p, e.X, lookup)
+	case *ast.CallExpr:
+		// append(scratch, ...) stays scratch-rooted; other calls yield
+		// fresh values (their own budget is checked at their own sites).
+		if id, ok := e.Fun.(*ast.Ident); ok && id.Name == "append" && isBuiltinObj(p.ObjectOf(id)) && len(e.Args) > 0 {
+			return scratchRooted(p, e.Args[0], lookup)
+		}
+		return false
+	default:
+		return false
+	}
+}
+
+// inCapGuard reports whether the node sits inside an if whose condition
+// mentions the builtin cap — the grow-once warm-up idiom.
+func inCapGuard(fd *ast.FuncDecl, node ast.Node) bool {
+	found := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		ifs, ok := n.(*ast.IfStmt)
+		if !ok || node.Pos() < ifs.Body.Pos() || node.End() > ifs.Body.End() {
+			return true
+		}
+		ast.Inspect(ifs.Cond, func(c ast.Node) bool {
+			if call, ok := c.(*ast.CallExpr); ok {
+				if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "cap" {
+					found = true
+					return false
+				}
+			}
+			return true
+		})
+		return true
+	})
+	return found
+}
+
+// onColdExit reports whether node lies in an enclosing if-body or case
+// arm that terminates in a return — an early exit (error path) off the
+// steady-state loop, exempt from the allocation budget.
+func onColdExit(fd *ast.FuncDecl, node ast.Node) bool {
+	cold := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if cold {
+			return false
+		}
+		var arm []ast.Stmt
+		switch n := n.(type) {
+		case *ast.IfStmt:
+			if node.Pos() >= n.Body.Pos() && node.End() <= n.Body.End() {
+				arm = n.Body.List
+			} else if n.Else != nil {
+				if blk, ok := n.Else.(*ast.BlockStmt); ok && node.Pos() >= blk.Pos() && node.End() <= blk.End() {
+					arm = blk.List
+				}
+			}
+		case *ast.CaseClause:
+			if len(n.Body) > 0 && node.Pos() >= n.Body[0].Pos() && node.End() <= n.Body[len(n.Body)-1].End() {
+				arm = n.Body
+			}
+		}
+		if len(arm) > 0 {
+			if term := arm[len(arm)-1]; isTerminator(term) {
+				cold = true
+				return false
+			}
+		}
+		return true
+	})
+	return cold
+}
+
+// isTerminator reports whether a statement unconditionally leaves the
+// function: a return, or a panic call.
+func isTerminator(s ast.Stmt) bool {
+	switch s := s.(type) {
+	case *ast.ReturnStmt:
+		return true
+	case *ast.ExprStmt:
+		if call, ok := s.X.(*ast.CallExpr); ok {
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// capturesVars reports whether a func literal references identifiers
+// declared outside itself (a capturing closure, which heap-allocates).
+func capturesVars(p *Pass, fl *ast.FuncLit) bool {
+	captures := false
+	ast.Inspect(fl.Body, func(n ast.Node) bool {
+		if captures {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := p.ObjectOf(id)
+		if obj == nil {
+			return true
+		}
+		if _, isVar := obj.(*types.Var); !isVar {
+			return true
+		}
+		if obj.Parent() == types.Universe || obj.Pkg() == nil {
+			return true
+		}
+		// Package-level vars are static, not captures.
+		if obj.Parent() == obj.Pkg().Scope() {
+			return true
+		}
+		if obj.Pos() < fl.Pos() || obj.Pos() > fl.End() {
+			captures = true
+			return false
+		}
+		return true
+	})
+	return captures
+}

@@ -52,7 +52,9 @@ type Analyzer struct {
 	Run   func(*Pass)
 }
 
-// Analyzers returns the full analyzer suite in its canonical order.
+// Analyzers returns the full analyzer suite in its canonical order. The
+// first seven are the syntactic suite; wsescape, hotalloc and gocapture
+// are the dataflow analyzers built on the CFG/callgraph IR (DESIGN.md §16).
 func Analyzers() []*Analyzer {
 	return []*Analyzer{
 		mapiterAnalyzer,
@@ -62,6 +64,9 @@ func Analyzers() []*Analyzer {
 		exportsyncAnalyzer,
 		poolputAnalyzer,
 		obsretainAnalyzer,
+		wsescapeAnalyzer,
+		hotallocAnalyzer,
+		gocaptureAnalyzer,
 	}
 }
 
@@ -89,14 +94,20 @@ func scopePkgs(rels ...string) func(modPath, pkgPath string) bool {
 	}
 }
 
-// Pass is one (analyzer, package) execution.
+// Pass is one (analyzer, package) execution. Index is shared by every
+// pass of the run; it carries the lazily-built dataflow IRs and the CHA
+// callgraph the flow-sensitive analyzers consume.
 type Pass struct {
 	Module *Module
 	Pkg    *Package
+	Index  *Index
 
 	check string
 	out   *[]Diagnostic
 }
+
+// IR returns the memoized dataflow IR for a function declaration.
+func (p *Pass) IR(fd *ast.FuncDecl) *FuncIR { return p.Index.IR(fd) }
 
 // Reportf records a diagnostic at pos.
 func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
@@ -141,20 +152,27 @@ func (p *Pass) pkgNameOf(id *ast.Ident) string {
 
 // Result is a whole run's outcome — the JSON document `rrlint -json`
 // prints. Suppressed counts diagnostics silenced by valid
-// //rrlint:ignore comments; they are not included in Diagnostics.
+// //rrlint:ignore comments; Baselined counts diagnostics subtracted by
+// the -baseline snapshot; neither appears in Diagnostics. BaselineStale
+// lists baseline entries that matched nothing — findings already fixed,
+// ready to be pruned from the file.
 type Result struct {
-	Module      string       `json:"module"`
-	Packages    int          `json:"packages"`
-	Diagnostics []Diagnostic `json:"diagnostics"`
-	Suppressed  int          `json:"suppressed"`
+	Module        string       `json:"module"`
+	Packages      int          `json:"packages"`
+	Diagnostics   []Diagnostic `json:"diagnostics"`
+	Suppressed    int          `json:"suppressed"`
+	Baselined     int          `json:"baselined"`
+	BaselineStale []string     `json:"baseline_stale,omitempty"`
 }
 
 // RunConfig selects the analyzers for a run. IgnoreScope runs every
 // analyzer on every package regardless of its Scope — the golden
 // self-tests use it to point an analyzer at its fixture package.
+// Baseline, when set, subtracts its recorded findings from the result.
 type RunConfig struct {
 	Analyzers   []*Analyzer
 	IgnoreScope bool
+	Baseline    *Baseline
 }
 
 // RunPackages executes the configured analyzers over the given packages,
@@ -168,13 +186,14 @@ func RunPackages(m *Module, pkgs []*Package, cfg RunConfig) *Result {
 	for _, a := range Analyzers() {
 		known[a.Name] = true
 	}
+	idx := newIndex(m, pkgs)
 	var raw []Diagnostic
 	for _, pkg := range pkgs {
 		for _, a := range analyzers {
 			if !cfg.IgnoreScope && !a.Scope(m.Path, pkg.Path) {
 				continue
 			}
-			pass := &Pass{Module: m, Pkg: pkg, check: a.Name, out: &raw}
+			pass := &Pass{Module: m, Pkg: pkg, Index: idx, check: a.Name, out: &raw}
 			a.Run(pass)
 		}
 	}
@@ -204,6 +223,7 @@ func RunPackages(m *Module, pkgs []*Package, cfg RunConfig) *Result {
 		}
 		return x.Message < y.Message
 	})
+	cfg.Baseline.apply(res)
 	return res
 }
 

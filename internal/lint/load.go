@@ -1,11 +1,13 @@
 package lint
 
 import (
+	"errors"
 	"fmt"
 	"go/ast"
 	"go/build"
 	"go/importer"
 	"go/parser"
+	"go/scanner"
 	"go/token"
 	"go/types"
 	"os"
@@ -14,6 +16,29 @@ import (
 	"strings"
 	"sync"
 )
+
+// LoadError is a structured package-load failure: which package could not
+// be parsed or type-checked, and where its first error is. Drivers render
+// it as a positioned finding instead of an opaque exit-2 string, so a
+// broken tree points at the broken line.
+type LoadError struct {
+	Pkg string // import path of the failing package
+	Pos string // module-relative file:line:col of the first error ("" when unknown)
+	Msg string // the first error's message
+	Err error  // the underlying error chain
+}
+
+// Error renders the failure for the driver's stderr.
+//
+//rrlint:coldpath load-failure rendering; a LoadError aborts the run before any engine loop starts
+func (e *LoadError) Error() string {
+	if e.Pos != "" {
+		return fmt.Sprintf("lint: package %s failed to load: %s: %s", e.Pkg, e.Pos, e.Msg)
+	}
+	return fmt.Sprintf("lint: package %s failed to load: %s", e.Pkg, e.Msg)
+}
+
+func (e *LoadError) Unwrap() error { return e.Err }
 
 // Package is one type-checked, non-test package of the module under
 // analysis. Files holds the parsed syntax (with comments) that the
@@ -190,6 +215,16 @@ func (m *Module) PackageDir(dir string) (*Package, error) {
 	return m.load(path, abs)
 }
 
+// relPos renders a token.Position relative to the module root, the form
+// diagnostics use.
+func (m *Module) relPos(pos token.Position) string {
+	file := pos.Filename
+	if rel, err := filepathRel(m.Dir, file); err == nil {
+		file = rel
+	}
+	return fmt.Sprintf("%s:%d:%d", file, pos.Line, pos.Column)
+}
+
 // relOf maps a module-local import path to a module-root-relative slash
 // path ("." for the root package); ok is false for foreign paths.
 func (m *Module) relOf(path string) (string, bool) {
@@ -230,7 +265,13 @@ func (m *Module) load(path, dir string) (*Package, error) {
 	for _, n := range names {
 		f, err := parser.ParseFile(m.Fset, filepath.Join(dir, n), nil, parser.ParseComments)
 		if err != nil {
-			return nil, err
+			le := &LoadError{Pkg: path, Msg: err.Error(), Err: err}
+			var el scanner.ErrorList
+			if ok := errors.As(err, &el); ok && len(el) > 0 {
+				le.Pos = m.relPos(el[0].Pos)
+				le.Msg = el[0].Msg
+			}
+			return nil, le
 		}
 		files = append(files, f)
 	}
@@ -243,7 +284,20 @@ func (m *Module) load(path, dir string) (*Package, error) {
 	conf := types.Config{Importer: m}
 	tpkg, err := conf.Check(path, m.Fset, files, info)
 	if err != nil {
-		return nil, fmt.Errorf("lint: type-checking %s: %w", path, err)
+		// An import of another broken module package surfaces the inner
+		// package's structured failure rather than re-wrapping it at the
+		// import site.
+		var inner *LoadError
+		if errors.As(err, &inner) {
+			return nil, inner
+		}
+		le := &LoadError{Pkg: path, Msg: err.Error(), Err: err}
+		var te types.Error
+		if errors.As(err, &te) {
+			le.Pos = m.relPos(te.Fset.Position(te.Pos))
+			le.Msg = te.Msg
+		}
+		return nil, le
 	}
 	p := &Package{Path: path, Dir: dir, Files: files, Types: tpkg, Info: info}
 	m.pkgs[path] = p

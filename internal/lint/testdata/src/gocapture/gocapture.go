@@ -1,0 +1,114 @@
+// Package gocapture is the golden fixture for the gocapture analyzer:
+// racy goroutine captures and determinism-breaking shared state, next to
+// the sanctioned internal/par patterns (index-disjoint slots and
+// mutex-guarded counters) that must stay silent.
+package gocapture
+
+import (
+	"math/rand"
+	"sync"
+
+	"rrnorm/internal/par"
+)
+
+func use(v int)                 {}
+func compute() int              { return 42 }
+func draw(r *rand.Rand) float64 { return r.Float64() }
+
+// writeAfterLaunch mutates a captured variable once the goroutine is
+// already running: the read inside races the write outside.
+func writeAfterLaunch() {
+	total := 0
+	go func() {
+		use(total) // want "goroutine captures .total., which the enclosing function writes at line 25"
+	}()
+	total = compute()
+	_ = total
+}
+
+// hoistedLoopVar is the pre-Go-1.22 bug shape: the variable is declared
+// outside the loop, so every iteration's goroutine shares it with the
+// next iteration's write.
+func hoistedLoopVar() {
+	var j int
+	for i := 0; i < 3; i++ {
+		j = i
+		go func() {
+			use(j) // want "goroutine captures .j., which the enclosing function writes at line 35"
+		}()
+	}
+}
+
+// perIterationVars capture Go 1.22+ per-iteration bindings: each
+// goroutine sees its own copy of i and v. Allowed.
+func perIterationVars(xs []int) {
+	for i := 0; i < 3; i++ {
+		go func() { use(i) }()
+	}
+	for _, v := range xs {
+		go func() { use(v) }()
+	}
+}
+
+// unsyncClosureWrite stores to a captured scalar from inside the
+// goroutine with no synchronization.
+func unsyncClosureWrite() {
+	var result int
+	var hits int
+	go func() {
+		result = compute() // want "unsynchronized write to captured variable .result."
+		hits++             // want "unsynchronized write to captured variable .hits."
+	}()
+	use(result)
+	use(hits)
+}
+
+// mutexGuardedWrite is the sanctioned shared-counter shape (par.ForEach's
+// own worker loop uses it). Allowed.
+func mutexGuardedWrite() {
+	var mu sync.Mutex
+	n := 0
+	go func() {
+		mu.Lock()
+		n++
+		mu.Unlock()
+	}()
+	_ = n
+}
+
+// parWorkers exercises the par helper path: index-disjoint writes are the
+// sanctioned result-collection idiom, plain-scalar writes race across
+// workers.
+func parWorkers(xs []int) error {
+	out := make([]int, len(xs))
+	sum := 0
+	return par.ForEach(len(xs), 4, func(i int) error {
+		out[i] = xs[i] * 2 // index-disjoint slot: allowed
+		sum += xs[i]       // want "unsynchronized write to captured variable .sum."
+		return nil
+	})
+}
+
+// sharedRand hands one generator to concurrent workers: racy, and the
+// draw interleaving is scheduler-dependent, so results stop being
+// bit-deterministic.
+func sharedRand(xs []float64) error {
+	rng := rand.New(rand.NewSource(1))
+	go func() {
+		_ = draw(rng) // want "concurrent closure captures .rand.Rand .rng."
+	}()
+	return par.ForEach(len(xs), 4, func(i int) error {
+		xs[i] = rng.Float64() // want "concurrent closure captures .rand.Rand .rng."
+		return nil
+	})
+}
+
+// perWorkerRand derives an independent seeded generator inside each
+// worker: the sanctioned shape. Allowed.
+func perWorkerRand(xs []float64) error {
+	return par.ForEach(len(xs), 4, func(i int) error {
+		rng := rand.New(rand.NewSource(int64(i)))
+		xs[i] = rng.Float64()
+		return nil
+	})
+}

@@ -1,0 +1,99 @@
+// Package hotalloc is the golden fixture for the hotalloc analyzer: a
+// //rrlint:hotpath-annotated loop, helpers it reaches directly and
+// through interface dispatch (the CHA edges), a //rrlint:coldpath-pruned
+// renderer, and every allocation class next to the amortized idioms that
+// must stay silent.
+package hotalloc
+
+import "fmt"
+
+// summer is the dispatch seam: loop calls it through an interface value,
+// so the walk must reach every implementation in the package.
+type summer interface{ add(x float64) }
+
+// acc implements summer on a pointer receiver; its fields are the
+// caller-provided scratch the amortized idioms write into.
+type acc struct {
+	total float64
+	buf   []float64
+}
+
+func (a *acc) add(x float64) { a.total += x }
+
+// vec implements summer on a value receiver and allocates when called —
+// reachable only through the interface edge.
+type vec struct{ n int }
+
+func (v vec) add(x float64) {
+	_ = fmt.Sprint(x) // want "fmt.Sprint allocates"
+}
+
+// loop is the fixture's engine loop: every statically-visible allocation
+// class in one body.
+//
+//rrlint:hotpath
+func loop(jobs []float64, scratch []int, a *acc, s summer) error {
+	fresh := []int{}         // want "slice literal allocates its backing array"
+	fresh = append(fresh, 1) // want "growing append: fresh has no caller-provided backing"
+	counts := map[int]int{}  // want "map literal allocates"
+	_ = counts
+	ch := make(chan int, 1) // want "make.chan. allocates per call"
+	_ = ch
+	ids := make([]int, len(jobs)) // want "make of a slice outside a cap-guarded grow branch"
+	_ = ids
+	box := new(acc) // want "allocates; reuse scratch instead"
+	_ = box
+	go work(a)                               // want "go statement launches a goroutine per event"
+	get := func() float64 { return a.total } // want "func literal captures variables"
+	_ = get
+	fmt.Println(a.total) // want "fmt.Println allocates .formatting. in the steady-state loop"
+	var v vec
+	feed(v) // want "argument v is boxed into interface parameter"
+	feed(&a.total)
+	feed(s) // interface-to-interface: allowed
+
+	// The amortized idioms: grow-once warm-up, truncated-reslice reuse,
+	// appends into caller-provided scratch.
+	if cap(scratch) < len(jobs) {
+		scratch = make([]int, 0, len(jobs)) // grow-once under a cap guard: allowed
+	}
+	scratch = append(scratch[:0], fresh...) // reuse of param-rooted backing: allowed
+	a.buf = append(a.buf, a.total)          // receiver-field scratch: allowed
+	if a.total < 0 {
+		return fmt.Errorf("negative total %v", a.total) // cold exit: allowed
+	}
+	s.add(1.5)
+	step(a)
+	render(a)
+	return nil
+}
+
+// feed exists so boxing at a call boundary has an interface parameter to
+// box into.
+func feed(s any) { _ = s }
+
+// work runs in the flagged goroutine; it is still hot-reachable (the
+// call expression is visible), so its own allocations would be flagged.
+func work(a *acc) { a.total++ }
+
+// step is hot through the direct call edge.
+func step(a *acc) {
+	a.buf = append(a.buf, a.total) // param-field scratch: allowed
+	tmp := []float64{a.total}      // want "slice literal allocates its backing array"
+	_ = tmp
+}
+
+// render materializes an opt-in report; the directive prunes it (and
+// everything only it reaches) from the walk.
+//
+//rrlint:coldpath opt-in rendering is off the steady-state budget
+func render(a *acc) {
+	rows := make([]string, 0, 8)
+	rows = append(rows, fmt.Sprint(a.total))
+	_ = rows
+}
+
+// setup is not reachable from any root: allocation is free here.
+func setup() []int {
+	return []int{1, 2, 3}
+}

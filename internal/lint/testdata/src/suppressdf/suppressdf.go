@@ -1,0 +1,85 @@
+// Package suppressdf exercises //rrlint:ignore semantics for the dataflow
+// analyzers (wsescape, hotalloc, gocapture): statement-level directives on
+// the diagnostic's line, function-level directives in doc comments, and
+// unsuppressed siblings proving the directives are not over-broad. Driven
+// by TestDataflowSuppression rather than want annotations.
+package suppressdf
+
+import (
+	"fmt"
+
+	"rrnorm/internal/core"
+	"rrnorm/internal/policy"
+)
+
+var sink *core.Result
+
+// storeSuppressed: a statement-level directive silences exactly one
+// wsescape store; the second store survives.
+func storeSuppressed(in *core.Instance) {
+	ws := core.GetWorkspace()
+	defer core.PutWorkspace(ws)
+	res, _ := core.RunWS(in, policy.NewRR(), core.Options{}, ws)
+	//rrlint:ignore wsescape this cache hands ownership off and the pool is never repaid
+	sink = res
+	sink = res // survives: the directive above covers only its own line pair
+}
+
+// storeFuncLevel is wholesale exempt: the doc-comment directive covers
+// both stores in the body.
+//
+//rrlint:ignore wsescape this helper owns the workspace cache by design
+func storeFuncLevel(in *core.Instance) {
+	ws := core.GetWorkspace()
+	defer core.PutWorkspace(ws)
+	res, _ := core.RunWS(in, policy.NewRR(), core.Options{}, ws)
+	sink = res
+	sink = res
+}
+
+// hotLoop is a hotpath root with one suppressed and one surviving
+// allocation, plus a call making hotReport hot-reachable.
+//
+//rrlint:hotpath
+func hotLoop(n int) int {
+	total := 0
+	for i := 0; i < n; i++ {
+		//rrlint:ignore hotalloc the buffer is handed to the caller, which amortizes it
+		buf := make([]int, n)
+		total += len(buf)
+		extra := make([]byte, n) // survives
+		total += len(extra) + len(hotReport(i))
+	}
+	return total
+}
+
+// hotReport is hot-reachable from hotLoop but wholesale exempt: reporting
+// formats its message and that is accepted here.
+//
+//rrlint:ignore hotalloc diagnostic rendering; the allocation is the point
+func hotReport(n int) string {
+	return fmt.Sprintf("n=%d", n)
+}
+
+// launchSuppressed: statement-level directive inside the closure silences
+// the capture finding; the sibling goroutine below survives.
+func launchSuppressed() int {
+	x := 0
+	go func() {
+		//rrlint:ignore gocapture the write below is handshaked before the goroutine reads
+		_ = x
+	}()
+	go func() { _ = x }() // survives
+	x = 1
+	return x
+}
+
+// launchFuncLevel is wholesale exempt via its doc comment.
+//
+//rrlint:ignore gocapture quarantined prototype; the race is the experiment
+func launchFuncLevel() int {
+	x := 0
+	go func() { _ = x }()
+	x = 1
+	return x
+}

@@ -20,7 +20,18 @@ import (
 // group catches a slower one; SETF returns that exact catch-up moment as its
 // review horizon.
 type SETF struct {
-	idx []int
+	idx    []int
+	groups []setfGroup
+}
+
+// setfGroup is one elapsed-level tier of the water-fill: a run of p.idx
+// sharing an elapsed level and the rate that level received. The slice
+// lives on the policy so Rates appends into reused backing instead of
+// growing a fresh one every call.
+type setfGroup struct {
+	start, end int // [start, end) in p.idx
+	elapsed    float64
+	rate       float64
 }
 
 // NewSETF returns a new SETF policy.
@@ -55,12 +66,7 @@ func (p *SETF) Rates(now float64, jobs []core.JobView, m int, speed float64, rat
 
 	// Group by elapsed level and water-fill capacity m in elapsed order.
 	capLeft := float64(m)
-	type group struct {
-		start, end int // [start, end) in p.idx
-		elapsed    float64
-		rate       float64
-	}
-	var groups []group
+	groups := p.groups[:0]
 	for s := 0; s < n; {
 		e := jobs[p.idx[s]].Elapsed
 		t := s + 1
@@ -74,9 +80,10 @@ func (p *SETF) Rates(now float64, jobs []core.JobView, m int, speed float64, rat
 			rates[p.idx[k]] = rate
 		}
 		capLeft -= alloc
-		groups = append(groups, group{start: s, end: t, elapsed: e, rate: rate})
+		groups = append(groups, setfGroup{start: s, end: t, elapsed: e, rate: rate})
 		s = t
 	}
+	p.groups = groups // keep the grown backing for the next call
 
 	// Exact catch-up horizon: the first moment a group reaches the elapsed
 	// level of the next (slower) group.

@@ -67,6 +67,7 @@ type DecodeError struct {
 	Reason string
 }
 
+//rrlint:coldpath decode-failure rendering; a DecodeError ends the replay
 func (e *DecodeError) Error() string {
 	if e.Field == "" {
 		return fmt.Sprintf("trace: line %d: %s", e.Line, e.Reason)
@@ -172,6 +173,8 @@ func (d *Decoder) Next() (core.Job, bool, error) {
 
 // bufferAll reads and validates the whole trace, then sorts it by
 // (Release, ID) — the Sort opt-in path.
+//
+//rrlint:coldpath one-shot buffering at replay setup; materializing the trace is the Sort contract
 func (d *Decoder) bufferAll() error {
 	for {
 		j, ok, err := d.next()
@@ -266,6 +269,7 @@ func (d *Decoder) markID(id int) bool {
 		return false
 	}
 	if d.sparse == nil {
+		//rrlint:ignore hotalloc lazy one-time fallback for sparse IDs; the dense bitset path allocates nothing
 		d.sparse = make(map[int]bool)
 	}
 	if d.sparse[id] {
@@ -314,6 +318,8 @@ func (d *Decoder) parseNDJSON(raw []byte) (core.Job, error) {
 
 // parseHeader validates the CSV header: a permutation of id,release,size
 // with weight optional, no duplicates, no unknown columns.
+//
+//rrlint:coldpath runs once per trace, on the header line only
 func (d *Decoder) parseHeader(line string) error {
 	cols := strings.Split(line, ",")
 	need := map[string]bool{"id": false, "release": false, "size": false}
