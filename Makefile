@@ -103,8 +103,10 @@ bench:
 	$(GO) test -run xxx -bench . -benchmem .
 
 # Regenerate the committed engine baselines: BENCH_engine.json (ns/op,
-# allocs/op and B/op for RR and SRPT at n ∈ {1e3, 1e4, 1e5}, m ∈ {1, 8},
-# plus the workspace-vs-fresh comparison), BENCH_observe.json (the
+# ns/job, allocs/op and B/op for RR and SRPT at n ∈ {1e3..1e6}, m ∈ {1, 8},
+# the workspace-vs-fresh and batched-vs-stepped comparisons, single-run
+# walls at n ∈ {1e6, 1e7} with the RR n=1e7 < 1s gate, and the sharded
+# SRPT speedup row), BENCH_observe.json (the
 # n=1e6 streaming-observer vs RecordSegments comparison: ns/op, heap
 # churn, peak RSS) and BENCH_stream.json (a 1e7-job streaming JobSource
 # replay in a child process whose Maxrss must stay under the
@@ -115,14 +117,17 @@ bench:
 bench-engine:
 	WRITE_BENCH=1 $(GO) test -run 'TestWriteEngineBenchBaseline|TestWriteObserveBenchBaseline|TestWriteStreamBenchBaseline' -v -timeout 30m .
 
-# CI allocation gate: the hot-path alloc budget tests (0 allocs/run with a
-# reused workspace, with and without observers attached) plus a
-# 100-iteration pass over the workspace grid and the observers-vs-segments
+# CI allocation + performance gate: the hot-path alloc budget tests
+# (0 allocs/run with a reused workspace, with and without observers
+# attached), the bulk-advance ratchet (batched RR ≥2x the reference
+# per-epoch engine at n=1e6, ≤10% regression vs the stepped fast loop),
+# plus a 100-iteration pass over the workspace grid (-short skips the
+# n=1e6 cells the ratchet already covers) and the observers-vs-segments
 # comparison so allocs/op regressions surface in the job log without a
 # full bench run.
 bench-smoke:
-	$(GO) test -run 'TestEngineAllocBudget|TestObserverAllocBudget' -v .
-	$(GO) test -run xxx -bench 'BenchmarkEngineWorkspaceGrid|BenchmarkEngineRR$$|BenchmarkEngineFastVsReference|BenchmarkObserverVsSegments' -benchtime=100x -benchmem .
+	$(GO) test -run 'TestEngineAllocBudget|TestObserverAllocBudget|TestBenchSmokeRatchet' -v .
+	$(GO) test -run xxx -short -bench 'BenchmarkEngineWorkspaceGrid|BenchmarkEngineRR$$|BenchmarkEngineFastVsReference|BenchmarkObserverVsSegments' -benchtime=100x -benchmem .
 
 # Regenerate the experiment suite into results/.
 suite:

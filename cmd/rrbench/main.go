@@ -8,19 +8,35 @@
 //	rrbench -exp E2 -out results
 //	rrbench -quick              # reduced grids (what the tests run)
 //	rrbench -exp E2 -cpuprofile cpu.out -memprofile mem.out
+//
+// -n switches to single-run mode: one timed simulation of a Poisson
+// workload at that size (scientific notation welcome: -n 1e7), printing
+// the wall time and ns/job instead of the experiment tables.
+//
+//	rrbench -n 1e7 -policy RR -machines 8
+//	rrbench -n 1e6 -policy SRPT -machines 8 -sharded -workers 4
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"strconv"
 	"time"
 
+	"rrnorm/internal/batch"
 	"rrnorm/internal/core"
 	"rrnorm/internal/exp"
+	"rrnorm/internal/fast"
+	"rrnorm/internal/metrics"
 	"rrnorm/internal/par"
+	"rrnorm/internal/policy"
+	"rrnorm/internal/stats"
+	"rrnorm/internal/workload"
 )
 
 func main() {
@@ -36,11 +52,19 @@ func main() {
 		noSegments = flag.Bool("no-segments", false, "fail any experiment that records Segments: asserts the whole run went through the streaming observer pipeline")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file (go tool pprof)")
 		memprofile = flag.String("memprofile", "", "write an allocation (heap) profile to this file on exit")
+		singleN    = flag.String("n", "", "single-run mode: simulate one Poisson workload of this many jobs (scientific notation ok, e.g. 1e7) and print wall time + ns/job")
+		polName    = flag.String("policy", "RR", "policy for -n single-run mode")
+		machines   = flag.Int("machines", 1, "machine count for -n single-run mode")
+		sharded    = flag.Bool("sharded", false, "-n mode: run through the machine-sharded parallel runner (separable policies, -workers workers)")
 	)
 	flag.Parse()
 	eng, err := core.ParseEngineKind(*engine)
 	if err != nil {
 		fatal(err)
+	}
+	if *singleN != "" {
+		runSingle(*singleN, *polName, *machines, *seed, eng, *sharded, *workers, *cpuprofile)
+		return
 	}
 	cfg := exp.Config{Seed: *seed, Quick: *quick, OutDir: *out, Engine: eng, ForbidSegments: *noSegments}
 
@@ -138,6 +162,105 @@ func main() {
 		if err := pprof.WriteHeapProfile(f); err != nil {
 			fatal(err)
 		}
+	}
+}
+
+// parseJobCount parses -n, accepting scientific notation (1e7) as well as
+// plain integers.
+func parseJobCount(s string) (int, error) {
+	f, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, fmt.Errorf("-n %q: %w", s, err)
+	}
+	if !(f >= 1) || f > 1e9 || f != math.Trunc(f) {
+		return 0, fmt.Errorf("-n %q: want an integer job count in [1, 1e9]", s)
+	}
+	return int(f), nil
+}
+
+// runSingle is -n mode: generate one Poisson workload (load 0.9, exp
+// sizes), simulate it twice — a cold run that pays workspace growth, then
+// a steady-state run on the warmed buffers — and print both walls with
+// per-job costs. With -sharded the run goes through the machine-sharded
+// parallel runner and the per-shard streaming norms are merged in shard
+// order (byte-identical at any -workers count).
+func runSingle(nStr, polName string, m int, seed uint64, eng core.EngineKind, sharded bool, workers int, cpuprofile string) {
+	n, err := parseJobCount(nStr)
+	if err != nil {
+		fatal(err)
+	}
+	if m < 1 {
+		fatal(fmt.Errorf("-machines %d: want ≥ 1", m))
+	}
+	fmt.Printf("single run: %s n=%.3g m=%d (poisson load 0.9, exp sizes, seed %d)\n",
+		polName, float64(n), m, seed)
+	in := workload.PoissonLoad(stats.NewRNG(seed), n, m, 0.9, workload.ExpSizes{M: 1})
+
+	if cpuprofile != "" {
+		f, err := os.Create(cpuprofile)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+
+	opts := core.Options{Machines: m, Speed: 1, Engine: eng}
+	ws := core.NewWorkspace()
+	sns := make([]*metrics.StreamNorm, m)
+	run := func() (*core.Result, *metrics.StreamNorm, time.Duration) {
+		if sharded {
+			obsFor := func(s int) core.Observer {
+				sns[s] = metrics.NewStreamNorm(1, 2, 3)
+				return sns[s]
+			}
+			t0 := time.Now()
+			res, err := batch.RunSharded(context.Background(), in, polName, opts, workers, ws, obsFor)
+			wall := time.Since(t0)
+			if err != nil {
+				fatal(err)
+			}
+			merged := metrics.NewStreamNorm(1, 2, 3)
+			for _, sn := range sns {
+				merged.Merge(sn)
+			}
+			return res, merged, wall
+		}
+		p, err := policy.New(polName)
+		if err != nil {
+			fatal(err)
+		}
+		sn := metrics.NewStreamNorm(1, 2, 3)
+		o := opts
+		o.Observer = sn
+		t0 := time.Now()
+		res, err := fast.RunWS(in, p, o, ws)
+		wall := time.Since(t0)
+		if err != nil {
+			fatal(err)
+		}
+		return res, sn, wall
+	}
+
+	res, sn, cold := run()
+	_, _, steady := run()
+	makespan, maxFlow := 0.0, 0.0
+	for i, c := range res.Completion {
+		makespan = math.Max(makespan, c)
+		maxFlow = math.Max(maxFlow, res.Flow[i])
+	}
+	fmt.Printf("policy=%s n=%d m=%d events=%d makespan=%.6g\n", res.Policy, n, m, res.Events, makespan)
+	fmt.Printf("L1=%.6g L2=%.6g L3=%.6g max=%.6g\n", sn.Norm(1), sn.Norm(2), sn.Norm(3), maxFlow)
+	fmt.Printf("cold run:   %v (%.1f ns/job, includes workspace growth)\n", cold.Round(time.Microsecond), float64(cold.Nanoseconds())/float64(n))
+	fmt.Printf("steady run: %v (%.1f ns/job)\n", steady.Round(time.Microsecond), float64(steady.Nanoseconds())/float64(n))
+	if sharded {
+		if workers == 0 {
+			workers = runtime.GOMAXPROCS(0)
+		}
+		fmt.Printf("sharded: %d shards over %d workers\n", m, workers)
 	}
 }
 

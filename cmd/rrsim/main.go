@@ -8,12 +8,14 @@
 //	rrsim -workload cascade:levels=8 -policy all -k 2 -lb
 //	rrsim -workload trace:path=jobs.csv -policy SRPT -m 4
 //	rrsim -replay jobs.ndjson -policy RR -m 4
-//	gzip -dc huge.ndjson.gz | rrsim -replay - -policy SRPT
+//	rrsim -replay huge.ndjson.gz -policy SRPT
 //
 // -replay streams the trace through the engines' JobSource path: jobs are
 // decoded lazily and never materialized, so memory is bounded by the
 // schedule's alive set no matter how long the trace is. Flow statistics
 // come from the streaming ℓk-norm observer instead of per-job arrays.
+// gzip-compressed traces are detected by their magic bytes and
+// decompressed on the fly — no gzip -dc pipe needed.
 package main
 
 import (
@@ -171,6 +173,10 @@ func runReplay(path, formatName string, sortRel bool, polName string, m int, spe
 			}
 			defer file.Close()
 			r = file
+		}
+		r, err = trace.MaybeGunzip(r)
+		if err != nil {
+			fatal(fmt.Errorf("replay %s: %w", path, err))
 		}
 		dec := trace.NewDecoder(r, trace.DecodeOptions{Format: f, Sort: sortRel})
 		sn := metrics.NewStreamNorm(1, 2, 3)

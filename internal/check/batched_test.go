@@ -1,0 +1,301 @@
+package check
+
+import (
+	"path/filepath"
+	"testing"
+
+	"rrnorm/internal/core"
+	"rrnorm/internal/fast"
+	"rrnorm/internal/hunt"
+	"rrnorm/internal/metrics"
+)
+
+// The bulk-advance differential wall: the fast engine's batched event loops
+// (rrMat.run / runRRStream / topmRun.run) against the stepped loops they
+// replaced (SetSteppedAdvance), which are kept verbatim as the baseline.
+// Every shared output must be BYTE-identical — per-job completions and
+// flows, event counts, stream norms and the complete observer event
+// streams, on both the materialized and streaming sinks. The corpus is the
+// same 1200-seed family as TestStreamingWallBulk plus every committed hunt
+// witness.
+
+// batchedRun captures everything one (mode, sink) execution produces.
+type batchedRun struct {
+	rec    *wallObs
+	norms  [3]float64
+	events int
+	comp   []float64
+	flow   []float64
+}
+
+// runFastBoth executes (in, p, opts) on the fast engine with the given
+// advance mode, on both sinks, with exact-epoch observers attached (wallObs
+// does not opt into coarse epochs, so batched loops emit per-event epochs).
+func runFastBoth(t *testing.T, label string, in *core.Instance, p core.Policy, opts core.Options, stepped bool) (mat, str batchedRun) {
+	t.Helper()
+	prev := fast.SetSteppedAdvance(stepped)
+	defer fast.SetSteppedAdvance(prev)
+	opts.Engine = core.EngineFast
+
+	mo := opts
+	mat.rec = &wallObs{}
+	msn := metrics.NewStreamNorm(1, 2, 3)
+	mo.Observer = core.Multi(msn, mat.rec)
+	res, err := fast.Run(in, p, mo)
+	if err != nil {
+		t.Fatalf("%s: materialized run (stepped=%v): %v", label, stepped, err)
+	}
+	mat.events = res.Events
+	mat.comp = append(mat.comp, res.Completion...)
+	mat.flow = append(mat.flow, res.Flow...)
+	for i, k := range []int{1, 2, 3} {
+		mat.norms[i] = msn.Norm(k)
+	}
+
+	so := opts
+	str.rec = &wallObs{}
+	ssn := metrics.NewStreamNorm(1, 2, 3)
+	so.Observer = core.Multi(ssn, str.rec)
+	sum, err := fast.RunStream(core.NewInstanceSource(in), p, so, nil)
+	if err != nil {
+		t.Fatalf("%s: streaming run (stepped=%v): %v", label, stepped, err)
+	}
+	str.events = sum.Events
+	for i, k := range []int{1, 2, 3} {
+		str.norms[i] = ssn.Norm(k)
+	}
+	return mat, str
+}
+
+// diffWallObs compares two recorded observer event streams bit for bit and
+// reports the first difference ("" when identical).
+func diffWallObs(a, b *wallObs) string {
+	if len(a.arrT) != len(b.arrT) {
+		return "arrival count"
+	}
+	for i := range a.arrT {
+		if a.arrT[i] != b.arrT[i] || a.arrJ[i] != b.arrJ[i] || a.arrR[i] != b.arrR[i] || a.arrS[i] != b.arrS[i] {
+			return "arrival " + itoa(i)
+		}
+	}
+	if len(a.eps) != len(b.eps) {
+		return "epoch count"
+	}
+	for i := range a.eps {
+		x, y := a.eps[i], b.eps[i]
+		if x.Start != y.Start || x.End != y.End || x.Alive != y.Alive || x.RateSum != y.RateSum || x.Coarse != y.Coarse {
+			return "epoch " + itoa(i)
+		}
+	}
+	if len(a.compT) != len(b.compT) {
+		return "completion count"
+	}
+	for i := range a.compT {
+		if a.compT[i] != b.compT[i] || a.compJ[i] != b.compJ[i] || a.flow[i] != b.flow[i] {
+			return "completion " + itoa(i)
+		}
+	}
+	if a.done != b.done || a.doneP != b.doneP || a.doneE != b.doneE {
+		return "done header"
+	}
+	return ""
+}
+
+func compareBatchedRuns(t *testing.T, label, sink string, st, ba batchedRun) {
+	t.Helper()
+	if st.events != ba.events {
+		t.Fatalf("%s %s: events: stepped %d vs batched %d", label, sink, st.events, ba.events)
+	}
+	for i := range st.comp {
+		if st.comp[i] != ba.comp[i] || st.flow[i] != ba.flow[i] {
+			t.Fatalf("%s %s: job %d: stepped (C=%.17g F=%.17g) vs batched (C=%.17g F=%.17g)",
+				label, sink, i, st.comp[i], st.flow[i], ba.comp[i], ba.flow[i])
+		}
+	}
+	for i, k := range []int{1, 2, 3} {
+		if st.norms[i] != ba.norms[i] {
+			t.Fatalf("%s %s: L%d: stepped %.17g vs batched %.17g", label, sink, k, st.norms[i], ba.norms[i])
+		}
+	}
+	if d := diffWallObs(st.rec, ba.rec); d != "" {
+		t.Fatalf("%s %s: observer stream diverges at %s", label, sink, d)
+	}
+}
+
+func runBatchedWall(t *testing.T, label string, in *core.Instance, p core.Policy, opts core.Options) {
+	t.Helper()
+	stMat, stStr := runFastBoth(t, label, in, p, opts, true)
+	baMat, baStr := runFastBoth(t, label, in, p, opts, false)
+	compareBatchedRuns(t, label, "materialized", stMat, baMat)
+	compareBatchedRuns(t, label, "streaming", stStr, baStr)
+
+	// Coarse mode: with only coarse-tolerant observers attached (StreamNorm
+	// opts in) the batched loops skip per-event epochs entirely; everything
+	// except the epoch stream must still be bit-identical to stepped.
+	coarse := func(stepped bool) ([3]float64, int) {
+		prev := fast.SetSteppedAdvance(stepped)
+		defer fast.SetSteppedAdvance(prev)
+		o := opts
+		o.Engine = core.EngineFast
+		sn := metrics.NewStreamNorm(1, 2, 3)
+		o.Observer = sn
+		res, err := fast.Run(in, p, o)
+		if err != nil {
+			t.Fatalf("%s: coarse run (stepped=%v): %v", label, stepped, err)
+		}
+		var norms [3]float64
+		for i, k := range []int{1, 2, 3} {
+			norms[i] = sn.Norm(k)
+		}
+		return norms, res.Events
+	}
+	cs, se := coarse(true)
+	cb, be := coarse(false)
+	if se != be {
+		t.Fatalf("%s coarse: events: stepped %d vs batched %d", label, se, be)
+	}
+	if cs != cb {
+		t.Fatalf("%s coarse: norms: stepped %v vs batched %v", label, cs, cb)
+	}
+}
+
+// TestBatchedWallBulk holds the batched and stepped advance modes
+// byte-identical across the 1200-seed random corpus, every fast-eligible
+// policy, both sinks and both epoch modes.
+func TestBatchedWallBulk(t *testing.T) {
+	const seeds = 1200
+	runs := 0
+	for seed := uint64(0); seed < seeds; seed++ {
+		in := RandomInstance(seed)
+		opts := RandomOptions(seed)
+		for _, p := range Policies(seed) {
+			if !fast.Eligible(p, opts) {
+				continue
+			}
+			runBatchedWall(t, wallLabel(seed, p.Name(), core.EngineFast), in, p, opts)
+			runs++
+		}
+	}
+	t.Logf("%d batched-vs-stepped comparisons across %d seeds, all bit-identical", runs, seeds)
+}
+
+// TestBatchedWallCorpus replays every committed hunt regression witness
+// through the batched-vs-stepped wall — the adversarial instances are the
+// ones a bulk-advance bug would most plausibly perturb.
+func TestBatchedWallCorpus(t *testing.T) {
+	entries, err := hunt.LoadCorpus(filepath.Join("..", "..", "testdata", "corpus"))
+	if err != nil {
+		t.Fatalf("loading corpus: %v", err)
+	}
+	if len(entries) == 0 {
+		t.Fatal("no corpus entries found: the committed witnesses are missing")
+	}
+	runs := 0
+	for _, e := range entries {
+		in := e.Instance()
+		opts := core.Options{Machines: e.Machines, Speed: e.Speed}
+		for _, p := range Policies(e.Seed) {
+			if !fast.Eligible(p, opts) {
+				continue
+			}
+			runBatchedWall(t, e.Name+" "+p.Name(), in, p, opts)
+			runs++
+		}
+	}
+	t.Logf("%d batched-vs-stepped comparisons across %d corpus witnesses", runs, len(entries))
+}
+
+// TestCoarseEpochInvariants pins the semantics of Coarse epochs against the
+// exact per-event epoch stream: batched runs with a coarse-tolerant
+// recorder must emit exactly one Coarse epoch per maximal busy interval,
+// whose Start/End bound the interval's exact epochs and whose Alive/RateSum
+// equal the interval's opening exact epoch.
+func TestCoarseEpochInvariants(t *testing.T) {
+	for seed := uint64(0); seed < 200; seed++ {
+		in := RandomInstance(seed)
+		opts := RandomOptions(seed)
+		opts.Engine = core.EngineFast
+		for _, p := range Policies(seed) {
+			if !fast.Eligible(p, opts) {
+				continue
+			}
+			label := wallLabel(seed, p.Name(), core.EngineFast)
+
+			exact := &wallObs{}
+			eo := opts
+			eo.Observer = exact
+			if _, err := fast.Run(in, p, eo); err != nil {
+				t.Fatalf("%s: exact run: %v", label, err)
+			}
+			crec := &coarseObs{}
+			co := opts
+			co.Observer = crec
+			if _, err := fast.Run(in, p, co); err != nil {
+				t.Fatalf("%s: coarse run: %v", label, err)
+			}
+			for i, e := range crec.eps {
+				if !e.Coarse {
+					t.Fatalf("%s: coarse-tolerant observer got exact epoch %d: %+v", label, i, e)
+				}
+			}
+
+			// Coverage walk. The coarse epochs must be ordered and disjoint,
+			// each exact epoch must lie inside exactly one coarse epoch, the
+			// coarse boundaries must coincide with exact-epoch boundaries,
+			// and each coarse epoch's Alive/RateSum must equal its opening
+			// exact epoch's. (Two busy intervals separated by a zero-length
+			// idle gap — a completion exactly at the next arrival — stay
+			// split in the coarse stream even though the exact epochs abut,
+			// so the walk checks containment, not gap-merging.)
+			for i := 1; i < len(crec.eps); i++ {
+				if crec.eps[i-1].End > crec.eps[i].Start {
+					t.Fatalf("%s: coarse epochs %d/%d overlap: %+v, %+v", label, i-1, i, crec.eps[i-1], crec.eps[i])
+				}
+			}
+			ci := 0
+			opened := false // saw the exact epoch opening crec.eps[ci]
+			for ei, e := range exact.eps {
+				for ci < len(crec.eps) && e.Start >= crec.eps[ci].End {
+					if !opened {
+						t.Fatalf("%s: coarse epoch %d has no exact epoch at its start", label, ci)
+					}
+					ci++
+					opened = false
+				}
+				if ci >= len(crec.eps) || e.Start < crec.eps[ci].Start || e.End > crec.eps[ci].End {
+					t.Fatalf("%s: exact epoch %d %+v not covered by any coarse epoch", label, ei, e)
+				}
+				if e.Start == crec.eps[ci].Start {
+					opened = true
+					if e.Alive != crec.eps[ci].Alive || e.RateSum != crec.eps[ci].RateSum {
+						t.Fatalf("%s: coarse epoch %d %+v does not snapshot opening exact epoch %+v",
+							label, ci, crec.eps[ci], e)
+					}
+				}
+			}
+			if len(exact.eps) == 0 {
+				if len(crec.eps) != 0 {
+					t.Fatalf("%s: %d coarse epochs but no exact epochs", label, len(crec.eps))
+				}
+			} else {
+				if ci != len(crec.eps)-1 || !opened {
+					t.Fatalf("%s: coarse epochs %d..%d received no exact epochs", label, ci, len(crec.eps)-1)
+				}
+				if last, cl := exact.eps[len(exact.eps)-1], crec.eps[len(crec.eps)-1]; last.End != cl.End {
+					t.Fatalf("%s: final coarse end %.17g, want %.17g", label, cl.End, last.End)
+				}
+			}
+		}
+	}
+}
+
+// coarseObs records epochs and opts into coarse delivery.
+type coarseObs struct {
+	eps []core.Epoch
+}
+
+func (o *coarseObs) ObserveArrival(t float64, job int, j core.Job)      {}
+func (o *coarseObs) ObserveEpoch(e *core.Epoch)                         { o.eps = append(o.eps, *e) }
+func (o *coarseObs) ObserveCompletion(t float64, job int, flow float64) {}
+func (o *coarseObs) ObserveDone(res *core.Result)                       {}
+func (o *coarseObs) CoarseEpochsOK() bool                               { return true }

@@ -72,11 +72,23 @@ type Epoch struct {
 	// advance time (parity with the Segments it records there) — the fast
 	// paths never emit zero-length epochs.
 	Start, End float64
-	// Alive is n_t, the number of alive jobs throughout the interval.
+	// Alive is n_t, the number of alive jobs throughout the interval —
+	// except on a Coarse epoch, where it is the alive count once the
+	// aggregated interval's opening instant has fully played out (all
+	// simultaneous arrivals admitted, all zero-length completions taken):
+	// a snapshot, not a constant.
 	Alive int
 	// RateSum is Σ_j rate_j (pre-speed machine shares), so
 	// RateSum·(End−Start) is the machine-time consumed in the interval.
+	// On a Coarse epoch it is the opening snapshot, like Alive.
 	RateSum float64
+	// Coarse marks an aggregate epoch batch from a bulk-advance engine
+	// path: Start/End still bound busy time exactly and coarse epochs
+	// still never overlap, but Alive/RateSum are opening snapshots and one
+	// coarse epoch may span many rate changes. Engines emit coarse epochs
+	// only when every attached observer opts in via CoarseEpochObserver;
+	// exact (per rate-constant interval) epochs are the default.
+	Coarse bool
 	// Jobs holds normalized job indices in (Release, ID) order and Rates
 	// the matching pre-speed shares — nil when the engine only tracks
 	// aggregates. Engine-owned: copy-or-drop.
@@ -110,6 +122,36 @@ func ObserverNeedsJobEpochs(o Observer) bool {
 	}
 	if j, ok := o.(JobEpochObserver); ok {
 		return j.NeedsJobEpochs()
+	}
+	return false
+}
+
+// CoarseEpochObserver is implemented by observers that do not depend on
+// the exact per-interval epoch stream — StreamNorm, for example, reduces
+// completions only. When every observer attached to a run answers true,
+// a bulk-advance engine path may batch whole stretches of rate-constant
+// intervals into aggregate Epochs (Coarse == true) instead of emitting
+// one callback per interval, which removes the per-event observer
+// dispatch from the hot loop. Observers that reduce epochs (Timeline,
+// Witness, the trace writer) simply do not implement the interface and
+// keep receiving the exact stream, bitwise identical to the per-event
+// paths.
+type CoarseEpochObserver interface {
+	Observer
+	// CoarseEpochsOK reports that the observer tolerates aggregate
+	// (Coarse) epochs in place of the exact per-interval stream.
+	CoarseEpochsOK() bool
+}
+
+// ObserverCoarseEpochsOK reports whether o tolerates coarse epochs: it is
+// nil (nothing to deliver to) or implements CoarseEpochObserver and
+// answers true.
+func ObserverCoarseEpochsOK(o Observer) bool {
+	if o == nil {
+		return true
+	}
+	if c, ok := o.(CoarseEpochObserver); ok {
+		return c.CoarseEpochsOK()
 	}
 	return false
 }
@@ -172,6 +214,17 @@ func (m MultiObserver) NeedsJobEpochs() bool {
 		}
 	}
 	return false
+}
+
+// CoarseEpochsOK implements CoarseEpochObserver: a fan-out tolerates
+// coarse epochs only when every member does.
+func (m MultiObserver) CoarseEpochsOK() bool {
+	for _, o := range m {
+		if !ObserverCoarseEpochsOK(o) {
+			return false
+		}
+	}
+	return true
 }
 
 // SegmentRecorder is RecordSegments as an observer: it materializes the

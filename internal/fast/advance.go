@@ -1,0 +1,29 @@
+package fast
+
+import "sync/atomic"
+
+// steppedAdvance routes the fast engine to its pre-batching event loops —
+// one loop iteration per event/epoch — instead of the default bulk-advance
+// paths. The stepped loops are kept verbatim as the reference point for
+// two guarantees the bulk-advance layer must uphold:
+//
+//   - correctness: the property wall in internal/check replays the
+//     1200-instance corpus plus the hunted testdata/corpus through both
+//     modes and requires byte-identical results, norms and observer event
+//     streams;
+//   - performance: the bench-smoke ratchet measures batched-vs-stepped
+//     wall time and fails CI when the bulk-advance layer stops paying for
+//     itself.
+//
+// The flag is process-global and atomic so -race test walls can flip it
+// between subtests; it is read once per run, never inside an event loop.
+var steppedAdvance atomic.Bool
+
+// SetSteppedAdvance selects the stepped (true) or bulk-advance (false,
+// the default) event loops for subsequent runs and returns the previous
+// setting. Intended for tests and benchmarks; both modes produce
+// byte-identical output.
+func SetSteppedAdvance(v bool) bool { return steppedAdvance.Swap(v) }
+
+// SteppedAdvance reports whether the stepped event loops are selected.
+func SteppedAdvance() bool { return steppedAdvance.Load() }

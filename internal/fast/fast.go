@@ -180,7 +180,7 @@ func dispatch(p core.Policy, cur *core.Cursor, res *core.Result, sum *core.Strea
 	switch pp := p.(type) {
 	case policy.RR, *policy.RR:
 		r := rrRun{cur: cur, res: res, sum: sum, h: &s.rrHeap, m: opts.Machines, speed: opts.Speed, obs: opts.Observer, ep: &s.epoch}
-		return runRR(&r, opts)
+		return runRR(&r, opts, s)
 	case *policy.SRPT:
 		s.prepareTopM(ordSRPT, false, opts.Speed)
 		r := topmRun{cur: cur, res: res, sum: sum, s: s, obs: opts.Observer, km: keyNone}

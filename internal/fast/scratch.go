@@ -20,6 +20,30 @@ import (
 type scratch struct {
 	rrHeap queue.JobHeap
 
+	// rrPair and soaRelTol serve the batched materialized RR path (rrMat):
+	// 16-byte (key, id) heap items plus a flat per-job {release, tolerance}
+	// column indexed by normalized job index — the columnar SoA layout that
+	// keeps the bulk-advance drain on flat float loads instead of 32-byte
+	// Job structs. Release and tolerance are interleaved in one 16-byte
+	// pair because the drain always reads them together (tolerance for the
+	// pop test, release for the flow), and completions visit job indices in
+	// heap order, not sequentially: one pair per completion is one
+	// scattered cache line where split columns would fill two. The column
+	// is sized to the instance (the materialized path is O(n) by
+	// definition) and written at admission before any read, so it is never
+	// cleared.
+	rrPair    queue.PairHeap
+	soaRelTol [][2]float64
+
+	// ratio caches float64(m)/float64(alive) for alive in [1, rateTabSize):
+	// the RR drain recomputes that quotient on every event, and a table
+	// lookup replaces a hardware divide on the critical path of the next
+	// completion time. Each entry holds the bit-exact division result, so
+	// table and inline quotient are interchangeable. ratioM is the m the
+	// table was built for (0 = never built).
+	ratio  []float64
+	ratioM int
+
 	ord     ordering
 	rem     []float64 // remaining work (frozen while waiting)
 	cAt     []float64 // completion-if-unpreempted time (while running)
@@ -50,6 +74,8 @@ type scratch struct {
 // re-initializes them per run, and they hold no references.
 func (s *scratch) Reset() {
 	s.rrHeap.Reset()
+	s.rrPair.Reset()
+	s.soaRelTol = s.soaRelTol[:0]
 	s.ord = ordering{}
 	s.rem = s.rem[:0]
 	s.cAt = s.cAt[:0]
@@ -73,6 +99,62 @@ func emitEpoch(obs core.Observer, ep *core.Epoch, start, end float64, alive int,
 	}
 	*ep = core.Epoch{Start: start, End: end, Alive: alive, RateSum: rateSum}
 	obs.ObserveEpoch(ep)
+}
+
+// emitCoarseEpoch delivers one aggregate busy-interval epoch [start, end)
+// to obs with Coarse set: Start/End bound the busy time exactly, while
+// Alive/RateSum are the interval's opening snapshot (see core.Epoch). The
+// bulk-advance paths emit these — one per maximal busy interval — when
+// every attached observer opts in via core.CoarseEpochObserver. Zero-length
+// and idle intervals are skipped, as in emitEpoch.
+func emitCoarseEpoch(obs core.Observer, ep *core.Epoch, start, end float64, alive, m int) {
+	if obs == nil || end <= start || alive == 0 {
+		return
+	}
+	rs := float64(alive)
+	if alive > m {
+		rs = float64(m)
+	}
+	*ep = core.Epoch{Start: start, End: end, Alive: alive, RateSum: rs, Coarse: true}
+	obs.ObserveEpoch(ep)
+}
+
+// rateTabSize bounds the cached m/alive ratio table. 1024 entries cover
+// every alive count seen outside pathological bursts; larger counts fall
+// back to the inline divide.
+const rateTabSize = 1024
+
+// rateRatios returns the m/alive quotient table for m, rebuilding it only
+// when m changed since the last run on this scratch. Entry a holds exactly
+// float64(m)/float64(a) — the same IEEE-754 division the drain would
+// perform inline — so substituting a lookup cannot perturb a single bit of
+// the event times.
+func (s *scratch) rateRatios(m int) []float64 {
+	if s.ratioM == m && len(s.ratio) == rateTabSize {
+		return s.ratio
+	}
+	if cap(s.ratio) < rateTabSize {
+		s.ratio = make([]float64, rateTabSize)
+	}
+	s.ratio = s.ratio[:rateTabSize]
+	fm := float64(m)
+	for a := 1; a < rateTabSize; a++ {
+		s.ratio[a] = fm / float64(a)
+	}
+	s.ratioM = m
+	return s.ratio
+}
+
+// sizedPairs resizes *p to length n without clearing, reallocating only
+// below capacity — the SoA column is always written at admission before
+// any read at completion, so stale values are unreachable and the clear
+// that core's grow performs would be pure memory traffic.
+func sizedPairs(p *[][2]float64, n int) [][2]float64 {
+	if cap(*p) < n {
+		*p = make([][2]float64, n)
+	}
+	*p = (*p)[:n]
+	return *p
 }
 
 // recordFinish delivers one job completion to the active sink — the

@@ -163,9 +163,20 @@ func (r *topmRun) keyFor(j core.Job) float64 {
 }
 
 // run executes the top-m event loop; prepareTopM must have been called.
+// The default mode is the bulk-advance loop below: an outer sweep over
+// arrivals with an inner drain popping the whole run of completions that
+// precede the next arrival — the next-arrival time is hoisted per drain
+// (the cursor cannot change while completions pop), and exact epoch
+// emission is skipped entirely when every attached observer tolerates
+// coarse epochs. Event counting, context polling and floating-point
+// expressions replicate runStepped (topm_stepped.go) precisely; the
+// property wall in internal/check holds the two byte-identical.
 //
 //rrlint:hotpath
 func (r *topmRun) run(opts core.Options) error {
+	if steppedAdvance.Load() {
+		return r.runStepped(opts)
+	}
 	cur, s := r.cur, r.s
 	m, sp := opts.Machines, opts.Speed
 	if !cur.More() {
@@ -176,33 +187,40 @@ func (r *topmRun) run(opts core.Options) error {
 	obs := r.obs
 	now := cur.Head().Release
 	events := 0
+	exact := obs != nil && !core.ObserverCoarseEpochsOK(obs)
+	coarse := obs != nil && !exact
+	batchStart := now
+	batchAlive := 0
 
-	for byC.Len() > 0 || waiting.Len() > 0 || cur.More() {
+	for {
+		hasA := cur.More()
 		if err := cur.Err(); err != nil {
 			return err
 		}
-		events++
-		if events&(ctxStride-1) == 0 {
-			if err := core.Canceled(opts.Context, now, events); err != nil {
-				return err
-			}
-		}
-		tA, tC := math.Inf(1), math.Inf(1)
-		if cur.More() {
+		tA := math.Inf(1)
+		if hasA {
 			tA = cur.Head().Release
 		}
-		if byC.Len() > 0 {
-			tC = s.cAt[byC.Min()]
-		}
-		if tC <= tA {
-			// Completion: the running job with the least cAt finishes; the
-			// best waiting job takes its machine. (A free machine implies an
-			// empty waiting set, so promoting exactly one is enough.)
+		// Drain: completions with tC ≤ tA (ties complete first, as in the
+		// stepped loop), each promoting the best waiting job.
+		for byC.Len() > 0 {
+			tC := s.cAt[byC.Min()]
+			if !(tC <= tA) {
+				break
+			}
+			events++
+			if events&(ctxStride-1) == 0 {
+				if err := core.Canceled(opts.Context, now, events); err != nil {
+					return err
+				}
+			}
 			if tC < now {
 				tC = now // FP guard: time must not run backwards
 			}
-			// Each running job holds one machine (pre-speed rate 1).
-			emitEpoch(obs, &s.epoch, now, tC, byC.Len()+waiting.Len(), float64(byC.Len()))
+			if exact {
+				// Each running job holds one machine (pre-speed rate 1).
+				emitEpoch(obs, &s.epoch, now, tC, byC.Len()+waiting.Len(), float64(byC.Len()))
+			}
 			sl := byC.Pop()
 			worst.Remove(sl)
 			now = tC
@@ -211,10 +229,33 @@ func (r *topmRun) run(opts core.Options) error {
 			if waiting.Len() > 0 {
 				s.start(waiting.Pop(), now, sp)
 			}
-			continue
+			if coarse && now == batchStart { //rrlint:ignore floateq instant identity: now and batchStart carry the same propagated bits, not approximations
+				// A zero-length completion at the interval's opening instant:
+				// refresh the snapshot so it reflects the alive set once the
+				// opening instant has fully played out.
+				batchAlive = byC.Len() + waiting.Len()
+			}
+		}
+		if byC.Len() == 0 && coarse {
+			// The machines just went idle: the busy interval that opened at
+			// batchStart ends here. (An empty byC implies an empty waiting
+			// set — a waiting job means every machine is busy.)
+			emitCoarseEpoch(obs, &s.epoch, batchStart, now, batchAlive, m)
+		}
+		if !hasA {
+			break // byC drained fully against tA = +Inf, waiting is empty too
 		}
 		// Arrival.
-		emitEpoch(obs, &s.epoch, now, tA, byC.Len()+waiting.Len(), float64(byC.Len()))
+		events++
+		if events&(ctxStride-1) == 0 {
+			if err := core.Canceled(opts.Context, now, events); err != nil {
+				return err
+			}
+		}
+		aliveBefore := byC.Len() + waiting.Len()
+		if exact {
+			emitEpoch(obs, &s.epoch, now, tA, aliveBefore, float64(byC.Len()))
+		}
 		now = tA
 		j, seq := cur.Advance()
 		if obs != nil {
@@ -223,6 +264,9 @@ func (r *topmRun) run(opts core.Options) error {
 		tolJ := core.CompletionTol(j.Size)
 		if j.Size <= tolJ {
 			recordFinish(r.res, r.sum, obs, seq, j.Release, now) // degenerate job: completes at admission (as core.Run)
+			if coarse && aliveBefore == 0 {
+				batchStart, batchAlive = now, 0
+			}
 			continue
 		}
 		kJ := r.keyFor(j)
@@ -247,6 +291,17 @@ func (r *topmRun) run(opts core.Options) error {
 			s.start(s.allocSlot(j, seq, kJ, tolJ), now, sp)
 		default:
 			waiting.Push(s.allocSlot(j, seq, kJ, tolJ))
+		}
+		if coarse {
+			if aliveBefore == 0 {
+				// This arrival opened a new busy interval; snapshot its state.
+				batchStart, batchAlive = now, byC.Len()+waiting.Len()
+			} else if now == batchStart { //rrlint:ignore floateq instant identity: now and batchStart carry the same propagated bits, not approximations
+				// A simultaneous arrival at the opening instant joins the
+				// snapshot (the exact stream's first positive-length epoch
+				// already counts it).
+				batchAlive = byC.Len() + waiting.Len()
+			}
 		}
 	}
 	if r.res != nil {

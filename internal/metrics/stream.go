@@ -130,6 +130,53 @@ func (s *StreamNorm) ObserveArrival(t float64, job int, j core.Job) {}
 // ObserveEpoch implements core.Observer.
 func (s *StreamNorm) ObserveEpoch(e *core.Epoch) {}
 
+// CoarseEpochsOK implements core.CoarseEpochObserver: the norm reduces
+// completions only, so bulk-advance engine paths may aggregate (or skip)
+// epoch callbacks without changing a single digit of the result.
+func (s *StreamNorm) CoarseEpochsOK() bool { return true }
+
+// Merge folds another accumulator tracking the same exponent set into s —
+// the reduction step for machine-sharded runs, where each shard reduces
+// its own completions and the shards are merged afterwards in shard
+// order. The merged state is exactly what one StreamNorm would hold had
+// it seen s's flows followed by o's (both rescaled to the common maximum),
+// so folding shards in a fixed order is deterministic: same shards, same
+// order, same bits — regardless of how many workers ran them. o is not
+// modified. Panics when the exponent sets differ: merging mismatched
+// accumulators is a programming error.
+func (s *StreamNorm) Merge(o *StreamNorm) {
+	if len(s.ks) != len(o.ks) {
+		panic(fmt.Sprintf("metrics: Merge of StreamNorms with different exponents %v vs %v", s.ks, o.ks))
+	}
+	for i := range s.ks {
+		if s.ks[i] != o.ks[i] {
+			panic(fmt.Sprintf("metrics: Merge of StreamNorms with different exponents %v vs %v", s.ks, o.ks))
+		}
+	}
+	s.n += o.n
+	if o.max == 0 {
+		return // nothing but zero flows on the other side
+	}
+	if o.max > s.max {
+		// Rescale s's sums to o's (larger) maximum, mirroring Add.
+		if s.max > 0 {
+			r := s.max / o.max
+			for i, k := range s.ks {
+				s.sums[i] *= PowK(r, k)
+			}
+		}
+		s.max = o.max
+		for i := range s.sums {
+			s.sums[i] += o.sums[i]
+		}
+		return
+	}
+	r := o.max / s.max
+	for i, k := range s.ks {
+		s.sums[i] += o.sums[i] * PowK(r, k)
+	}
+}
+
 // ObserveCompletion implements core.Observer: each completion's flow time
 // is folded into the power sums.
 func (s *StreamNorm) ObserveCompletion(t float64, job int, flow float64) {

@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"compress/gzip"
 	"context"
 	"crypto/sha256"
 	"encoding/binary"
@@ -41,12 +42,26 @@ import (
 // decodes and a mismatch is a 400, which is never cached (the cache stores
 // no errors) — so a wrong digest cannot poison the cache. Concurrent
 // identical requests dedup through the same singleflight as /v1/simulate.
+//
+// Compression: a request may send the trace gzip-compressed by declaring
+// `Content-Encoding: gzip`. The body limit and an asserted X-Replay-Digest
+// apply to the bytes on the wire — the compressed stream — so a client can
+// hash the file it uploads without decompressing it; the decompressed
+// stream is separately capped (MaxReplayGunzipBytes) so a tiny gzip bomb
+// cannot stream gigabytes through the decoder. A malformed gzip body is a
+// 400, like any other malformed trace.
 const (
 	// MaxReplayJobs bounds the jobs decoded from one replay body.
 	MaxReplayJobs = 5_000_000
-	// MaxReplayBodyBytes bounds a replay body. Replays stream, so this is
-	// far above MaxBodyBytes without a memory cost.
+	// MaxReplayBodyBytes bounds a replay body — the wire bytes, compressed
+	// or not. Replays stream, so this is far above MaxBodyBytes without a
+	// memory cost.
 	MaxReplayBodyBytes = 256 << 20
+	// MaxReplayGunzipBytes bounds the decompressed stream of a
+	// gzip-encoded replay body (gzip deflates NDJSON traces ~10×, so this
+	// matches MaxReplayBodyBytes' headroom without letting a gzip bomb
+	// through).
+	MaxReplayGunzipBytes = 1 << 30
 )
 
 // ReplayResponse is the body of a successful POST /v1/replay — the
@@ -71,7 +86,8 @@ type replayParams struct {
 	norms  []int
 	format trace.Format
 	sort   bool
-	digest string // lowercase hex SHA-256 of the body; "" disables caching
+	gzip   bool   // body arrives gzip-compressed (Content-Encoding: gzip)
+	digest string // lowercase hex SHA-256 of the body's wire bytes; "" disables caching
 }
 
 func parseReplayParams(r *http.Request) (*replayParams, *apiError) {
@@ -135,6 +151,13 @@ func parseReplayParams(r *http.Request) (*replayParams, *apiError) {
 	default:
 		return nil, badRequest("sort must be 0/1/true/false, got %q", v)
 	}
+	switch ce := strings.ToLower(strings.TrimSpace(r.Header.Get("Content-Encoding"))); ce {
+	case "", "identity":
+	case "gzip":
+		rp.gzip = true
+	default:
+		return nil, badRequest("unsupported Content-Encoding %q (want gzip or identity)", ce)
+	}
 	if d := r.Header.Get("X-Replay-Digest"); d != "" {
 		d = strings.ToLower(strings.TrimSpace(d))
 		if len(d) != sha256.Size*2 {
@@ -167,6 +190,13 @@ func (rp *replayParams) cacheKey() string {
 	u64(uint64(int64(rp.opts.Engine)))
 	u64(uint64(int64(rp.format)))
 	if rp.sort {
+		u64(1)
+	} else {
+		u64(0)
+	}
+	// The digest names the wire bytes; whether they are a gzip stream or
+	// the raw trace changes the response, so the flag is part of the key.
+	if rp.gzip {
 		u64(1)
 	} else {
 		u64(0)
@@ -236,9 +266,21 @@ func (s *Server) runReplay(ctx context.Context, rp *replayParams, body io.Reader
 	// The body is hashed as it is decoded; an asserted digest is verified
 	// after the run. The limit reader rejects (not truncates) oversized
 	// bodies — silent truncation would simulate a prefix of the trace.
+	// Both hash and limit see the wire bytes: decompression, when the
+	// client declared Content-Encoding: gzip, layers on top, with its own
+	// output cap so a gzip bomb stops at MaxReplayGunzipBytes.
 	h := sha256.New()
 	lr := &limitReader{r: io.TeeReader(body, h), left: MaxReplayBodyBytes}
-	var src core.JobSource = trace.NewDecoder(lr, trace.DecodeOptions{Format: rp.format, Sort: rp.sort})
+	var tr io.Reader = lr
+	if rp.gzip {
+		zr, err := gzip.NewReader(lr)
+		if err != nil {
+			return nil, badRequest("malformed gzip body: %v", err)
+		}
+		defer zr.Close()
+		tr = &limitReader{r: zr, left: MaxReplayGunzipBytes, errLimit: errGunzipTooLarge}
+	}
+	var src core.JobSource = trace.NewDecoder(tr, trace.DecodeOptions{Format: rp.format, Sort: rp.sort})
 	src = &limitSource{src: src, max: MaxReplayJobs}
 
 	opts := rp.opts
@@ -310,17 +352,25 @@ func toReplayError(err error) *apiError {
 	return mapSimError(err)
 }
 
-// errBodyTooLarge surfaces through the decoder as a read failure.
-var errBodyTooLarge = fmt.Errorf("body exceeds the %d-byte replay limit", MaxReplayBodyBytes)
+// errBodyTooLarge and errGunzipTooLarge surface through the decoder as
+// read failures (and therefore as 400s, like any malformed trace).
+var (
+	errBodyTooLarge   = fmt.Errorf("body exceeds the %d-byte replay limit", MaxReplayBodyBytes)
+	errGunzipTooLarge = fmt.Errorf("gzip body decompresses past the %d-byte replay limit", MaxReplayGunzipBytes)
+)
 
 // limitReader is io.LimitReader that fails instead of truncating.
 type limitReader struct {
-	r    io.Reader
-	left int64
+	r        io.Reader
+	left     int64
+	errLimit error // returned at the limit; nil means errBodyTooLarge
 }
 
 func (l *limitReader) Read(p []byte) (int, error) {
 	if l.left <= 0 {
+		if l.errLimit != nil {
+			return 0, l.errLimit
+		}
 		return 0, errBodyTooLarge
 	}
 	if int64(len(p)) > l.left {

@@ -1,0 +1,39 @@
+package trace
+
+import (
+	"bufio"
+	"compress/gzip"
+	"io"
+)
+
+// gzipMagic is the two-byte gzip member header (RFC 1952 §2.3.1).
+var gzipMagic = [2]byte{0x1f, 0x8b}
+
+// MaybeGunzip wraps r so a gzip-compressed trace decompresses
+// transparently: it peeks at the first two bytes and layers a gzip reader
+// on the magic 0x1f 0x8b, passing everything else (including the peeked
+// prefix and streams shorter than two bytes) through untouched. The
+// sniffing cannot misfire on the supported trace formats — NDJSON and CSV
+// are line-oriented text and no valid first line starts with those bytes.
+// rrsim -replay uses it so `rrsim -replay huge.ndjson.gz` works without a
+// gzip -dc pipe; the HTTP replay endpoint instead keys off an explicit
+// Content-Encoding header (a body's digest must name its exact bytes).
+//
+// A gzip header error is returned immediately; corruption later in the
+// stream surfaces through the returned reader's Read, which the Decoder
+// wraps into a *DecodeError like any other read failure.
+func MaybeGunzip(r io.Reader) (io.Reader, error) {
+	br := bufio.NewReader(r)
+	magic, err := br.Peek(2)
+	if err != nil && err != io.EOF {
+		return nil, err
+	}
+	if len(magic) == 2 && magic[0] == gzipMagic[0] && magic[1] == gzipMagic[1] {
+		zr, err := gzip.NewReader(br)
+		if err != nil {
+			return nil, err
+		}
+		return zr, nil
+	}
+	return br, nil
+}

@@ -1,0 +1,108 @@
+package trace
+
+import (
+	"bytes"
+	"compress/gzip"
+	"io"
+	"strings"
+	"testing"
+
+	"rrnorm/internal/core"
+)
+
+func gzipBytes(t *testing.T, b []byte) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	zw := gzip.NewWriter(&buf)
+	if _, err := zw.Write(b); err != nil {
+		t.Fatalf("gzip write: %v", err)
+	}
+	if err := zw.Close(); err != nil {
+		t.Fatalf("gzip close: %v", err)
+	}
+	return buf.Bytes()
+}
+
+// TestMaybeGunzipRoundTrip: a gzipped trace decodes through MaybeGunzip to
+// the same jobs as the plain bytes.
+func TestMaybeGunzipRoundTrip(t *testing.T) {
+	jobs := []core.Job{
+		{ID: 0, Release: 0, Size: 3},
+		{ID: 1, Release: 0.5, Size: 1.25},
+		{ID: 2, Release: 2, Size: 0.75},
+	}
+	var plain bytes.Buffer
+	if err := Encode(&plain, jobs, FormatNDJSON); err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+
+	decode := func(raw []byte) []core.Job {
+		r, err := MaybeGunzip(bytes.NewReader(raw))
+		if err != nil {
+			t.Fatalf("MaybeGunzip: %v", err)
+		}
+		dec := NewDecoder(r, DecodeOptions{Format: FormatNDJSON})
+		var got []core.Job
+		for {
+			j, ok, err := dec.Next()
+			if err != nil {
+				t.Fatalf("decode: %v", err)
+			}
+			if !ok {
+				return got
+			}
+			got = append(got, j)
+		}
+	}
+
+	want := decode(plain.Bytes())
+	got := decode(gzipBytes(t, plain.Bytes()))
+	if len(got) != len(want) {
+		t.Fatalf("gzip path decoded %d jobs, plain %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("job %d: gzip %+v != plain %+v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestMaybeGunzipPassthrough: plain bytes — including the peeked prefix —
+// come back verbatim, and streams shorter than the two-byte magic are not
+// an error.
+func TestMaybeGunzipPassthrough(t *testing.T) {
+	for _, in := range []string{"", "x", `{"id":0,"release":0,"size":1}` + "\n"} {
+		r, err := MaybeGunzip(strings.NewReader(in))
+		if err != nil {
+			t.Fatalf("MaybeGunzip(%q): %v", in, err)
+		}
+		out, err := io.ReadAll(r)
+		if err != nil {
+			t.Fatalf("read (%q): %v", in, err)
+		}
+		if string(out) != in {
+			t.Fatalf("passthrough mangled %q into %q", in, out)
+		}
+	}
+}
+
+// TestMaybeGunzipBadHeader: the magic bytes followed by garbage fail at
+// MaybeGunzip itself (header parse), not later in the stream.
+func TestMaybeGunzipBadHeader(t *testing.T) {
+	if _, err := MaybeGunzip(strings.NewReader("\x1f\x8bnot really gzip")); err == nil {
+		t.Fatal("corrupt gzip header: want error, got nil")
+	}
+}
+
+// TestMaybeGunzipTruncated: corruption past the header surfaces through the
+// returned reader — the layer the Decoder wraps into *DecodeError.
+func TestMaybeGunzipTruncated(t *testing.T) {
+	full := gzipBytes(t, []byte(strings.Repeat(`{"id":0,"release":0,"size":1}`+"\n", 200)))
+	r, err := MaybeGunzip(bytes.NewReader(full[:len(full)/2]))
+	if err != nil {
+		t.Fatalf("MaybeGunzip: %v", err)
+	}
+	if _, err := io.ReadAll(r); err == nil {
+		t.Fatal("truncated gzip stream: want read error, got nil")
+	}
+}

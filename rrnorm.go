@@ -128,6 +128,20 @@ func SimulateBatch(points []BatchPoint, workers int) ([]*Result, error) {
 	return batch.Simulate(context.Background(), pts, workers)
 }
 
+// SimulateSharded runs the named index policy (SRPT, SJF or FCFS) under
+// round-robin immediate dispatch: the job with normalized arrival rank g is
+// assigned to machine g mod opts.Machines, and each machine runs the policy
+// on its own jobs at Machines = 1 — m independent shards executed on up to
+// `workers` goroutines (≤ 0 means GOMAXPROCS) and merged deterministically,
+// so the result is byte-identical at every worker count. This is a
+// different discipline from the global policy on m machines (jobs never
+// migrate between machines); the result's Policy field carries a "+shard"
+// suffix to keep the two apart. See internal/batch.RunSharded for the
+// streaming-observer variant that merges per-shard StreamNorms.
+func SimulateSharded(in *Instance, policyName string, opts Options, workers int) (*Result, error) {
+	return batch.RunSharded(context.Background(), in, policyName, opts, workers, nil, nil)
+}
+
 // Fingerprint returns a canonical SHA-256 digest of (instance, policy,
 // options): two calls fingerprint equal iff they describe the same
 // simulation, independent of the caller's job order. It is the cache key
