@@ -36,17 +36,22 @@ func TestEngineAllocBudget(t *testing.T) {
 		name   string
 		pol    core.Policy
 		engine core.EngineKind
+		mm     core.Machines
 	}{
-		{"fast/RR", policy.NewRR(), core.EngineFast},
-		{"fast/SRPT", policy.NewSRPT(), core.EngineFast},
-		{"fast/SJF", policy.NewSJF(), core.EngineFast},
-		{"fast/FCFS", policy.NewFCFS(), core.EngineFast},
-		{"reference/RR", policy.NewRR(), core.EngineReference},
+		{"fast/RR", policy.NewRR(), core.EngineFast, core.Machines{}},
+		{"fast/SRPT", policy.NewSRPT(), core.EngineFast, core.Machines{}},
+		{"fast/SJF", policy.NewSJF(), core.EngineFast, core.Machines{}},
+		{"fast/FCFS", policy.NewFCFS(), core.EngineFast, core.Machines{}},
+		{"reference/RR", policy.NewRR(), core.EngineReference, core.Machines{}},
+		// The heterogeneous RR fast path must hold the same budget: the
+		// machine env and water-filling share table live on the workspace
+		// scratch and are rebuilt allocation-free once warm.
+		{"fast/RR-hetero", policy.NewRR(), core.EngineFast, core.Machines{Speeds: []float64{1, 3}}},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
 			ws := core.NewWorkspace()
-			opts := core.Options{Machines: 2, Speed: 1, Engine: tc.engine}
+			opts := core.Options{Machines: 2, Speed: 1, Engine: tc.engine, MachineModel: tc.mm}
 			run := func() {
 				if _, err := fast.RunWS(in, tc.pol, opts, ws); err != nil {
 					t.Fatal(err)
@@ -187,6 +192,22 @@ func TestBenchSmokeRatchet(t *testing.T) {
 	}
 	if vsStepped < 0.90 {
 		t.Errorf("batched RR n=%d regressed to %.2fx of the stepped loop, floor is 0.90x", n, vsStepped)
+	}
+
+	// Heterogeneous speeds ride the same batched path through the
+	// water-filling share table; hold that path to the stepped loop too so
+	// it cannot silently regress to alloc-per-step or per-epoch work.
+	hetIn := engineGridInstance(n, 2)
+	hetOpts := core.Options{Machines: 2, Speed: 1, Engine: core.EngineFast,
+		MachineModel: core.Machines{Speeds: []float64{1, 3}}}
+	hetBatched := benchSmokeMedianRun(t, hetIn, hetOpts, ws, 5)
+	prev = fast.SetSteppedAdvance(true)
+	hetStepped := benchSmokeMedianRun(t, hetIn, hetOpts, ws, 5)
+	fast.SetSteppedAdvance(prev)
+	hetVs := float64(hetStepped) / float64(hetBatched)
+	t.Logf("RR-hetero n=%d speeds=[1 3]: batched %v, stepped %v (%.2fx)", n, hetBatched, hetStepped, hetVs)
+	if hetVs < 0.90 {
+		t.Errorf("batched heterogeneous RR n=%d regressed to %.2fx of the stepped loop, floor is 0.90x", n, hetVs)
 	}
 }
 

@@ -26,6 +26,7 @@ import (
 	"runtime"
 	"runtime/pprof"
 	"strconv"
+	"strings"
 	"time"
 
 	"rrnorm/internal/batch"
@@ -54,7 +55,9 @@ func main() {
 		memprofile = flag.String("memprofile", "", "write an allocation (heap) profile to this file on exit")
 		singleN    = flag.String("n", "", "single-run mode: simulate one Poisson workload of this many jobs (scientific notation ok, e.g. 1e7) and print wall time + ns/job")
 		polName    = flag.String("policy", "RR", "policy for -n single-run mode")
-		machines   = flag.Int("machines", 1, "machine count for -n single-run mode")
+		machines   = flag.Int("machines", 1, "machine count for -n single-run mode (defaults to len(-speeds) when that is set)")
+		speeds     = flag.String("speeds", "", "-n mode: comma-separated per-machine relative speeds, e.g. 1,2,4")
+		pCost      = flag.Float64("preempt-cost", 0, "-n mode: extra work charged to a job each time it is preempted")
 		sharded    = flag.Bool("sharded", false, "-n mode: run through the machine-sharded parallel runner (separable policies, -workers workers)")
 	)
 	flag.Parse()
@@ -63,7 +66,11 @@ func main() {
 		fatal(err)
 	}
 	if *singleN != "" {
-		runSingle(*singleN, *polName, *machines, *seed, eng, *sharded, *workers, *cpuprofile)
+		mm, err := machineModel(*speeds, *pCost, machines)
+		if err != nil {
+			fatal(err)
+		}
+		runSingle(*singleN, *polName, *machines, mm, *seed, eng, *sharded, *workers, *cpuprofile)
 		return
 	}
 	cfg := exp.Config{Seed: *seed, Quick: *quick, OutDir: *out, Engine: eng, ForbidSegments: *noSegments}
@@ -184,7 +191,7 @@ func parseJobCount(s string) (int, error) {
 // per-job costs. With -sharded the run goes through the machine-sharded
 // parallel runner and the per-shard streaming norms are merged in shard
 // order (byte-identical at any -workers count).
-func runSingle(nStr, polName string, m int, seed uint64, eng core.EngineKind, sharded bool, workers int, cpuprofile string) {
+func runSingle(nStr, polName string, m int, mm core.Machines, seed uint64, eng core.EngineKind, sharded bool, workers int, cpuprofile string) {
 	n, err := parseJobCount(nStr)
 	if err != nil {
 		fatal(err)
@@ -192,8 +199,22 @@ func runSingle(nStr, polName string, m int, seed uint64, eng core.EngineKind, sh
 	if m < 1 {
 		fatal(fmt.Errorf("-machines %d: want ≥ 1", m))
 	}
+	if sharded && !mm.Default() {
+		fatal(fmt.Errorf("-sharded shards identical machines; it is incompatible with -speeds/-preempt-cost"))
+	}
 	fmt.Printf("single run: %s n=%.3g m=%d (poisson load 0.9, exp sizes, seed %d)\n",
 		polName, float64(n), m, seed)
+	// Echo the full machine config so a pasted report names the exact model
+	// the numbers were measured under.
+	if mm.Heterogeneous() {
+		total := 0.0
+		for _, s := range mm.Speeds {
+			total += s
+		}
+		fmt.Printf("machines: m=%d speeds=%v total_speed=%.6g preempt_cost=%g\n", m, mm.Speeds, total, mm.PreemptCost)
+	} else {
+		fmt.Printf("machines: m=%d identical unit speeds preempt_cost=%g\n", m, mm.PreemptCost)
+	}
 	in := workload.PoissonLoad(stats.NewRNG(seed), n, m, 0.9, workload.ExpSizes{M: 1})
 
 	if cpuprofile != "" {
@@ -208,7 +229,7 @@ func runSingle(nStr, polName string, m int, seed uint64, eng core.EngineKind, sh
 		defer pprof.StopCPUProfile()
 	}
 
-	opts := core.Options{Machines: m, Speed: 1, Engine: eng}
+	opts := core.Options{Machines: m, Speed: 1, Engine: eng, MachineModel: mm}
 	ws := core.NewWorkspace()
 	sns := make([]*metrics.StreamNorm, m)
 	run := func() (*core.Result, *metrics.StreamNorm, time.Duration) {
@@ -262,6 +283,36 @@ func runSingle(nStr, polName string, m int, seed uint64, eng core.EngineKind, sh
 		}
 		fmt.Printf("sharded: %d shards over %d workers\n", m, workers)
 	}
+}
+
+// machineModel assembles the core.Machines model from the -speeds and
+// -preempt-cost flags, defaulting an unset -machines to the speed vector's
+// length (an explicitly set -machines must match it).
+func machineModel(speeds string, preemptCost float64, m *int) (core.Machines, error) {
+	var mm core.Machines
+	mm.PreemptCost = preemptCost
+	if strings.TrimSpace(speeds) == "" {
+		return mm, nil
+	}
+	for _, part := range strings.Split(speeds, ",") {
+		f, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+		if err != nil {
+			return mm, fmt.Errorf("-speeds: bad entry %q: %w", part, err)
+		}
+		mm.Speeds = append(mm.Speeds, f)
+	}
+	mSet := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "machines" {
+			mSet = true
+		}
+	})
+	if !mSet {
+		*m = len(mm.Speeds)
+	} else if *m != len(mm.Speeds) {
+		return mm, fmt.Errorf("-speeds has %d entries but -machines is %d", len(mm.Speeds), *m)
+	}
+	return mm, nil
 }
 
 func fatal(err error) {

@@ -19,6 +19,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strconv"
+	"strings"
 
 	"rrnorm/internal/hunt"
 )
@@ -38,6 +40,8 @@ func run(args []string, stdout, stderr io.Writer) error {
 		k       = fs.Int("k", 2, "ℓk-norm exponent of the objective")
 		m       = fs.Int("m", 1, "machines")
 		speed   = fs.Float64("speed", 1, "RR resource-augmentation speed (lower bound stays at unit speed)")
+		speeds  = fs.String("speeds", "", "comma-separated per-machine relative speeds for the RR side, e.g. 1,2 (empty: identical; -m defaults to the count)")
+		pCost   = fs.Float64("preempt-cost", 0, "per-preemption work surcharge on the RR side")
 		seed    = fs.Uint64("seed", 1, "search seed; equal seeds give byte-identical reports")
 		budget  = fs.Int("budget", 400, "candidate evaluation budget, seeds included")
 		pop     = fs.Int("pop", 16, "evolutionary population size")
@@ -52,13 +56,36 @@ func run(args []string, stdout, stderr io.Writer) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	var machineSpeeds []float64
+	if strings.TrimSpace(*speeds) != "" {
+		for _, part := range strings.Split(*speeds, ",") {
+			f, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+			if err != nil {
+				return fmt.Errorf("-speeds: bad entry %q: %w", part, err)
+			}
+			machineSpeeds = append(machineSpeeds, f)
+		}
+		mSet := false
+		fs.Visit(func(f *flag.Flag) {
+			if f.Name == "m" {
+				mSet = true
+			}
+		})
+		if !mSet {
+			*m = len(machineSpeeds)
+		} else if *m != len(machineSpeeds) {
+			return fmt.Errorf("-speeds has %d entries but -m is %d", len(machineSpeeds), *m)
+		}
+	}
 
 	o := hunt.Options{
 		Params: hunt.Params{
-			K:        *k,
-			Machines: *m,
-			Speed:    *speed,
-			MaxJobs:  *maxJobs,
+			K:             *k,
+			Machines:      *m,
+			Speed:         *speed,
+			MachineSpeeds: machineSpeeds,
+			PreemptCost:   *pCost,
+			MaxJobs:       *maxJobs,
 		},
 		Seed:         *seed,
 		Budget:       *budget,

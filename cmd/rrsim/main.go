@@ -7,6 +7,7 @@
 //	rrsim -workload poisson:n=200,load=0.9,dist=exp -policy RR -speed 2
 //	rrsim -workload cascade:levels=8 -policy all -k 2 -lb
 //	rrsim -workload trace:path=jobs.csv -policy SRPT -m 4
+//	rrsim -workload poisson:n=500,load=0.9 -policy RR -speeds 1,2,4 -preempt-cost 0.01
 //	rrsim -replay jobs.ndjson -policy RR -m 4
 //	rrsim -replay huge.ndjson.gz -policy SRPT
 //
@@ -25,6 +26,8 @@ import (
 	"io"
 	"math"
 	"os"
+	"strconv"
+	"strings"
 	"text/tabwriter"
 
 	"rrnorm/internal/core"
@@ -41,8 +44,10 @@ func main() {
 	var (
 		spec    = flag.String("workload", "poisson:n=100,load=0.9,dist=exp,mean=1", "workload spec (see internal/workload.FromSpec)")
 		polName = flag.String("policy", "RR", "policy spec (e.g. RR, LAPS:beta=0.3, GITTINS:dist=pareto) or 'all'")
-		m       = flag.Int("m", 1, "number of identical machines")
+		m       = flag.Int("m", 1, "number of machines (defaults to len(-speeds) when that is set)")
 		speed   = flag.Float64("speed", 1, "resource-augmentation speed for the policy")
+		speeds  = flag.String("speeds", "", "comma-separated per-machine relative speeds, e.g. 1,2,4 (empty: identical unit machines)")
+		pCost   = flag.Float64("preempt-cost", 0, "extra work charged to a job each time it is preempted")
 		k       = flag.Int("k", 2, "k for the ℓk-norm report and -lb ratio")
 		seed    = flag.Uint64("seed", 1, "workload RNG seed")
 		engine  = flag.String("engine", "auto", "simulation engine: auto, reference or fast")
@@ -59,12 +64,16 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	mm, err := machineModel(*speeds, *pCost, m)
+	if err != nil {
+		fatal(err)
+	}
 
 	if *replay != "" {
 		if *withLB || *dump != "" || *resOut != "" {
 			fatal(fmt.Errorf("-lb, -dump and -resultout need materialized results; they are incompatible with -replay"))
 		}
-		runReplay(*replay, *format, *sortRel, *polName, *m, *speed, eng)
+		runReplay(*replay, *format, *sortRel, *polName, *m, *speed, mm, eng)
 		return
 	}
 
@@ -110,7 +119,7 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		res, err := fast.Run(in, p, core.Options{Machines: *m, Speed: *speed, RecordSegments: *resOut != "", Engine: eng})
+		res, err := fast.Run(in, p, core.Options{Machines: *m, Speed: *speed, MachineModel: mm, RecordSegments: *resOut != "", Engine: eng})
 		if err != nil {
 			fatal(err)
 		}
@@ -145,7 +154,7 @@ func main() {
 // lazily and per-job flows fold into streaming ℓk-norms, so memory stays
 // bounded by the alive set. "all" reopens the file per policy and is
 // therefore rejected for stdin, which can only be read once.
-func runReplay(path, formatName string, sortRel bool, polName string, m int, speed float64, eng core.EngineKind) {
+func runReplay(path, formatName string, sortRel bool, polName string, m int, speed float64, mm core.Machines, eng core.EngineKind) {
 	f, err := trace.ParseFormat(formatName)
 	if err != nil {
 		fatal(err)
@@ -180,7 +189,7 @@ func runReplay(path, formatName string, sortRel bool, polName string, m int, spe
 		}
 		dec := trace.NewDecoder(r, trace.DecodeOptions{Format: f, Sort: sortRel})
 		sn := metrics.NewStreamNorm(1, 2, 3)
-		sum, err := fast.RunStream(dec, p, core.Options{Machines: m, Speed: speed, Engine: eng, Observer: sn}, ws)
+		sum, err := fast.RunStream(dec, p, core.Options{Machines: m, Speed: speed, MachineModel: mm, Engine: eng, Observer: sn}, ws)
 		if err != nil {
 			fatal(err)
 		}
@@ -188,6 +197,36 @@ func runReplay(path, formatName string, sortRel bool, polName string, m int, spe
 			name, sum.N, sum.Events, sum.Makespan, sn.Norm(1), sn.Norm(2), sn.Norm(3), sum.MaxFlow)
 	}
 	tw.Flush()
+}
+
+// machineModel assembles the core.Machines model from the -speeds and
+// -preempt-cost flags, defaulting an unset -m to the speed vector's length
+// (an explicitly set -m must match it; core validates the rest at run time).
+func machineModel(speeds string, preemptCost float64, m *int) (core.Machines, error) {
+	var mm core.Machines
+	mm.PreemptCost = preemptCost
+	if strings.TrimSpace(speeds) == "" {
+		return mm, nil
+	}
+	for _, part := range strings.Split(speeds, ",") {
+		f, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+		if err != nil {
+			return mm, fmt.Errorf("-speeds: bad entry %q: %w", part, err)
+		}
+		mm.Speeds = append(mm.Speeds, f)
+	}
+	mSet := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "m" {
+			mSet = true
+		}
+	})
+	if !mSet {
+		*m = len(mm.Speeds)
+	} else if *m != len(mm.Speeds) {
+		return mm, fmt.Errorf("-speeds has %d entries but -m is %d", len(mm.Speeds), *m)
+	}
+	return mm, nil
 }
 
 func fatal(err error) {

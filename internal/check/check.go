@@ -188,6 +188,25 @@ func RandomOptions(seed uint64) core.Options {
 	}
 }
 
+// RandomMachineModel deterministically generates a heterogeneous machine
+// model for m machines from a seed: speeds drawn from a small palette
+// (including exact 1s, so the explicit-all-ones plumbing path is exercised
+// too) and an occasional preemption cost. Only RR keeps a fast path under
+// these models, so the heterogeneous walls pair them with RR.
+func RandomMachineModel(seed uint64, m int) core.Machines {
+	rng := rand.New(rand.NewPCG(seed, 0x9e3779b97f4a7c15))
+	palette := []float64{0.25, 0.5, 1, 1, 1.5, 2, 4}
+	speeds := make([]float64, m)
+	for i := range speeds {
+		speeds[i] = palette[rng.IntN(len(palette))]
+	}
+	mm := core.Machines{Speeds: speeds}
+	if rng.IntN(3) == 0 {
+		mm.PreemptCost = []float64{0.1, 0.5, 2}[rng.IntN(3)]
+	}
+	return mm
+}
+
 // Policies returns the fast-path policies, with StaticPriority's priority
 // table derived deterministically from the seed (so fuzzing explores
 // priority ties and inversions too).

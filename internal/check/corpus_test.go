@@ -33,9 +33,11 @@ func TestCorpusReplay(t *testing.T) {
 			p := e.Params()
 
 			// Both engines byte-agree on the witness, at the hunt cell's
-			// options and at unit speed (the ratio's two sides).
+			// options — including its machine model — and at unit speed on
+			// identical machines (the ratio's two sides).
+			mm := core.Machines{Speeds: e.MachineSpeeds, PreemptCost: e.PreemptCost}
 			for _, opts := range []core.Options{
-				{Machines: e.Machines, Speed: e.Speed},
+				{Machines: e.Machines, Speed: e.Speed, MachineModel: mm},
 				{Machines: e.Machines, Speed: 1},
 			} {
 				rep, err := Compare(in, policy.NewRR(), opts, tol)

@@ -61,6 +61,14 @@ type Options struct {
 	// policy's machines: a job with rate ρ accrues work at ρ·s per unit
 	// time. The optimal/lower-bound side always runs at speed 1.
 	Speed float64
+	// MachineModel generalizes the machine setting: per-machine speeds
+	// (uniform/related machines) and a preemption cost. The zero value is
+	// the paper's model — Machines identical unit-speed machines, free
+	// preemption — and is bit-identical to the pre-model behavior. With
+	// explicit speeds the policy must implement MachineAware; rates become
+	// work rates bounded by the sorted-speed prefix sums instead of [0,1]
+	// machine shares. See Machines.
+	MachineModel Machines
 	// RecordSegments enables the full piecewise-constant rate timeline,
 	// needed by the dual-fitting certificate and schedule validation.
 	RecordSegments bool
@@ -111,6 +119,10 @@ type Result struct {
 	Policy   string
 	Machines int
 	Speed    float64
+	// MachineModel echoes Options.MachineModel (zero value for the default
+	// identical-unit-machine setting). Validation and observers use it to
+	// apply the generalized capacity and flow bounds.
+	MachineModel Machines
 	// Jobs is the normalized (sorted by Release, ID) copy of the instance
 	// that was simulated. Completion, Flow and Segment.Jobs are all indexed
 	// against this slice.
@@ -208,6 +220,9 @@ func RunWS(inst *Instance, policy Policy, opts Options, ws *Workspace) (*Result,
 	if !(opts.Speed > 0) || math.IsInf(opts.Speed, 0) {
 		return nil, fmt.Errorf("%w: Speed=%v", ErrBadOptions, opts.Speed)
 	}
+	if err := ValidateMachineOptions(policy, opts); err != nil {
+		return nil, err
+	}
 	if ws == nil {
 		ws = NewWorkspace()
 	}
@@ -249,6 +264,9 @@ func RunStream(src JobSource, policy Policy, opts Options, ws *Workspace) (Strea
 	if !(opts.Speed > 0) || math.IsInf(opts.Speed, 0) {
 		return StreamResult{}, fmt.Errorf("%w: Speed=%v", ErrBadOptions, opts.Speed)
 	}
+	if err := ValidateMachineOptions(policy, opts); err != nil {
+		return StreamResult{}, err
+	}
 	if opts.RecordSegments {
 		return StreamResult{}, fmt.Errorf("%w: RecordSegments requires a materialized run (core.Run)", ErrBadOptions)
 	}
@@ -258,7 +276,7 @@ func RunStream(src JobSource, policy Policy, opts Options, ws *Workspace) (Strea
 	if r, ok := policy.(Resetter); ok {
 		r.Reset()
 	}
-	sum := StreamResult{Policy: policy.Name(), Machines: opts.Machines, Speed: opts.Speed}
+	sum := StreamResult{Policy: policy.Name(), Machines: opts.Machines, Speed: opts.Speed, MachineModel: opts.MachineModel}
 	cur := CursorFrom(src)
 	if err := runReference(&cur, policy, opts, ws, nil, &sum); err != nil {
 		return StreamResult{}, err
@@ -293,6 +311,14 @@ func runReference(cur *Cursor, policy Policy, opts Options, ws *Workspace, res *
 	st.aliveSeq = st.aliveSeq[:0]
 	st.aliveJob = st.aliveJob[:0]
 	st.aliveEl = st.aliveEl[:0]
+	st.alivePrev = st.alivePrev[:0]
+	BuildMachineEnv(&opts, &st.env)
+	// hetero selects the generalized rate path; the default model keeps
+	// every expression below verbatim (bit-identical results). ma is
+	// non-nil whenever hetero — ValidateMachineOptions checked it.
+	hetero := !st.env.Identical()
+	ma, _ := policy.(MachineAware)
+	pc := opts.MachineModel.PreemptCost
 	var (
 		events = 0
 		now    = cur.Head().Release
@@ -338,6 +364,9 @@ func runReference(cur *Cursor, policy Policy, opts Options, ws *Workspace, res *
 			st.aliveSeq = append(st.aliveSeq, seq)
 			st.aliveJob = append(st.aliveJob, j)
 			st.aliveEl = append(st.aliveEl, 0)
+			if pc > 0 {
+				st.alivePrev = append(st.alivePrev, 0)
+			}
 		}
 		if len(st.aliveSeq) == 0 {
 			if !cur.More() {
@@ -370,9 +399,31 @@ func runReference(cur *Cursor, policy Policy, opts Options, ws *Workspace, res *
 		for i := range rates {
 			rates[i] = 0
 		}
-		horizon := policy.Rates(now, views, opts.Machines, opts.Speed, rates)
-		if err := checkRates(rates, opts.Machines); err != nil {
-			return fmt.Errorf("%w at t=%v (policy %s): %v", ErrBadRates, now, policy.Name(), err)
+		var horizon float64
+		if hetero {
+			horizon = ma.RatesEnv(now, views, &st.env, rates)
+			if err := checkRatesUniform(rates, &st.env, &st.rateSort); err != nil {
+				return fmt.Errorf("%w at t=%v (policy %s): %v", ErrBadRates, now, policy.Name(), err)
+			}
+		} else {
+			horizon = policy.Rates(now, views, opts.Machines, opts.Speed, rates)
+			if err := checkRates(rates, opts.Machines); err != nil {
+				return fmt.Errorf("%w at t=%v (policy %s): %v", ErrBadRates, now, policy.Name(), err)
+			}
+		}
+		if pc > 0 {
+			// Charge preemptions before sizing the step: a job whose rate
+			// just dropped from positive to zero was kicked off a machine
+			// and owes PreemptCost extra work. The views the policy saw
+			// reflect the pre-charge remaining work (the decision precedes
+			// the cost). RR never pays — every alive job keeps a positive
+			// share — while priority policies pay per displacement.
+			for i := range st.aliveSeq {
+				if st.alivePrev[i] > 0 && rates[i] <= 0 {
+					st.aliveJob[i].Size += pc
+				}
+				st.alivePrev[i] = rates[i]
+			}
 		}
 
 		// Determine the time to the next event.
@@ -447,11 +498,17 @@ func runReference(cur *Cursor, policy Policy, opts Options, ws *Workspace, res *
 			st.aliveSeq[w] = st.aliveSeq[i]
 			st.aliveJob[w] = st.aliveJob[i]
 			st.aliveEl[w] = st.aliveEl[i]
+			if pc > 0 {
+				st.alivePrev[w] = st.alivePrev[i]
+			}
 			w++
 		}
 		st.aliveSeq = st.aliveSeq[:w]
 		st.aliveJob = st.aliveJob[:w]
 		st.aliveEl = st.aliveEl[:w]
+		if pc > 0 {
+			st.alivePrev = st.alivePrev[:w]
+		}
 		now = end
 	}
 

@@ -36,6 +36,22 @@ func Fingerprint(in *Instance, policyName string, opts Options) string {
 	} else {
 		u64(0)
 	}
+	// Machine-model bits are appended only for non-default models, so every
+	// fingerprint ever computed for the paper's setting is unchanged (cached
+	// entries and goldens survive the model's introduction). Speeds hash in
+	// canonical (descending) order: two requests differing only in machine
+	// order describe the same simulation and share a cache entry. A marker
+	// strictly larger than any job count keeps the block unambiguous against
+	// the job stream that follows.
+	if mm := &opts.MachineModel; !mm.Default() {
+		h.Write([]byte("machmodel\x00"))
+		sp := mm.CanonSpeeds()
+		u64(uint64(len(sp)))
+		for _, s := range sp {
+			f64(s)
+		}
+		f64(mm.PreemptCost)
+	}
 
 	cl := in.Clone()
 	cl.Normalize()

@@ -91,6 +91,9 @@ type StreamResult struct {
 	Policy   string
 	Machines int
 	Speed    float64
+	// MachineModel echoes Options.MachineModel (zero value for the default
+	// identical-unit-machine setting).
+	MachineModel Machines
 	// N is the number of jobs pulled from the source.
 	N int
 	// Completed counts jobs that finished. For a source that ends, every

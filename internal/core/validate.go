@@ -13,14 +13,29 @@ var ErrInvalidSchedule = errors.New("core: invalid schedule")
 // the engine's reported completions:
 //
 //   - segments are chronological and non-overlapping;
-//   - every rate is in [0,1] and per-segment rate sums are ≤ m;
+//   - every rate is in [0, s_max] and per-segment rate sums are ≤ Σ speeds
+//     (for the default machine model: rates in [0,1], sums ≤ m);
 //   - jobs are only processed inside [release, completion];
-//   - each job's integrated rate × speed equals its size (within tolerance);
+//   - each job's integrated rate × speed equals its size plus PreemptCost
+//     per preemption — reconstructed from the segment timeline as the
+//     number of positive→zero rate transitions while alive (within
+//     tolerance);
 //   - completions and flows are consistent (C_j = r_j + F_j, C_j ≥ r_j).
 //
 // It requires the result to have been produced with RecordSegments enabled.
 func ValidateResult(res *Result) error {
 	n := len(res.Jobs)
+	maxRate, capSum := 1.0, float64(res.Machines)
+	if res.MachineModel.Heterogeneous() {
+		maxRate, capSum = 0, 0
+		for _, s := range res.MachineModel.Speeds {
+			capSum += s
+			if s > maxRate {
+				maxRate = s
+			}
+		}
+	}
+	pc := res.MachineModel.PreemptCost
 	if len(res.Completion) != n || len(res.Flow) != n {
 		return fmt.Errorf("%w: completion/flow length mismatch", ErrInvalidSchedule)
 	}
@@ -36,6 +51,12 @@ func ValidateResult(res *Result) error {
 		}
 	}
 	work := make([]float64, n)
+	var preempts []int
+	var prevRate []float64
+	if pc > 0 {
+		preempts = make([]int, n)
+		prevRate = make([]float64, n)
+	}
 	prevEnd := math.Inf(-1)
 	for si := range res.Segments {
 		seg := &res.Segments[si]
@@ -55,10 +76,16 @@ func ValidateResult(res *Result) error {
 				return fmt.Errorf("%w: segment %d references job index %d", ErrInvalidSchedule, si, idx)
 			}
 			r := seg.Rates[k]
-			if r < -rateTol || r > 1+rateTol || math.IsNaN(r) {
+			if r < -rateTol || r > maxRate+rateTol || math.IsNaN(r) {
 				return fmt.Errorf("%w: segment %d rate %v for job index %d", ErrInvalidSchedule, si, r, idx)
 			}
 			sum += r
+			if pc > 0 {
+				if prevRate[idx] > 0 && r <= 0 {
+					preempts[idx]++
+				}
+				prevRate[idx] = r
+			}
 			j := res.Jobs[idx]
 			if seg.Start < j.Release-1e-9 {
 				return fmt.Errorf("%w: job %d processed in segment starting %v before release %v", ErrInvalidSchedule, j.ID, seg.Start, j.Release)
@@ -68,16 +95,27 @@ func ValidateResult(res *Result) error {
 			}
 			work[idx] += r * res.Speed * seg.Duration()
 		}
-		if sum > float64(res.Machines)+1e-6 {
-			return fmt.Errorf("%w: segment %d total rate %v exceeds m=%d", ErrInvalidSchedule, si, sum, res.Machines)
+		if sum > capSum+1e-6 {
+			return fmt.Errorf("%w: segment %d total rate %v exceeds capacity %v (m=%d)", ErrInvalidSchedule, si, sum, capSum, res.Machines)
 		}
 	}
 	for i, j := range res.Jobs {
-		if d := math.Abs(work[i] - j.Size); d > 1e-6*(1+j.Size) {
-			return fmt.Errorf("%w: job %d received %v work, size %v", ErrInvalidSchedule, j.ID, work[i], j.Size)
+		want := j.Size
+		if pc > 0 {
+			want += float64(preempts[i]) * pc
+		}
+		if d := math.Abs(work[i] - want); d > 1e-6*(1+want) {
+			return fmt.Errorf("%w: job %d received %v work, size %v (+%d preemptions)", ErrInvalidSchedule, j.ID, work[i], want, preemptCount(preempts, i))
 		}
 	}
 	return nil
+}
+
+func preemptCount(preempts []int, i int) int {
+	if preempts == nil {
+		return 0
+	}
+	return preempts[i]
 }
 
 // OverloadedAt reports whether the segment is an overloaded time in the

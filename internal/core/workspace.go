@@ -62,19 +62,24 @@ type idPair struct{ id, idx int }
 // unbounded JobSource) plus the per-step view/rate buffers. Capacity grows
 // by append on first use and is reused run after run.
 type refScratch struct {
-	aliveSeq []int     // arrival sequence numbers, in (Release, ID) order
-	aliveJob []Job     // job values aligned with aliveSeq
-	aliveEl  []float64 // elapsed work aligned with aliveSeq
-	views    []JobView
-	rates    []float64
+	aliveSeq  []int     // arrival sequence numbers, in (Release, ID) order
+	aliveJob  []Job     // job values aligned with aliveSeq
+	aliveEl   []float64 // elapsed work aligned with aliveSeq
+	alivePrev []float64 // previous-step rates (preempt-cost tracking; only when PreemptCost > 0)
+	views     []JobView
+	rates     []float64
+	rateSort  []float64  // checkRatesUniform's sort buffer (heterogeneous models only)
+	env       MachineEnv // the run's machine environment, rebuilt each run on reused buffers
 }
 
 func (r *refScratch) reset() {
 	r.aliveSeq = r.aliveSeq[:0]
 	r.aliveJob = r.aliveJob[:0]
 	r.aliveEl = r.aliveEl[:0]
+	r.alivePrev = r.alivePrev[:0]
 	r.views = r.views[:0]
 	r.rates = r.rates[:0]
+	r.rateSort = r.rateSort[:0]
 }
 
 // NewWorkspace returns an empty workspace; buffers are grown on first use.
@@ -110,10 +115,11 @@ func (w *Workspace) ObserveStreamDone(obs Observer, sum *StreamResult) {
 		return
 	}
 	w.res = Result{
-		Policy:   sum.Policy,
-		Machines: sum.Machines,
-		Speed:    sum.Speed,
-		Events:   sum.Events,
+		Policy:       sum.Policy,
+		Machines:     sum.Machines,
+		Speed:        sum.Speed,
+		MachineModel: sum.MachineModel,
+		Events:       sum.Events,
 	}
 	obs.ObserveDone(&w.res)
 }
@@ -223,12 +229,13 @@ func (w *Workspace) StartRun(in *Instance, policyName string, opts Options) (*Re
 	w.completion = sized(w.completion, n)
 	w.flow = sized(w.flow, n)
 	w.res = Result{
-		Policy:     policyName,
-		Machines:   opts.Machines,
-		Speed:      opts.Speed,
-		Jobs:       w.jobs,
-		Completion: w.completion,
-		Flow:       w.flow,
+		Policy:       policyName,
+		Machines:     opts.Machines,
+		Speed:        opts.Speed,
+		MachineModel: opts.MachineModel,
+		Jobs:         w.jobs,
+		Completion:   w.completion,
+		Flow:         w.flow,
 	}
 	return &w.res, nil
 }
@@ -323,6 +330,7 @@ func sized[T any](s []T, n int) []T {
 // way to keep a workspace-owned result past the workspace's release.
 func (r *Result) Clone() *Result {
 	out := *r
+	out.MachineModel = r.MachineModel.Clone()
 	out.Jobs = append([]Job(nil), r.Jobs...)
 	out.Completion = append([]float64(nil), r.Completion...)
 	out.Flow = append([]float64(nil), r.Flow...)

@@ -157,6 +157,8 @@ func All() []Experiment {
 		{"E24", "ℓ∞ endpoint: max-flow ratios vs FCFS (the exact ℓ∞ optimum)", E24},
 		{"E25", "Adversarial hunt: ratio frontier vs analytic seed instances", E25},
 		{"E26", "Trace replay vs fitted model: ℓk flow norms by policy", E26},
+		{"E27", "Heterogeneous speeds at equal total capacity: ℓk norms + certificate", E27},
+		{"E28", "Preemption-cost sweep: RR vs SRPT vs HYBRID ℓk norms", E28},
 	}
 }
 

@@ -41,14 +41,20 @@ const ctxStride = 256
 // Eligible reports whether the policy/options combination has a fast path:
 // one of the structured policies, with segment recording disabled (the rate
 // timeline is only produced by the reference engine) and no observer that
-// needs per-job epochs (the fast paths emit aggregate-only epochs).
+// needs per-job epochs (the fast paths emit aggregate-only epochs). Under a
+// heterogeneous machine model only RR is eligible: its fair share stays a
+// single per-alive-count scalar (water-filling), while the rank-based paths
+// assume the m identical-speed slots that make completion-if-unpreempted
+// times policy-independent.
 func Eligible(p core.Policy, opts core.Options) bool {
 	if opts.RecordSegments || core.ObserverNeedsJobEpochs(opts.Observer) {
 		return false
 	}
 	switch p.(type) {
-	case policy.RR, *policy.RR, *policy.SRPT, *policy.SJF, *policy.FCFS, *policy.StaticPriority:
+	case policy.RR, *policy.RR:
 		return true
+	case *policy.SRPT, *policy.SJF, *policy.FCFS, *policy.StaticPriority:
+		return opts.MachineModel.Default()
 	}
 	return false
 }
@@ -96,6 +102,9 @@ func RunWS(in *core.Instance, p core.Policy, opts core.Options, ws *core.Workspa
 	}
 	if !(opts.Speed > 0) || math.IsInf(opts.Speed, 0) {
 		return nil, fmt.Errorf("%w: Speed=%v", core.ErrBadOptions, opts.Speed)
+	}
+	if err := core.ValidateMachineOptions(p, opts); err != nil {
+		return nil, err
 	}
 	if ws == nil {
 		ws = core.NewWorkspace()
@@ -151,6 +160,9 @@ func RunStream(src core.JobSource, p core.Policy, opts core.Options, ws *core.Wo
 	if !(opts.Speed > 0) || math.IsInf(opts.Speed, 0) {
 		return core.StreamResult{}, fmt.Errorf("%w: Speed=%v", core.ErrBadOptions, opts.Speed)
 	}
+	if err := core.ValidateMachineOptions(p, opts); err != nil {
+		return core.StreamResult{}, err
+	}
 	if ws == nil {
 		ws = core.NewWorkspace()
 	}
@@ -158,7 +170,7 @@ func RunStream(src core.JobSource, p core.Policy, opts core.Options, ws *core.Wo
 	// in RunWS; both are cleared before returning so the source interface
 	// does not outlive the run.
 	s := scratchOf(ws)
-	s.sum = core.StreamResult{Policy: p.Name(), Machines: opts.Machines, Speed: opts.Speed}
+	s.sum = core.StreamResult{Policy: p.Name(), Machines: opts.Machines, Speed: opts.Speed, MachineModel: opts.MachineModel}
 	s.cur = core.CursorFrom(src)
 	err := dispatch(p, &s.cur, nil, &s.sum, opts, s)
 	if err == nil {
@@ -179,7 +191,8 @@ func RunStream(src core.JobSource, p core.Policy, opts core.Options, ws *core.Wo
 func dispatch(p core.Policy, cur *core.Cursor, res *core.Result, sum *core.StreamResult, opts core.Options, s *scratch) error {
 	switch pp := p.(type) {
 	case policy.RR, *policy.RR:
-		r := rrRun{cur: cur, res: res, sum: sum, h: &s.rrHeap, m: opts.Machines, speed: opts.Speed, obs: opts.Observer, ep: &s.epoch}
+		core.BuildMachineEnv(&opts, &s.env)
+		r := rrRun{cur: cur, res: res, sum: sum, h: &s.rrHeap, m: opts.Machines, speed: opts.Speed, obs: opts.Observer, ep: &s.epoch, env: &s.env, hetero: !s.env.Identical()}
 		return runRR(&r, opts, s)
 	case *policy.SRPT:
 		s.prepareTopM(ordSRPT, false, opts.Speed)

@@ -21,6 +21,12 @@ type rrRun struct {
 	m     int
 	speed float64
 
+	// env/hetero select the generalized fair share on uniform machines
+	// (env.FairShare in place of min(1, m/alive)); the identical path keeps
+	// its historical expressions verbatim.
+	env    *core.MachineEnv
+	hetero bool
+
 	obs core.Observer // nil when no observer attached
 	ep  *core.Epoch   // workspace-held epoch for allocation-free dispatch
 }
@@ -61,14 +67,25 @@ func (r *rrRun) complete() {
 
 // epoch emits the rate-constant interval [r.now, end) to the observer.
 // Under RR every alive job shares min(1, m/alive) of a machine, so the
-// pre-speed rate sum is min(alive, m).
+// pre-speed rate sum is min(alive, m); on uniform machines it is
+// alive·FairShare(alive) (env.RRSum).
 func (r *rrRun) epoch(end float64) {
 	alive := r.h.Len()
-	rs := float64(alive)
-	if alive > r.m {
-		rs = float64(r.m)
+	var rs float64
+	if r.hetero {
+		rs = r.env.RRSum(alive)
+	} else {
+		rs = identicalRateSum(alive, r.m)
 	}
 	emitEpoch(r.obs, r.ep, r.now, end, alive, rs)
+}
+
+// rateSum is the epoch helper for the coarse/batched paths.
+func (r *rrRun) rateSum(alive int) float64 {
+	if r.hetero {
+		return r.env.RRSum(alive)
+	}
+	return identicalRateSum(alive, r.m)
 }
 
 // runRR simulates Round Robin in O((n + completions) log alive) with
@@ -129,8 +146,26 @@ type rrMat struct {
 	m     int
 	speed float64
 
+	// shares/env/hetero are the heterogeneous-model rate source: under
+	// explicit machine speeds rate = speed·shares[alive] for every alive
+	// count (table entries are exactly env.FairShare bits; counts beyond the
+	// table fall back to the inline call). nil/false on the default model,
+	// whose expressions below are untouched.
+	shares *[rateTabSize]float64
+	env    *core.MachineEnv
+	hetero bool
+
 	obs core.Observer
 	ep  *core.Epoch
+}
+
+// rateSum is the epoch rate-sum helper (identical min(alive, m) or the
+// generalized alive·FairShare(alive)).
+func (r *rrMat) rateSum(alive int) float64 {
+	if r.hetero {
+		return r.env.RRSum(alive)
+	}
+	return identicalRateSum(alive, r.m)
 }
 
 // finish records one completion into the materialized result.
@@ -200,6 +235,7 @@ func (r *rrMat) run(opts core.Options) error {
 	h := r.h
 	m, speed := r.m, r.speed
 	ratio := r.ratio
+	hetero, shares := r.hetero, r.shares
 	rt := r.rt
 	res, obs := r.res, r.obs
 	exact := r.obs != nil && !core.ObserverCoarseEpochsOK(r.obs)
@@ -221,9 +257,17 @@ func (r *rrMat) run(opts core.Options) error {
 			alive := h.Len()
 			// rate = speed · min(1, m/alive); the m/alive quotient comes
 			// from the scratch's bit-exact table (see rateRatios) — a load
-			// in place of a hardware divide on the critical path.
+			// in place of a hardware divide on the critical path. Under a
+			// heterogeneous model the share table generalizes to
+			// env.FairShare(alive) for every alive count (see fairShares).
 			rate := speed
-			if alive > m {
+			if hetero {
+				if alive < rateTabSize {
+					rate = speed * shares[alive]
+				} else {
+					rate = speed * r.env.FairShare(alive)
+				}
+			} else if alive > m {
 				if alive < rateTabSize {
 					rate *= ratio[alive]
 				} else {
@@ -244,11 +288,7 @@ func (r *rrMat) run(opts core.Options) error {
 					}
 				}
 				if exact {
-					rs := float64(alive)
-					if alive > m {
-						rs = float64(m)
-					}
-					emitEpoch(r.obs, r.ep, r.now, tA, alive, rs)
+					emitEpoch(r.obs, r.ep, r.now, tA, alive, r.rateSum(alive))
 				}
 				r.V += (tA - r.now) * rate
 				r.now = tA
@@ -286,11 +326,7 @@ func (r *rrMat) run(opts core.Options) error {
 				}
 			}
 			if exact {
-				rs := float64(alive)
-				if alive > m {
-					rs = float64(m)
-				}
-				emitEpoch(r.obs, r.ep, r.now, tC, alive, rs)
+				emitEpoch(r.obs, r.ep, r.now, tC, alive, r.rateSum(alive))
 			}
 			r.V = minKey
 			r.now = tC
@@ -327,7 +363,7 @@ func (r *rrMat) run(opts core.Options) error {
 		// The heap is empty: the busy interval that began at batchStart
 		// ends here.
 		if coarse {
-			emitCoarseEpoch(r.obs, r.ep, batchStart, r.now, batchAlive, m)
+			emitCoarseEpoch(r.obs, r.ep, batchStart, r.now, batchAlive, r.rateSum(batchAlive))
 		}
 		if !hasA {
 			break
@@ -360,15 +396,21 @@ func runRRMat(r *rrRun, opts core.Options, s *scratch) error {
 	}
 	s.rrPair.Reuse(0) // capacity tracks the peak alive set
 	mr := rrMat{
-		res:   r.res,
-		jobs:  r.res.Jobs,
-		h:     &s.rrPair,
-		rt:    sizedPairs(&s.soaRelTol, n),
-		ratio: (*[rateTabSize]float64)(s.rateRatios(r.m)),
-		m:     r.m,
-		speed: r.speed,
-		obs:   r.obs,
-		ep:    r.ep,
+		res:    r.res,
+		jobs:   r.res.Jobs,
+		h:      &s.rrPair,
+		rt:     sizedPairs(&s.soaRelTol, n),
+		m:      r.m,
+		speed:  r.speed,
+		env:    r.env,
+		hetero: r.hetero,
+		obs:    r.obs,
+		ep:     r.ep,
+	}
+	if r.hetero {
+		mr.shares = (*[rateTabSize]float64)(s.fairShares(r.env))
+	} else {
+		mr.ratio = (*[rateTabSize]float64)(s.rateRatios(r.m))
 	}
 	return mr.run(opts)
 }
@@ -392,7 +434,13 @@ func runRRStream(r *rrRun, opts core.Options, s *scratch) error {
 	events := 1
 	h := r.h
 	m, speed := r.m, r.speed
-	ratio := (*[rateTabSize]float64)(s.rateRatios(m))
+	hetero := r.hetero
+	var ratio, shares *[rateTabSize]float64
+	if hetero {
+		shares = (*[rateTabSize]float64)(s.fairShares(r.env))
+	} else {
+		ratio = (*[rateTabSize]float64)(s.rateRatios(m))
+	}
 	exact := r.obs != nil && !core.ObserverCoarseEpochsOK(r.obs)
 	coarse := r.obs != nil && !exact
 	var batchStart float64
@@ -412,7 +460,13 @@ func runRRStream(r *rrRun, opts core.Options, s *scratch) error {
 		for h.Len() > 0 {
 			alive := h.Len()
 			rate := speed
-			if alive > m {
+			if hetero {
+				if alive < rateTabSize {
+					rate = speed * shares[alive]
+				} else {
+					rate = speed * r.env.FairShare(alive)
+				}
+			} else if alive > m {
 				if alive < rateTabSize {
 					rate *= ratio[alive]
 				} else {
@@ -477,7 +531,7 @@ func runRRStream(r *rrRun, opts core.Options, s *scratch) error {
 			}
 		}
 		if coarse {
-			emitCoarseEpoch(r.obs, r.ep, batchStart, r.now, batchAlive, m)
+			emitCoarseEpoch(r.obs, r.ep, batchStart, r.now, batchAlive, r.rateSum(batchAlive))
 		}
 		if !hasA {
 			break

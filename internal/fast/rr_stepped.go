@@ -48,9 +48,13 @@ func runRRStepped(r *rrRun, opts core.Options) error {
 		}
 		// rate = speed · min(1, m/alive), spelled as a branch: m and alive
 		// are small ints, so m/alive is exact when it matters (alive ≤ m ⇒
-		// factor 1) and math.Min's NaN handling is dead weight here.
+		// factor 1) and math.Min's NaN handling is dead weight here. Under a
+		// heterogeneous model the fair share comes from the env's
+		// water-filling prefix sums instead.
 		rate := r.speed
-		if alive := r.h.Len(); alive > r.m {
+		if r.hetero {
+			rate = r.speed * r.env.FairShare(r.h.Len())
+		} else if alive := r.h.Len(); alive > r.m {
 			rate *= float64(r.m) / float64(alive)
 		}
 		minKey := r.h.Min().Key

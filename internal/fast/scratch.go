@@ -1,6 +1,8 @@
 package fast
 
 import (
+	"slices"
+
 	"rrnorm/internal/core"
 	"rrnorm/internal/queue"
 )
@@ -43,6 +45,21 @@ type scratch struct {
 	// table was built for (0 = never built).
 	ratio  []float64
 	ratioM int
+
+	// shares caches env.FairShare(alive) for alive in [1, rateTabSize) under
+	// a heterogeneous machine model — the generalization of ratio: RR's
+	// per-job rate is speed·shares[alive] for every alive count, not just
+	// alive > m. sharesM/sharesSpeeds are the cache key (0/nil = never
+	// built). Entries hold the exact bits env.FairShare produces, so table
+	// and inline call are interchangeable in the drains.
+	shares       []float64
+	sharesM      int
+	sharesSpeeds []float64
+
+	// env is the run's machine environment, rebuilt by dispatch on reused
+	// buffers (core.BuildMachineEnv); the RR paths consult it for
+	// heterogeneous fair shares and epoch rate sums.
+	env core.MachineEnv
 
 	ord     ordering
 	rem     []float64 // remaining work (frozen while waiting)
@@ -103,20 +120,28 @@ func emitEpoch(obs core.Observer, ep *core.Epoch, start, end float64, alive int,
 
 // emitCoarseEpoch delivers one aggregate busy-interval epoch [start, end)
 // to obs with Coarse set: Start/End bound the busy time exactly, while
-// Alive/RateSum are the interval's opening snapshot (see core.Epoch). The
-// bulk-advance paths emit these — one per maximal busy interval — when
-// every attached observer opts in via core.CoarseEpochObserver. Zero-length
-// and idle intervals are skipped, as in emitEpoch.
-func emitCoarseEpoch(obs core.Observer, ep *core.Epoch, start, end float64, alive, m int) {
+// Alive/RateSum are the interval's opening snapshot (see core.Epoch) — the
+// caller supplies the snapshot's rate sum (identicalRateSum or
+// core.MachineEnv.RRSum). The bulk-advance paths emit these — one per
+// maximal busy interval — when every attached observer opts in via
+// core.CoarseEpochObserver. Zero-length and idle intervals are skipped, as
+// in emitEpoch.
+func emitCoarseEpoch(obs core.Observer, ep *core.Epoch, start, end float64, alive int, rs float64) {
 	if obs == nil || end <= start || alive == 0 {
 		return
 	}
-	rs := float64(alive)
-	if alive > m {
-		rs = float64(m)
-	}
 	*ep = core.Epoch{Start: start, End: end, Alive: alive, RateSum: rs, Coarse: true}
 	obs.ObserveEpoch(ep)
+}
+
+// identicalRateSum is RR's pre-augmentation total rate min(alive, m) on
+// identical unit machines — the historical expression, kept verbatim for
+// the default-model paths.
+func identicalRateSum(alive, m int) float64 {
+	if alive > m {
+		return float64(m)
+	}
+	return float64(alive)
 }
 
 // rateTabSize bounds the cached m/alive ratio table. 1024 entries cover
@@ -143,6 +168,27 @@ func (s *scratch) rateRatios(m int) []float64 {
 	}
 	s.ratioM = m
 	return s.ratio
+}
+
+// fairShares returns the generalized fair-share table for a heterogeneous
+// env: entry a holds exactly env.FairShare(a). Rebuilt only when the
+// machine count or speed vector changed since the last run on this scratch,
+// so steady-state heterogeneous runs stay allocation-free.
+func (s *scratch) fairShares(env *core.MachineEnv) []float64 {
+	sp := env.SortedSpeeds()
+	if s.sharesM == env.M && len(s.shares) == rateTabSize && slices.Equal(s.sharesSpeeds, sp) {
+		return s.shares
+	}
+	if cap(s.shares) < rateTabSize {
+		s.shares = make([]float64, rateTabSize)
+	}
+	s.shares = s.shares[:rateTabSize]
+	for a := 1; a < rateTabSize; a++ {
+		s.shares[a] = env.FairShare(a)
+	}
+	s.sharesM = env.M
+	s.sharesSpeeds = append(s.sharesSpeeds[:0], sp...)
+	return s.shares
 }
 
 // sizedPairs resizes *p to length n without clearing, reallocating only

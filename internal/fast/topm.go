@@ -240,7 +240,7 @@ func (r *topmRun) run(opts core.Options) error {
 			// The machines just went idle: the busy interval that opened at
 			// batchStart ends here. (An empty byC implies an empty waiting
 			// set — a waiting job means every machine is busy.)
-			emitCoarseEpoch(obs, &s.epoch, batchStart, now, batchAlive, m)
+			emitCoarseEpoch(obs, &s.epoch, batchStart, now, batchAlive, identicalRateSum(batchAlive, m))
 		}
 		if !hasA {
 			break // byC drained fully against tA = +Inf, waiting is empty too

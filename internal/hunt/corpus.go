@@ -40,11 +40,16 @@ type Entry struct {
 
 	// The hunt cell and LP discretization the recorded ratio was measured
 	// under; Reevaluate replays with exactly these.
-	K          int     `json:"k"`
-	Machines   int     `json:"machines"`
-	Speed      float64 `json:"speed"`
-	LBSlots    int     `json:"lbSlots"`
-	LBMaxUnits int64   `json:"lbMaxUnits"`
+	K        int     `json:"k"`
+	Machines int     `json:"machines"`
+	Speed    float64 `json:"speed"`
+	// MachineSpeeds/PreemptCost record the RR side's machine model when it
+	// was heterogeneous; both omitted for the identical-unit-machine cells,
+	// so the pre-existing corpus format is unchanged.
+	MachineSpeeds []float64 `json:"machineSpeeds,omitempty"`
+	PreemptCost   float64   `json:"preemptCost,omitempty"`
+	LBSlots       int       `json:"lbSlots"`
+	LBMaxUnits    int64     `json:"lbMaxUnits"`
 
 	// Provenance: the search run that produced the witness.
 	Seed   uint64 `json:"seed"`
@@ -72,20 +77,22 @@ func FromReport(rep *Report, name string) (*Entry, error) {
 	}
 	p := rep.Options.Params
 	e := &Entry{
-		Version:    CorpusVersion,
-		Name:       name,
-		K:          p.K,
-		Machines:   p.Machines,
-		Speed:      p.Speed,
-		LBSlots:    p.LBSlots,
-		LBMaxUnits: p.LBMaxUnits,
-		Seed:       rep.Options.Seed,
-		Budget:     rep.Options.Budget,
-		Origin:     c.Origin,
-		Ratio:      c.Eval.Ratio,
-		NormRatio:  c.Eval.NormRatio,
-		RRPower:    c.Eval.RRPower,
-		LowerBound: c.Eval.LB.Value,
+		Version:       CorpusVersion,
+		Name:          name,
+		K:             p.K,
+		Machines:      p.Machines,
+		Speed:         p.Speed,
+		MachineSpeeds: p.MachineSpeeds,
+		PreemptCost:   p.PreemptCost,
+		LBSlots:       p.LBSlots,
+		LBMaxUnits:    p.LBMaxUnits,
+		Seed:          rep.Options.Seed,
+		Budget:        rep.Options.Budget,
+		Origin:        c.Origin,
+		Ratio:         c.Eval.Ratio,
+		NormRatio:     c.Eval.NormRatio,
+		RRPower:       c.Eval.RRPower,
+		LowerBound:    c.Eval.LB.Value,
 	}
 	for _, j := range c.Instance.Jobs {
 		e.Jobs = append(e.Jobs, EntryJob{ID: j.ID, Release: j.Release, Size: j.Size, Weight: j.Weight})
@@ -104,6 +111,10 @@ func (e *Entry) Validate() error {
 	}
 	if e.K < 1 || e.Machines < 1 || e.Speed <= 0 {
 		return fmt.Errorf("corpus entry %q: bad cell k=%d m=%d s=%g", e.Name, e.K, e.Machines, e.Speed)
+	}
+	mm := core.Machines{Speeds: e.MachineSpeeds, PreemptCost: e.PreemptCost}
+	if err := mm.Validate(e.Machines); err != nil {
+		return fmt.Errorf("corpus entry %q: %w", e.Name, err)
 	}
 	if len(e.Jobs) == 0 {
 		return fmt.Errorf("corpus entry %q: no jobs", e.Name)
@@ -129,12 +140,14 @@ func (e *Entry) Instance() *core.Instance {
 // under (MaxJobs sized to fit the entry itself).
 func (e *Entry) Params() Params {
 	return Params{
-		K:          e.K,
-		Machines:   e.Machines,
-		Speed:      e.Speed,
-		MaxJobs:    len(e.Jobs),
-		LBSlots:    e.LBSlots,
-		LBMaxUnits: e.LBMaxUnits,
+		K:             e.K,
+		Machines:      e.Machines,
+		Speed:         e.Speed,
+		MachineSpeeds: e.MachineSpeeds,
+		PreemptCost:   e.PreemptCost,
+		MaxJobs:       len(e.Jobs),
+		LBSlots:       e.LBSlots,
+		LBMaxUnits:    e.LBMaxUnits,
 	}.withDefaults()
 }
 

@@ -43,6 +43,17 @@ type Params struct {
 	// Speed is RR's resource-augmentation speed s > 0; the lower bound
 	// side always runs at unit speed, exactly as in the paper.
 	Speed float64
+	// MachineSpeeds, when non-empty, runs the RR-at-hunt-speed side under a
+	// uniform machine model (len must equal Machines; see core.Machines).
+	// The lower-bound side — and the unit-speed achieved schedules it is
+	// checked against — stay on identical machines, exactly as the paper's
+	// bounds do, so a heterogeneous cell measures RR's degradation relative
+	// to the identical-machine optimum.
+	MachineSpeeds []float64
+	// PreemptCost is the per-preemption work surcharge applied to the
+	// RR-at-hunt-speed run (RR never preempts, so it only matters for
+	// future policy-generalized hunts; recorded in corpus entries).
+	PreemptCost float64
 	// MaxJobs caps candidate instance sizes, bounding both the LP solve
 	// cost per evaluation and the search space (default 40).
 	MaxJobs int
@@ -63,7 +74,14 @@ func (p Params) withDefaults() Params {
 		p.K = 2
 	}
 	if p.Machines < 1 {
-		p.Machines = 1
+		if len(p.MachineSpeeds) > 0 {
+			p.Machines = len(p.MachineSpeeds)
+		} else {
+			p.Machines = 1
+		}
+	}
+	if p.PreemptCost < 0 {
+		p.PreemptCost = 0
 	}
 	if p.Speed <= 0 {
 		p.Speed = 1
@@ -160,8 +178,9 @@ func evaluateAll(ctx context.Context, ins []*core.Instance, p Params, observe fu
 	// Simulations: 3 points per candidate, reduced in consume (results are
 	// workspace-owned; only scalars leave the callback).
 	points := make([]batch.Point, 0, 3*n)
+	mm := core.Machines{Speeds: p.MachineSpeeds, PreemptCost: p.PreemptCost}
 	for i, in := range ins {
-		huntOpts := core.Options{Machines: p.Machines, Speed: p.Speed}
+		huntOpts := core.Options{Machines: p.Machines, Speed: p.Speed, MachineModel: mm}
 		if observe != nil {
 			huntOpts.Observer = observe(i)
 		}

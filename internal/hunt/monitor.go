@@ -124,7 +124,17 @@ func (m *Monitor) CheckEvaluation(name string, in *core.Instance, ev *Evaluation
 		m.add(AnomLBAboveAchieved, "%s: LB %.6g above achieved unit-speed Σ F^%d %.6g (n=%d, m=%d)",
 			name, ev.LB.Value, m.p.K, ub, in.N(), m.p.Machines)
 	}
-	if m.p.Speed <= 1 && ev.RRPower+m.slack(ev.LB.Value) < ev.LB.Value {
+	// RR cannot beat the unit-speed optimum only when no machine runs
+	// faster than unit speed after augmentation: then RR's schedule is
+	// feasible for OPT's m unit machines. A heterogeneous model with a
+	// machine faster than 1/Speed legitimately undercuts the bound.
+	sMax := 1.0
+	for _, sp := range m.p.MachineSpeeds {
+		if sp > sMax {
+			sMax = sp
+		}
+	}
+	if m.p.Speed*sMax <= 1 && ev.RRPower+m.slack(ev.LB.Value) < ev.LB.Value {
 		m.add(AnomRRBelowLB, "%s: RR at speed %g has Σ F^%d %.6g below the unit-speed lower bound %.6g",
 			name, m.p.Speed, m.p.K, ev.RRPower, ev.LB.Value)
 	}
@@ -213,6 +223,8 @@ func (m *Monitor) absorb(name string, sm *StreamMonitor) {
 type StreamMonitor struct {
 	machines int
 	speed    float64
+	capacity float64 // total rate capacity: Σ machine speeds (m when identical)
+	maxSpeed float64 // fastest machine's relative speed (1 when identical)
 
 	release   []float64 // per arrived job, copied from arrivals
 	size      []float64
@@ -224,17 +236,41 @@ type StreamMonitor struct {
 	dropped   int
 }
 
-// NewStreamMonitor returns a monitor for a run on `machines` machines at
-// the given speed (the run's own options; used for capacity and
+// NewStreamMonitor returns a monitor for a run on `machines` identical
+// machines at the given speed (the run's own options; used for capacity and
 // minimum-flow checks).
 func NewStreamMonitor(machines int, speed float64) *StreamMonitor {
+	return NewStreamMonitorModel(machines, speed, core.Machines{})
+}
+
+// NewStreamMonitorModel is NewStreamMonitor under an explicit machine
+// model: capacity becomes the speed vector's sum and the minimum-flow bound
+// uses the fastest machine, so heterogeneous runs are checked against their
+// actual physics instead of the identical-machine envelope.
+func NewStreamMonitorModel(machines int, speed float64, mm core.Machines) *StreamMonitor {
 	if machines < 1 {
 		machines = 1
 	}
 	if speed <= 0 {
 		speed = 1
 	}
-	return &StreamMonitor{machines: machines, speed: speed}
+	s := &StreamMonitor{machines: machines, speed: speed, capacity: float64(machines), maxSpeed: 1}
+	if mm.Heterogeneous() {
+		total, max := 0.0, 0.0
+		for _, sp := range mm.Speeds {
+			total += sp
+			if sp > max {
+				max = sp
+			}
+		}
+		if total > 0 {
+			s.capacity = total
+		}
+		if max > 0 {
+			s.maxSpeed = max
+		}
+	}
+	return s
 }
 
 // Anomalies returns the findings (at most maxAnomalies, plus a truncation
@@ -288,8 +324,8 @@ func (s *StreamMonitor) ObserveEpoch(e *core.Epoch) {
 	if e.End > s.lastEnd {
 		s.lastEnd = e.End
 	}
-	if e.RateSum > float64(s.machines)+1e-6 {
-		s.add("epoch [%.9g, %.9g) rate sum %.9g exceeds m=%d", e.Start, e.End, e.RateSum, s.machines)
+	if e.RateSum > s.capacity+1e-6 {
+		s.add("epoch [%.9g, %.9g) rate sum %.9g exceeds capacity %.9g (m=%d)", e.Start, e.End, e.RateSum, s.capacity, s.machines)
 	}
 	if e.Alive < 1 {
 		s.add("epoch [%.9g, %.9g) with alive=%d", e.Start, e.End, e.Alive)
@@ -313,8 +349,8 @@ func (s *StreamMonitor) ObserveCompletion(t float64, job int, flow float64) {
 	if flow < -tolBand(t) {
 		s.add("job %d has negative flow %.9g", job, flow)
 	}
-	if min := s.size[job] / s.speed; flow+tolBand(min) < min {
-		s.add("job %d flow %.9g below size/speed %.9g — faster than one machine at speed %g allows",
+	if min := s.size[job] / (s.maxSpeed * s.speed); flow+tolBand(min) < min {
+		s.add("job %d flow %.9g below size/(s_max·speed) %.9g — faster than the fastest machine at speed %g allows",
 			job, flow, min, s.speed)
 	}
 	if t+tolBand(t) < s.release[job] {

@@ -209,12 +209,13 @@ func evaluateCandidates(ctx context.Context, cands []*Candidate, o Options, rep 
 	for i, c := range cands {
 		ins[i] = c.Instance
 	}
+	mm := core.Machines{Speeds: o.MachineSpeeds, PreemptCost: o.PreemptCost}
 	var observe func(i int) core.Observer
 	var streams []*StreamMonitor
 	if o.Monitor != nil {
 		streams = make([]*StreamMonitor, len(cands))
 		observe = func(i int) core.Observer {
-			streams[i] = NewStreamMonitor(o.Machines, o.Speed)
+			streams[i] = NewStreamMonitorModel(o.Machines, o.Speed, mm)
 			return streams[i]
 		}
 	}
@@ -224,7 +225,7 @@ func evaluateCandidates(ctx context.Context, cands []*Candidate, o Options, rep 
 	}
 	for i, c := range cands {
 		c.Eval = evs[i]
-		c.fingerprint = core.Fingerprint(c.Instance, "RR", core.Options{Machines: o.Machines, Speed: o.Speed})
+		c.fingerprint = core.Fingerprint(c.Instance, "RR", core.Options{Machines: o.Machines, Speed: o.Speed, MachineModel: mm})
 		rep.Evaluations++
 		if o.Monitor != nil {
 			o.Monitor.CheckEvaluation(c.Origin, c.Instance, c.Eval)

@@ -132,6 +132,27 @@ func (g *Gittins) Rates(now float64, jobs []core.JobView, m int, speed float64, 
 	return 4 * g.step / math.Max(speed, 1e-9)
 }
 
+// RatesEnv implements core.MachineAware: the job with the i-th highest
+// Gittins index runs on the i-th fastest machine; the review horizon is
+// scaled to the fastest machine so grid crossings are still caught.
+func (g *Gittins) RatesEnv(now float64, jobs []core.JobView, env *core.MachineEnv, rates []float64) float64 {
+	n := len(jobs)
+	rank := make([]float64, n)
+	for i, j := range jobs {
+		rank[i] = g.Rank(j.Elapsed)
+	}
+	g.buf.topMEnv(n, env, rates, func(a, b int) bool {
+		if rank[a] != rank[b] {
+			return rank[a] > rank[b] // highest index first
+		}
+		if jobs[a].Release != jobs[b].Release {
+			return jobs[a].Release < jobs[b].Release
+		}
+		return jobs[a].ID < jobs[b].ID
+	})
+	return 4 * g.step / math.Max(env.MaxSpeed()*env.Speed, 1e-9)
+}
+
 // MonotoneKind classifies the rank curve: -1 decreasing (SETF-like),
 // +1 increasing (FCFS-like), 0 mixed/flat — used by tests and diagnostics.
 func (g *Gittins) MonotoneKind() int {

@@ -53,3 +53,21 @@ func (p *LAPS) Rates(now float64, jobs []core.JobView, m int, speed float64, rat
 	}
 	return core.NoHorizon
 }
+
+// RatesEnv implements core.MachineAware: the ⌈β·n⌉ latest arrivals share
+// the machines at RR's generalized fair share for a group of their size.
+func (p *LAPS) RatesEnv(now float64, jobs []core.JobView, env *core.MachineEnv, rates []float64) float64 {
+	n := len(jobs)
+	g := int(math.Ceil(p.Beta * float64(n)))
+	if g < 1 {
+		g = 1
+	}
+	if g > n {
+		g = n
+	}
+	share := env.FairShare(g)
+	for i := n - g; i < n; i++ {
+		rates[i] = share
+	}
+	return core.NoHorizon
+}

@@ -81,3 +81,40 @@ func (p *MLFQ) Rates(now float64, jobs []core.JobView, m int, speed float64, rat
 	}
 	return horizon
 }
+
+// RatesEnv implements core.MachineAware: lower levels still have strict
+// priority, with the k-th ranked job on the k-th fastest machine; the
+// demotion horizon accounts for each job's machine-dependent work rate.
+func (p *MLFQ) RatesEnv(now float64, jobs []core.JobView, env *core.MachineEnv, rates []float64) float64 {
+	n := len(jobs)
+	levels := make([]int, n)
+	for i, j := range jobs {
+		levels[i] = p.level(j.Elapsed)
+	}
+	p.buf.topMEnv(n, env, rates, func(a, b int) bool {
+		if levels[a] != levels[b] {
+			return levels[a] < levels[b]
+		}
+		if jobs[a].Release != jobs[b].Release {
+			return jobs[a].Release < jobs[b].Release
+		}
+		return jobs[a].ID < jobs[b].ID
+	})
+	horizon := math.Inf(1)
+	for i := range jobs {
+		if rates[i] <= 0 {
+			continue
+		}
+		gap := p.levelEnd(levels[i]) - jobs[i].Elapsed
+		if gap <= 1e-12 {
+			continue
+		}
+		if h := gap / (rates[i] * env.Speed); h < horizon {
+			horizon = h
+		}
+	}
+	if math.IsInf(horizon, 1) {
+		return core.NoHorizon
+	}
+	return horizon
+}

@@ -198,8 +198,8 @@ func TestMLFQApproximatesSETF(t *testing.T) {
 
 func TestRegistry(t *testing.T) {
 	names := Names()
-	if len(names) != 11 {
-		t.Fatalf("want 11 registered policies, got %v", names)
+	if len(names) != 12 {
+		t.Fatalf("want 12 registered policies, got %v", names)
 	}
 	for _, name := range names {
 		p, err := New(name)

@@ -60,3 +60,25 @@ func (p *StaticPriority) Rates(now float64, jobs []core.JobView, m int, speed fl
 	})
 	return core.NoHorizon
 }
+
+// RatesEnv implements core.MachineAware: the k-th ranked job runs on the
+// k-th fastest machine.
+func (p *StaticPriority) RatesEnv(now float64, jobs []core.JobView, env *core.MachineEnv, rates []float64) float64 {
+	pr := func(i int) float64 {
+		if v, ok := p.prio[jobs[i].ID]; ok {
+			return v
+		}
+		return math.Inf(1)
+	}
+	p.buf.topMEnv(len(jobs), env, rates, func(a, b int) bool {
+		pa, pb := pr(a), pr(b)
+		if pa != pb {
+			return pa < pb
+		}
+		if jobs[a].Release != jobs[b].Release {
+			return jobs[a].Release < jobs[b].Release
+		}
+		return jobs[a].ID < jobs[b].ID
+	})
+	return core.NoHorizon
+}

@@ -1,6 +1,11 @@
 package policy
 
-import "sort"
+import (
+	"math"
+	"sort"
+
+	"rrnorm/internal/core"
+)
 
 // rankBuf is a reusable index buffer for rank-based policies (SRPT, SJF,
 // FCFS, LAPS, MLFQ) that assign full machines to the top-m jobs under some
@@ -24,6 +29,84 @@ func (b *rankBuf) topM(n, m int, rates []float64, less func(a, b int) bool) {
 	k := min(m, n)
 	for i := 0; i < k; i++ {
 		rates[b.idx[i]] = 1
+	}
+}
+
+// topMEnv is topM generalized to a heterogeneous machine environment: the
+// i-th ranked job runs on the i-th fastest machine (rate env.RankSpeed(i)
+// instead of 1). With identical unit machines it assigns exactly what topM
+// does.
+func (b *rankBuf) topMEnv(n int, env *core.MachineEnv, rates []float64, less func(a, b int) bool) {
+	if cap(b.idx) < n {
+		b.idx = make([]int, n)
+	}
+	b.idx = b.idx[:n]
+	for i := range b.idx {
+		b.idx[i] = i
+	}
+	sort.SliceStable(b.idx, func(x, y int) bool { return less(b.idx[x], b.idx[y]) })
+	k := min(env.M, n)
+	for i := 0; i < k; i++ {
+		rates[b.idx[i]] = env.RankSpeed(i)
+	}
+}
+
+// propFillEnv is the heterogeneous-machine proportional share: rates are
+// λ·w_i for the largest λ feasible on the speed profile — every
+// sorted-descending weight prefix W_k must satisfy λ·W_k ≤ (speed of the k
+// fastest machines), and the total λ·W_n ≤ Σ speeds. Unlike the identical
+// path's waterfill it does not redistribute past a binding constraint (the
+// caps here are chords of the speed profile, not per-job constants), but it
+// degenerates exactly: with all weights equal the rate is RR's generalized
+// fair share, and zero-weight jobs get nothing unless every weight is zero,
+// in which case capacity splits equally.
+func propFillEnv(weights []float64, env *core.MachineEnv, rates []float64, buf *rankBuf) {
+	n := len(weights)
+	if n == 0 {
+		return
+	}
+	total := 0.0
+	for _, w := range weights {
+		total += w
+	}
+	if total <= 0 {
+		share := env.FairShare(n)
+		for i := range rates {
+			rates[i] = share
+		}
+		return
+	}
+	if cap(buf.idx) < n {
+		buf.idx = make([]int, n)
+	}
+	buf.idx = buf.idx[:n]
+	for i := range buf.idx {
+		buf.idx[i] = i
+	}
+	sort.SliceStable(buf.idx, func(x, y int) bool { return weights[buf.idx[x]] > weights[buf.idx[y]] })
+	λ := math.Inf(1)
+	wsum := 0.0
+	k := min(env.M, n)
+	for i := 0; i < k; i++ {
+		wsum += weights[buf.idx[i]]
+		if wsum <= 0 {
+			continue
+		}
+		if l := env.PrefixSpeed(i+1) / wsum; l < λ {
+			λ = l
+		}
+	}
+	if n > env.M {
+		if l := env.TotalSpeed() / total; l < λ {
+			λ = l
+		}
+	}
+	for i, w := range weights {
+		if w <= 0 {
+			rates[i] = 0
+			continue
+		}
+		rates[i] = λ * w
 	}
 }
 

@@ -14,17 +14,18 @@ type Factory func() core.Policy
 
 // registry maps canonical policy names to factories with sensible defaults.
 var registry = map[string]Factory{
-	"RR":    func() core.Policy { return NewRR() },
-	"SRPT":  func() core.Policy { return NewSRPT() },
-	"SJF":   func() core.Policy { return NewSJF() },
-	"SETF":  func() core.Policy { return NewSETF() },
-	"FCFS":  func() core.Policy { return NewFCFS() },
-	"WRR":   func() core.Policy { return NewWRR(0.01) },
-	"LAPS":  func() core.Policy { return NewLAPS(0.5) },
-	"MLFQ":  func() core.Policy { return NewMLFQ(0.5) },
-	"WSRPT": func() core.Policy { return NewWSRPT() },
-	"WSJF":  func() core.Policy { return NewWSJF() },
-	"PROP":  func() core.Policy { return NewPropShare() },
+	"RR":     func() core.Policy { return NewRR() },
+	"SRPT":   func() core.Policy { return NewSRPT() },
+	"SJF":    func() core.Policy { return NewSJF() },
+	"SETF":   func() core.Policy { return NewSETF() },
+	"FCFS":   func() core.Policy { return NewFCFS() },
+	"WRR":    func() core.Policy { return NewWRR(0.01) },
+	"LAPS":   func() core.Policy { return NewLAPS(0.5) },
+	"MLFQ":   func() core.Policy { return NewMLFQ(0.5) },
+	"HYBRID": func() core.Policy { return NewHybrid(0.5, 0) },
+	"WSRPT":  func() core.Policy { return NewWSRPT() },
+	"WSJF":   func() core.Policy { return NewWSJF() },
+	"PROP":   func() core.Policy { return NewPropShare() },
 }
 
 // New returns a fresh instance of the named policy, or an error listing the

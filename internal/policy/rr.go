@@ -37,3 +37,17 @@ func (RR) Rates(now float64, jobs []core.JobView, m int, speed float64, rates []
 	}
 	return core.NoHorizon
 }
+
+// RatesEnv implements core.MachineAware: on uniform machines every alive
+// job receives the equal fair share prefix[min(n,m)]/n — the n fastest
+// machines time-shared equally when n ≤ m, the full capacity Σspeeds split
+// n ways otherwise (see core.MachineEnv.FairShare for the water-filling
+// derivation). RR stays instantaneously fair and never preempts: every
+// alive job's rate is positive at all times.
+func (RR) RatesEnv(now float64, jobs []core.JobView, env *core.MachineEnv, rates []float64) float64 {
+	share := env.FairShare(len(jobs))
+	for i := range rates {
+		rates[i] = share
+	}
+	return core.NoHorizon
+}

@@ -104,6 +104,70 @@ func (p *SETF) Rates(now float64, jobs []core.JobView, m int, speed float64, rat
 	return horizon
 }
 
+// RatesEnv implements core.MachineAware: elapsed-level tiers fill the speed
+// profile fastest-machines-first — a tier of g jobs starting at fractional
+// machine offset x shares the profile capacity over [x, x+g) equally
+// (core.MachineEnv.ProfileIntegral). Concavity of the profile (speeds
+// descending) makes the resulting sorted-rate prefix sums feasible, and with
+// identical unit machines the allocation is exactly the identical path's
+// min(g, capLeft)/g.
+func (p *SETF) RatesEnv(now float64, jobs []core.JobView, env *core.MachineEnv, rates []float64) float64 {
+	n := len(jobs)
+	if cap(p.idx) < n {
+		p.idx = make([]int, n)
+	}
+	p.idx = p.idx[:n]
+	for i := range p.idx {
+		p.idx[i] = i
+	}
+	sort.SliceStable(p.idx, func(x, y int) bool {
+		a, b := p.idx[x], p.idx[y]
+		if jobs[a].Elapsed != jobs[b].Elapsed {
+			return jobs[a].Elapsed < jobs[b].Elapsed
+		}
+		if jobs[a].Release != jobs[b].Release {
+			return jobs[a].Release < jobs[b].Release
+		}
+		return jobs[a].ID < jobs[b].ID
+	})
+
+	filled := 0.0 // fractional machines already devoted to faster tiers
+	groups := p.groups[:0]
+	for s := 0; s < n; {
+		e := jobs[p.idx[s]].Elapsed
+		t := s + 1
+		for t < n && sameElapsed(jobs[p.idx[t]].Elapsed, e) {
+			t++
+		}
+		g := float64(t - s)
+		alloc := env.ProfileIntegral(filled+g) - env.ProfileIntegral(filled)
+		rate := alloc / g
+		for k := s; k < t; k++ {
+			rates[p.idx[k]] = rate
+		}
+		filled += g
+		groups = append(groups, setfGroup{start: s, end: t, elapsed: e, rate: rate})
+		s = t
+	}
+	p.groups = groups
+
+	horizon := math.Inf(1)
+	for i := 0; i+1 < len(groups); i++ {
+		dRate := groups[i].rate - groups[i+1].rate
+		if dRate <= 0 {
+			continue
+		}
+		gap := groups[i+1].elapsed - groups[i].elapsed
+		if h := gap / (dRate * env.Speed); h < horizon {
+			horizon = h
+		}
+	}
+	if math.IsInf(horizon, 1) {
+		return core.NoHorizon
+	}
+	return horizon
+}
+
 // sameElapsed groups elapsed levels with a relative tolerance so that jobs
 // that advanced together (identical float updates) — and only those — merge.
 func sameElapsed(a, b float64) bool {

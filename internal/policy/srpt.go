@@ -19,9 +19,9 @@ func (*SRPT) Name() string { return "SRPT" }
 // Clairvoyant implements core.Policy.
 func (*SRPT) Clairvoyant() bool { return true }
 
-// Rates implements core.Policy.
-func (p *SRPT) Rates(now float64, jobs []core.JobView, m int, speed float64, rates []float64) float64 {
-	p.buf.topM(len(jobs), m, rates, func(a, b int) bool {
+// srptLess orders by remaining work, breaking ties by release then ID.
+func srptLess(jobs []core.JobView) func(a, b int) bool {
+	return func(a, b int) bool {
 		if jobs[a].Remaining != jobs[b].Remaining {
 			return jobs[a].Remaining < jobs[b].Remaining
 		}
@@ -29,7 +29,19 @@ func (p *SRPT) Rates(now float64, jobs []core.JobView, m int, speed float64, rat
 			return jobs[a].Release < jobs[b].Release
 		}
 		return jobs[a].ID < jobs[b].ID
-	})
+	}
+}
+
+// Rates implements core.Policy.
+func (p *SRPT) Rates(now float64, jobs []core.JobView, m int, speed float64, rates []float64) float64 {
+	p.buf.topM(len(jobs), m, rates, srptLess(jobs))
+	return core.NoHorizon
+}
+
+// RatesEnv implements core.MachineAware: the k-th shortest job runs on the
+// k-th fastest machine.
+func (p *SRPT) RatesEnv(now float64, jobs []core.JobView, env *core.MachineEnv, rates []float64) float64 {
+	p.buf.topMEnv(len(jobs), env, rates, srptLess(jobs))
 	return core.NoHorizon
 }
 
@@ -48,9 +60,9 @@ func (*SJF) Name() string { return "SJF" }
 // Clairvoyant implements core.Policy.
 func (*SJF) Clairvoyant() bool { return true }
 
-// Rates implements core.Policy.
-func (p *SJF) Rates(now float64, jobs []core.JobView, m int, speed float64, rates []float64) float64 {
-	p.buf.topM(len(jobs), m, rates, func(a, b int) bool {
+// sjfLess orders by original size, breaking ties by release then ID.
+func sjfLess(jobs []core.JobView) func(a, b int) bool {
+	return func(a, b int) bool {
 		if jobs[a].Size != jobs[b].Size {
 			return jobs[a].Size < jobs[b].Size
 		}
@@ -58,7 +70,18 @@ func (p *SJF) Rates(now float64, jobs []core.JobView, m int, speed float64, rate
 			return jobs[a].Release < jobs[b].Release
 		}
 		return jobs[a].ID < jobs[b].ID
-	})
+	}
+}
+
+// Rates implements core.Policy.
+func (p *SJF) Rates(now float64, jobs []core.JobView, m int, speed float64, rates []float64) float64 {
+	p.buf.topM(len(jobs), m, rates, sjfLess(jobs))
+	return core.NoHorizon
+}
+
+// RatesEnv implements core.MachineAware.
+func (p *SJF) RatesEnv(now float64, jobs []core.JobView, env *core.MachineEnv, rates []float64) float64 {
+	p.buf.topMEnv(len(jobs), env, rates, sjfLess(jobs))
 	return core.NoHorizon
 }
 
@@ -77,15 +100,27 @@ func (*FCFS) Name() string { return "FCFS" }
 // Clairvoyant implements core.Policy.
 func (*FCFS) Clairvoyant() bool { return false }
 
-// Rates implements core.Policy.
-func (p *FCFS) Rates(now float64, jobs []core.JobView, m int, speed float64, rates []float64) float64 {
-	// jobs arrive ordered by (Release, ID) already; keep the explicit
-	// comparator for robustness against future engine changes.
-	p.buf.topM(len(jobs), m, rates, func(a, b int) bool {
+// fcfsLess orders by release then ID.
+func fcfsLess(jobs []core.JobView) func(a, b int) bool {
+	return func(a, b int) bool {
 		if jobs[a].Release != jobs[b].Release {
 			return jobs[a].Release < jobs[b].Release
 		}
 		return jobs[a].ID < jobs[b].ID
-	})
+	}
+}
+
+// Rates implements core.Policy.
+func (p *FCFS) Rates(now float64, jobs []core.JobView, m int, speed float64, rates []float64) float64 {
+	// jobs arrive ordered by (Release, ID) already; keep the explicit
+	// comparator for robustness against future engine changes.
+	p.buf.topM(len(jobs), m, rates, fcfsLess(jobs))
+	return core.NoHorizon
+}
+
+// RatesEnv implements core.MachineAware: the k-th oldest job runs on the
+// k-th fastest machine.
+func (p *FCFS) RatesEnv(now float64, jobs []core.JobView, env *core.MachineEnv, rates []float64) float64 {
+	p.buf.topMEnv(len(jobs), env, rates, fcfsLess(jobs))
 	return core.NoHorizon
 }

@@ -21,9 +21,9 @@ func (*WSRPT) Name() string { return "WSRPT" }
 // Clairvoyant implements core.Policy.
 func (*WSRPT) Clairvoyant() bool { return true }
 
-// Rates implements core.Policy.
-func (p *WSRPT) Rates(now float64, jobs []core.JobView, m int, speed float64, rates []float64) float64 {
-	p.buf.topM(len(jobs), m, rates, func(a, b int) bool {
+// wsrptLess orders by remaining-work-to-weight ratio, then release, then ID.
+func wsrptLess(jobs []core.JobView) func(a, b int) bool {
+	return func(a, b int) bool {
 		da := jobs[a].Remaining / weightOf(jobs[a])
 		db := jobs[b].Remaining / weightOf(jobs[b])
 		if da != db {
@@ -33,7 +33,18 @@ func (p *WSRPT) Rates(now float64, jobs []core.JobView, m int, speed float64, ra
 			return jobs[a].Release < jobs[b].Release
 		}
 		return jobs[a].ID < jobs[b].ID
-	})
+	}
+}
+
+// Rates implements core.Policy.
+func (p *WSRPT) Rates(now float64, jobs []core.JobView, m int, speed float64, rates []float64) float64 {
+	p.buf.topM(len(jobs), m, rates, wsrptLess(jobs))
+	return core.NoHorizon
+}
+
+// RatesEnv implements core.MachineAware.
+func (p *WSRPT) RatesEnv(now float64, jobs []core.JobView, env *core.MachineEnv, rates []float64) float64 {
+	p.buf.topMEnv(len(jobs), env, rates, wsrptLess(jobs))
 	return core.NoHorizon
 }
 
@@ -50,9 +61,9 @@ func (*WSJF) Name() string { return "WSJF" }
 // Clairvoyant implements core.Policy.
 func (*WSJF) Clairvoyant() bool { return true }
 
-// Rates implements core.Policy.
-func (p *WSJF) Rates(now float64, jobs []core.JobView, m int, speed float64, rates []float64) float64 {
-	p.buf.topM(len(jobs), m, rates, func(a, b int) bool {
+// wsjfLess orders by size-to-weight ratio, then release, then ID.
+func wsjfLess(jobs []core.JobView) func(a, b int) bool {
+	return func(a, b int) bool {
 		da := jobs[a].Size / weightOf(jobs[a])
 		db := jobs[b].Size / weightOf(jobs[b])
 		if da != db {
@@ -62,7 +73,18 @@ func (p *WSJF) Rates(now float64, jobs []core.JobView, m int, speed float64, rat
 			return jobs[a].Release < jobs[b].Release
 		}
 		return jobs[a].ID < jobs[b].ID
-	})
+	}
+}
+
+// Rates implements core.Policy.
+func (p *WSJF) Rates(now float64, jobs []core.JobView, m int, speed float64, rates []float64) float64 {
+	p.buf.topM(len(jobs), m, rates, wsjfLess(jobs))
+	return core.NoHorizon
+}
+
+// RatesEnv implements core.MachineAware.
+func (p *WSJF) RatesEnv(now float64, jobs []core.JobView, env *core.MachineEnv, rates []float64) float64 {
+	p.buf.topMEnv(len(jobs), env, rates, wsjfLess(jobs))
 	return core.NoHorizon
 }
 
@@ -73,6 +95,7 @@ func (p *WSJF) Rates(now float64, jobs []core.JobView, m int, speed float64, rat
 // are static, so rates change only at arrivals/completions.
 type PropShare struct {
 	weights []float64
+	buf     rankBuf
 }
 
 // NewPropShare returns a weight-proportional-sharing policy.
@@ -95,6 +118,21 @@ func (p *PropShare) Rates(now float64, jobs []core.JobView, m int, speed float64
 		p.weights[i] = weightOf(j)
 	}
 	waterfill(p.weights, math.Min(float64(m), float64(n)), rates)
+	return core.NoHorizon
+}
+
+// RatesEnv implements core.MachineAware via the largest uniform
+// proportional scaling feasible on the speed profile (see propFillEnv).
+func (p *PropShare) RatesEnv(now float64, jobs []core.JobView, env *core.MachineEnv, rates []float64) float64 {
+	n := len(jobs)
+	if cap(p.weights) < n {
+		p.weights = make([]float64, n)
+	}
+	p.weights = p.weights[:n]
+	for i, j := range jobs {
+		p.weights[i] = weightOf(j)
+	}
+	propFillEnv(p.weights, env, rates, &p.buf)
 	return core.NoHorizon
 }
 

@@ -25,6 +25,7 @@ type WRR struct {
 	RelDrift float64
 
 	weights []float64
+	buf     rankBuf
 }
 
 // NewWRR returns an age-weighted Round Robin with the given review quantum.
@@ -51,6 +52,37 @@ func (p *WRR) Rates(now float64, jobs []core.JobView, m int, speed float64, rate
 		}
 	}
 	waterfill(p.weights, math.Min(float64(m), float64(n)), rates)
+	q := p.Quantum
+	if q <= 0 {
+		q = 1e-3
+	}
+	drift := p.RelDrift
+	if drift <= 0 {
+		drift = 0.05
+	}
+	if h := drift * minAge; h > q {
+		return h
+	}
+	return q
+}
+
+// RatesEnv implements core.MachineAware: age-proportional shares via the
+// largest uniform scaling feasible on the speed profile (propFillEnv),
+// re-planned on the same drift-bounded quantum as the identical path.
+func (p *WRR) RatesEnv(now float64, jobs []core.JobView, env *core.MachineEnv, rates []float64) float64 {
+	n := len(jobs)
+	if cap(p.weights) < n {
+		p.weights = make([]float64, n)
+	}
+	p.weights = p.weights[:n]
+	minAge := math.Inf(1)
+	for i, j := range jobs {
+		p.weights[i] = j.Age
+		if j.Age < minAge {
+			minAge = j.Age
+		}
+	}
+	propFillEnv(p.weights, env, rates, &p.buf)
 	q := p.Quantum
 	if q <= 0 {
 		q = 1e-3

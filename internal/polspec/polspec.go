@@ -2,6 +2,7 @@
 // tools — the policy-side analogue of workload.FromSpec:
 //
 //	RR | SRPT | SJF | SETF | FCFS | WSRPT | WSJF | PROP
+//	HYBRID[:theta=0.5,starve=0]
 //	LAPS[:beta=0.5]
 //	MLFQ[:q=0.5]
 //	WRR[:q=0.01]
@@ -51,6 +52,19 @@ func New(spec string) (core.Policy, error) {
 	}
 
 	switch name {
+	case "HYBRID":
+		theta, err := getF("theta", 0.5)
+		if err != nil {
+			return nil, err
+		}
+		starve, err := getF("starve", 0)
+		if err != nil {
+			return nil, err
+		}
+		if err := noLeftovers(); err != nil {
+			return nil, err
+		}
+		return policy.NewHybrid(theta, starve), nil
 	case "LAPS":
 		beta, err := getF("beta", 0.5)
 		if err != nil {

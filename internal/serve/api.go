@@ -79,10 +79,18 @@ type SimulateRequest struct {
 	// Policy is a policy spec (internal/polspec grammar): "RR", "SRPT",
 	// "LAPS:beta=0.3", ...
 	Policy string `json:"policy"`
-	// Machines is m ≥ 1 (default 1).
+	// Machines is m ≥ 1 (default 1; defaults to len(machine_speeds) when
+	// that is set).
 	Machines int `json:"machines,omitempty"`
 	// Speed is the resource-augmentation factor s > 0 (default 1).
 	Speed float64 `json:"speed,omitempty"`
+	// MachineSpeeds gives each machine its own relative speed (uniform
+	// machine model); empty means machines identical unit-speed machines.
+	// When set, its length must equal machines (or machines may be omitted).
+	MachineSpeeds []float64 `json:"machine_speeds,omitempty"`
+	// PreemptCost is the extra work a job is charged each time a running
+	// job is preempted (default 0; must be finite and ≥ 0).
+	PreemptCost float64 `json:"preempt_cost,omitempty"`
 	// Engine selects the simulation engine: auto (default), reference, fast.
 	Engine string `json:"engine,omitempty"`
 	// Norms lists the k values to report ℓk-norms for (default [1 2 3]).
@@ -99,14 +107,16 @@ type SimulateRequest struct {
 // CompareRequest is the body of POST /v1/compare: one workload fanned out
 // over several policies with shared options.
 type CompareRequest struct {
-	Spec     string    `json:"spec,omitempty"`
-	Seed     uint64    `json:"seed,omitempty"`
-	Jobs     []JobSpec `json:"jobs,omitempty"`
-	Policies []string  `json:"policies"`
-	Machines int       `json:"machines,omitempty"`
-	Speed    float64   `json:"speed,omitempty"`
-	Engine   string    `json:"engine,omitempty"`
-	Norms    []int     `json:"norms,omitempty"`
+	Spec          string    `json:"spec,omitempty"`
+	Seed          uint64    `json:"seed,omitempty"`
+	Jobs          []JobSpec `json:"jobs,omitempty"`
+	Policies      []string  `json:"policies"`
+	Machines      int       `json:"machines,omitempty"`
+	Speed         float64   `json:"speed,omitempty"`
+	MachineSpeeds []float64 `json:"machine_speeds,omitempty"`
+	PreemptCost   float64   `json:"preempt_cost,omitempty"`
+	Engine        string    `json:"engine,omitempty"`
+	Norms         []int     `json:"norms,omitempty"`
 }
 
 // NormValue is one reported ℓk-norm.
@@ -143,17 +153,19 @@ type TimelineInfo struct {
 
 // SimulateResponse is the body of a successful POST /v1/simulate.
 type SimulateResponse struct {
-	Policy      string        `json:"policy"`
-	Machines    int           `json:"machines"`
-	Speed       float64       `json:"speed"`
-	Engine      string        `json:"engine"`
-	N           int           `json:"n"`
-	Events      int           `json:"events"`
-	Norms       []NormValue   `json:"norms"`
-	Summary     FlowSummary   `json:"summary"`
-	Timeline    *TimelineInfo `json:"timeline,omitempty"`
-	Completions []float64     `json:"completions,omitempty"`
-	Flows       []float64     `json:"flows,omitempty"`
+	Policy        string        `json:"policy"`
+	Machines      int           `json:"machines"`
+	Speed         float64       `json:"speed"`
+	MachineSpeeds []float64     `json:"machine_speeds,omitempty"`
+	PreemptCost   float64       `json:"preempt_cost,omitempty"`
+	Engine        string        `json:"engine"`
+	N             int           `json:"n"`
+	Events        int           `json:"events"`
+	Norms         []NormValue   `json:"norms"`
+	Summary       FlowSummary   `json:"summary"`
+	Timeline      *TimelineInfo `json:"timeline,omitempty"`
+	Completions   []float64     `json:"completions,omitempty"`
+	Flows         []float64     `json:"flows,omitempty"`
 }
 
 // CompareEntry is one policy's row in a compare response, ordered as
@@ -166,11 +178,13 @@ type CompareEntry struct {
 
 // CompareResponse is the body of a successful POST /v1/compare.
 type CompareResponse struct {
-	Machines int            `json:"machines"`
-	Speed    float64        `json:"speed"`
-	Engine   string         `json:"engine"`
-	N        int            `json:"n"`
-	Policies []CompareEntry `json:"policies"`
+	Machines      int            `json:"machines"`
+	Speed         float64        `json:"speed"`
+	MachineSpeeds []float64      `json:"machine_speeds,omitempty"`
+	PreemptCost   float64        `json:"preempt_cost,omitempty"`
+	Engine        string         `json:"engine"`
+	N             int            `json:"n"`
+	Policies      []CompareEntry `json:"policies"`
 }
 
 // PoliciesResponse is the body of GET /v1/policies.
@@ -252,16 +266,43 @@ func (s *simSpec) materialize() *apiError {
 	return nil
 }
 
+// validateMachineModel checks the heterogeneous-machine fields shared by
+// every endpoint, resolving the machine count: an omitted machines defaults
+// to len(speeds) when speeds are given (and to the caller's default — 1 —
+// otherwise).
+func validateMachineModel(speeds []float64, preemptCost float64, machines int) (core.Machines, int, *apiError) {
+	if machines == 0 {
+		if len(speeds) > 0 {
+			machines = len(speeds)
+		} else {
+			machines = 1
+		}
+	}
+	if len(speeds) > 0 && len(speeds) != machines {
+		return core.Machines{}, 0, badRequest("machine_speeds has %d entries for machines=%d", len(speeds), machines)
+	}
+	for i, s := range speeds {
+		if !(s > 0) || math.IsInf(s, 0) {
+			return core.Machines{}, 0, badRequest("machine_speeds[%d] must be a positive finite number, got %v", i, s)
+		}
+	}
+	if preemptCost < 0 || math.IsNaN(preemptCost) || math.IsInf(preemptCost, 0) {
+		return core.Machines{}, 0, badRequest("preempt_cost must be a non-negative finite number, got %v", preemptCost)
+	}
+	return core.Machines{Speeds: speeds, PreemptCost: preemptCost}, machines, nil
+}
+
 // validateWorkload checks the shared workload/options fields and builds
 // the instance. It is the one place request input can turn into jobs, so
 // every limit is enforced here.
-func validateWorkload(spec string, seed uint64, jobs []JobSpec, machines int, speed float64, engine string, norms []int) (*core.Instance, core.Options, []int, *apiError) {
+func validateWorkload(spec string, seed uint64, jobs []JobSpec, machines int, speed float64, machineSpeeds []float64, preemptCost float64, engine string, norms []int) (*core.Instance, core.Options, []int, *apiError) {
 	var opts core.Options
 	if (spec == "") == (len(jobs) == 0) {
 		return nil, opts, nil, badRequest("exactly one of spec and jobs must be set")
 	}
-	if machines == 0 {
-		machines = 1
+	mm, machines, aerr := validateMachineModel(machineSpeeds, preemptCost, machines)
+	if aerr != nil {
+		return nil, opts, nil, aerr
 	}
 	if machines < 1 {
 		return nil, opts, nil, badRequest("machines must be ≥ 1, got %d", machines)
@@ -313,7 +354,7 @@ func validateWorkload(spec string, seed uint64, jobs []JobSpec, machines int, sp
 			return nil, opts, nil, badRequest("jobs: %v", err)
 		}
 	}
-	opts = core.Options{Machines: machines, Speed: speed, Engine: eng}
+	opts = core.Options{Machines: machines, Speed: speed, Engine: eng, MachineModel: mm}
 	return in, opts, norms, nil
 }
 
@@ -377,7 +418,7 @@ func parseSimulate(req SimulateRequest) (*simSpec, *apiError) {
 	if _, err := polspec.New(req.Policy); err != nil {
 		return nil, badRequest("%v", err)
 	}
-	in, opts, norms, aerr := validateWorkload(req.Spec, req.Seed, req.Jobs, req.Machines, req.Speed, req.Engine, req.Norms)
+	in, opts, norms, aerr := validateWorkload(req.Spec, req.Seed, req.Jobs, req.Machines, req.Speed, req.MachineSpeeds, req.PreemptCost, req.Engine, req.Norms)
 	if aerr != nil {
 		return nil, aerr
 	}
@@ -407,6 +448,14 @@ func (s *simSpec) cacheKey() string {
 		u64(uint64(int64(s.opts.Machines)))
 		u64(math.Float64bits(s.opts.Speed))
 		u64(uint64(int64(s.opts.Engine)))
+		// Machine model: length-prefixed speeds then the preemption cost, so
+		// distinct speed vectors — including prefixes of one another — can
+		// never collide with each other or with the identical-machine key.
+		u64(uint64(len(s.opts.MachineModel.Speeds)))
+		for _, sp := range s.opts.MachineModel.Speeds {
+			u64(math.Float64bits(sp))
+		}
+		u64(math.Float64bits(s.opts.MachineModel.PreemptCost))
 	} else {
 		h.Write([]byte("jobs\x00"))
 		h.Write([]byte(core.Fingerprint(s.instance, s.req.Policy, s.opts)))
@@ -456,7 +505,7 @@ func (s *simSpec) run(ctx context.Context) (*SimulateResponse, *apiError) {
 	// elides the fan-out wrapper when only one observer is active.
 	var sm *hunt.StreamMonitor
 	if s.anomalies != nil {
-		sm = hunt.NewStreamMonitor(opts.Machines, opts.Speed)
+		sm = hunt.NewStreamMonitorModel(opts.Machines, opts.Speed, opts.MachineModel)
 		obs = append(obs, sm)
 	}
 	opts.Observer = core.Multi(obs...)
@@ -494,14 +543,16 @@ func (s *simSpec) run(ctx context.Context) (*SimulateResponse, *apiError) {
 
 func buildResponse(res *core.Result, norms []int, detail bool, eng core.EngineKind) *SimulateResponse {
 	out := &SimulateResponse{
-		Policy:   res.Policy,
-		Machines: res.Machines,
-		Speed:    res.Speed,
-		Engine:   eng.String(),
-		N:        len(res.Jobs),
-		Events:   res.Events,
-		Norms:    make([]NormValue, 0, len(norms)),
-		Summary:  summarize(res.Flow),
+		Policy:        res.Policy,
+		Machines:      res.Machines,
+		Speed:         res.Speed,
+		MachineSpeeds: append([]float64(nil), res.MachineModel.Speeds...),
+		PreemptCost:   res.MachineModel.PreemptCost,
+		Engine:        eng.String(),
+		N:             len(res.Jobs),
+		Events:        res.Events,
+		Norms:         make([]NormValue, 0, len(norms)),
+		Summary:       summarize(res.Flow),
 	}
 	for _, k := range norms {
 		out.Norms = append(out.Norms, NormValue{K: k, Value: metrics.LkNorm(res.Flow, k)})

@@ -1,0 +1,215 @@
+package serve
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestMachineModelBadRequests is the structured-400 table for the
+// heterogeneous-machine fields: every malformed machine_speeds / preempt_cost
+// shape on /v1/simulate and /v1/replay must produce the standard bad_request
+// envelope naming the offending field, never a 500 or a silent default.
+func TestMachineModelBadRequests(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+
+	simCases := []struct {
+		name, body, fragment string
+	}{
+		{"zero speed", `{"spec":"poisson:n=10","policy":"RR","machine_speeds":[1,0]}`,
+			"machine_speeds[1] must be a positive finite number"},
+		{"negative speed", `{"spec":"poisson:n=10","policy":"RR","machine_speeds":[-1]}`,
+			"machine_speeds[0] must be a positive finite number"},
+		{"count mismatch", `{"spec":"poisson:n=10","policy":"RR","machines":3,"machine_speeds":[1,2]}`,
+			"machine_speeds has 2 entries for machines=3"},
+		{"negative preempt cost", `{"spec":"poisson:n=10","policy":"RR","preempt_cost":-0.5}`,
+			"preempt_cost must be a non-negative finite number"},
+		{"speed overflows float64", `{"spec":"poisson:n=10","policy":"RR","machine_speeds":[1e999]}`, ""},
+	}
+	for _, tc := range simCases {
+		t.Run("simulate/"+tc.name, func(t *testing.T) {
+			resp, body := post(t, ts.URL, "/v1/simulate", tc.body)
+			wantError(t, resp, body, 400, "bad_request")
+			if tc.fragment != "" && !strings.Contains(string(body), tc.fragment) {
+				t.Errorf("error body %s missing %q", body, tc.fragment)
+			}
+		})
+	}
+
+	// /v1/compare shares the validator; one case per field proves the wiring.
+	for _, tc := range []struct{ name, body, fragment string }{
+		{"zero speed", `{"spec":"poisson:n=10","policies":["RR"],"machine_speeds":[0,1]}`,
+			"machine_speeds[0] must be a positive finite number"},
+		{"negative preempt cost", `{"spec":"poisson:n=10","policies":["RR"],"preempt_cost":-1}`,
+			"preempt_cost must be a non-negative finite number"},
+	} {
+		t.Run("compare/"+tc.name, func(t *testing.T) {
+			resp, body := post(t, ts.URL, "/v1/compare", tc.body)
+			wantError(t, resp, body, 400, "bad_request")
+			if !strings.Contains(string(body), tc.fragment) {
+				t.Errorf("error body %s missing %q", body, tc.fragment)
+			}
+		})
+	}
+
+	// The replay route parses the same fields from query parameters, so NaN
+	// and infinities are reachable as text here (JSON rejects them upstream
+	// on the simulate route).
+	tr := replayTrace(t, 30)
+	replayCases := []struct {
+		name, query, fragment string
+	}{
+		{"zero speed", "policy=RR&machine_speeds=1,0",
+			"machine_speeds[1] must be a positive finite number"},
+		{"negative speed", "policy=RR&machine_speeds=-2",
+			"machine_speeds[0] must be a positive finite number"},
+		{"NaN speed", "policy=RR&machine_speeds=nan",
+			"machine_speeds[0] must be a positive finite number"},
+		{"infinite speed", "policy=RR&machine_speeds=1,+inf",
+			"machine_speeds[1] must be a positive finite number"},
+		{"unparsable speeds", "policy=RR&machine_speeds=1,zz",
+			"machine_speeds must be a comma-separated list of numbers"},
+		{"count mismatch", "policy=RR&machines=3&machine_speeds=1,2",
+			"machine_speeds has 2 entries for machines=3"},
+		{"negative preempt cost", "policy=RR&preempt_cost=-0.25",
+			"preempt_cost must be a non-negative finite number"},
+		{"NaN preempt cost", "policy=RR&preempt_cost=nan",
+			"preempt_cost must be a non-negative finite number"},
+		{"infinite preempt cost", "policy=RR&preempt_cost=inf",
+			"preempt_cost must be a non-negative finite number"},
+		{"unparsable preempt cost", "policy=RR&preempt_cost=zz",
+			"preempt_cost must be a number"},
+	}
+	for _, tc := range replayCases {
+		t.Run("replay/"+tc.name, func(t *testing.T) {
+			resp, body := postReplay(t, ts.URL, tc.query, tr, "")
+			wantError(t, resp, body, 400, "bad_request")
+			if !strings.Contains(string(body), tc.fragment) {
+				t.Errorf("error body %s missing %q", body, tc.fragment)
+			}
+		})
+	}
+}
+
+// TestMachineModelCacheKeys proves distinct machine models never share a
+// cache entry. The sharpest trap is the explicit all-ones vector: it is
+// numerically the identical-machine model, but its response echoes
+// machine_speeds, so a key collision with the default would serve the wrong
+// body bytes. Length-prefixed hashing must keep them — and every other
+// distinct vector — apart, while exact repeats still hit.
+func TestMachineModelCacheKeys(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	simulate := func(body string) (string, []byte) {
+		t.Helper()
+		resp, b := post(t, ts.URL, "/v1/simulate", body)
+		if resp.StatusCode != 200 {
+			t.Fatalf("status %d, body %s", resp.StatusCode, b)
+		}
+		return resp.Header.Get("X-Cache"), b
+	}
+	base := `"spec":"poisson:n=40,load=0.8,dist=exp","seed":3,"policy":"RR","machines":2`
+
+	cacheA, bodyA := simulate(`{` + base + `,"machine_speeds":[1,2]}`)
+	if cacheA != "miss" {
+		t.Fatalf("first [1,2] request: X-Cache %q, want miss", cacheA)
+	}
+	cacheDefault, bodyDefault := simulate(`{` + base + `}`)
+	if cacheDefault != "miss" {
+		t.Fatalf("default-model request collided with [1,2] entry: X-Cache %q", cacheDefault)
+	}
+	cacheOnes, bodyOnes := simulate(`{` + base + `,"machine_speeds":[1,1]}`)
+	if cacheOnes != "miss" {
+		t.Fatalf("explicit [1,1] request collided with an earlier entry: X-Cache %q", cacheOnes)
+	}
+	cacheCost, _ := simulate(`{` + base + `,"preempt_cost":0.5}`)
+	if cacheCost != "miss" {
+		t.Fatalf("preempt_cost=0.5 request collided with an earlier entry: X-Cache %q", cacheCost)
+	}
+	cacheB, _ := simulate(`{` + base + `,"machine_speeds":[1.5,1.5]}`)
+	if cacheB != "miss" {
+		t.Fatalf("[1.5,1.5] request collided with an earlier entry: X-Cache %q", cacheB)
+	}
+
+	// Exact repeat: hit, byte-identical.
+	cacheA2, bodyA2 := simulate(`{` + base + `,"machine_speeds":[1,2]}`)
+	if cacheA2 != "hit" {
+		t.Fatalf("repeat [1,2] request: X-Cache %q, want hit", cacheA2)
+	}
+	if string(bodyA) != string(bodyA2) {
+		t.Fatalf("cached body differs from computed body")
+	}
+
+	// The all-ones body is the default schedule plus the echo — same norms,
+	// different bytes. Both facts confirm the entries are truly distinct.
+	var def, ones struct {
+		MachineSpeeds []float64 `json:"machine_speeds"`
+		Norms         []struct {
+			K     int     `json:"k"`
+			Value float64 `json:"value"`
+		} `json:"norms"`
+	}
+	if err := json.Unmarshal(bodyDefault, &def); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(bodyOnes, &ones); err != nil {
+		t.Fatal(err)
+	}
+	if len(def.MachineSpeeds) != 0 || len(ones.MachineSpeeds) != 2 {
+		t.Fatalf("echo: default %v, all-ones %v", def.MachineSpeeds, ones.MachineSpeeds)
+	}
+	for i := range def.Norms {
+		if def.Norms[i].Value != ones.Norms[i].Value {
+			t.Fatalf("all-ones vector changed the schedule: k=%d %v vs %v",
+				def.Norms[i].K, def.Norms[i].Value, ones.Norms[i].Value)
+		}
+	}
+
+	// Jobs-workload branch (fingerprint-keyed): distinct vectors must miss,
+	// and genuinely different speeds move the norms.
+	jobs := `"jobs":[{"id":0,"release":0,"size":4},{"id":1,"release":0,"size":4},{"id":2,"release":1,"size":2}],"policy":"RR","machines":2`
+	cacheJ1, bodyJ1 := simulate(`{` + jobs + `,"machine_speeds":[1,2]}`)
+	cacheJ2, bodyJ2 := simulate(`{` + jobs + `,"machine_speeds":[2,4]}`)
+	if cacheJ1 != "miss" || cacheJ2 != "miss" {
+		t.Fatalf("jobs-branch requests: X-Cache %q/%q, want miss/miss", cacheJ1, cacheJ2)
+	}
+	var j1, j2 struct {
+		Norms []struct {
+			K     int     `json:"k"`
+			Value float64 `json:"value"`
+		} `json:"norms"`
+	}
+	if err := json.Unmarshal(bodyJ1, &j1); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(bodyJ2, &j2); err != nil {
+		t.Fatal(err)
+	}
+	if j1.Norms[0].Value == j2.Norms[0].Value {
+		t.Fatalf("doubling all speeds left ℓ1 unchanged (%v): speeds are not reaching the engine", j1.Norms[0].Value)
+	}
+
+	// Replay route: its key covers the model too (replay caching requires an
+	// asserted body digest).
+	tr := replayTrace(t, 60)
+	sum := sha256.Sum256(tr)
+	digest := hex.EncodeToString(sum[:])
+	rq := "policy=RR&machine_speeds=1,3"
+	r1, _ := postReplay(t, ts.URL, rq, tr, digest)
+	if got := r1.Header.Get("X-Cache"); got != "miss" {
+		t.Fatalf("replay first: X-Cache %q, want miss", got)
+	}
+	r2, _ := postReplay(t, ts.URL, "policy=RR&machine_speeds=1,2", tr, digest)
+	if got := r2.Header.Get("X-Cache"); got != "miss" {
+		t.Fatalf("replay different speeds collided: X-Cache %q", got)
+	}
+	r3, _ := postReplay(t, ts.URL, rq, tr, digest)
+	if got := r3.Header.Get("X-Cache"); got != "hit" {
+		t.Fatalf("replay repeat: X-Cache %q, want hit", got)
+	}
+	r4, _ := postReplay(t, ts.URL, rq+"&preempt_cost=1", tr, digest)
+	if got := r4.Header.Get("X-Cache"); got != "miss" {
+		t.Fatalf("replay preempt_cost collided: X-Cache %q", got)
+	}
+}

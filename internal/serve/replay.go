@@ -68,15 +68,17 @@ const (
 // streaming aggregates plus the requested ℓk-norms; per-job arrays never
 // exist server-side.
 type ReplayResponse struct {
-	Policy   string      `json:"policy"`
-	Machines int         `json:"machines"`
-	Speed    float64     `json:"speed"`
-	Engine   string      `json:"engine"`
-	N        int         `json:"n"`
-	Events   int         `json:"events"`
-	Makespan float64     `json:"makespan"`
-	MaxFlow  float64     `json:"max_flow"`
-	Norms    []NormValue `json:"norms"`
+	Policy        string      `json:"policy"`
+	Machines      int         `json:"machines"`
+	Speed         float64     `json:"speed"`
+	MachineSpeeds []float64   `json:"machine_speeds,omitempty"`
+	PreemptCost   float64     `json:"preempt_cost,omitempty"`
+	Engine        string      `json:"engine"`
+	N             int         `json:"n"`
+	Events        int         `json:"events"`
+	Makespan      float64     `json:"makespan"`
+	MaxFlow       float64     `json:"max_flow"`
+	Norms         []NormValue `json:"norms"`
 }
 
 // replayParams is a validated replay request minus its body.
@@ -99,7 +101,7 @@ func parseReplayParams(r *http.Request) (*replayParams, *apiError) {
 	if _, err := polspec.New(rp.policy); err != nil {
 		return nil, badRequest("%v", err)
 	}
-	machines := 1
+	machines := 0
 	if v := q.Get("machines"); v != "" {
 		n, err := strconv.Atoi(v)
 		if err != nil || n < 1 {
@@ -115,11 +117,33 @@ func parseReplayParams(r *http.Request) (*replayParams, *apiError) {
 		}
 		speed = f
 	}
+	var machineSpeeds []float64
+	if v := q.Get("machine_speeds"); v != "" {
+		for _, part := range strings.Split(v, ",") {
+			f, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+			if err != nil {
+				return nil, badRequest("machine_speeds must be a comma-separated list of numbers, got %q", v)
+			}
+			machineSpeeds = append(machineSpeeds, f)
+		}
+	}
+	preemptCost := 0.0
+	if v := q.Get("preempt_cost"); v != "" {
+		f, err := strconv.ParseFloat(v, 64)
+		if err != nil {
+			return nil, badRequest("preempt_cost must be a number, got %q", v)
+		}
+		preemptCost = f
+	}
+	mm, machines, aerr := validateMachineModel(machineSpeeds, preemptCost, machines)
+	if aerr != nil {
+		return nil, aerr
+	}
 	eng, err := core.ParseEngineKind(q.Get("engine"))
 	if err != nil {
 		return nil, badRequest("%v", err)
 	}
-	rp.opts = core.Options{Machines: machines, Speed: speed, Engine: eng}
+	rp.opts = core.Options{Machines: machines, Speed: speed, Engine: eng, MachineModel: mm}
 	rp.norms = []int{1, 2, 3}
 	if v := q.Get("norms"); v != "" {
 		rp.norms = rp.norms[:0]
@@ -188,6 +212,13 @@ func (rp *replayParams) cacheKey() string {
 	u64(uint64(int64(rp.opts.Machines)))
 	u64(math.Float64bits(rp.opts.Speed))
 	u64(uint64(int64(rp.opts.Engine)))
+	// Machine model: length-prefixed speeds then the preemption cost (see
+	// simSpec.cacheKey for the collision argument).
+	u64(uint64(len(rp.opts.MachineModel.Speeds)))
+	for _, sp := range rp.opts.MachineModel.Speeds {
+		u64(math.Float64bits(sp))
+	}
+	u64(math.Float64bits(rp.opts.MachineModel.PreemptCost))
 	u64(uint64(int64(rp.format)))
 	if rp.sort {
 		u64(1)
@@ -289,7 +320,7 @@ func (s *Server) runReplay(ctx context.Context, rp *replayParams, body io.Reader
 	obs := []core.Observer{sn}
 	var sm *hunt.StreamMonitor
 	if s.cfg.MonitorAnomalies {
-		sm = hunt.NewStreamMonitor(opts.Machines, opts.Speed)
+		sm = hunt.NewStreamMonitorModel(opts.Machines, opts.Speed, opts.MachineModel)
 		obs = append(obs, sm)
 	}
 	opts.Observer = core.Multi(obs...)
@@ -318,15 +349,17 @@ func (s *Server) runReplay(ctx context.Context, rp *replayParams, body io.Reader
 		}
 	}
 	out := &ReplayResponse{
-		Policy:   sum.Policy,
-		Machines: sum.Machines,
-		Speed:    sum.Speed,
-		Engine:   opts.Engine.String(),
-		N:        sum.N,
-		Events:   sum.Events,
-		Makespan: sum.Makespan,
-		MaxFlow:  sum.MaxFlow,
-		Norms:    make([]NormValue, 0, len(rp.norms)),
+		Policy:        sum.Policy,
+		Machines:      sum.Machines,
+		Speed:         sum.Speed,
+		MachineSpeeds: append([]float64(nil), sum.MachineModel.Speeds...),
+		PreemptCost:   sum.MachineModel.PreemptCost,
+		Engine:        opts.Engine.String(),
+		N:             sum.N,
+		Events:        sum.Events,
+		Makespan:      sum.Makespan,
+		MaxFlow:       sum.MaxFlow,
+		Norms:         make([]NormValue, 0, len(rp.norms)),
 	}
 	for _, k := range rp.norms {
 		out.Norms = append(out.Norms, NormValue{K: k, Value: sn.Norm(k)})

@@ -232,6 +232,7 @@ func (s *Server) handleCompare(w http.ResponseWriter, r *http.Request) {
 		sp, aerr := parseSimulate(SimulateRequest{
 			Spec: req.Spec, Seed: req.Seed, Jobs: req.Jobs,
 			Policy: pol, Machines: req.Machines, Speed: req.Speed,
+			MachineSpeeds: req.MachineSpeeds, PreemptCost: req.PreemptCost,
 			Engine: req.Engine, Norms: req.Norms,
 		})
 		if aerr != nil {
@@ -282,11 +283,13 @@ func (s *Server) handleCompare(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		out := &CompareResponse{
-			Machines: specs[0].opts.Machines,
-			Speed:    specs[0].opts.Speed,
-			Engine:   specs[0].opts.Engine.String(),
-			N:        specs[0].instance.N(),
-			Policies: entries,
+			Machines:      specs[0].opts.Machines,
+			Speed:         specs[0].opts.Speed,
+			MachineSpeeds: append([]float64(nil), specs[0].opts.MachineModel.Speeds...),
+			PreemptCost:   specs[0].opts.MachineModel.PreemptCost,
+			Engine:        specs[0].opts.Engine.String(),
+			N:             specs[0].instance.N(),
+			Policies:      entries,
 		}
 		b, err := json.Marshal(out)
 		ch <- result{b, err}

@@ -26,7 +26,7 @@ func TestFacadeSimulate(t *testing.T) {
 
 func TestFacadePolicies(t *testing.T) {
 	names := rrnorm.Policies()
-	if len(names) != 11 {
+	if len(names) != 12 {
 		t.Fatalf("policies: %v", names)
 	}
 	p, err := rrnorm.NewPolicy("SRPT")
